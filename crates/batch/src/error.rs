@@ -1,0 +1,53 @@
+//! Error types for the batch layer.
+
+use std::fmt;
+
+/// Errors produced by the batch layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchError {
+    /// No file with that path exists in the DFS.
+    FileNotFound(String),
+    /// A file with that path already exists.
+    FileExists(String),
+    /// The DFS was configured with impossible parameters.
+    InvalidDfsConfig {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A job was configured with impossible parameters.
+    InvalidJobConfig {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A map or reduce task panicked.
+    TaskFailed {
+        /// The task (e.g. `map-3`).
+        task: String,
+        /// The panic message.
+        reason: String,
+    },
+    /// Input data was not valid UTF-8 when a text reader was requested.
+    NotUtf8 {
+        /// The offending file.
+        path: String,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            BatchError::FileExists(p) => write!(f, "file already exists: {p}"),
+            BatchError::InvalidDfsConfig { reason } => {
+                write!(f, "invalid DFS configuration: {reason}")
+            }
+            BatchError::InvalidJobConfig { reason } => {
+                write!(f, "invalid job configuration: {reason}")
+            }
+            BatchError::TaskFailed { task, reason } => write!(f, "task {task} failed: {reason}"),
+            BatchError::NotUtf8 { path } => write!(f, "file {path} is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}

@@ -1,0 +1,25 @@
+//! Batch-processing substrate: a MapReduce framework over a distributed-
+//! filesystem analogue (the paper's Hadoop + HDFS layer, Section 2.1.3).
+//!
+//! The paper uses Hadoop for exactly one thing — periodically recomputing
+//! per-(location, hour, day-type) statistics over the historical bus
+//! traces stored in HDFS (Section 4.1.3) — but the framework here is a
+//! faithful general-purpose miniature:
+//!
+//! * [`dfs`] — a block-structured filesystem: files are sequences of
+//!   fixed-size blocks, each block placed on a configurable number of
+//!   simulated datanodes (replication), with line-oriented readers so map
+//!   tasks can each consume one block, exactly like HDFS input splits;
+//! * [`mapreduce`] — `Mapper`/`Reducer`/`Combiner` traits and a job runner
+//!   that executes map tasks in parallel (one per input block), hash-
+//!   partitions intermediate pairs into a user-defined number of reduce
+//!   tasks, sorts/groups per partition, runs reducers in parallel and
+//!   returns (and optionally persists) the outputs.
+
+pub mod dfs;
+pub mod error;
+pub mod mapreduce;
+
+pub use dfs::{Dfs, DfsConfig, FileStatus};
+pub use error::BatchError;
+pub use mapreduce::{run_job, Combiner, JobConfig, JobStats, Mapper, Reducer};

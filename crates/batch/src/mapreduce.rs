@@ -1,0 +1,485 @@
+//! A miniature MapReduce execution engine (Section 2.1.3 of the paper).
+//!
+//! `map(k1, v1) → [k2, v2]`, `reduce(k2, [v2]) → [k3, v3]` — as in the
+//! paper's formulation. Input records are text lines read from the
+//! [`Dfs`](crate::dfs::Dfs); each input split (one per DFS block) becomes
+//! one map task; intermediate pairs are hash-partitioned into `reducers`
+//! partitions, sorted and grouped by key, and each partition becomes one
+//! reduce task. Map and reduce tasks run on a pool of worker threads.
+
+use crate::dfs::Dfs;
+use crate::error::BatchError;
+use crossbeam::channel;
+use std::collections::BTreeMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// The map side of a job.
+///
+/// `map` is called once per input record (a text line, stripped of its
+/// newline) and emits intermediate pairs through `emit`.
+pub trait Mapper: Sync {
+    /// Intermediate key type.
+    type Key: Ord + Hash + Clone + Send;
+    /// Intermediate value type.
+    type Value: Send;
+
+    /// Processes one input record, emitting intermediate pairs.
+    fn map(&self, record: &str, emit: &mut dyn FnMut(Self::Key, Self::Value));
+}
+
+/// The reduce side of a job.
+///
+/// `reduce` is called once per distinct intermediate key with all of the
+/// key's values, and emits output pairs through `emit`.
+pub trait Reducer<K, V>: Sync {
+    /// Output key type.
+    type OutKey: Send;
+    /// Output value type.
+    type OutValue: Send;
+
+    /// Folds one key's values into output pairs.
+    fn reduce(
+        &self,
+        key: &K,
+        values: &[V],
+        emit: &mut dyn FnMut(Self::OutKey, Self::OutValue),
+    );
+}
+
+/// An optional map-side combiner: folds the values of one key within a
+/// single map task before the shuffle, cutting intermediate volume —
+/// Hadoop's classic optimization, useful for our statistics job where
+/// partial (count, sum, sum-of-squares) triples merge associatively.
+pub trait Combiner<K, V>: Sync {
+    /// Folds one key's map-side values into (usually fewer) values.
+    fn combine(&self, key: &K, values: Vec<V>) -> Vec<V>;
+}
+
+/// Job configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Number of reduce tasks (and output partitions).
+    pub reducers: usize,
+    /// Number of worker threads executing tasks.
+    pub workers: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig { reducers: 4, workers: 4 }
+    }
+}
+
+/// Execution statistics for a finished job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobStats {
+    /// Map tasks executed (one per input split).
+    pub map_tasks: usize,
+    /// Reduce tasks executed (= output partitions).
+    pub reduce_tasks: usize,
+    /// Input records consumed.
+    pub input_records: u64,
+    /// Pairs that crossed the shuffle (post-combiner).
+    pub intermediate_pairs: u64,
+    /// Output pairs produced.
+    pub output_pairs: u64,
+}
+
+fn partition_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
+/// The output of a job: one `Vec` of `(key, value)` pairs per reduce
+/// partition, like Hadoop part files.
+pub type JobOutput<K, V> = Vec<Vec<(K, V)>>;
+
+/// A finished job: its outputs plus execution statistics.
+pub type JobResult<K, V> = (JobOutput<K, V>, JobStats);
+
+/// Runs a MapReduce job over the given DFS input files.
+///
+/// Returns the output pairs of every reduce partition (partition index →
+/// pairs) together with execution statistics. Outputs inside a partition
+/// follow the sorted key order, like Hadoop part files.
+pub fn run_job<M, R, C>(
+    dfs: &Dfs,
+    inputs: &[&str],
+    mapper: &M,
+    reducer: &R,
+    combiner: Option<&C>,
+    config: JobConfig,
+) -> Result<JobResult<R::OutKey, R::OutValue>, BatchError>
+where
+    M: Mapper,
+    R: Reducer<M::Key, M::Value>,
+    C: Combiner<M::Key, M::Value>,
+{
+    if config.reducers == 0 {
+        return Err(BatchError::InvalidJobConfig { reason: "reducers must be > 0".into() });
+    }
+    if config.workers == 0 {
+        return Err(BatchError::InvalidJobConfig { reason: "workers must be > 0".into() });
+    }
+
+    // Input splits: one per DFS block, line-aligned.
+    let mut splits: Vec<String> = Vec::new();
+    for path in inputs {
+        splits.extend(dfs.read_line_splits(path)?);
+    }
+    let map_tasks = splits.len();
+
+    // ---- Map phase -------------------------------------------------------
+    // Workers pull splits from a channel; each produces per-partition
+    // intermediate vectors.
+    let (split_tx, split_rx) = channel::unbounded::<(usize, String)>();
+    for (i, s) in splits.into_iter().enumerate() {
+        split_tx.send((i, s)).expect("channel open");
+    }
+    drop(split_tx);
+
+    struct MapOut<K, V> {
+        partitions: Vec<Vec<(K, V)>>,
+        records: u64,
+        pairs: u64,
+    }
+
+    let map_results: Vec<MapOut<M::Key, M::Value>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..config.workers.min(map_tasks.max(1)) {
+            let split_rx = split_rx.clone();
+            handles.push(scope.spawn(move || -> Result<MapOut<M::Key, M::Value>, BatchError> {
+                let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
+                    (0..config.reducers).map(|_| Vec::new()).collect();
+                let mut records = 0u64;
+                let mut pairs = 0u64;
+                while let Ok((task_id, split)) = split_rx.recv() {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut local: Vec<(M::Key, M::Value)> = Vec::new();
+                        for line in split.lines() {
+                            records += 1;
+                            mapper.map(line, &mut |k, v| local.push((k, v)));
+                        }
+                        local
+                    }));
+                    let mut local = result.map_err(|e| BatchError::TaskFailed {
+                        task: format!("map-{task_id} (worker {worker})"),
+                        reason: panic_message(e.as_ref()),
+                    })?;
+                    if let Some(c) = combiner {
+                        local = run_combiner(c, local);
+                    }
+                    pairs += local.len() as u64;
+                    for (k, v) in local {
+                        let p = partition_of(&k, config.reducers);
+                        partitions[p].push((k, v));
+                    }
+                }
+                Ok(MapOut { partitions, records, pairs })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker threads do not panic"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+
+    let mut stats = JobStats {
+        map_tasks,
+        reduce_tasks: config.reducers,
+        ..JobStats::default()
+    };
+
+    // ---- Shuffle ---------------------------------------------------------
+    // Merge every mapper's partition p into one sorted multimap per p.
+    let mut shuffled: Vec<BTreeMap<M::Key, Vec<M::Value>>> =
+        (0..config.reducers).map(|_| BTreeMap::new()).collect();
+    for out in map_results {
+        stats.input_records += out.records;
+        stats.intermediate_pairs += out.pairs;
+        for (p, pairs) in out.partitions.into_iter().enumerate() {
+            for (k, v) in pairs {
+                shuffled[p].entry(k).or_default().push(v);
+            }
+        }
+    }
+
+    // ---- Reduce phase ----------------------------------------------------
+    let (task_tx, task_rx) =
+        channel::unbounded::<(usize, BTreeMap<M::Key, Vec<M::Value>>)>();
+    for (p, m) in shuffled.into_iter().enumerate() {
+        task_tx.send((p, m)).expect("channel open");
+    }
+    drop(task_tx);
+
+    type ReduceOuts<K, V> = Vec<(usize, Vec<(K, V)>)>;
+    let reduce_results: Vec<ReduceOuts<R::OutKey, R::OutValue>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..config.workers.min(config.reducers) {
+                let task_rx = task_rx.clone();
+                handles.push(scope.spawn(
+                    move || -> Result<ReduceOuts<R::OutKey, R::OutValue>, BatchError> {
+                        let mut outs = Vec::new();
+                        while let Ok((p, groups)) = task_rx.recv() {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut out = Vec::new();
+                                    for (k, vs) in &groups {
+                                        reducer.reduce(k, vs, &mut |ok, ov| out.push((ok, ov)));
+                                    }
+                                    out
+                                }));
+                            let out = result.map_err(|e| BatchError::TaskFailed {
+                                task: format!("reduce-{p}"),
+                                reason: panic_message(e.as_ref()),
+                            })?;
+                            outs.push((p, out));
+                        }
+                        Ok(outs)
+                    },
+                ));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker threads do not panic"))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+
+    let mut outputs: Vec<Vec<(R::OutKey, R::OutValue)>> =
+        (0..config.reducers).map(|_| Vec::new()).collect();
+    for worker_outs in reduce_results {
+        for (p, out) in worker_outs {
+            stats.output_pairs += out.len() as u64;
+            outputs[p] = out;
+        }
+    }
+    Ok((outputs, stats))
+}
+
+fn run_combiner<K: Ord + Clone, V, C: Combiner<K, V> + ?Sized>(
+    combiner: &C,
+    pairs: Vec<(K, V)>,
+) -> Vec<(K, V)> {
+    let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in pairs {
+        grouped.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::new();
+    for (k, vs) in grouped {
+        for v in combiner.combine(&k, vs) {
+            out.push((k.clone(), v));
+        }
+    }
+    out
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// A no-op combiner for jobs that do not use one; pass
+/// `None::<&NoCombiner>` to [`run_job`].
+pub struct NoCombiner;
+
+impl<K, V> Combiner<K, V> for NoCombiner {
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs::DfsConfig;
+
+    struct WordMapper;
+    impl Mapper for WordMapper {
+        type Key = String;
+        type Value = u64;
+        fn map(&self, record: &str, emit: &mut dyn FnMut(String, u64)) {
+            for w in record.split_whitespace() {
+                emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer<String, u64> for SumReducer {
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&self, key: &String, values: &[u64], emit: &mut dyn FnMut(String, u64)) {
+            emit(key.clone(), values.iter().sum());
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner<String, u64> for SumCombiner {
+        fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    fn dfs_with(text: &str) -> Dfs {
+        let dfs = Dfs::new(DfsConfig { block_size: 32, replication: 1, datanodes: 2 }).unwrap();
+        dfs.create("/in", text.as_bytes()).unwrap();
+        dfs
+    }
+
+    fn collect(outputs: Vec<Vec<(String, u64)>>) -> BTreeMap<String, u64> {
+        outputs.into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let dfs = dfs_with("the quick brown fox\nthe lazy dog\nthe fox again\n");
+        let (out, stats) = run_job(
+            &dfs,
+            &["/in"],
+            &WordMapper,
+            &SumReducer,
+            None::<&NoCombiner>,
+            JobConfig { reducers: 3, workers: 2 },
+        )
+        .unwrap();
+        let counts = collect(out);
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["fox"], 2);
+        assert_eq!(counts["dog"], 1);
+        assert_eq!(stats.input_records, 3);
+        assert!(stats.map_tasks >= 2, "small blocks force multiple map tasks");
+        assert_eq!(stats.reduce_tasks, 3);
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_cuts_traffic() {
+        let text = "a a a a a a a a\nb b b b\n".repeat(10);
+        let dfs = dfs_with(&text);
+        let cfg = JobConfig { reducers: 2, workers: 3 };
+        let (out_plain, stats_plain) =
+            run_job(&dfs, &["/in"], &WordMapper, &SumReducer, None::<&NoCombiner>, cfg).unwrap();
+        let (out_comb, stats_comb) =
+            run_job(&dfs, &["/in"], &WordMapper, &SumReducer, Some(&SumCombiner), cfg).unwrap();
+        assert_eq!(collect(out_plain), collect(out_comb));
+        assert!(
+            stats_comb.intermediate_pairs < stats_plain.intermediate_pairs,
+            "combiner must shrink the shuffle ({} vs {})",
+            stats_comb.intermediate_pairs,
+            stats_plain.intermediate_pairs
+        );
+    }
+
+    #[test]
+    fn multiple_input_files() {
+        let dfs = dfs_with("x y\n");
+        dfs.create("/in2", b"x z\n").unwrap();
+        let (out, _) = run_job(
+            &dfs,
+            &["/in", "/in2"],
+            &WordMapper,
+            &SumReducer,
+            None::<&NoCombiner>,
+            JobConfig::default(),
+        )
+        .unwrap();
+        let counts = collect(out);
+        assert_eq!(counts["x"], 2);
+        assert_eq!(counts["y"], 1);
+        assert_eq!(counts["z"], 1);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let dfs = dfs_with("");
+        let (out, stats) = run_job(
+            &dfs,
+            &["/in"],
+            &WordMapper,
+            &SumReducer,
+            None::<&NoCombiner>,
+            JobConfig::default(),
+        )
+        .unwrap();
+        assert!(collect(out).is_empty());
+        assert_eq!(stats.input_records, 0);
+        assert_eq!(stats.map_tasks, 0);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let dfs = dfs_with("x\n");
+        let err = run_job(
+            &dfs,
+            &["/does-not-exist"],
+            &WordMapper,
+            &SumReducer,
+            None::<&NoCombiner>,
+            JobConfig::default(),
+        );
+        assert!(matches!(err, Err(BatchError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let dfs = dfs_with("x\n");
+        for cfg in [
+            JobConfig { reducers: 0, workers: 1 },
+            JobConfig { reducers: 1, workers: 0 },
+        ] {
+            let err =
+                run_job(&dfs, &["/in"], &WordMapper, &SumReducer, None::<&NoCombiner>, cfg);
+            assert!(matches!(err, Err(BatchError::InvalidJobConfig { .. })));
+        }
+    }
+
+    struct PanickyMapper;
+    impl Mapper for PanickyMapper {
+        type Key = String;
+        type Value = u64;
+        fn map(&self, record: &str, _emit: &mut dyn FnMut(String, u64)) {
+            if record.contains("boom") {
+                panic!("bad record: {record}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapper_panic_becomes_task_failure() {
+        let dfs = dfs_with("fine\nboom here\n");
+        let err = run_job(
+            &dfs,
+            &["/in"],
+            &PanickyMapper,
+            &SumReducer,
+            None::<&NoCombiner>,
+            JobConfig { reducers: 1, workers: 1 },
+        );
+        match err {
+            Err(BatchError::TaskFailed { task, reason }) => {
+                assert!(task.starts_with("map-"));
+                assert!(reason.contains("bad record"));
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_key_lands_in_one_partition() {
+        // Statistical sanity for the hash partitioner: every occurrence of
+        // a key must reduce together (already implied by word_count, but
+        // assert the partition function is deterministic).
+        for reducers in [1, 2, 7] {
+            let p1 = partition_of(&"delay-R17-8", reducers);
+            let p2 = partition_of(&"delay-R17-8", reducers);
+            assert_eq!(p1, p2);
+            assert!(p1 < reducers);
+        }
+    }
+}

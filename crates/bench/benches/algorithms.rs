@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks for the paper's algorithms: rule
+//! partitioning (Algorithm 1), rules allocation (Algorithm 2), the
+//! polynomial regression fit, and the spatial substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tms_core::allocation::{allocate, Grouping};
+use tms_core::latency::{EstimationModel, PolyModel};
+use tms_core::partitioning::{partition_rule, RegionRate};
+use tms_core::rules::{LocationSelector, RuleSpec};
+use tms_geo::{Denclue, DenclueConfig, GeoPoint, QuadtreeConfig, RegionQuadtree, DUBLIN_BBOX};
+use tms_traffic::Attribute;
+
+fn regions(n: usize, seed: u64) -> Vec<RegionRate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| RegionRate { region: format!("R{i}"), rate: rng.random_range(1.0..500.0) })
+        .collect()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/partition_rule");
+    for n in [64usize, 512, 4096] {
+        let rs = regions(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| partition_rule(black_box(&rs), 16).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let model = EstimationModel::default_paper_shaped();
+    let groupings: Vec<Grouping> = (0..4)
+        .map(|g| Grouping {
+            name: format!("g{g}"),
+            layers: vec![g as u8],
+            rules: (0..5)
+                .map(|i| {
+                    RuleSpec::new(
+                        format!("r{g}-{i}"),
+                        Attribute::Delay,
+                        LocationSelector::QuadtreeLeaves,
+                        100,
+                    )
+                })
+                .collect(),
+            regions: regions(64, g as u64),
+            thresholds: vec![64 * 48; 5],
+        })
+        .collect();
+    c.bench_function("algorithms/allocate_30_engines", |b| {
+        b.iter(|| allocate(black_box(&model), black_box(&groupings), 30).unwrap())
+    });
+}
+
+fn bench_polyfit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples: Vec<(Vec<f64>, f64)> = (0..200)
+        .map(|_| {
+            let x1 = rng.random_range(0.0..100.0);
+            let x2 = rng.random_range(0.0..100.0);
+            (vec![x1, x2], 1.0 + 0.5 * x1 + 0.25 * x2 + rng.random_range(-0.1..0.1))
+        })
+        .collect();
+    let mut group = c.benchmark_group("algorithms/polyfit");
+    for degree in [1u8, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &d| {
+            b.iter(|| PolyModel::fit(black_box(&samples), d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadtree(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let seeds: Vec<GeoPoint> = (0..500)
+        .map(|_| {
+            GeoPoint::new_unchecked(
+                rng.random_range(53.21..53.41),
+                rng.random_range(-6.44..-6.06),
+            )
+        })
+        .collect();
+    let tree = RegionQuadtree::build(
+        DUBLIN_BBOX,
+        &seeds,
+        QuadtreeConfig { max_points_per_region: 8, max_depth: 10 },
+    )
+    .unwrap();
+    let probes: Vec<GeoPoint> = (0..1000)
+        .map(|_| {
+            GeoPoint::new_unchecked(
+                rng.random_range(53.21..53.41),
+                rng.random_range(-6.44..-6.06),
+            )
+        })
+        .collect();
+    let mut i = 0usize;
+    c.bench_function("geo/quadtree_locate_all_layers", |b| {
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(tree.locate_all_layers(&probes[i]).len())
+        })
+    });
+}
+
+fn bench_denclue(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut points = Vec::new();
+    for cluster in 0..10 {
+        let center = GeoPoint::new_unchecked(53.25 + cluster as f64 * 0.015, -6.30);
+        for _ in 0..100 {
+            points.push(center.destination(rng.random_range(0.0..360.0), rng.random_range(0.0..25.0)));
+        }
+    }
+    let engine = Denclue::new(DenclueConfig::default()).unwrap();
+    c.bench_function("geo/denclue_1000_points", |b| {
+        b.iter(|| engine.cluster(black_box(&points)).unwrap().clusters.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_partition, bench_allocate, bench_polyfit, bench_quadtree, bench_denclue
+}
+criterion_main!(benches);

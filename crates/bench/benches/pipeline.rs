@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the surrounding pipeline: fleet generation,
+//! the MapReduce statistics job, the threshold query, and the cluster
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tms_batch::{Dfs, DfsConfig};
+use tms_core::offline::{enrich_and_store, run_statistics_job, stop_observations, OfflineConfig};
+use tms_core::rules::SpatialContext;
+use tms_geo::{busstops::SubclusterConfig, BusStopIndex, DenclueConfig, QuadtreeConfig, RegionQuadtree, DUBLIN_BBOX};
+use tms_sim::{simulate, EngineSpec, SimConfig};
+use tms_storage::{TableStore, ThresholdQuery, ThresholdStore};
+use tms_traffic::{BusTrace, FleetConfig, FleetGenerator, HOUR_MS};
+
+fn small_day() -> Vec<BusTrace> {
+    FleetGenerator::new(FleetConfig::small(77), 0)
+        .unwrap()
+        .take_while(|t| t.timestamp_ms < 9 * HOUR_MS)
+        .collect()
+}
+
+fn spatial() -> SpatialContext {
+    let generator = FleetGenerator::new(FleetConfig::small(77), 0).unwrap();
+    let seeds = generator.route_seed_points();
+    let quadtree = RegionQuadtree::build(
+        DUBLIN_BBOX,
+        &seeds,
+        QuadtreeConfig { max_points_per_region: 16, max_depth: 7 },
+    )
+    .unwrap();
+    let traces = small_day();
+    let stops = BusStopIndex::build(
+        &stop_observations(&traces),
+        DenclueConfig::default(),
+        SubclusterConfig::default(),
+    )
+    .unwrap();
+    SpatialContext { quadtree, stops }
+}
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    c.bench_function("traffic/generate_one_hour_small_fleet", |b| {
+        b.iter(|| {
+            FleetGenerator::new(FleetConfig::small(7), 0)
+                .unwrap()
+                .take_while(|t| t.timestamp_ms < 7 * HOUR_MS)
+                .count()
+        })
+    });
+}
+
+fn bench_statistics_job(c: &mut Criterion) {
+    let ctx = spatial();
+    let traces = small_day();
+    let dfs = Dfs::new(DfsConfig { block_size: 1 << 20, replication: 1, datanodes: 4 }).unwrap();
+    enrich_and_store(&traces, &ctx, &dfs, "/history.csv").unwrap();
+    c.bench_function("batch/statistics_job_3h_small_fleet", |b| {
+        b.iter(|| {
+            let store = TableStore::new();
+            run_statistics_job(
+                black_box(&dfs),
+                &["/history.csv"],
+                &store,
+                &OfflineConfig::default(),
+            )
+            .unwrap()
+            .len()
+        })
+    });
+}
+
+fn bench_threshold_query(c: &mut Criterion) {
+    let ctx = spatial();
+    let traces = small_day();
+    let dfs = Dfs::with_defaults();
+    enrich_and_store(&traces, &ctx, &dfs, "/history.csv").unwrap();
+    let store = TableStore::new();
+    run_statistics_job(&dfs, &["/history.csv"], &store, &OfflineConfig::default()).unwrap();
+    let ts = ThresholdStore::new(store);
+    let q = ThresholdQuery { attribute: "delay".into(), s: 1.0 };
+    c.bench_function("storage/threshold_snapshot_query", |b| {
+        b.iter(|| ts.thresholds(black_box(&q)).unwrap().len())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let engines: Vec<EngineSpec> = (0..30)
+        .map(|i| EngineSpec { service_ms: 0.5 + (i % 5) as f64 * 0.2, input_rate: 2000.0 })
+        .collect();
+    c.bench_function("sim/fluid_40s_30_engines", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&engines),
+                SimConfig { nodes: 7, cores_per_node: 1, ..SimConfig::default() },
+            )
+            .unwrap()
+            .total_throughput
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fleet_generation, bench_statistics_job, bench_threshold_query, bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Real-engine latency measurement — the data behind the regression
+//! model (Section 4.1.4).
+//!
+//! The paper "ran several experiments in order to build the appropriate
+//! dataset" before fitting the three functions. We do the same against
+//! our CEP engine: stand up a [`RuleEngine`] with a Listing 1 rule of
+//! window `l` joining `t` thresholds, replay traces through it, and time
+//! the per-tuple cost.
+
+use std::time::Instant;
+use tms_core::rules::{LocationSelector, RuleSpec};
+use tms_core::thresholds::{RetrievalMethod, RuleEngine};
+use tms_storage::{DayType, StatRecord, TableStore, ThresholdStore};
+use tms_traffic::{Attribute, BusTrace, EnrichedTrace};
+
+/// The measurement grid for Function 1 (window lengths × threshold
+/// counts, per Tables 3 and 6).
+#[derive(Debug, Clone)]
+pub struct CalibrationGrid {
+    pub windows: Vec<usize>,
+    pub threshold_counts: Vec<usize>,
+    /// Tuples replayed per measurement (after warm-up).
+    pub tuples: usize,
+}
+
+impl Default for CalibrationGrid {
+    fn default() -> Self {
+        CalibrationGrid {
+            windows: vec![1, 10, 100, 1000],
+            threshold_counts: vec![48, 480, 2400],
+            tuples: 2_000,
+        }
+    }
+}
+
+fn synthetic_trace(i: usize, location: &str) -> EnrichedTrace {
+    EnrichedTrace {
+        trace: BusTrace {
+            timestamp_ms: 8 * tms_traffic::HOUR_MS + i as u64 * 50,
+            line_id: 1,
+            direction: true,
+            position: tms_geo::GeoPoint::new_unchecked(53.33, -6.26),
+            delay_s: (i % 400) as f64,
+            congestion: false,
+            reported_stop: None,
+            at_stop: false,
+            vehicle_id: 1,
+        },
+        speed_kmh: Some(20.0),
+        actual_delay_s: Some(1.0),
+        areas: vec![location.to_string()],
+        bus_stop: None,
+    }
+}
+
+/// Builds a threshold store with `t` cells spread over `t / 48` locations
+/// (48 = 24 hours × 2 day types, the paper's statistics granularity).
+fn store_with_thresholds(t: usize) -> (ThresholdStore, Vec<String>) {
+    let locations = (t / 48).max(1);
+    let store = ThresholdStore::new(TableStore::new());
+    let mut records = Vec::with_capacity(t);
+    let mut names = Vec::with_capacity(locations);
+    for loc in 0..locations {
+        let area = format!("L{loc}");
+        names.push(area.clone());
+        for hour in 0..24u8 {
+            for day in [DayType::Weekday, DayType::Weekend] {
+                records.push(StatRecord {
+                    area_id: area.clone(),
+                    hour,
+                    day_type: day,
+                    // High threshold so the rule never fires during the
+                    // measurement (firing cost is a separate matter).
+                    mean: 1.0e9,
+                    stdv: 0.0,
+                    count: 100,
+                });
+            }
+        }
+    }
+    store.publish("delay", &records).expect("publishing synthetic thresholds");
+    (store, names)
+}
+
+fn rule(l: usize) -> RuleSpec {
+    let mut r = RuleSpec::new(
+        format!("cal-l{l}"),
+        Attribute::Delay,
+        LocationSelector::QuadtreeLeaves,
+        l,
+    );
+    r.s = 0.0;
+    r
+}
+
+/// Measures the average per-tuple latency (ms) of one rule with window
+/// `l` joining `t` thresholds — a Function 1 sample.
+pub fn measure_rule_latency(l: usize, t: usize, tuples: usize) -> f64 {
+    measure_engine_latency(&[l], t, tuples)
+}
+
+/// Measures the average per-tuple latency (ms) of an engine running one
+/// rule per entry of `windows`, each joining `t` thresholds — Function 2
+/// samples come from calling this with two windows.
+///
+/// Takes the **median of three runs**: one descheduling hiccup would
+/// otherwise poison the regression fit (and, through the sequential F2
+/// fold, everything downstream).
+pub fn measure_engine_latency(windows: &[usize], t: usize, tuples: usize) -> f64 {
+    let mut runs = [
+        measure_engine_latency_once(windows, t, tuples),
+        measure_engine_latency_once(windows, t, tuples),
+        measure_engine_latency_once(windows, t, tuples),
+    ];
+    runs.sort_by(f64::total_cmp);
+    runs[1]
+}
+
+fn measure_engine_latency_once(windows: &[usize], t: usize, tuples: usize) -> f64 {
+    let (store, locations) = store_with_thresholds(t);
+    let mut engine = RuleEngine::new(RetrievalMethod::ThresholdStream, store, None);
+    for (i, &l) in windows.iter().enumerate() {
+        let mut spec = rule(l);
+        spec.name = format!("cal-{i}-l{l}");
+        engine
+            .install_rule(&spec, locations.iter().cloned())
+            .expect("installing calibration rule");
+    }
+    // Warm-up: fill every location's groupwin pane to its window length,
+    // so the steady-state per-tuple cost is what gets measured (capped to
+    // keep calibration runs short; panes at the cap are representative).
+    let max_window = windows.iter().copied().max().unwrap_or(1);
+    let warmup = (max_window * locations.len()).min(60_000);
+    for i in 0..warmup {
+        let loc = &locations[i % locations.len()];
+        engine.send_trace(&synthetic_trace(i, loc)).expect("warm-up trace");
+    }
+    let start = Instant::now();
+    for i in 0..tuples {
+        let loc = &locations[i % locations.len()];
+        engine.send_trace(&synthetic_trace(warmup + i, loc)).expect("measured trace");
+    }
+    let elapsed = start.elapsed();
+    elapsed.as_secs_f64() * 1000.0 / tuples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_window_length() {
+        let small = measure_rule_latency(1, 48, 300);
+        let big = measure_rule_latency(1000, 48, 300);
+        assert!(small > 0.0);
+        assert!(
+            big > small,
+            "window 1000 ({big} ms) should cost more than window 1 ({small} ms)"
+        );
+    }
+
+    #[test]
+    fn two_rules_cost_more_than_one() {
+        let one = measure_engine_latency(&[100], 48, 300);
+        let two = measure_engine_latency(&[100, 100], 48, 300);
+        assert!(two > one, "two rules {two} vs one {one}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared infrastructure for the experiment harness: real-engine latency
+//! calibration, result tables and JSON output.
+
+pub mod calibrate;
+pub mod report;
+
+pub use calibrate::{measure_engine_latency, measure_rule_latency, CalibrationGrid};
+pub use report::{print_series, print_table, ExperimentResult, Series};

@@ -1,0 +1,153 @@
+//! Aggregation functions.
+//!
+//! `stddev` is the *sample* standard deviation (n−1 denominator), matching
+//! Esper's `stddev` aggregate, which the paper's thresholds build on.
+
+use crate::ast::AggFunc;
+use crate::error::CepError;
+
+/// Incremental accumulator for one aggregate call.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one numeric sample.
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds a row without a value — only meaningful for `count(*)`.
+    pub fn add_row(&mut self) {
+        self.count += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalizes the aggregate. Returns an error for value-less aggregates
+    /// over an empty input (`avg`/`min`/`max`/`stddev` of nothing), which
+    /// the engine treats as "group does not fire".
+    pub fn finish(&self, func: AggFunc) -> Result<f64, CepError> {
+        match func {
+            AggFunc::Count => Ok(self.count as f64),
+            AggFunc::Sum => Ok(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Err(empty(func))
+                } else {
+                    Ok(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => {
+                if self.count == 0 {
+                    Err(empty(func))
+                } else {
+                    Ok(self.min)
+                }
+            }
+            AggFunc::Max => {
+                if self.count == 0 {
+                    Err(empty(func))
+                } else {
+                    Ok(self.max)
+                }
+            }
+            AggFunc::Stddev => {
+                if self.count < 2 {
+                    Err(empty(func))
+                } else {
+                    let n = self.count as f64;
+                    let var = (self.sum_sq - self.sum * self.sum / n) / (n - 1.0);
+                    // Guard tiny negative values from float cancellation.
+                    Ok(var.max(0.0).sqrt())
+                }
+            }
+        }
+    }
+}
+
+fn empty(func: AggFunc) -> CepError {
+    let name = match func {
+        AggFunc::Avg => "avg",
+        AggFunc::Sum => "sum",
+        AggFunc::Count => "count",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+        AggFunc::Stddev => "stddev",
+    };
+    CepError::EmptyAggregate { func: name }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(values: &[f64]) -> Accumulator {
+        let mut a = Accumulator::new();
+        for &v in values {
+            a.add(v);
+        }
+        a
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let a = acc(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.finish(AggFunc::Count).unwrap(), 4.0);
+        assert_eq!(a.finish(AggFunc::Sum).unwrap(), 10.0);
+        assert_eq!(a.finish(AggFunc::Avg).unwrap(), 2.5);
+        assert_eq!(a.finish(AggFunc::Min).unwrap(), 1.0);
+        assert_eq!(a.finish(AggFunc::Max).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn sample_stddev() {
+        // Sample stddev of [2,4,4,4,5,5,7,9] is ≈ 2.138.
+        let a = acc(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let s = a.finish(AggFunc::Stddev).unwrap();
+        assert!((s - 2.138089935).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let a = acc(&[5.0; 10]);
+        assert_eq!(a.finish(AggFunc::Stddev).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = Accumulator::new();
+        assert_eq!(a.finish(AggFunc::Count).unwrap(), 0.0);
+        assert_eq!(a.finish(AggFunc::Sum).unwrap(), 0.0);
+        assert!(matches!(a.finish(AggFunc::Avg), Err(CepError::EmptyAggregate { .. })));
+        assert!(a.finish(AggFunc::Min).is_err());
+        assert!(a.finish(AggFunc::Stddev).is_err());
+        // Single sample: stddev undefined (n-1 = 0).
+        assert!(acc(&[1.0]).finish(AggFunc::Stddev).is_err());
+    }
+
+    #[test]
+    fn count_star_rows() {
+        let mut a = Accumulator::new();
+        a.add_row();
+        a.add_row();
+        assert_eq!(a.finish(AggFunc::Count).unwrap(), 2.0);
+    }
+}

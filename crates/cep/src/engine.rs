@@ -1,0 +1,796 @@
+//! The standing-query runtime — one instance per Esper-bolt task in the
+//! paper's topology.
+//!
+//! An [`Engine`] owns registered event types, compiled statements with
+//! their window state, and the listeners that receive fired rows. It is a
+//! single-threaded object by design: the paper runs *multiple engines in
+//! parallel*, one per bolt task, each on its own executor thread
+//! (Section 3.2); cross-engine parallelism lives in the DSPS layer, not
+//! here.
+
+use crate::error::CepError;
+use crate::event::{Event, EventType, FieldValue};
+use crate::parser::parse_statement;
+use crate::plan::{compile, CompiledStatement, JoinCache, OutputRow};
+use crate::window::SourceWindow;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a registered statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatementId(pub u64);
+
+/// Listener invoked with the rows a statement fired for one event.
+pub type Listener = Box<dyn FnMut(StatementId, &[OutputRow]) + Send>;
+
+/// A registered statement with its runtime state.
+struct Runtime {
+    id: StatementId,
+    compiled: CompiledStatement,
+    windows: Vec<SourceWindow>,
+    cache: JoinCache,
+    listener: Option<Listener>,
+    fired: u64,
+}
+
+/// Engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events accepted by [`Engine::send_event`] (including fed-back ones).
+    pub events_in: u64,
+    /// Total rows pushed to listeners.
+    pub rows_out: u64,
+    /// Statement firings (listener invocations with ≥1 row).
+    pub firings: u64,
+}
+
+/// Maximum `INSERT INTO` feedback depth before the engine reports a cycle.
+const MAX_FEEDBACK_DEPTH: usize = 16;
+
+/// A handle returned by statement registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatementHandle {
+    /// The registered statement's id.
+    pub id: StatementId,
+}
+
+/// The CEP engine.
+pub struct Engine {
+    types: HashMap<String, Arc<EventType>>,
+    statements: Vec<Runtime>,
+    /// stream name → indices into `statements` subscribed to it.
+    by_stream: HashMap<String, Vec<usize>>,
+    next_id: u64,
+    stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("types", &self.types.len())
+            .field("statements", &self.statements.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine {
+            types: HashMap::new(),
+            statements: Vec::new(),
+            by_stream: HashMap::new(),
+            next_id: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Registers an event type (a stream). Re-registering the identical
+    /// schema is a no-op; a different schema under the same name fails.
+    pub fn register_type(&mut self, ty: EventType) -> Result<(), CepError> {
+        match self.types.get(ty.name()) {
+            Some(existing) if **existing == ty => Ok(()),
+            Some(_) => Err(CepError::TypeConflict(ty.name().to_string())),
+            None => {
+                self.types.insert(ty.name().to_string(), Arc::new(ty));
+                Ok(())
+            }
+        }
+    }
+
+    /// The registered type for a stream.
+    pub fn event_type(&self, stream: &str) -> Option<&Arc<EventType>> {
+        self.types.get(stream)
+    }
+
+    /// Compiles and registers an EPL statement with a listener.
+    pub fn create_statement(
+        &mut self,
+        epl: &str,
+        listener: Listener,
+    ) -> Result<StatementHandle, CepError> {
+        self.create_statement_inner(epl, Some(listener))
+    }
+
+    /// Compiles and registers a statement without a listener — useful for
+    /// pure `INSERT INTO` plumbing rules.
+    pub fn create_statement_silent(&mut self, epl: &str) -> Result<StatementHandle, CepError> {
+        self.create_statement_inner(epl, None)
+    }
+
+    fn create_statement_inner(
+        &mut self,
+        epl: &str,
+        listener: Option<Listener>,
+    ) -> Result<StatementHandle, CepError> {
+        let stmt = parse_statement(epl)?;
+        let compiled = compile(&stmt, epl, &self.types)?;
+        // INSERT INTO target must be a registered type whose schema the
+        // projection can populate; the type is created on first need.
+        if let Some(target) = &compiled.insert_into {
+            if !self.types.contains_key(target) {
+                // Derive the output event type from the projection columns.
+                let fields = compiled
+                    .columns
+                    .iter()
+                    .map(|c| (c.clone(), crate::event::FieldType::Float))
+                    .collect::<Vec<_>>();
+                // Column types are not statically known for arbitrary
+                // expressions; INSERT INTO therefore requires explicit
+                // pre-registration for non-numeric outputs.
+                let ty = EventType::new(target.clone(), fields)?;
+                self.types.insert(target.clone(), Arc::new(ty));
+            }
+        }
+        let windows = compiled
+            .sources
+            .iter()
+            .map(|s| s.make_window())
+            .collect::<Result<Vec<_>, _>>()?;
+        let id = StatementId(self.next_id);
+        self.next_id += 1;
+        let idx = self.statements.len();
+        // Subscribe once per distinct stream: Listing 1 reads `bus` through
+        // two sources, but the arriving event must be delivered to the
+        // statement once (it is then inserted into every matching window).
+        let mut streams: Vec<&str> = compiled.sources.iter().map(|s| s.stream.as_str()).collect();
+        streams.sort_unstable();
+        streams.dedup();
+        for s in streams {
+            self.by_stream.entry(s.to_string()).or_default().push(idx);
+        }
+        let cache = JoinCache::for_statement(&compiled);
+        self.statements.push(Runtime { id, compiled, windows, cache, listener, fired: 0 });
+        Ok(StatementHandle { id })
+    }
+
+    /// Removes a statement (dynamic rule management). Window state and
+    /// listener are dropped.
+    pub fn remove_statement(&mut self, id: StatementId) -> Result<(), CepError> {
+        let idx = self
+            .statements
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or_else(|| CepError::Semantic { reason: format!("no statement {id:?}") })?;
+        self.statements.remove(idx);
+        // Rebuild the subscription index (statement slots shifted).
+        self.by_stream.clear();
+        for (i, r) in self.statements.iter().enumerate() {
+            let mut streams: Vec<&str> =
+                r.compiled.sources.iter().map(|s| s.stream.as_str()).collect();
+            streams.sort_unstable();
+            streams.dedup();
+            for s in streams {
+                self.by_stream.entry(s.to_string()).or_default().push(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of registered statements.
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// How many times a statement has fired.
+    pub fn fired_count(&self, id: StatementId) -> Option<u64> {
+        self.statements.iter().find(|r| r.id == id).map(|r| r.fired)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Ablation switch: disables the per-statement join-index cache so
+    /// every evaluation rebuilds its hash indexes (the pre-optimization
+    /// behaviour). Used by benchmarks to quantify the cache's effect.
+    pub fn set_join_cache_enabled(&mut self, enabled: bool) {
+        for rt in &mut self.statements {
+            rt.cache.set_disabled(!enabled);
+        }
+    }
+
+    /// Builds an event for a registered stream from field pairs.
+    pub fn make_event(
+        &self,
+        stream: &str,
+        timestamp_ms: u64,
+        pairs: &[(&str, FieldValue)],
+    ) -> Result<Event, CepError> {
+        let ty = self
+            .types
+            .get(stream)
+            .ok_or_else(|| CepError::UnknownStream(stream.to_string()))?;
+        Event::from_pairs(ty, timestamp_ms, pairs)
+    }
+
+    /// Sends an event into the engine, running every subscribed statement
+    /// and following `INSERT INTO` feedback.
+    pub fn send_event(&mut self, event: Event) -> Result<(), CepError> {
+        self.send_event_depth(event, 0)
+    }
+
+    fn send_event_depth(&mut self, event: Event, depth: usize) -> Result<(), CepError> {
+        if depth >= MAX_FEEDBACK_DEPTH {
+            return Err(CepError::FeedbackCycle { stream: event.event_type().to_string() });
+        }
+        if !self.types.contains_key(event.event_type()) {
+            return Err(CepError::UnknownStream(event.event_type().to_string()));
+        }
+        self.stats.events_in += 1;
+
+        let Some(subscribers) = self.by_stream.get(event.event_type()).cloned() else {
+            return Ok(());
+        };
+        let mut fed_back: Vec<Event> = Vec::new();
+        for idx in subscribers {
+            let rt = &mut self.statements[idx];
+            // Insert into every source window fed by this stream.
+            let mut evaluate = false;
+            let mut batch_release = false;
+            for (src, win) in rt.compiled.sources.iter().zip(rt.windows.iter_mut()) {
+                if src.stream == event.event_type() {
+                    let outcome = win.insert(&event);
+                    if outcome.evaluate {
+                        evaluate = true;
+                        if matches!(
+                            win.spec(),
+                            crate::window::WindowSpec::LengthBatch(_)
+                                | crate::window::WindowSpec::TimeBatchMs(_)
+                        ) {
+                            batch_release = true;
+                        }
+                    }
+                }
+            }
+            if !evaluate {
+                continue;
+            }
+            let anchor = if batch_release { None } else { Some(&event) };
+            let rows = rt.compiled.evaluate(&rt.windows, anchor, &mut rt.cache)?;
+            if rows.is_empty() {
+                continue;
+            }
+            rt.fired += 1;
+            self.stats.firings += 1;
+            self.stats.rows_out += rows.len() as u64;
+            if let Some(listener) = &mut rt.listener {
+                listener(rt.id, &rows);
+            }
+            if let Some(target) = rt.compiled.insert_into.clone() {
+                let ty = self
+                    .types
+                    .get(&target)
+                    .ok_or_else(|| CepError::UnknownStream(target.clone()))?
+                    .clone();
+                for row in &rows {
+                    let pairs: Vec<(&str, FieldValue)> = row
+                        .columns()
+                        .iter()
+                        .map(|c| c.as_str())
+                        .zip(row.values().iter().cloned())
+                        .collect();
+                    fed_back.push(Event::from_pairs(&ty, event.timestamp_ms(), &pairs)?);
+                }
+            }
+        }
+        for e in fed_back {
+            self.send_event_depth(e, depth + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Advances event time for every time window (evicting expired events)
+    /// without sending an event.
+    pub fn advance_time(&mut self, now_ms: u64) {
+        for rt in &mut self.statements {
+            for w in &mut rt.windows {
+                w.advance_time(now_ms);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldType;
+    use parking_lot::Mutex;
+
+    fn bus_type() -> EventType {
+        EventType::with_fields(
+            "bus",
+            &[
+                ("vehicle", FieldType::Int),
+                ("location", FieldType::Str),
+                ("delay", FieldType::Float),
+                ("hour", FieldType::Int),
+                ("day", FieldType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn threshold_type() -> EventType {
+        EventType::with_fields(
+            "thresholdLocation",
+            &[
+                ("location", FieldType::Str),
+                ("hour", FieldType::Int),
+                ("day", FieldType::Str),
+                ("attribute", FieldType::Float),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn engine() -> Engine {
+        let mut e = Engine::new();
+        e.register_type(bus_type()).unwrap();
+        e.register_type(threshold_type()).unwrap();
+        e
+    }
+
+    fn capture() -> (Arc<Mutex<Vec<OutputRow>>>, Listener) {
+        let sink: Arc<Mutex<Vec<OutputRow>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = sink.clone();
+        let listener: Listener = Box::new(move |_, rows| s2.lock().extend(rows.iter().cloned()));
+        (sink, listener)
+    }
+
+    fn bus_event(e: &Engine, ts: u64, vehicle: i64, loc: &str, delay: f64, hour: i64) -> Event {
+        e.make_event(
+            "bus",
+            ts,
+            &[
+                ("vehicle", vehicle.into()),
+                ("location", loc.into()),
+                ("delay", delay.into()),
+                ("hour", hour.into()),
+                ("day", "weekday".into()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_filter_statement_fires_per_matching_event() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement("SELECT vehicle, delay FROM bus WHERE delay > 60", l).unwrap();
+        for (v, d) in [(1, 30.0), (2, 90.0), (3, 61.0), (4, 59.9)] {
+            e.send_event(bus_event(&e, 0, v, "R1", d, 8)).unwrap();
+        }
+        let rows = sink.lock();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("vehicle").unwrap(), &FieldValue::Int(2));
+        assert_eq!(rows[1].get("delay").unwrap(), &FieldValue::Float(61.0));
+    }
+
+    #[test]
+    fn istream_semantics_do_not_refire_old_events() {
+        // A length window holds old matching events; only the new arrival
+        // may produce output.
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement("SELECT vehicle FROM bus.win:length(10) WHERE delay > 0", l)
+            .unwrap();
+        for v in 0..5 {
+            e.send_event(bus_event(&e, v as u64, v, "R1", 10.0, 8)).unwrap();
+        }
+        assert_eq!(sink.lock().len(), 5, "one output per arrival, not per window row");
+    }
+
+    #[test]
+    fn listing1_rule_fires_when_group_average_exceeds_threshold() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT bd2.location AS loc, avg(bd2.delay) AS mean_delay \
+             FROM bus.std:lastevent() AS bd, \
+                  bus.std:groupwin(location).win:length(3) AS bd2, \
+                  thresholdLocation.win:keepall() AS thresholds \
+             WHERE bd.hour = thresholds.hour AND bd.day = thresholds.day \
+               AND bd.location = thresholds.location AND bd.location = bd2.location \
+             GROUP BY bd2.location \
+             HAVING avg(bd2.delay) > avg(thresholds.attribute)",
+            l,
+        )
+        .unwrap();
+
+        // Thresholds: R1 fires above 50, R2 above 500.
+        let tty = threshold_type();
+        for (loc, thr) in [("R1", 50.0), ("R2", 500.0)] {
+            e.send_event(
+                Event::from_pairs(
+                    &tty,
+                    0,
+                    &[
+                        ("location", loc.into()),
+                        ("hour", 8i64.into()),
+                        ("day", "weekday".into()),
+                        ("attribute", thr.into()),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        }
+
+        // R1: delays 40, 60, 80 → averages 40, 50, 60: fires on the third.
+        e.send_event(bus_event(&e, 1, 1, "R1", 40.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 0);
+        e.send_event(bus_event(&e, 2, 1, "R1", 60.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 0, "avg 50 is not > 50");
+        e.send_event(bus_event(&e, 3, 1, "R1", 80.0, 8)).unwrap();
+        {
+            let rows = sink.lock();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].get("loc").unwrap(), &FieldValue::from("R1"));
+            assert_eq!(rows[0].get("mean_delay").unwrap(), &FieldValue::Float(60.0));
+        }
+
+        // R2 has a huge threshold: same delays never fire.
+        for (ts, d) in [(4, 100.0), (5, 200.0), (6, 300.0)] {
+            e.send_event(bus_event(&e, ts, 2, "R2", d, 8)).unwrap();
+        }
+        assert_eq!(sink.lock().len(), 1);
+
+        // Wrong hour: no threshold row joins, so no firing even with huge
+        // delay.
+        e.send_event(bus_event(&e, 7, 1, "R1", 9999.0, 3)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
+    }
+
+    #[test]
+    fn sliding_window_recovers_after_congestion_passes() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT count(*) AS n FROM bus.std:groupwin(location).win:length(2) AS w \
+             GROUP BY w.location HAVING avg(w.delay) > 100",
+            l,
+        )
+        .unwrap();
+        e.send_event(bus_event(&e, 1, 1, "R1", 200.0, 8)).unwrap();
+        e.send_event(bus_event(&e, 2, 1, "R1", 200.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 2, "fires while averages stay high");
+        // Low delays push the high ones out of the window.
+        e.send_event(bus_event(&e, 3, 1, "R1", 0.0, 8)).unwrap();
+        e.send_event(bus_event(&e, 4, 1, "R1", 0.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 2, "stops firing once the window cools down");
+    }
+
+    #[test]
+    fn insert_into_feeds_downstream_rules() {
+        let mut e = engine();
+        // Pre-register the intermediate stream with the right schema.
+        e.register_type(
+            EventType::with_fields("delayed", &[("vehicle", FieldType::Int), ("delay", FieldType::Float)])
+                .unwrap(),
+        )
+        .unwrap();
+        e.create_statement_silent(
+            "INSERT INTO delayed SELECT vehicle, delay FROM bus WHERE delay > 60",
+        )
+        .unwrap();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT count(*) AS n FROM delayed.win:keepall() HAVING count(*) >= 2",
+            l,
+        )
+        .unwrap();
+        e.send_event(bus_event(&e, 1, 1, "R1", 100.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 0);
+        e.send_event(bus_event(&e, 2, 2, "R1", 100.0, 8)).unwrap();
+        let rows = sink.lock();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("n").unwrap(), &FieldValue::Float(2.0));
+    }
+
+    #[test]
+    fn length_batch_emits_on_release_only() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT avg(delay) AS m FROM bus.win:length_batch(3)",
+            l,
+        )
+        .unwrap();
+        e.send_event(bus_event(&e, 1, 1, "R1", 10.0, 8)).unwrap();
+        e.send_event(bus_event(&e, 2, 1, "R1", 20.0, 8)).unwrap();
+        assert!(sink.lock().is_empty());
+        e.send_event(bus_event(&e, 3, 1, "R1", 30.0, 8)).unwrap();
+        let rows = sink.lock();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("m").unwrap(), &FieldValue::Float(20.0));
+    }
+
+    #[test]
+    fn remove_statement_stops_firing() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        let h = e.create_statement("SELECT vehicle FROM bus WHERE delay > 0", l).unwrap();
+        e.send_event(bus_event(&e, 1, 1, "R1", 1.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
+        e.remove_statement(h.id).unwrap();
+        assert_eq!(e.statement_count(), 0);
+        e.send_event(bus_event(&e, 2, 2, "R1", 1.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
+        assert!(e.remove_statement(h.id).is_err(), "double removal fails");
+    }
+
+    #[test]
+    fn unknown_stream_and_bad_epl_rejected() {
+        let mut e = engine();
+        let (_, l) = capture();
+        assert!(matches!(
+            e.create_statement("SELECT * FROM nope", l),
+            Err(CepError::UnknownStream(_))
+        ));
+        let (_, l) = capture();
+        assert!(e.create_statement("SELECT FROM bus", l).is_err());
+        let (_, l) = capture();
+        assert!(matches!(
+            e.create_statement("SELECT missing_field FROM bus", l),
+            Err(CepError::UnknownField { .. })
+        ));
+        // Sending an event of an unregistered type.
+        let other =
+            EventType::with_fields("ghost", &[("x", FieldType::Int)]).unwrap();
+        let ev = Event::new(&other, 0, vec![1i64.into()]).unwrap();
+        assert!(matches!(e.send_event(ev), Err(CepError::UnknownStream(_))));
+    }
+
+    #[test]
+    fn feedback_cycle_detected() {
+        let mut e = Engine::new();
+        e.register_type(EventType::with_fields("loopy", &[("x", FieldType::Float)]).unwrap())
+            .unwrap();
+        e.create_statement_silent("INSERT INTO loopy SELECT x FROM loopy WHERE x > 0")
+            .unwrap();
+        let ty = e.event_type("loopy").unwrap().clone();
+        let ev = Event::new(&ty, 0, vec![1.0.into()]).unwrap();
+        assert!(matches!(
+            e.send_event(ev),
+            Err(CepError::FeedbackCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn time_window_with_advance_time() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT count(*) AS n FROM bus.win:time(10) HAVING count(*) >= 2",
+            l,
+        )
+        .unwrap();
+        e.send_event(bus_event(&e, 1_000, 1, "R1", 1.0, 8)).unwrap();
+        e.send_event(bus_event(&e, 2_000, 2, "R1", 1.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 1, "two events within 10s fire");
+        // 50 seconds later the window is empty; a single event cannot fire.
+        e.advance_time(52_000);
+        e.send_event(bus_event(&e, 52_500, 3, "R1", 1.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
+    }
+
+    #[test]
+    fn stats_and_fired_counts() {
+        let mut e = engine();
+        let (_, l) = capture();
+        let h = e.create_statement("SELECT vehicle FROM bus WHERE delay > 50", l).unwrap();
+        for d in [10.0, 60.0, 70.0] {
+            e.send_event(bus_event(&e, 0, 1, "R1", d, 8)).unwrap();
+        }
+        assert_eq!(e.stats().events_in, 3);
+        assert_eq!(e.stats().rows_out, 2);
+        assert_eq!(e.fired_count(h.id), Some(2));
+    }
+
+    #[test]
+    fn duplicate_type_registration() {
+        let mut e = engine();
+        e.register_type(bus_type()).unwrap(); // identical: ok
+        let conflicting =
+            EventType::with_fields("bus", &[("other", FieldType::Int)]).unwrap();
+        assert!(matches!(e.register_type(conflicting), Err(CepError::TypeConflict(_))));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::event::FieldType;
+    use parking_lot::Mutex;
+
+    fn market_engine() -> Engine {
+        let mut e = Engine::new();
+        e.register_type(
+            EventType::with_fields(
+                "tick",
+                &[("symbol", FieldType::Str), ("price", FieldType::Float)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        e
+    }
+
+    fn tick(e: &Engine, ts: u64, symbol: &str, price: f64) -> Event {
+        e.make_event("tick", ts, &[("symbol", symbol.into()), ("price", price.into())])
+            .unwrap()
+    }
+
+    fn capture() -> (Arc<Mutex<Vec<Vec<String>>>>, Listener) {
+        let sink: Arc<Mutex<Vec<Vec<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = sink.clone();
+        let listener: Listener = Box::new(move |_, rows| {
+            s2.lock().push(
+                rows.iter()
+                    .map(|r| {
+                        r.values().iter().map(|v| v.to_string()).collect::<Vec<_>>().join("|")
+                    })
+                    .collect(),
+            )
+        });
+        (sink, listener)
+    }
+
+    #[test]
+    fn order_by_sorts_batch_output() {
+        let mut e = market_engine();
+        let (sink, l) = capture();
+        // Tumbling batches of 4, rows ordered by descending price.
+        e.create_statement(
+            "SELECT symbol, price FROM tick.win:length_batch(4) ORDER BY price DESC",
+            l,
+        )
+        .unwrap();
+        for (i, (s, p)) in
+            [("A", 3.0), ("B", 9.0), ("C", 1.0), ("D", 5.0)].iter().enumerate()
+        {
+            e.send_event(tick(&e, i as u64, s, *p)).unwrap();
+        }
+        let rows = sink.lock();
+        assert_eq!(rows.len(), 1, "one batch release");
+        assert_eq!(rows[0], vec!["B|9", "D|5", "A|3", "C|1"]);
+    }
+
+    #[test]
+    fn order_by_ascending_is_default() {
+        let mut e = market_engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT price FROM tick.win:length_batch(3) ORDER BY price",
+            l,
+        )
+        .unwrap();
+        for (i, p) in [7.0, 2.0, 5.0].iter().enumerate() {
+            e.send_event(tick(&e, i as u64, "X", *p)).unwrap();
+        }
+        assert_eq!(sink.lock()[0], vec!["2", "5", "7"]);
+    }
+
+    #[test]
+    fn order_by_aggregate_across_groups() {
+        let mut e = market_engine();
+        let (sink, l) = capture();
+        // Batch of 4 grouped by symbol, groups ordered by avg price.
+        e.create_statement(
+            "SELECT w.symbol AS s, avg(w.price) AS m \
+             FROM tick.std:groupwin(symbol).win:length_batch(2) AS w \
+             GROUP BY w.symbol ORDER BY avg(w.price) DESC",
+            l,
+        )
+        .unwrap();
+        // Two groups, each completes a batch of 2 on its second tick; the
+        // batch release evaluates all groups (anchor = None).
+        e.send_event(tick(&e, 0, "A", 1.0)).unwrap();
+        e.send_event(tick(&e, 1, "B", 10.0)).unwrap();
+        e.send_event(tick(&e, 2, "A", 3.0)).unwrap(); // A releases: avg 2
+        e.send_event(tick(&e, 3, "B", 20.0)).unwrap(); // B releases: avg 15 > A's 2
+        let rows = sink.lock();
+        let last = rows.last().unwrap();
+        assert_eq!(last[0], "B|15");
+        assert_eq!(last[1], "A|2");
+    }
+
+    #[test]
+    fn unique_view_keeps_latest_per_key() {
+        let mut e = market_engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT count(*) AS n, sum(u.price) AS total \
+             FROM tick.std:unique(symbol) AS u HAVING count(*) > 0",
+            l,
+        )
+        .unwrap();
+        e.send_event(tick(&e, 0, "A", 1.0)).unwrap();
+        e.send_event(tick(&e, 1, "B", 2.0)).unwrap();
+        // A's newer price replaces the old one: still 2 rows, total 2+7.
+        e.send_event(tick(&e, 2, "A", 7.0)).unwrap();
+        let rows = sink.lock();
+        assert_eq!(rows.last().unwrap()[0], "2|9");
+    }
+
+    #[test]
+    fn unique_rejects_bad_usage() {
+        let mut e = market_engine();
+        let (_, l) = capture();
+        assert!(e
+            .create_statement("SELECT * FROM tick.std:unique()", l)
+            .is_err());
+        let (_, l) = capture();
+        assert!(e
+            .create_statement("SELECT * FROM tick.std:unique(nope)", l)
+            .is_err());
+        let (_, l) = capture();
+        assert!(e
+            .create_statement(
+                "SELECT * FROM tick.std:groupwin(symbol).std:unique(symbol)",
+                l
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn time_batch_releases_per_interval() {
+        let mut e = market_engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT count(*) AS n FROM tick.win:time_batch(10)",
+            l,
+        )
+        .unwrap();
+        // Three ticks inside the first 10 s interval: nothing releases.
+        e.send_event(tick(&e, 1_000, "A", 1.0)).unwrap();
+        e.send_event(tick(&e, 4_000, "A", 1.0)).unwrap();
+        e.send_event(tick(&e, 9_000, "A", 1.0)).unwrap();
+        assert!(sink.lock().is_empty());
+        // The first tick of the next interval releases the batch of 3.
+        e.send_event(tick(&e, 12_000, "A", 1.0)).unwrap();
+        let rows = sink.lock();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec!["3"]);
+    }
+
+    #[test]
+    fn order_by_parses_and_rejects_garbage() {
+        let mut e = market_engine();
+        let (_, l) = capture();
+        assert!(e
+            .create_statement("SELECT * FROM tick ORDER BY missing_field", l)
+            .is_err());
+        let (_, l) = capture();
+        assert!(e.create_statement("SELECT * FROM tick ORDER price", l).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the CEP engine.
+
+use std::fmt;
+
+/// Errors produced by the CEP engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CepError {
+    /// The EPL text failed to tokenize.
+    Lex {
+        /// Byte offset of the failure.
+        position: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The EPL text failed to parse.
+    Parse {
+        /// Token index of the failure.
+        position: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A statement referenced an unknown stream / event type.
+    UnknownStream(String),
+    /// A statement referenced an unknown field.
+    UnknownField {
+        /// The field name.
+        field: String,
+        /// Where it was looked up.
+        context: String,
+    },
+    /// An alias was not declared in the FROM clause, or declared twice.
+    BadAlias {
+        /// The alias.
+        alias: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A view was used incorrectly (unknown name, wrong arguments…).
+    BadView {
+        /// The view, as `namespace:name`.
+        view: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Semantic validation of the statement failed.
+    Semantic {
+        /// What went wrong.
+        reason: String,
+    },
+    /// An event did not match its declared type.
+    EventMismatch {
+        /// The stream's event type.
+        event_type: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A type error during expression evaluation.
+    TypeError {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A value-requiring aggregate was finalized over an empty (or, for
+    /// stddev, single-sample) input. The engine treats this as "the group
+    /// does not fire" rather than an error.
+    EmptyAggregate {
+        /// The aggregate's name.
+        func: &'static str,
+    },
+    /// An event type was registered twice with different schemas.
+    TypeConflict(String),
+    /// Cycle detected in INSERT INTO feeding (a rule feeding itself).
+    FeedbackCycle {
+        /// The stream on which the feedback depth limit tripped.
+        stream: String,
+    },
+}
+
+impl fmt::Display for CepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CepError::Lex { position, reason } => {
+                write!(f, "lex error at byte {position}: {reason}")
+            }
+            CepError::Parse { position, reason } => {
+                write!(f, "parse error at token {position}: {reason}")
+            }
+            CepError::UnknownStream(s) => write!(f, "unknown stream: {s}"),
+            CepError::UnknownField { field, context } => {
+                write!(f, "unknown field {field} in {context}")
+            }
+            CepError::BadAlias { alias, reason } => write!(f, "bad alias {alias}: {reason}"),
+            CepError::BadView { view, reason } => write!(f, "bad view {view}: {reason}"),
+            CepError::Semantic { reason } => write!(f, "semantic error: {reason}"),
+            CepError::EventMismatch { event_type, reason } => {
+                write!(f, "event does not match type {event_type}: {reason}")
+            }
+            CepError::TypeError { reason } => write!(f, "type error: {reason}"),
+            CepError::EmptyAggregate { func } => {
+                write!(f, "{func} aggregate over an empty or too-small input")
+            }
+            CepError::TypeConflict(t) => {
+                write!(f, "event type {t} already registered with a different schema")
+            }
+            CepError::FeedbackCycle { stream } => {
+                write!(f, "INSERT INTO feedback cycle on stream {stream}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CepError {}

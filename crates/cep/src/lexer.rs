@@ -1,0 +1,336 @@
+//! Tokenizer for the EPL subset.
+
+use crate::error::CepError;
+
+/// A token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was recognized.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and carried as
+/// [`TokenKind::Ident`]; the parser matches them by upper-cased text, so
+/// identifiers that collide with keywords are simply not usable as names —
+/// the same trade-off Esper's EPL makes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are matched by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A quoted string literal (quotes stripped).
+    Str(String),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+}
+
+/// Tokenizes EPL text.
+pub fn lex(src: &str) -> Result<Vec<Token>, CepError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, offset: i });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(CepError::Lex {
+                        position: i,
+                        reason: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Neq, offset: i });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(CepError::Lex {
+                                position: start,
+                                reason: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b) if b as char == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // Fractional part: a dot followed by a digit (a bare dot is
+                // the view-chain separator).
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|e| CepError::Lex {
+                        position: start,
+                        reason: format!("bad float literal {text:?}: {e}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|e| CepError::Lex {
+                        position: start,
+                        reason: format!("bad integer literal {text:?}: {e}"),
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(CepError::Lex {
+                    position: i,
+                    reason: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_listing1_shape() {
+        let toks = kinds("SELECT * FROM bus.std:lastevent() as bd");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("bus".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("std".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("lastevent".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Ident("as".into()),
+                TokenKind::Ident("bd".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_vs_view_dots() {
+        assert_eq!(kinds("3.25"), vec![TokenKind::Float(3.25)]);
+        assert_eq!(
+            kinds("win:length(10)"),
+            vec![
+                TokenKind::Ident("win".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("length".into()),
+                TokenKind::LParen,
+                TokenKind::Int(10),
+                TokenKind::RParen,
+            ]
+        );
+        // "bus.std" keeps the dot as a separator.
+        assert_eq!(
+            kinds("bus.std"),
+            vec![
+                TokenKind::Ident("bus".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("std".into()),
+            ]
+        );
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5e-1"), vec![TokenKind::Float(0.25)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a >= 1 and b <= 2 or c != 3 and d <> 4"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Int(1),
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Le,
+                TokenKind::Int(2),
+                TokenKind::Ident("or".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Neq,
+                TokenKind::Int(3),
+                TokenKind::Ident("and".into()),
+                TokenKind::Ident("d".into()),
+                TokenKind::Neq,
+                TokenKind::Int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quotes() {
+        assert_eq!(kinds("'abc'"), vec![TokenKind::Str("abc".into())]);
+        assert_eq!(kinds("\"x y\""), vec![TokenKind::Str("x y".into())]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn bad_characters_rejected_with_position() {
+        match lex("a # b") {
+            Err(CepError::Lex { position, .. }) => assert_eq!(position, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,511 @@
+//! Recursive-descent parser for the EPL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement  := [INSERT INTO ident] SELECT select_list FROM sources
+//!               [WHERE expr] [GROUP BY field_list] [HAVING expr]
+//!               [ORDER BY expr [ASC|DESC] (',' expr [ASC|DESC])*]
+//! select_list:= '*' | select_item (',' select_item)*
+//! select_item:= expr [AS ident]
+//! sources    := source (',' source)*
+//! source     := ident ('.' view)* [AS ident]
+//! view       := ident ':' ident '(' [view_arg (',' view_arg)*] ')'
+//! view_arg   := ident | int | float
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp_expr
+//! cmp_expr   := add_expr [cmp_op add_expr]
+//! add_expr   := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr   := unary (('*'|'/') unary)*
+//! unary      := '-' unary | primary
+//! primary    := literal | agg '(' ('*' | field) ')' | field | '(' expr ')'
+//! field      := ident ['.' ident]
+//! ```
+
+use crate::ast::*;
+use crate::error::CepError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses one EPL statement.
+pub fn parse_statement(src: &str) -> Result<Statement, CepError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("unexpected trailing input: {:?}", p.peek_kind())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, reason: String) -> CepError {
+        CepError::Parse { position: self.pos, reason }
+    }
+
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    /// Peeks the upper-cased identifier at the cursor, if any.
+    fn peek_keyword(&self) -> Option<String> {
+        match self.peek_kind() {
+            Some(TokenKind::Ident(s)) => Some(s.to_uppercase()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), CepError> {
+        if self.peek_keyword().as_deref() == Some(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}, found {:?}", self.peek_kind())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword().as_deref() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), CepError> {
+        if self.peek_kind() == Some(&kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek_kind())))
+        }
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> bool {
+        if self.peek_kind() == Some(&kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CepError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, CepError> {
+        let insert_into = if self.eat_keyword("INSERT") {
+            self.expect_keyword("INTO")?;
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect_keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.sources()?;
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.expr()?) } else { None };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            self.field_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_keyword("HAVING") { Some(self.expr()?) } else { None };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut keys = Vec::new();
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                keys.push(OrderKey { expr, descending });
+                if !self.eat(TokenKind::Comma) {
+                    break;
+                }
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        Ok(Statement { insert_into, select, from, where_clause, group_by, having, order_by })
+    }
+
+    fn select_list(&mut self) -> Result<SelectList, CepError> {
+        if self.eat(TokenKind::Star) {
+            return Ok(SelectList::Wildcard);
+        }
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_keyword("AS") { Some(self.ident()?) } else { None };
+            items.push(SelectItem { expr, alias });
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(SelectList::Items(items))
+    }
+
+    fn sources(&mut self) -> Result<Vec<StreamSource>, CepError> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.source()?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn source(&mut self) -> Result<StreamSource, CepError> {
+        let stream = self.ident()?;
+        let mut views = Vec::new();
+        while self.eat(TokenKind::Dot) {
+            views.push(self.view()?);
+        }
+        let alias = if self.eat_keyword("AS") { self.ident()? } else { stream.clone() };
+        Ok(StreamSource { stream, views, alias })
+    }
+
+    fn view(&mut self) -> Result<ViewSpec, CepError> {
+        let namespace = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(TokenKind::RParen) {
+            loop {
+                let arg = match self.bump() {
+                    Some(TokenKind::Ident(s)) => ViewArg::Field(s),
+                    Some(TokenKind::Int(v)) => ViewArg::Int(v),
+                    Some(TokenKind::Float(v)) => ViewArg::Float(v),
+                    other => {
+                        return Err(self.err(format!("expected view argument, found {other:?}")))
+                    }
+                };
+                args.push(arg);
+                if self.eat(TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        Ok(ViewSpec { namespace: namespace.to_lowercase(), name: name.to_lowercase(), args })
+    }
+
+    fn field_list(&mut self) -> Result<Vec<FieldRef>, CepError> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.field_ref()?);
+            if !self.eat(TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn field_ref(&mut self) -> Result<FieldRef, CepError> {
+        let first = self.ident()?;
+        if self.eat(TokenKind::Dot) {
+            let second = self.ident()?;
+            Ok(FieldRef { alias: Some(first), field: second })
+        } else {
+            Ok(FieldRef { alias: None, field: first })
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CepError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CepError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CepError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, CepError> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CepError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            Some(TokenKind::Eq) => Some(BinOp::Eq),
+            Some(TokenKind::Neq) => Some(BinOp::Neq),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let rhs = self.add_expr()?;
+                Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CepError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CepError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CepError> {
+        if self.eat(TokenKind::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CepError> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Int(v))
+            }
+            Some(TokenKind::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::Float(v))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(name)) => {
+                let lower = name.to_lowercase();
+                match lower.as_str() {
+                    "true" => {
+                        self.pos += 1;
+                        return Ok(Expr::Bool(true));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok(Expr::Bool(false));
+                    }
+                    _ => {}
+                }
+                if let Some(func) = AggFunc::parse(&lower) {
+                    // Aggregate call if followed by '('.
+                    if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                        self.pos += 2; // name + '('
+                        let arg = if self.eat(TokenKind::Star) {
+                            None
+                        } else {
+                            Some(self.field_ref()?)
+                        };
+                        self.expect(TokenKind::RParen)?;
+                        return Ok(Expr::Agg { func, arg });
+                    }
+                }
+                Ok(Expr::Field(self.field_ref()?))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1, verbatim modulo whitespace.
+    const LISTING1: &str = "SELECT * \
+        FROM bus.std:lastevent() as bd, \
+             bus.std:groupwin(location).win:length(10) as bd2, \
+             thresholdLocation.win:keepall() as thresholds \
+        WHERE bd.hour = thresholds.hour and bd.day = thresholds.day \
+          and bd.location = thresholds.location and bd.location = bd2.location \
+        GROUP BY bd2.location \
+        HAVING avg(bd2.attribute) > avg(thresholds.attribute)";
+
+    #[test]
+    fn parses_listing1() {
+        let stmt = parse_statement(LISTING1).unwrap();
+        assert_eq!(stmt.select, SelectList::Wildcard);
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.from[0].alias, "bd");
+        assert_eq!(stmt.from[0].views.len(), 1);
+        assert_eq!(stmt.from[0].views[0].name, "lastevent");
+        assert_eq!(stmt.from[1].views.len(), 2);
+        assert_eq!(stmt.from[1].views[0].name, "groupwin");
+        assert_eq!(
+            stmt.from[1].views[0].args,
+            vec![ViewArg::Field("location".into())]
+        );
+        assert_eq!(stmt.from[1].views[1].name, "length");
+        assert_eq!(stmt.from[1].views[1].args, vec![ViewArg::Int(10)]);
+        assert_eq!(stmt.from[2].stream, "thresholdLocation");
+        assert_eq!(stmt.from[2].views[0].name, "keepall");
+        let wc = stmt.where_clause.as_ref().unwrap();
+        assert_eq!(wc.conjuncts().len(), 4);
+        assert_eq!(stmt.group_by.len(), 1);
+        assert!(stmt.having.as_ref().unwrap().has_aggregate());
+    }
+
+    #[test]
+    fn parses_insert_into() {
+        let stmt = parse_statement(
+            "INSERT INTO alerts SELECT vehicle, delay FROM bus.win:length(5) WHERE delay > 60",
+        )
+        .unwrap();
+        assert_eq!(stmt.insert_into.as_deref(), Some("alerts"));
+        match &stmt.select {
+            SelectList::Items(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected items, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_items_with_aliases_and_arithmetic() {
+        let stmt = parse_statement(
+            "SELECT avg(delay) AS mean_delay, delay - 3 * 2 AS adjusted FROM bus.win:keepall()",
+        )
+        .unwrap();
+        let SelectList::Items(items) = &stmt.select else { panic!() };
+        assert_eq!(items[0].alias.as_deref(), Some("mean_delay"));
+        assert!(items[0].expr.has_aggregate());
+        // Precedence: delay - (3*2).
+        match &items[1].expr {
+            Expr::Bin { op: BinOp::Sub, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("bad precedence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_alias_is_stream_name() {
+        let stmt = parse_statement("SELECT * FROM bus.win:length(3)").unwrap();
+        assert_eq!(stmt.from[0].alias, "bus");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let stmt = parse_statement(
+            "select * from bus.WIN:LENGTH(4) As b where b.x > 1 group by b.loc having count(*) >= 2",
+        )
+        .unwrap();
+        assert_eq!(stmt.from[0].alias, "b");
+        assert_eq!(stmt.from[0].views[0].name, "length");
+        assert_eq!(stmt.group_by.len(), 1);
+    }
+
+    #[test]
+    fn count_star_and_boolean_literals() {
+        let stmt = parse_statement(
+            "SELECT count(*) FROM bus.win:keepall() WHERE congestion = true HAVING count(*) > 5",
+        )
+        .unwrap();
+        let SelectList::Items(items) = &stmt.select else { panic!() };
+        assert_eq!(items[0].expr, Expr::Agg { func: AggFunc::Count, arg: None });
+        assert!(stmt.where_clause.is_some());
+    }
+
+    #[test]
+    fn not_and_parentheses() {
+        let stmt = parse_statement(
+            "SELECT * FROM bus.win:length(1) WHERE NOT (a = 1 OR b = 2) AND c != 3",
+        )
+        .unwrap();
+        let wc = stmt.where_clause.unwrap();
+        let cs = wc.conjuncts();
+        assert_eq!(cs.len(), 2);
+        assert!(matches!(cs[0], Expr::Not(_)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_statement("").is_err());
+        assert!(parse_statement("SELECT").is_err());
+        assert!(parse_statement("SELECT * FROM").is_err());
+        assert!(parse_statement("SELECT * FROM bus WHERE").is_err());
+        assert!(parse_statement("SELECT * FROM bus.win:length()extra()").is_err());
+        assert!(parse_statement("SELECT * FROM bus trailing garbage").is_err());
+        assert!(parse_statement("INSERT SELECT * FROM bus").is_err());
+        assert!(parse_statement("SELECT * FROM bus.win:length(").is_err());
+    }
+
+    #[test]
+    fn multi_view_args() {
+        let stmt = parse_statement("SELECT * FROM bus.win:time(30.5)").unwrap();
+        assert_eq!(stmt.from[0].views[0].args, vec![ViewArg::Float(30.5)]);
+    }
+}

@@ -1,0 +1,352 @@
+//! View (window) state for one FROM source.
+//!
+//! A [`WindowSpec`] is the *data window* at the end of a view chain;
+//! `std:groupwin(field)` is modelled as an optional grouping key in front
+//! of it, so `bus.std:groupwin(location).win:length(10)` keeps the last 10
+//! events **per location** — exactly the Listing 1 semantics.
+
+use crate::error::CepError;
+use crate::event::{Event, JoinKey};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// The data window of a view chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowSpec {
+    /// `std:lastevent()` — only the most recent event.
+    LastEvent,
+    /// `win:length(n)` — sliding window of the last `n` events.
+    Length(usize),
+    /// `win:length_batch(n)` — tumbling batches of `n` events: the window
+    /// releases all `n` at once, then empties.
+    LengthBatch(usize),
+    /// `win:time(seconds)` — sliding window over event time.
+    TimeMs(u64),
+    /// `win:time_batch(seconds)` — tumbling batches over event time: the
+    /// window releases everything accumulated in one interval at once.
+    TimeBatchMs(u64),
+    /// `win:keepall()` — unbounded retention.
+    KeepAll,
+}
+
+/// Outcome of inserting an event into a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether statement evaluation should run now. Always true except for
+    /// a `length_batch` window still accumulating its batch.
+    pub evaluate: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Pane {
+    events: VecDeque<Event>,
+    /// For `LengthBatch`/`TimeBatchMs`: events accumulating towards the
+    /// next release.
+    pending: VecDeque<Event>,
+    /// For `TimeBatchMs`: timestamp starting the current batch interval.
+    batch_start: Option<u64>,
+}
+
+/// Window state: ungrouped, or one pane per `groupwin` key.
+#[derive(Debug, Clone)]
+pub struct SourceWindow {
+    spec: WindowSpec,
+    /// Field index of the `std:groupwin` key within the source's event
+    /// type, if grouped.
+    group_field: Option<usize>,
+    ungrouped: Pane,
+    grouped: HashMap<JoinKey, Pane>,
+    len: usize,
+    /// Bumped on every mutation; lets the engine cache join indexes over
+    /// windows that rarely change (e.g. the threshold `keepall` stream).
+    version: u64,
+}
+
+impl SourceWindow {
+    /// Creates a window.
+    pub fn new(spec: WindowSpec, group_field: Option<usize>) -> Result<Self, CepError> {
+        match spec {
+            WindowSpec::Length(0) | WindowSpec::LengthBatch(0) => {
+                return Err(CepError::BadView {
+                    view: "win:length".into(),
+                    reason: "window length must be at least 1".into(),
+                })
+            }
+            WindowSpec::TimeMs(0) | WindowSpec::TimeBatchMs(0) => {
+                return Err(CepError::BadView {
+                    view: "win:time".into(),
+                    reason: "time window must be positive".into(),
+                })
+            }
+            _ => {}
+        }
+        Ok(SourceWindow {
+            spec,
+            group_field,
+            ungrouped: Pane::default(),
+            grouped: HashMap::new(),
+            len: 0,
+            version: 0,
+        })
+    }
+
+    /// The window spec.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Total number of retained events across panes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Monotone change counter; any mutation bumps it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Inserts an event, evicting per the spec.
+    pub fn insert(&mut self, event: &Event) -> InsertOutcome {
+        self.version += 1;
+        let ts = event.timestamp_ms();
+        let spec = self.spec;
+        let (pane, len) = match self.group_field {
+            None => (&mut self.ungrouped, &mut self.len),
+            Some(idx) => {
+                let key = event
+                    .value_at(idx)
+                    .expect("group field index validated at compile time")
+                    .join_key();
+                let pane = match self.grouped.entry(key) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(e) => e.insert(Pane::default()),
+                };
+                (pane, &mut self.len)
+            }
+        };
+        let mut evaluate = true;
+        match spec {
+            WindowSpec::LastEvent => {
+                *len -= pane.events.len();
+                pane.events.clear();
+                pane.events.push_back(event.clone());
+                *len += 1;
+            }
+            WindowSpec::Length(n) => {
+                pane.events.push_back(event.clone());
+                *len += 1;
+                while pane.events.len() > n {
+                    pane.events.pop_front();
+                    *len -= 1;
+                }
+            }
+            WindowSpec::LengthBatch(n) => {
+                pane.pending.push_back(event.clone());
+                if pane.pending.len() >= n {
+                    *len -= pane.events.len();
+                    pane.events = std::mem::take(&mut pane.pending);
+                    *len += pane.events.len();
+                } else {
+                    evaluate = false;
+                }
+            }
+            WindowSpec::TimeMs(w) => {
+                pane.events.push_back(event.clone());
+                *len += 1;
+                let cutoff = ts.saturating_sub(w);
+                while pane
+                    .events
+                    .front()
+                    .is_some_and(|e| e.timestamp_ms() < cutoff)
+                {
+                    pane.events.pop_front();
+                    *len -= 1;
+                }
+            }
+            WindowSpec::TimeBatchMs(w) => {
+                let start = *pane.batch_start.get_or_insert(ts);
+                if ts.saturating_sub(start) >= w {
+                    // The arriving event opens a new interval; everything
+                    // accumulated in the previous one releases now.
+                    *len -= pane.events.len();
+                    pane.events = std::mem::take(&mut pane.pending);
+                    *len += pane.events.len();
+                    pane.batch_start = Some(ts);
+                    pane.pending.push_back(event.clone());
+                } else {
+                    pane.pending.push_back(event.clone());
+                    evaluate = false;
+                }
+            }
+            WindowSpec::KeepAll => {
+                pane.events.push_back(event.clone());
+                *len += 1;
+            }
+        }
+        InsertOutcome { evaluate }
+    }
+
+    /// Advances event time without an arrival, evicting expired events
+    /// from time windows. Other specs are unaffected.
+    pub fn advance_time(&mut self, now_ms: u64) {
+        let WindowSpec::TimeMs(w) = self.spec else { return };
+        let cutoff = now_ms.saturating_sub(w);
+        let mut evicted = false;
+        let panes = std::iter::once(&mut self.ungrouped).chain(self.grouped.values_mut());
+        for pane in panes {
+            while pane.events.front().is_some_and(|e| e.timestamp_ms() < cutoff) {
+                pane.events.pop_front();
+                self.len -= 1;
+                evicted = true;
+            }
+        }
+        if evicted {
+            self.version += 1;
+        }
+    }
+
+    /// Iterates all retained events (across panes, insertion order within
+    /// a pane; pane order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.ungrouped
+            .events
+            .iter()
+            .chain(self.grouped.values().flat_map(|p| p.events.iter()))
+    }
+
+    /// Fast path: retained events of one `groupwin` pane. Only valid when
+    /// the window is grouped and `key` is the group key.
+    pub fn iter_group(&self, key: &JoinKey) -> impl Iterator<Item = &Event> {
+        self.grouped.get(key).into_iter().flat_map(|p| p.events.iter())
+    }
+
+    /// The group field index, if this window is grouped.
+    pub fn group_field(&self) -> Option<usize> {
+        self.group_field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventType, FieldType, FieldValue};
+
+    fn ty() -> EventType {
+        EventType::with_fields(
+            "bus",
+            &[("location", FieldType::Str), ("delay", FieldType::Float)],
+        )
+        .unwrap()
+    }
+
+    fn ev(ty: &EventType, ts: u64, loc: &str, delay: f64) -> Event {
+        Event::new(ty, ts, vec![loc.into(), delay.into()]).unwrap()
+    }
+
+    fn delays(w: &SourceWindow) -> Vec<f64> {
+        let mut v: Vec<f64> = w.iter().map(|e| e.value_at(1).unwrap().as_f64().unwrap()).collect();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    #[test]
+    fn last_event_keeps_one() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::LastEvent, None).unwrap();
+        for i in 0..5 {
+            assert!(w.insert(&ev(&t, i, "R1", i as f64)).evaluate);
+        }
+        assert_eq!(w.len(), 1);
+        assert_eq!(delays(&w), vec![4.0]);
+    }
+
+    #[test]
+    fn length_window_slides() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::Length(3), None).unwrap();
+        for i in 0..5 {
+            w.insert(&ev(&t, i, "R1", i as f64));
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(delays(&w), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn grouped_length_window_is_per_key() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::Length(2), Some(0)).unwrap();
+        for i in 0..4 {
+            w.insert(&ev(&t, i, "R1", i as f64));
+            w.insert(&ev(&t, i, "R2", 100.0 + i as f64));
+        }
+        assert_eq!(w.len(), 4);
+        let k1 = FieldValue::from("R1").join_key();
+        let g1: Vec<f64> =
+            w.iter_group(&k1).map(|e| e.value_at(1).unwrap().as_f64().unwrap()).collect();
+        assert_eq!(g1, vec![2.0, 3.0]);
+        let k3 = FieldValue::from("R3").join_key();
+        assert_eq!(w.iter_group(&k3).count(), 0);
+    }
+
+    #[test]
+    fn length_batch_releases_in_batches() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::LengthBatch(3), None).unwrap();
+        assert!(!w.insert(&ev(&t, 0, "R1", 0.0)).evaluate);
+        assert!(!w.insert(&ev(&t, 1, "R1", 1.0)).evaluate);
+        assert_eq!(w.len(), 0, "nothing released yet");
+        assert!(w.insert(&ev(&t, 2, "R1", 2.0)).evaluate);
+        assert_eq!(delays(&w), vec![0.0, 1.0, 2.0]);
+        // The next batch replaces the previous one on release.
+        for i in 3..6 {
+            w.insert(&ev(&t, i, "R1", i as f64));
+        }
+        assert_eq!(delays(&w), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn time_window_evicts_by_timestamp() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::TimeMs(1000), None).unwrap();
+        w.insert(&ev(&t, 0, "R1", 0.0));
+        w.insert(&ev(&t, 500, "R1", 1.0));
+        w.insert(&ev(&t, 1400, "R1", 2.0));
+        // ts=0 is now older than 1400-1000.
+        assert_eq!(delays(&w), vec![1.0, 2.0]);
+        w.advance_time(3000);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn keepall_never_evicts() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::KeepAll, None).unwrap();
+        for i in 0..100 {
+            w.insert(&ev(&t, i, "R1", i as f64));
+        }
+        assert_eq!(w.len(), 100);
+    }
+
+    #[test]
+    fn zero_sized_windows_rejected() {
+        assert!(SourceWindow::new(WindowSpec::Length(0), None).is_err());
+        assert!(SourceWindow::new(WindowSpec::LengthBatch(0), None).is_err());
+        assert!(SourceWindow::new(WindowSpec::TimeMs(0), None).is_err());
+    }
+
+    #[test]
+    fn grouped_last_event() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::LastEvent, Some(0)).unwrap();
+        w.insert(&ev(&t, 0, "R1", 1.0));
+        w.insert(&ev(&t, 1, "R1", 2.0));
+        w.insert(&ev(&t, 2, "R2", 3.0));
+        assert_eq!(w.len(), 2, "one per group");
+        assert_eq!(delays(&w), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the CEP engine against reference models.
+
+use proptest::prelude::*;
+use tms_cep::{Engine, Event, EventType, FieldType};
+
+fn engine_with_type() -> (Engine, std::sync::Arc<EventType>) {
+    let mut e = Engine::new();
+    e.register_type(
+        EventType::with_fields("s", &[("k", FieldType::Str), ("v", FieldType::Float)]).unwrap(),
+    )
+    .unwrap();
+    let ty = e.event_type("s").unwrap().clone();
+    (e, ty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lexer and parser never panic on arbitrary input (errors are
+    /// fine; crashes are not).
+    #[test]
+    fn parser_never_panics(src in ".{0,120}") {
+        let _ = tms_cep::parse_statement(&src);
+    }
+
+    /// Mutating a valid statement's characters never panics either (this
+    /// walks much closer to the grammar than fully random strings).
+    #[test]
+    fn mutated_epl_never_panics(pos in 0usize..200, c in any::<char>()) {
+        let base = "SELECT w.k AS k, avg(w.v) AS m FROM s.std:groupwin(k).win:length(5) AS w \
+                    WHERE w.v > 0 GROUP BY w.k HAVING avg(w.v) > 1 ORDER BY avg(w.v) DESC";
+        let mut chars: Vec<char> = base.chars().collect();
+        if pos < chars.len() {
+            chars[pos] = c;
+        }
+        let mutated: String = chars.into_iter().collect();
+        let _ = tms_cep::parse_statement(&mutated);
+    }
+
+    /// `sum` and `count` over a sliding length window match a reference
+    /// computation for any event sequence, any window size.
+    #[test]
+    fn sliding_sum_matches_reference(
+        values in prop::collection::vec(-1000.0f64..1000.0, 1..50),
+        n in 1usize..10,
+    ) {
+        let (mut engine, ty) = engine_with_type();
+        let outputs = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = outputs.clone();
+        engine.create_statement(
+            &format!("SELECT sum(w.v) AS s, count(*) AS n FROM s.win:length({n}) AS w"),
+            Box::new(move |_, rows| {
+                for r in rows {
+                    sink.lock().push((
+                        r.get("s").unwrap().as_f64().unwrap(),
+                        r.get("n").unwrap().as_f64().unwrap(),
+                    ));
+                }
+            }),
+        ).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            engine.send_event(
+                Event::from_pairs(&ty, i as u64, &[("k", "x".into()), ("v", v.into())]).unwrap(),
+            ).unwrap();
+            let (got_sum, got_n) = *outputs.lock().last().expect("fires every event");
+            let lo = values[..=i].len().saturating_sub(n);
+            let window = &values[lo..=i];
+            let want: f64 = window.iter().sum();
+            prop_assert!((got_sum - want).abs() < 1e-6, "sum {} vs {}", got_sum, want);
+            prop_assert_eq!(got_n as usize, window.len());
+        }
+    }
+
+    /// `min`/`max` over a grouped window match a reference for interleaved
+    /// groups.
+    #[test]
+    fn grouped_min_max_match_reference(
+        events in prop::collection::vec((0u8..4, -500.0f64..500.0), 1..40),
+    ) {
+        let (mut engine, ty) = engine_with_type();
+        let outputs = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = outputs.clone();
+        engine.create_statement(
+            "SELECT w.k AS k, min(w.v) AS lo, max(w.v) AS hi \
+             FROM s.std:groupwin(k).win:keepall() AS w GROUP BY w.k",
+            Box::new(move |_, rows| {
+                for r in rows {
+                    sink.lock().push((
+                        r.get("k").unwrap().to_string(),
+                        r.get("lo").unwrap().as_f64().unwrap(),
+                        r.get("hi").unwrap().as_f64().unwrap(),
+                    ));
+                }
+            }),
+        ).unwrap();
+        let mut reference: std::collections::HashMap<String, (f64, f64)> = Default::default();
+        for (i, (g, v)) in events.iter().enumerate() {
+            let key = format!("g{g}");
+            engine.send_event(
+                Event::from_pairs(&ty, i as u64, &[("k", key.as_str().into()), ("v", (*v).into())])
+                    .unwrap(),
+            ).unwrap();
+            let entry = reference.entry(key.clone()).or_insert((*v, *v));
+            entry.0 = entry.0.min(*v);
+            entry.1 = entry.1.max(*v);
+            let (k, lo, hi) = outputs.lock().last().cloned().expect("fires");
+            prop_assert_eq!(&k, &key, "fired for the arriving group");
+            prop_assert_eq!(lo, entry.0);
+            prop_assert_eq!(hi, entry.1);
+        }
+    }
+
+    /// A filter statement fires exactly for the events satisfying the
+    /// predicate, in arrival order.
+    #[test]
+    fn filter_matches_reference(
+        values in prop::collection::vec(-100i64..100, 0..60),
+        threshold in -50i64..50,
+    ) {
+        let (mut engine, ty) = engine_with_type();
+        let outputs = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = outputs.clone();
+        engine.create_statement(
+            &format!("SELECT v FROM s WHERE v > {threshold}"),
+            Box::new(move |_, rows| {
+                for r in rows {
+                    sink.lock().push(r.get("v").unwrap().as_f64().unwrap());
+                }
+            }),
+        ).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            engine.send_event(
+                Event::from_pairs(&ty, i as u64, &[("k", "x".into()), ("v", (v as f64).into())])
+                    .unwrap(),
+            ).unwrap();
+        }
+        let want: Vec<f64> =
+            values.iter().filter(|&&v| v > threshold).map(|&v| v as f64).collect();
+        prop_assert_eq!(outputs.lock().clone(), want);
+    }
+}

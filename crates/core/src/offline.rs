@@ -1,0 +1,551 @@
+//! The off-line computation component (Section 4.1): spatial indexing,
+//! bus-stop recovery, historical statistics via MapReduce, and region
+//! input-rate estimation.
+//!
+//! Data flow, matching Figure 3: pre-processed traces are stored to the
+//! DFS (arrow 2); the batch layer periodically runs the statistics job
+//! over them (arrows 3–4), computing `mean` and `stdv` of every Table 6
+//! attribute per (location, hour, day-type); results land in the storage
+//! medium (arrow 4) where the on-line layer fetches them as thresholds
+//! (arrow 5).
+
+use crate::error::CoreError;
+use crate::partitioning::RegionRate;
+use crate::rules::{LocationSelector, SpatialContext};
+use std::collections::HashMap;
+use tms_batch::{run_job, Combiner, Dfs, JobConfig, Mapper, Reducer};
+use tms_geo::{
+    busstops::SubclusterConfig, BusStopIndex, DenclueConfig, GeoPoint, QuadtreeConfig,
+    RegionQuadtree, StopObservation,
+};
+use tms_storage::{DayType, StatRecord, TableStore, ThresholdStore};
+use tms_traffic::{Attribute, BusTrace, EnrichedTrace, Preprocessor};
+
+/// Configuration of the off-line component.
+#[derive(Debug, Clone)]
+pub struct OfflineConfig {
+    /// Quadtree construction parameters (Section 4.1.1).
+    pub quadtree: QuadtreeConfig,
+    /// DENCLUE parameters for bus-stop recovery (Section 4.1.2).
+    pub denclue: DenclueConfig,
+    /// Angle sub-clustering parameters.
+    pub subcluster: SubclusterConfig,
+    /// MapReduce job sizing for the statistics job.
+    pub job: JobConfig,
+    /// Minimum observations before a (location, hour, day-type) cell gets
+    /// statistics (tiny cells produce garbage thresholds).
+    pub min_samples: u64,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        OfflineConfig {
+            quadtree: QuadtreeConfig::default(),
+            denclue: DenclueConfig::default(),
+            subcluster: SubclusterConfig::default(),
+            job: JobConfig::default(),
+            min_samples: 10,
+        }
+    }
+}
+
+/// Everything the off-line component produces.
+#[derive(Debug, Clone)]
+pub struct OfflineArtifacts {
+    /// Quadtree + recovered bus stops.
+    pub spatial: SpatialContext,
+    /// Expected input rate (tuples/s) per location id, from history.
+    pub region_rates: HashMap<String, f64>,
+    /// The threshold store fed by the statistics job.
+    pub thresholds: ThresholdStore,
+}
+
+impl OfflineArtifacts {
+    /// Rates for the locations of a selector, defaulting unseen locations
+    /// to 0 (they still get routed, just assumed quiet).
+    pub fn rates_for(&self, selector: &LocationSelector) -> Vec<RegionRate> {
+        self.spatial
+            .resolve(selector)
+            .into_iter()
+            .map(|region| RegionRate {
+                rate: self.region_rates.get(&region).copied().unwrap_or(0.0),
+                region,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spatial indexing (Sections 4.1.1, 4.1.2)
+// ---------------------------------------------------------------------------
+
+/// Builds the quadtree (from "important coordinates", e.g. route
+/// vertices) and the bus-stop index (from noisy stop observations).
+pub fn build_spatial(
+    bbox: tms_geo::BoundingBox,
+    seeds: &[GeoPoint],
+    stop_observations: &[StopObservation],
+    config: &OfflineConfig,
+) -> Result<SpatialContext, CoreError> {
+    let quadtree = RegionQuadtree::build(bbox, seeds, config.quadtree)?;
+    let stops = BusStopIndex::build(stop_observations, config.denclue, config.subcluster)?;
+    Ok(SpatialContext { quadtree, stops })
+}
+
+/// Extracts stop observations from raw traces: reports flagged `at_stop`,
+/// with the entry bearing taken from the previous report of the vehicle.
+pub fn stop_observations(traces: &[BusTrace]) -> Vec<StopObservation> {
+    let mut last_pos: HashMap<u32, GeoPoint> = HashMap::new();
+    let mut out = Vec::new();
+    for t in traces {
+        let prev = last_pos.insert(t.vehicle_id, t.position);
+        if t.at_stop {
+            let bearing = prev
+                .filter(|p| p.haversine_m(&t.position) > 1.0)
+                .map(|p| p.bearing_deg(&t.position))
+                .unwrap_or(0.0);
+            out.push(StopObservation {
+                line_id: t.line_id,
+                direction: t.direction,
+                position: t.position,
+                entry_bearing_deg: bearing,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Enrichment + DFS storage (Figure 3, arrow 2)
+// ---------------------------------------------------------------------------
+
+/// Enriches raw traces (speed, actual delay, areas, bus stop) exactly as
+/// the on-line bolts would, and appends them to a DFS file as CSV — the
+/// historical data the statistics job consumes.
+pub fn enrich_and_store(
+    traces: &[BusTrace],
+    spatial: &SpatialContext,
+    dfs: &Dfs,
+    path: &str,
+) -> Result<u64, CoreError> {
+    let mut pre = Preprocessor::new();
+    let mut buf = String::new();
+    let mut n = 0u64;
+    for t in traces {
+        let e = enrich(&mut pre, spatial, *t);
+        buf.push_str(&enriched_csv_line(&e));
+        buf.push('\n');
+        n += 1;
+        if buf.len() > 1 << 20 {
+            dfs.append(path, buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        dfs.append(path, buf.as_bytes())?;
+    }
+    Ok(n)
+}
+
+/// Applies the PreProcess + AreaTracker + BusStopsTracker logic to one
+/// trace.
+pub fn enrich(pre: &mut Preprocessor, spatial: &SpatialContext, t: BusTrace) -> EnrichedTrace {
+    let mut e = pre.enrich(t);
+    e.areas = spatial
+        .quadtree
+        .locate_all_layers(&e.trace.position)
+        .iter()
+        .map(|r| SpatialContext::region_id(r.id))
+        .collect();
+    e.bus_stop = spatial
+        .stops
+        .closest_stop(e.trace.line_id, e.trace.direction, &e.trace.position)
+        .map(|s| SpatialContext::stop_id(s.id));
+    e
+}
+
+/// CSV line of an enriched trace, as stored in the DFS:
+/// `hour,day_type,areas(; separated),stop,delay,actual_delay,speed,congestion`.
+pub fn enriched_csv_line(e: &EnrichedTrace) -> String {
+    let day = DayType::from_weekday_index((e.trace.day_index() % 7) as u8);
+    format!(
+        "{},{},{},{},{:.3},{},{},{}",
+        e.trace.hour_of_day(),
+        day.as_str(),
+        e.areas.join(";"),
+        e.bus_stop.clone().unwrap_or_default(),
+        e.trace.delay_s,
+        e.actual_delay_s.map(|v| format!("{v:.3}")).unwrap_or_default(),
+        e.speed_kmh.map(|v| format!("{v:.3}")).unwrap_or_default(),
+        e.trace.congestion,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The statistics MapReduce job (Section 4.1.3)
+// ---------------------------------------------------------------------------
+
+/// Intermediate value: partial (count, sum, sum of squares).
+type Moments = (u64, f64, f64);
+
+struct StatsMapper;
+
+impl Mapper for StatsMapper {
+    /// `attribute|location|hour|day_type`
+    type Key = String;
+    type Value = Moments;
+
+    fn map(&self, record: &str, emit: &mut dyn FnMut(String, Moments)) {
+        let fields: Vec<&str> = record.split(',').collect();
+        if fields.len() != 8 {
+            return; // skip malformed historical lines
+        }
+        let (hour, day, areas, stop) = (fields[0], fields[1], fields[2], fields[3]);
+        let values = [
+            (Attribute::Delay, fields[4].parse::<f64>().ok()),
+            (Attribute::ActualDelay, fields[5].parse::<f64>().ok()),
+            (Attribute::Speed, fields[6].parse::<f64>().ok()),
+            (
+                Attribute::DelayAndCongestion,
+                if fields[7] == "true" { fields[4].parse::<f64>().ok() } else { None },
+            ),
+        ];
+        let mut locations: Vec<&str> = areas.split(';').filter(|a| !a.is_empty()).collect();
+        if !stop.is_empty() {
+            locations.push(stop);
+        }
+        for (attr, value) in values {
+            let Some(v) = value else { continue };
+            for loc in &locations {
+                emit(format!("{}|{}|{}|{}", attr.name(), loc, hour, day), (1, v, v * v));
+            }
+        }
+    }
+}
+
+struct MomentsCombiner;
+
+impl Combiner<String, Moments> for MomentsCombiner {
+    fn combine(&self, _key: &String, values: Vec<Moments>) -> Vec<Moments> {
+        let mut acc = (0u64, 0.0f64, 0.0f64);
+        for (c, s, sq) in values {
+            acc.0 += c;
+            acc.1 += s;
+            acc.2 += sq;
+        }
+        vec![acc]
+    }
+}
+
+struct StatsReducer {
+    min_samples: u64,
+}
+
+impl Reducer<String, Moments> for StatsReducer {
+    type OutKey = String;
+    /// `(mean, stdv, count)`
+    type OutValue = (f64, f64, u64);
+
+    fn reduce(
+        &self,
+        key: &String,
+        values: &[Moments],
+        emit: &mut dyn FnMut(String, (f64, f64, u64)),
+    ) {
+        let mut count = 0u64;
+        let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+        for (c, s, sq) in values {
+            count += c;
+            sum += s;
+            sum_sq += sq;
+        }
+        if count < self.min_samples {
+            return;
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        emit(key.clone(), (mean, var.sqrt(), count));
+    }
+}
+
+/// Runs the statistics job over enriched-history files and publishes the
+/// resulting thresholds, one snapshot per attribute.
+pub fn run_statistics_job(
+    dfs: &Dfs,
+    inputs: &[&str],
+    store: &TableStore,
+    config: &OfflineConfig,
+) -> Result<HashMap<Attribute, usize>, CoreError> {
+    let (outputs, _stats) = run_job(
+        dfs,
+        inputs,
+        &StatsMapper,
+        &StatsReducer { min_samples: config.min_samples },
+        Some(&MomentsCombiner),
+        config.job,
+    )?;
+    let mut per_attr: HashMap<Attribute, Vec<StatRecord>> = HashMap::new();
+    for (key, (mean, stdv, count)) in outputs.into_iter().flatten() {
+        let parts: Vec<&str> = key.split('|').collect();
+        if parts.len() != 4 {
+            return Err(CoreError::Batch(tms_batch::BatchError::TaskFailed {
+                task: "stats-reduce".into(),
+                reason: format!("malformed key {key:?}"),
+            }));
+        }
+        let Some(attr) = Attribute::parse(parts[0]) else {
+            continue;
+        };
+        let hour: u8 = parts[2].parse().map_err(|_| CoreError::Config {
+            reason: format!("bad hour in stats key {key:?}"),
+        })?;
+        let day_type = DayType::parse(parts[3])?;
+        per_attr.entry(attr).or_default().push(StatRecord {
+            area_id: parts[1].to_string(),
+            hour,
+            day_type,
+            mean,
+            stdv,
+            count,
+        });
+    }
+    let thresholds = ThresholdStore::new(store.clone());
+    let mut published = HashMap::new();
+    for (attr, records) in per_attr {
+        published.insert(attr, records.len());
+        thresholds.publish(attr.name(), &records)?;
+    }
+    Ok(published)
+}
+
+// ---------------------------------------------------------------------------
+// Region input rates (Section 4.2.1's "initial knowledge ... from
+// historical data")
+// ---------------------------------------------------------------------------
+
+/// Estimates tuples/second per location id from a span of traces.
+pub fn region_rates(
+    traces: &[BusTrace],
+    spatial: &SpatialContext,
+) -> HashMap<String, f64> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let (mut min_ts, mut max_ts) = (u64::MAX, 0u64);
+    for t in traces {
+        min_ts = min_ts.min(t.timestamp_ms);
+        max_ts = max_ts.max(t.timestamp_ms);
+        for r in spatial.quadtree.locate_all_layers(&t.position) {
+            *counts.entry(SpatialContext::region_id(r.id)).or_default() += 1;
+        }
+        if let Some(s) = spatial.stops.closest_stop(t.line_id, t.direction, &t.position) {
+            *counts.entry(SpatialContext::stop_id(s.id)).or_default() += 1;
+        }
+    }
+    let span_s = ((max_ts.saturating_sub(min_ts)) as f64 / 1000.0).max(1.0);
+    counts.into_iter().map(|(k, v)| (k, v as f64 / span_s)).collect()
+}
+
+/// Runs the whole off-line pipeline over a batch of historical traces.
+pub fn run_offline(
+    bbox: tms_geo::BoundingBox,
+    seeds: &[GeoPoint],
+    traces: &[BusTrace],
+    store: &TableStore,
+    config: &OfflineConfig,
+) -> Result<OfflineArtifacts, CoreError> {
+    let observations = stop_observations(traces);
+    let spatial = build_spatial(bbox, seeds, &observations, config)?;
+    let dfs = Dfs::with_defaults();
+    enrich_and_store(traces, &spatial, &dfs, "/history/day0.csv")?;
+    run_statistics_job(&dfs, &["/history/day0.csv"], store, config)?;
+    let region_rates = region_rates(traces, &spatial);
+    Ok(OfflineArtifacts {
+        spatial,
+        region_rates,
+        thresholds: ThresholdStore::new(store.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_geo::DUBLIN_BBOX;
+    use tms_traffic::{FleetConfig, FleetGenerator};
+
+    fn day_of_traces() -> (Vec<BusTrace>, Vec<GeoPoint>) {
+        let g = FleetGenerator::new(FleetConfig::small(9), 0).unwrap();
+        let seeds = g.route_seed_points();
+        // A few service hours are enough for statistics.
+        let traces: Vec<BusTrace> =
+            g.take_while(|t| t.timestamp_ms < 11 * tms_traffic::HOUR_MS).collect();
+        (traces, seeds)
+    }
+
+    #[test]
+    fn offline_pipeline_end_to_end() {
+        let (traces, seeds) = day_of_traces();
+        let store = TableStore::new();
+        let artifacts = run_offline(
+            DUBLIN_BBOX,
+            &seeds,
+            &traces,
+            &store,
+            &OfflineConfig::default(),
+        )
+        .unwrap();
+        // Statistics exist for the delay attribute.
+        let rows = artifacts
+            .thresholds
+            .thresholds(&tms_storage::ThresholdQuery { attribute: "delay".into(), s: 1.0 })
+            .unwrap();
+        assert!(!rows.is_empty(), "delay thresholds published");
+        // Hours covered fall inside the generated span (06–10).
+        for r in &rows {
+            assert!((6..11).contains(&r.hour), "hour {} out of span", r.hour);
+        }
+        // Region rates: the root region sees every trace.
+        let root_rate = artifacts.region_rates.get("R0").copied().unwrap();
+        assert!(root_rate > 0.0);
+        // Any deeper region sees at most the root's rate.
+        for (region, rate) in &artifacts.region_rates {
+            assert!(rate <= &root_rate, "{region} rate {rate} exceeds root {root_rate}");
+        }
+        // The rates_for helper aligns with the resolver.
+        let leaf_rates =
+            artifacts.rates_for(&LocationSelector::QuadtreeLeaves);
+        assert_eq!(leaf_rates.len(), artifacts.spatial.quadtree.leaves().len());
+    }
+
+    #[test]
+    fn statistics_match_direct_computation() {
+        // Hand-built history: one location, one hour, known values.
+        let dfs = Dfs::with_defaults();
+        let lines: Vec<String> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|d| format!("8,weekday,R1;R5,S2,{d:.3},1.000,25.000,false"))
+            .collect();
+        dfs.create("/h.csv", (lines.join("\n") + "\n").as_bytes()).unwrap();
+        let store = TableStore::new();
+        let published = run_statistics_job(
+            &dfs,
+            &["/h.csv"],
+            &store,
+            &OfflineConfig { min_samples: 2, ..OfflineConfig::default() },
+        )
+        .unwrap();
+        assert!(published[&Attribute::Delay] >= 3, "R1, R5 and S2 cells");
+        let ts = ThresholdStore::new(store);
+        let t = ts
+            .threshold_for(
+                &tms_storage::ThresholdQuery { attribute: "delay".into(), s: 0.0 },
+                "R1",
+                8,
+                DayType::Weekday,
+            )
+            .unwrap()
+            .unwrap();
+        assert!((t - 25.0).abs() < 1e-9, "mean of 10..40 is 25, got {t}");
+        // s = 1 adds the population stdv of [10,20,30,40] ≈ 11.18.
+        let t1 = ts
+            .threshold_for(
+                &tms_storage::ThresholdQuery { attribute: "delay".into(), s: 1.0 },
+                "R1",
+                8,
+                DayType::Weekday,
+            )
+            .unwrap()
+            .unwrap();
+        assert!((t1 - (25.0 + 11.180339887)).abs() < 1e-6, "got {t1}");
+    }
+
+    #[test]
+    fn min_samples_filters_thin_cells() {
+        let dfs = Dfs::with_defaults();
+        dfs.create("/h.csv", b"8,weekday,R1,,5.000,,,false\n").unwrap();
+        let store = TableStore::new();
+        run_statistics_job(
+            &dfs,
+            &["/h.csv"],
+            &store,
+            &OfflineConfig { min_samples: 3, ..OfflineConfig::default() },
+        )
+        .unwrap();
+        // One sample < min 3: nothing published for delay.
+        let ts = ThresholdStore::new(store);
+        let q = tms_storage::ThresholdQuery { attribute: "delay".into(), s: 1.0 };
+        match ts.thresholds(&q) {
+            Ok(rows) => assert!(rows.is_empty()),
+            Err(tms_storage::StorageError::TableNotFound(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn congestion_gated_attribute_only_counts_congested() {
+        let dfs = Dfs::with_defaults();
+        let mut lines = Vec::new();
+        for d in [100.0, 200.0, 300.0] {
+            lines.push(format!("9,weekend,R2,,{d:.3},,,true"));
+        }
+        for d in [1.0, 2.0, 3.0] {
+            lines.push(format!("9,weekend,R2,,{d:.3},,,false"));
+        }
+        dfs.create("/h.csv", (lines.join("\n") + "\n").as_bytes()).unwrap();
+        let store = TableStore::new();
+        run_statistics_job(
+            &dfs,
+            &["/h.csv"],
+            &store,
+            &OfflineConfig { min_samples: 2, ..OfflineConfig::default() },
+        )
+        .unwrap();
+        let ts = ThresholdStore::new(store);
+        let gated = ts
+            .threshold_for(
+                &tms_storage::ThresholdQuery { attribute: "delay_congestion".into(), s: 0.0 },
+                "R2",
+                9,
+                DayType::Weekend,
+            )
+            .unwrap()
+            .unwrap();
+        assert!((gated - 200.0).abs() < 1e-9, "congested mean only: {gated}");
+        let all = ts
+            .threshold_for(
+                &tms_storage::ThresholdQuery { attribute: "delay".into(), s: 0.0 },
+                "R2",
+                9,
+                DayType::Weekend,
+            )
+            .unwrap()
+            .unwrap();
+        assert!((all - 101.0).abs() < 1e-9, "plain delay averages all six: {all}");
+    }
+
+    #[test]
+    fn stop_observations_have_bearings() {
+        let (traces, _) = day_of_traces();
+        let obs = stop_observations(&traces);
+        assert!(!obs.is_empty(), "the fleet reports stops");
+        for o in obs.iter().take(50) {
+            assert!((0.0..360.0).contains(&o.entry_bearing_deg));
+        }
+    }
+
+    #[test]
+    fn malformed_history_lines_are_skipped() {
+        let dfs = Dfs::with_defaults();
+        dfs.create("/h.csv", b"garbage line\n8,weekday,R1,,1.0,,,false\nshort,line\n")
+            .unwrap();
+        let store = TableStore::new();
+        // min_samples 1 so the single good line publishes.
+        let published = run_statistics_job(
+            &dfs,
+            &["/h.csv"],
+            &store,
+            &OfflineConfig { min_samples: 1, ..OfflineConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(published.get(&Attribute::Delay), Some(&1usize));
+    }
+}

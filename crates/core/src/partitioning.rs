@@ -1,0 +1,270 @@
+//! Rule partitioning — Algorithm 1 of the paper (Section 4.2.1).
+//!
+//! A rule monitors a set of spatial locations (regions of one quadtree
+//! layer, or bus stops). Each location has an expected *input rate* — the
+//! bus traces per second it produces, known from historical data and
+//! updated while the application runs. The algorithm partitions the
+//! locations over the rule's engines so every engine receives roughly the
+//! same aggregated rate: locations are sorted by descending rate and each
+//! is assigned to the currently least-loaded engine (greedy LPT-style
+//! balancing, exactly the paper's pseudo-code).
+
+// `!(x > 0.0)` is used deliberately in validations: unlike `x <= 0.0`
+// it also rejects NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// A spatial location with its expected input rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionRate {
+    /// Location id (`R<id>` for quadtree regions, `S<id>` for bus stops).
+    pub region: String,
+    /// Expected tuples per second for the location.
+    pub rate: f64,
+}
+
+/// The partition produced by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// `assignments[e]` lists the region ids routed to engine `e`.
+    pub assignments: Vec<Vec<String>>,
+    /// Aggregated rate per engine.
+    pub rates: Vec<f64>,
+}
+
+impl Partition {
+    /// Largest / smallest engine rate (1.0 = perfectly balanced). Engines
+    /// with zero rate count when the partition is degenerate.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.rates.iter().copied().fold(f64::MIN, f64::max);
+        let min = self.rates.iter().copied().fold(f64::MAX, f64::min);
+        if min <= 0.0 {
+            if max <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max / min
+        }
+    }
+
+    /// Engine index for a region, if it is part of the partition.
+    pub fn engine_of(&self, region: &str) -> Option<usize> {
+        self.assignments
+            .iter()
+            .position(|regions| regions.iter().any(|r| r == region))
+    }
+}
+
+/// Algorithm 1: partitions a rule's regions over `engines` engines,
+/// balancing the aggregated input rates.
+pub fn partition_rule(regions: &[RegionRate], engines: usize) -> Result<Partition, CoreError> {
+    if engines == 0 {
+        return Err(CoreError::Config { reason: "cannot partition over zero engines".into() });
+    }
+    if regions.is_empty() {
+        return Err(CoreError::Config { reason: "no regions to partition".into() });
+    }
+    if let Some(bad) = regions.iter().find(|r| !(r.rate >= 0.0)) {
+        return Err(CoreError::Config {
+            reason: format!("region {} has invalid rate {}", bad.region, bad.rate),
+        });
+    }
+    // Sort Region_Rates in descending order (ties broken by id so the
+    // partition is deterministic).
+    let mut sorted: Vec<&RegionRate> = regions.iter().collect();
+    sorted.sort_by(|a, b| b.rate.total_cmp(&a.rate).then_with(|| a.region.cmp(&b.region)));
+
+    let mut assignments: Vec<Vec<String>> = vec![Vec::new(); engines];
+    let mut rates = vec![0.0f64; engines];
+    for region in sorted {
+        // Find the least-loaded engine (first on ties, as in the paper's
+        // pseudo-code which scans engines in order).
+        let mut least = 0usize;
+        for e in 1..engines {
+            if rates[e] < rates[least] {
+                least = e;
+            }
+        }
+        assignments[least].push(region.region.clone());
+        rates[least] += region.rate;
+    }
+    Ok(Partition { assignments, rates })
+}
+
+/// A routing table from region id to engine index, shared with the
+/// Splitter bolt. Built from one or more partitions (one per rule
+/// grouping, each owning a disjoint engine range).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    entries: std::collections::HashMap<String, usize>,
+    engines: usize,
+}
+
+impl RoutingTable {
+    /// Creates an empty table over `engines` engines.
+    pub fn new(engines: usize) -> Self {
+        RoutingTable { entries: std::collections::HashMap::new(), engines }
+    }
+
+    /// Total engines the table routes over.
+    pub fn engines(&self) -> usize {
+        self.engines
+    }
+
+    /// Merges a partition whose engine indices start at `engine_offset`.
+    pub fn add_partition(&mut self, partition: &Partition, engine_offset: usize) {
+        for (e, regions) in partition.assignments.iter().enumerate() {
+            for r in regions {
+                self.entries.insert(r.clone(), engine_offset + e);
+            }
+        }
+        self.engines = self.engines.max(engine_offset + partition.assignments.len());
+    }
+
+    /// Engine for a region; unknown regions hash deterministically onto an
+    /// engine so fresh regions (never seen in historical data) still route
+    /// stably.
+    pub fn route(&self, region: &str) -> usize {
+        if let Some(&e) = self.entries.get(region) {
+            return e;
+        }
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        region.hash(&mut h);
+        (h.finish() % self.engines.max(1) as u64) as usize
+    }
+
+    /// Number of explicitly routed regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no region is explicitly routed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(rates: &[f64]) -> Vec<RegionRate> {
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| RegionRate { region: format!("R{i}"), rate })
+            .collect()
+    }
+
+    #[test]
+    fn balances_uniform_rates() {
+        let p = partition_rule(&regions(&[1.0; 12]), 4).unwrap();
+        assert_eq!(p.assignments.iter().map(Vec::len).sum::<usize>(), 12);
+        for r in &p.rates {
+            assert_eq!(*r, 3.0);
+        }
+        assert_eq!(p.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn skewed_rates_stay_balanced() {
+        // One hot region (rate 10) plus many cold ones.
+        let mut rs = regions(&[10.0]);
+        rs.extend(regions(&[1.0; 20]).into_iter().map(|mut r| {
+            r.region = format!("C{}", r.region);
+            r
+        }));
+        let p = partition_rule(&rs, 3).unwrap();
+        // Greedy LPT: hot region alone-ish; others share the rest.
+        // Total rate 30 over 3 engines → ideal 10 each.
+        for r in &p.rates {
+            assert!(
+                (9.0..=11.0).contains(r),
+                "engine rate {r} strays from the 10.0 ideal: {:?}",
+                p.rates
+            );
+        }
+    }
+
+    #[test]
+    fn every_region_assigned_exactly_once() {
+        let rs = regions(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let p = partition_rule(&rs, 3).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for a in &p.assignments {
+            for r in a {
+                assert!(seen.insert(r.clone()), "{r} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), rs.len());
+        for r in &rs {
+            assert!(p.engine_of(&r.region).is_some());
+        }
+        assert_eq!(p.engine_of("nope"), None);
+    }
+
+    #[test]
+    fn more_engines_than_regions_leaves_empties() {
+        let p = partition_rule(&regions(&[5.0, 2.0]), 4).unwrap();
+        assert_eq!(p.assignments.iter().filter(|a| !a.is_empty()).count(), 2);
+        assert!(p.imbalance().is_infinite());
+    }
+
+    #[test]
+    fn deterministic_given_ties() {
+        let rs = regions(&[1.0; 10]);
+        let a = partition_rule(&rs, 3).unwrap();
+        let b = partition_rule(&rs, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(partition_rule(&regions(&[1.0]), 0).is_err());
+        assert!(partition_rule(&[], 2).is_err());
+        let bad = vec![RegionRate { region: "R0".into(), rate: -1.0 }];
+        assert!(partition_rule(&bad, 2).is_err());
+        let nan = vec![RegionRate { region: "R0".into(), rate: f64::NAN }];
+        assert!(partition_rule(&nan, 2).is_err());
+    }
+
+    #[test]
+    fn routing_table_merges_partitions_with_offsets() {
+        let p1 = partition_rule(&regions(&[1.0, 2.0, 3.0]), 2).unwrap();
+        let mut stops = regions(&[4.0, 5.0]);
+        for s in &mut stops {
+            s.region = s.region.replace('R', "S");
+        }
+        let p2 = partition_rule(&stops, 2).unwrap();
+        let mut table = RoutingTable::new(0);
+        table.add_partition(&p1, 0);
+        table.add_partition(&p2, 2);
+        assert_eq!(table.engines(), 4);
+        assert_eq!(table.len(), 5);
+        // Quadtree regions land on engines 0-1, stops on 2-3.
+        for r in ["R0", "R1", "R2"] {
+            assert!(table.route(r) < 2);
+        }
+        for s in ["S0", "S1"] {
+            assert!((2..4).contains(&table.route(s)));
+        }
+        // Unknown regions route deterministically inside range.
+        let u1 = table.route("brand-new");
+        let u2 = table.route("brand-new");
+        assert_eq!(u1, u2);
+        assert!(u1 < 4);
+    }
+
+    #[test]
+    fn imbalance_grows_with_fewer_engines_for_skew() {
+        let rs = regions(&[8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let p2 = partition_rule(&rs, 2).unwrap();
+        // 8 vs 7 → imbalance ~1.14; still close to balanced.
+        assert!(p2.imbalance() < 1.3, "imbalance {:?}", p2.imbalance());
+    }
+}

@@ -1,0 +1,584 @@
+//! The end-to-end traffic management system (Figure 3): off-line
+//! computation → start-up optimization → on-line processing.
+
+use crate::allocation::{best_grouping_allocation, round_robin, Allocation, Grouping};
+use crate::error::CoreError;
+use crate::latency::EstimationModel;
+use crate::offline::{run_offline, OfflineArtifacts, OfflineConfig};
+use crate::partitioning::partition_rule;
+use crate::rules::{LocationSelector, RuleSpec, SpatialContext};
+use crate::thresholds::{Detection, RetrievalMethod};
+use crate::topology::{
+    build_traffic_topology, EnginePlan, GroupingKind, GroupingRoute, SplitPlan,
+    TopologyParallelism,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tms_dsps::runtime::RuntimeConfig;
+use tms_dsps::scheduler::ClusterSpec;
+use tms_dsps::{LocalCluster, MonitorConfig};
+use tms_geo::GeoPoint;
+use tms_storage::TableStore;
+use tms_traffic::BusTrace;
+
+/// Allocation strategy for the start-up optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Algorithm 2 over the best layer grouping (the paper's approach).
+    Proposed,
+    /// Round-robin engines over per-layer groupings (Figure 11 baseline).
+    RoundRobin,
+}
+
+/// Configuration of a system run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The (simulated) cluster to run on.
+    pub cluster: ClusterSpec,
+    /// How rules obtain their thresholds.
+    pub method: RetrievalMethod,
+    /// Off-line component parameters.
+    pub offline: OfflineConfig,
+    /// Start-up allocation strategy.
+    pub strategy: AllocationStrategy,
+    /// Metrics monitor window, if any.
+    pub monitor: Option<MonitorConfig>,
+    /// Parallelism of the non-Esper topology components.
+    pub parallelism: TopologyParallelism,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            cluster: ClusterSpec { nodes: 2, slots_per_node: 2, cores_per_node: 2 },
+            method: RetrievalMethod::ThresholdStream,
+            offline: OfflineConfig::default(),
+            strategy: AllocationStrategy::Proposed,
+            monitor: None,
+            parallelism: TopologyParallelism::default(),
+        }
+    }
+}
+
+/// The start-up optimizer's output (Section 4.2).
+#[derive(Debug, Clone)]
+pub struct StartupPlan {
+    /// The (possibly merged) rule groupings.
+    pub groupings: Vec<Grouping>,
+    /// Engines per grouping (Algorithm 2).
+    pub allocation: Allocation,
+    /// The Splitter bolt's routing plan (Algorithm 1).
+    pub split_plan: SplitPlan,
+    /// Per-engine rule/location assignments.
+    pub engine_plan: EnginePlan,
+}
+
+/// The outcome of an on-line run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Detections in arrival order at the EventsStorer.
+    pub detections: Vec<Detection>,
+    /// Per-component lifetime metrics.
+    pub metrics: Vec<tms_dsps::ComponentWindow>,
+    /// Windowed metric history (only populated when a monitor ran).
+    pub history: Vec<tms_dsps::ComponentWindow>,
+}
+
+/// The system facade.
+pub struct TrafficSystem {
+    /// Off-line computation outputs (spatial index, rates, thresholds).
+    pub artifacts: OfflineArtifacts,
+    /// The storage medium shared by every layer.
+    pub store: TableStore,
+    /// The latency estimation model driving the optimizer.
+    pub model: EstimationModel,
+    /// Run configuration.
+    pub config: SystemConfig,
+}
+
+impl TrafficSystem {
+    /// Runs the off-line component over historical traces and boots the
+    /// system (Figure 3 arrows 1–4).
+    pub fn bootstrap(
+        bbox: tms_geo::BoundingBox,
+        seeds: &[GeoPoint],
+        history: &[BusTrace],
+        config: SystemConfig,
+    ) -> Result<Self, CoreError> {
+        let store = TableStore::new();
+        let artifacts = run_offline(bbox, seeds, history, &store, &config.offline)?;
+        Ok(TrafficSystem {
+            artifacts,
+            store,
+            model: EstimationModel::default_paper_shaped(),
+            config,
+        })
+    }
+
+    /// Replaces the estimation model (e.g. with one calibrated from real
+    /// measurements).
+    pub fn with_model(mut self, model: EstimationModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Number of threshold rows a rule would join with (Function 1's `t`).
+    fn thresholds_for(&self, rule: &RuleSpec) -> usize {
+        let q = tms_storage::ThresholdQuery {
+            attribute: rule.attribute.name().into(),
+            s: rule.s,
+        };
+        self.artifacts.thresholds.thresholds(&q).map(|rows| rows.len()).unwrap_or(0)
+    }
+
+    /// Builds per-layer groupings from the rule set: rules sharing a
+    /// layer key form one grouping, partitioned at that layer.
+    pub fn layer_groupings(&self, rules: &[RuleSpec]) -> Result<Vec<Grouping>, CoreError> {
+        if rules.is_empty() {
+            return Err(CoreError::Config { reason: "no rules given".into() });
+        }
+        let quadtree = &self.artifacts.spatial.quadtree;
+        let mut by_layer: HashMap<u8, Vec<RuleSpec>> = HashMap::new();
+        for r in rules {
+            r.validate()?;
+            by_layer.entry(r.location.layer_key(quadtree)).or_default().push(r.clone());
+        }
+        let mut layers: Vec<u8> = by_layer.keys().copied().collect();
+        layers.sort_unstable();
+        let stops_layer = quadtree.max_layer() + 1;
+        let mut out = Vec::new();
+        for layer in layers {
+            let rules = by_layer.remove(&layer).expect("key exists");
+            let selector = if layer == stops_layer {
+                LocationSelector::BusStops
+            } else {
+                LocationSelector::QuadtreeLayer(layer)
+            };
+            let regions = self.artifacts.rates_for(&selector);
+            let thresholds = rules.iter().map(|r| self.thresholds_for(r)).collect();
+            out.push(Grouping {
+                name: if layer == stops_layer {
+                    "bus-stops".to_string()
+                } else {
+                    format!("layer-{layer}")
+                },
+                layers: vec![layer],
+                rules,
+                regions,
+                thresholds,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The start-up optimization component (Section 4.2): groups, scores,
+    /// allocates, partitions and plans routing for `engines` engines.
+    pub fn startup_plan(
+        &self,
+        rules: &[RuleSpec],
+        engines: usize,
+    ) -> Result<StartupPlan, CoreError> {
+        let layer_groups = self.layer_groupings(rules)?;
+        let (groupings, allocation) = match self.config.strategy {
+            AllocationStrategy::Proposed => {
+                best_grouping_allocation(&self.model, &layer_groups, engines)?
+            }
+            AllocationStrategy::RoundRobin => {
+                let a = round_robin(&layer_groups, engines)?;
+                (layer_groups, a)
+            }
+        };
+        self.plan_from_allocation(rules, &groupings, &allocation)
+    }
+
+    /// Builds split and engine plans from an explicit allocation.
+    pub fn plan_from_allocation(
+        &self,
+        _rules: &[RuleSpec],
+        groupings: &[Grouping],
+        allocation: &Allocation,
+    ) -> Result<StartupPlan, CoreError> {
+        let spatial = &self.artifacts.spatial;
+        let stops_layer = spatial.quadtree.max_layer() + 1;
+        let offsets = allocation.offsets();
+        let total_engines: usize = allocation.engines.iter().sum();
+
+        let mut routes = Vec::new();
+        let mut per_engine: Vec<Vec<(RuleSpec, Vec<String>)>> = vec![Vec::new(); total_engines];
+
+        for (gi, grouping) in groupings.iter().enumerate() {
+            let k = allocation.engines[gi];
+            let offset = offsets[gi];
+            let partition = partition_rule(&grouping.regions, k)?;
+            // Routing: partition region → global engine index.
+            let partition_layer = *grouping.layers.iter().min().expect("grouping has layers");
+            let kind = if partition_layer == stops_layer {
+                GroupingKind::BusStops
+            } else {
+                GroupingKind::QuadtreeLayer(partition_layer)
+            };
+            let mut table = HashMap::new();
+            for (e, regions) in partition.assignments.iter().enumerate() {
+                for r in regions {
+                    table.insert(r.clone(), offset + e);
+                }
+            }
+            routes.push(GroupingRoute { kind, table });
+
+            // Engine plan: each engine runs every rule of the grouping,
+            // monitoring the rule's locations that fall under the engine's
+            // partition share.
+            for (e, partition_regions) in partition.assignments.iter().enumerate() {
+                let engine_idx = offset + e;
+                for rule in &grouping.rules {
+                    let locations = self.rule_locations_under(
+                        rule,
+                        partition_regions,
+                        partition_layer,
+                        stops_layer,
+                    );
+                    if !locations.is_empty() {
+                        per_engine[engine_idx].push((rule.clone(), locations));
+                    }
+                }
+            }
+        }
+        Ok(StartupPlan {
+            groupings: groupings.to_vec(),
+            allocation: allocation.clone(),
+            split_plan: SplitPlan { routes },
+            engine_plan: EnginePlan { per_engine },
+        })
+    }
+
+    /// The locations of `rule` that lie under the given partition-layer
+    /// regions.
+    fn rule_locations_under(
+        &self,
+        rule: &RuleSpec,
+        partition_regions: &[String],
+        partition_layer: u8,
+        stops_layer: u8,
+    ) -> Vec<String> {
+        let spatial = &self.artifacts.spatial;
+        let quadtree = &spatial.quadtree;
+        let owned: std::collections::HashSet<&str> =
+            partition_regions.iter().map(String::as_str).collect();
+        let covered = |location: &str| -> bool {
+            if partition_layer == stops_layer {
+                // Stop groupings partition stops directly.
+                return owned.contains(location);
+            }
+            // Quadtree location: walk ancestors until the partition layer.
+            if let Some(stripped) = location.strip_prefix('R') {
+                let Ok(idx) = stripped.parse::<u32>() else { return false };
+                let mut region = quadtree.region(tms_geo::RegionId(idx));
+                while let Some(r) = region {
+                    if owned.contains(SpatialContext::region_id(r.id).as_str()) {
+                        return true;
+                    }
+                    region = r.parent.and_then(|p| quadtree.region(p));
+                }
+                return false;
+            }
+            // A bus stop inside a quadtree grouping: locate its region.
+            // Recovered stop centroids can drift a few metres past the
+            // city bounding box (GPS noise); clamp before locating so
+            // every stop belongs to exactly one engine.
+            if let Some(stripped) = location.strip_prefix('S') {
+                let Ok(sid) = stripped.parse::<u32>() else { return false };
+                let Some(stop) = spatial.stops.stop(sid) else { return false };
+                let bb = quadtree.bbox();
+                let p = tms_geo::GeoPoint {
+                    lat: stop.location.lat.clamp(bb.min_lat, bb.max_lat),
+                    lon: stop.location.lon.clamp(bb.min_lon, bb.max_lon),
+                };
+                return quadtree
+                    .locate_all_layers(&p)
+                    .iter()
+                    .any(|r| owned.contains(SpatialContext::region_id(r.id).as_str()));
+            }
+            false
+        };
+        spatial
+            .resolve(&rule.location)
+            .into_iter()
+            .filter(|l| covered(l))
+            .collect()
+    }
+
+    /// The on-line component: builds the Figure 8 topology and replays the
+    /// traces through it to completion.
+    pub fn run(
+        &self,
+        traces: Vec<BusTrace>,
+        plan: &StartupPlan,
+        db: Option<tms_storage::RemoteDb>,
+    ) -> Result<RunReport, CoreError> {
+        let detections = Arc::new(Mutex::new(Vec::new()));
+        let mut parallelism = self.config.parallelism;
+        parallelism.esper_tasks = plan.engine_plan.engines().max(1);
+        let topology = build_traffic_topology(
+            Arc::new(traces),
+            Arc::new(self.artifacts.spatial.quadtree.clone()),
+            Arc::new(self.artifacts.spatial.stops.clone()),
+            Arc::new(plan.split_plan.clone()),
+            Arc::new(plan.engine_plan.clone()),
+            self.config.method.clone(),
+            self.store.clone(),
+            db,
+            detections.clone(),
+            parallelism,
+        )?;
+        let cluster = LocalCluster::new(self.config.cluster)?;
+        let handle = cluster.submit(
+            topology,
+            RuntimeConfig { monitor: self.config.monitor, ..RuntimeConfig::default() },
+        )?;
+        let metrics = handle.join()?;
+        let report = RunReport {
+            detections: std::mem::take(&mut detections.lock()),
+            metrics: metrics.totals(),
+            history: metrics.history(),
+        };
+        Ok(report)
+    }
+
+    /// Convenience: bootstrap + plan + run with Algorithm 2, returning
+    /// the plan and the report.
+    pub fn plan_and_run(
+        &self,
+        traces: Vec<BusTrace>,
+        rules: &[RuleSpec],
+        engines: usize,
+    ) -> Result<(StartupPlan, RunReport), CoreError> {
+        let plan = self.startup_plan(rules, engines)?;
+        let report = self.run(traces, &plan, None)?;
+        Ok((plan, report))
+    }
+
+    /// Re-runs the statistics job over fresh history and republishes the
+    /// thresholds (the periodic dynamic-rules path; engines pick the new
+    /// snapshot up via `RuleEngine::refresh_thresholds` or at the next
+    /// run's install).
+    pub fn recompute_statistics(&mut self, history: &[BusTrace]) -> Result<(), CoreError> {
+        let artifacts = run_offline(
+            self.artifacts.spatial.quadtree.bbox(),
+            &[],
+            history,
+            &self.store,
+            &self.config.offline,
+        );
+        // Keep the original spatial index (regions must stay stable for
+        // running rules); only refresh rates. The statistics tables were
+        // republished by run_offline into the shared store.
+        match artifacts {
+            Ok(a) => {
+                self.artifacts.region_rates = a.region_rates;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Builds a rule set and engine count from a parsed XML topology spec
+    /// (the `<rules>` section carries raw EPL, which our generic template
+    /// cannot reverse; XML rules therefore use the template's textual
+    /// form: `attribute:location:window`, e.g. `delay:leaves:100`).
+    pub fn rules_from_xml_spec(
+        spec: &tms_dsps::TopologySpec,
+    ) -> Result<Vec<RuleSpec>, CoreError> {
+        let mut out = Vec::new();
+        for (i, text) in spec.rules.iter().enumerate() {
+            out.push(parse_rule_shorthand(text, i)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parses the XML shorthand `attribute:location:window[:weight]` where
+/// location is `leaves`, `stops`, or `layerN`.
+pub fn parse_rule_shorthand(text: &str, index: usize) -> Result<RuleSpec, CoreError> {
+    let parts: Vec<&str> = text.trim().split(':').collect();
+    if !(parts.len() == 3 || parts.len() == 4) {
+        return Err(CoreError::Rule {
+            reason: format!("rule {index}: expected attribute:location:window[:weight], got {text:?}"),
+        });
+    }
+    let attribute = tms_traffic::Attribute::parse(parts[0]).ok_or_else(|| CoreError::Rule {
+        reason: format!("rule {index}: unknown attribute {:?}", parts[0]),
+    })?;
+    let location = match parts[1] {
+        "leaves" => LocationSelector::QuadtreeLeaves,
+        "stops" => LocationSelector::BusStops,
+        other => match other.strip_prefix("layer") {
+            Some(n) => LocationSelector::QuadtreeLayer(n.parse().map_err(|_| CoreError::Rule {
+                reason: format!("rule {index}: bad layer {other:?}"),
+            })?),
+            None => {
+                return Err(CoreError::Rule {
+                    reason: format!("rule {index}: unknown location {other:?}"),
+                })
+            }
+        },
+    };
+    let window: usize = parts[2].parse().map_err(|_| CoreError::Rule {
+        reason: format!("rule {index}: bad window {:?}", parts[2]),
+    })?;
+    let mut rule = RuleSpec::new(
+        format!("xml-rule-{index}-{}", parts[0]),
+        attribute,
+        location,
+        window,
+    );
+    if let Some(w) = parts.get(3) {
+        rule.weight = w.parse().map_err(|_| CoreError::Rule {
+            reason: format!("rule {index}: bad weight {w:?}"),
+        })?;
+    }
+    rule.validate()?;
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_geo::DUBLIN_BBOX;
+    use tms_traffic::{Attribute, FleetConfig, FleetGenerator, HOUR_MS};
+
+    fn small_history() -> (Vec<BusTrace>, Vec<GeoPoint>) {
+        let g = FleetGenerator::new(FleetConfig::small(17), 0).unwrap();
+        let seeds = g.route_seed_points();
+        let traces: Vec<BusTrace> =
+            g.take_while(|t| t.timestamp_ms < 9 * HOUR_MS).collect();
+        (traces, seeds)
+    }
+
+    fn system() -> TrafficSystem {
+        let (history, seeds) = small_history();
+        TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, SystemConfig::default()).unwrap()
+    }
+
+    fn rules() -> Vec<RuleSpec> {
+        let mut r1 = RuleSpec::new(
+            "delay-leaves",
+            Attribute::Delay,
+            LocationSelector::QuadtreeLeaves,
+            10,
+        );
+        r1.s = 0.5;
+        let mut r2 =
+            RuleSpec::new("delay-stops", Attribute::Delay, LocationSelector::BusStops, 10);
+        r2.s = 0.5;
+        vec![r1, r2]
+    }
+
+    #[test]
+    fn startup_plan_covers_every_engine_and_location() {
+        let sys = system();
+        let plan = sys.startup_plan(&rules(), 4).unwrap();
+        assert_eq!(plan.allocation.engines.iter().sum::<usize>(), 4);
+        assert_eq!(plan.engine_plan.engines(), 4);
+        // Every rule's every location is monitored by exactly one engine.
+        for rule in rules() {
+            let mut seen: HashMap<String, usize> = HashMap::new();
+            for engine_rules in &plan.engine_plan.per_engine {
+                for (spec, locations) in engine_rules {
+                    if spec.name == rule.name {
+                        for l in locations {
+                            *seen.entry(l.clone()).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            let expected = sys.artifacts.spatial.resolve(&rule.location);
+            for l in &expected {
+                assert_eq!(
+                    seen.get(l).copied().unwrap_or(0),
+                    1,
+                    "location {l} of rule {} must be monitored exactly once",
+                    rule.name
+                );
+            }
+        }
+        // Split plan has one route per grouping.
+        assert_eq!(plan.split_plan.routes.len(), plan.groupings.len());
+    }
+
+    #[test]
+    fn end_to_end_run_detects_incidents() {
+        let (history, seeds) = small_history();
+        let sys =
+            TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, SystemConfig::default())
+                .unwrap();
+        // Live traffic: day 1 with a severe incident in the city centre.
+        let cfg = FleetConfig::small(17);
+        let probe = FleetGenerator::new(cfg.clone(), 1).unwrap();
+        let center = probe.routes()[0].points[probe.routes()[0].points.len() / 2];
+        let incident = tms_traffic::Incident {
+            center,
+            radius_m: 1500.0,
+            start_ms: tms_traffic::DAY_MS + 7 * HOUR_MS,
+            end_ms: tms_traffic::DAY_MS + 9 * HOUR_MS,
+            severity: 0.03,
+        };
+        let live: Vec<BusTrace> =
+            FleetGenerator::with_incidents(cfg, 1, vec![incident])
+                .unwrap()
+                .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
+                .collect();
+        let (plan, report) = sys.plan_and_run(live, &rules(), 3).unwrap();
+        assert_eq!(plan.engine_plan.engines(), 3);
+        assert!(
+            !report.detections.is_empty(),
+            "a severe incident must trigger detections"
+        );
+        // Detections were also persisted to the storage medium.
+        let stored = sys
+            .store
+            .with_table("detected_events", |t| t.len())
+            .unwrap();
+        assert_eq!(stored, report.detections.len());
+        // Metrics cover the esper component.
+        assert!(report.metrics.iter().any(|m| m.component == "esper" && m.throughput > 0));
+    }
+
+    #[test]
+    fn round_robin_strategy_changes_allocation() {
+        let (history, seeds) = small_history();
+        let sys = TrafficSystem::bootstrap(
+            DUBLIN_BBOX,
+            &seeds,
+            &history,
+            SystemConfig { strategy: AllocationStrategy::RoundRobin, ..SystemConfig::default() },
+        )
+        .unwrap();
+        let plan = sys.startup_plan(&rules(), 5).unwrap();
+        // Round-robin keeps per-layer groupings: 2 groupings → 3+2 split.
+        assert_eq!(plan.groupings.len(), 2);
+        assert_eq!(plan.allocation.engines, vec![3, 2]);
+    }
+
+    #[test]
+    fn rule_shorthand_parsing() {
+        let r = parse_rule_shorthand("delay:leaves:100", 0).unwrap();
+        assert_eq!(r.attribute, Attribute::Delay);
+        assert_eq!(r.window_length, 100);
+        let r = parse_rule_shorthand("speed:stops:10:2.5", 1).unwrap();
+        assert_eq!(r.location, LocationSelector::BusStops);
+        assert_eq!(r.weight, 2.5);
+        let r = parse_rule_shorthand("actual_delay:layer2:1", 2).unwrap();
+        assert_eq!(r.location, LocationSelector::QuadtreeLayer(2));
+        assert!(parse_rule_shorthand("bogus:leaves:10", 0).is_err());
+        assert!(parse_rule_shorthand("delay:nowhere:10", 0).is_err());
+        assert!(parse_rule_shorthand("delay:leaves", 0).is_err());
+        assert!(parse_rule_shorthand("delay:leaves:0", 0).is_err());
+    }
+
+    #[test]
+    fn empty_rules_rejected() {
+        let sys = system();
+        assert!(sys.startup_plan(&[], 2).is_err());
+    }
+}

@@ -1,0 +1,629 @@
+//! The three threshold-retrieval methods (Section 4.3.1) and the dynamic
+//! rule refresh, realized on a real CEP engine.
+//!
+//! * **Join with Database** — every tuple entering the engine looks its
+//!   threshold up in the (remote) storage medium and carries it into the
+//!   stream; each lookup pays the client↔server round trip, which is why
+//!   Figure 10 shows this method an order of magnitude slower.
+//! * **Create Multiple Rules** — every `(location, hour, day-type)` cell
+//!   becomes its own statement with the threshold inlined as a literal;
+//!   one snapshot query up front, but the engine groans under the rule
+//!   count.
+//! * **Add the Thresholds in an Esper stream** — one snapshot query up
+//!   front, thresholds become events in a `keepall` stream the rule joins
+//!   with; latency is near the no-retrieval optimum. The paper (and this
+//!   crate) adopts this method.
+//!
+//! Dynamic rules (Section 4.1.3): [`RuleEngine::refresh_thresholds`]
+//! re-reads the statistics snapshot and swaps the rules' threshold state
+//! in place, so a Hadoop re-computation takes effect without restarting
+//! the topology.
+
+use crate::error::CoreError;
+use crate::rules::RuleSpec;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use tms_cep::{Engine, Event, EventType, FieldType, FieldValue, StatementId};
+use tms_storage::{DayType, RemoteDb, ThresholdQuery, ThresholdStore};
+use tms_traffic::EnrichedTrace;
+
+/// How a rule obtains its per-location thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrievalMethod {
+    /// Per-tuple lookup in the storage medium.
+    JoinWithDatabase,
+    /// One statement per (location, hour, day-type) with inlined literal.
+    MultipleRules,
+    /// Thresholds as events in a joined `keepall` stream (the winner).
+    ThresholdStream,
+    /// One global static threshold — Figure 10's no-retrieval optimum.
+    StaticOptimal(f64),
+}
+
+/// A fired detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Location where the abnormality was observed.
+    pub location: String,
+    /// Windowed average of the attribute.
+    pub observed: f64,
+    /// The threshold that was crossed, when the method reports one.
+    pub threshold: Option<f64>,
+    /// Timestamp of the triggering tuple (ms).
+    pub timestamp_ms: u64,
+}
+
+/// Shared sink collecting detections from an engine.
+pub type DetectionSink = Arc<Mutex<Vec<Detection>>>;
+
+struct InstalledRule {
+    spec: RuleSpec,
+    /// Locations this engine monitors for the rule (its partition share).
+    monitored: HashSet<String>,
+    statements: Vec<StatementId>,
+}
+
+/// One Esper-engine task with rules installed under a retrieval method —
+/// the object living inside each Esper-bolt task of the topology.
+pub struct RuleEngine {
+    engine: Engine,
+    method: RetrievalMethod,
+    store: ThresholdStore,
+    /// Remote facade charging per-query latency; `None` means local,
+    /// zero-cost access (useful in unit tests).
+    db: Option<RemoteDb>,
+    rules: Vec<InstalledRule>,
+    detections: DetectionSink,
+    streams_registered: HashSet<String>,
+    /// "Current tuple timestamp", read by listeners when a rule fires.
+    clock: Arc<Mutex<u64>>,
+}
+
+impl std::fmt::Debug for RuleEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleEngine")
+            .field("method", &self.method)
+            .field("rules", &self.rules.len())
+            .finish()
+    }
+}
+
+impl RuleEngine {
+    /// Creates an engine bound to a threshold store.
+    pub fn new(method: RetrievalMethod, store: ThresholdStore, db: Option<RemoteDb>) -> Self {
+        RuleEngine {
+            engine: Engine::new(),
+            method,
+            store,
+            db,
+            rules: Vec::new(),
+            detections: Arc::new(Mutex::new(Vec::new())),
+            streams_registered: HashSet::new(),
+            clock: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// The sink detections are pushed into.
+    pub fn detections(&self) -> DetectionSink {
+        self.detections.clone()
+    }
+
+    /// Number of statements currently standing in the engine.
+    pub fn statement_count(&self) -> usize {
+        self.engine.statement_count()
+    }
+
+    /// Ablation switch for the underlying engine's join-index cache (see
+    /// [`tms_cep::Engine::set_join_cache_enabled`]).
+    pub fn set_join_cache_enabled(&mut self, enabled: bool) {
+        self.engine.set_join_cache_enabled(enabled);
+    }
+
+    /// Installs a rule for the locations this engine was assigned by the
+    /// partitioning component.
+    pub fn install_rule(
+        &mut self,
+        spec: &RuleSpec,
+        monitored: impl IntoIterator<Item = String>,
+    ) -> Result<(), CoreError> {
+        spec.validate()?;
+        self.ensure_bus_stream(spec)?;
+        let monitored: HashSet<String> = monitored.into_iter().collect();
+        let statements = self.create_statements(spec, &monitored)?;
+        self.rules.push(InstalledRule { spec: spec.clone(), monitored, statements });
+        Ok(())
+    }
+
+    fn ensure_bus_stream(&mut self, spec: &RuleSpec) -> Result<(), CoreError> {
+        let name = spec.bus_stream();
+        if self.streams_registered.contains(&name) {
+            return Ok(());
+        }
+        self.engine.register_type(EventType::with_fields(
+            &name,
+            &[
+                ("location", FieldType::Str),
+                ("hour", FieldType::Int),
+                ("day", FieldType::Str),
+                ("value", FieldType::Float),
+                ("threshold", FieldType::Float),
+            ],
+        )?)?;
+        self.streams_registered.insert(name);
+        Ok(())
+    }
+
+    fn make_listener(
+        sink: &DetectionSink,
+        rule_name: String,
+        clock: Arc<Mutex<u64>>,
+    ) -> tms_cep::Listener {
+        let sink = sink.clone();
+        Box::new(move |_, rows| {
+            let ts = *clock.lock();
+            let mut sink = sink.lock();
+            for row in rows {
+                let get_f = |col: &str| row.get(col).and_then(|v| v.as_f64().ok());
+                sink.push(Detection {
+                    rule: rule_name.clone(),
+                    location: row
+                        .get("location")
+                        .map(|v| v.to_string())
+                        .unwrap_or_default(),
+                    observed: get_f("observed").unwrap_or(f64::NAN),
+                    threshold: get_f("threshold"),
+                    timestamp_ms: ts,
+                });
+            }
+        })
+    }
+
+    fn create_statements(
+        &mut self,
+        spec: &RuleSpec,
+        monitored: &HashSet<String>,
+    ) -> Result<Vec<StatementId>, CoreError> {
+        let clock = self.clock();
+        let mut ids = Vec::new();
+        match self.method.clone() {
+            RetrievalMethod::ThresholdStream => {
+                // Register the threshold stream and feed the snapshot.
+                let tstream = spec.threshold_stream();
+                if !self.streams_registered.contains(&tstream) {
+                    self.engine.register_type(EventType::with_fields(
+                        &tstream,
+                        &[
+                            ("location", FieldType::Str),
+                            ("hour", FieldType::Int),
+                            ("day", FieldType::Str),
+                            ("threshold", FieldType::Float),
+                        ],
+                    )?)?;
+                    self.streams_registered.insert(tstream.clone());
+                }
+                let listener =
+                    Self::make_listener(&self.detections, spec.name.clone(), clock);
+                let h = self.engine.create_statement(&spec.to_epl(), listener)?;
+                ids.push(h.id);
+                self.feed_threshold_stream(spec, monitored)?;
+            }
+            RetrievalMethod::MultipleRules => {
+                // One snapshot query, then a statement per cell.
+                let rows = self.snapshot(spec)?;
+                for row in rows {
+                    if !monitored.contains(&row.area_id) {
+                        continue;
+                    }
+                    let epl = spec.to_epl_static(
+                        &row.area_id,
+                        row.hour,
+                        row.day_type.as_str(),
+                        row.threshold,
+                    );
+                    let listener = Self::make_listener(
+                        &self.detections,
+                        spec.name.clone(),
+                        self.clock(),
+                    );
+                    ids.push(self.engine.create_statement(&epl, listener)?.id);
+                }
+            }
+            RetrievalMethod::JoinWithDatabase => {
+                let listener =
+                    Self::make_listener(&self.detections, spec.name.clone(), clock);
+                ids.push(self.engine.create_statement(&spec.to_epl_db(), listener)?.id);
+            }
+            RetrievalMethod::StaticOptimal(threshold) => {
+                let listener =
+                    Self::make_listener(&self.detections, spec.name.clone(), clock);
+                ids.push(
+                    self.engine.create_statement(&spec.to_epl_global(threshold), listener)?.id,
+                );
+            }
+        }
+        Ok(ids)
+    }
+
+    fn snapshot(&self, spec: &RuleSpec) -> Result<Vec<tms_storage::ThresholdRow>, CoreError> {
+        let query = ThresholdQuery { attribute: spec.attribute.name().into(), s: spec.s };
+        let rows = match &self.db {
+            Some(db) => ThresholdStore::thresholds_remote(db, &query)?,
+            None => self.store.thresholds(&query)?,
+        };
+        Ok(rows)
+    }
+
+    fn feed_threshold_stream(
+        &mut self,
+        spec: &RuleSpec,
+        monitored: &HashSet<String>,
+    ) -> Result<(), CoreError> {
+        let rows = self.snapshot(spec)?;
+        let ty = self
+            .engine
+            .event_type(&spec.threshold_stream())
+            .expect("threshold stream registered")
+            .clone();
+        for row in rows {
+            if !monitored.contains(&row.area_id) {
+                continue;
+            }
+            let ev = Event::from_pairs(
+                &ty,
+                0,
+                &[
+                    ("location", FieldValue::from(row.area_id.as_str())),
+                    ("hour", FieldValue::Int(i64::from(row.hour))),
+                    ("day", FieldValue::from(row.day_type.as_str())),
+                    ("threshold", FieldValue::Float(row.threshold)),
+                ],
+            )?;
+            self.engine.send_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// The shared "current tuple timestamp" the listeners read. Updated
+    /// by [`Self::send_trace`].
+    fn clock(&self) -> Arc<Mutex<u64>> {
+        self.clock.clone()
+    }
+
+    /// Re-reads the statistics snapshot and swaps every rule's threshold
+    /// state — the dynamic-rules path fed by the periodic Hadoop job.
+    pub fn refresh_thresholds(&mut self) -> Result<(), CoreError> {
+        let rules: Vec<(RuleSpec, HashSet<String>)> = self
+            .rules
+            .iter()
+            .map(|r| (r.spec.clone(), r.monitored.clone()))
+            .collect();
+        // Tear down and re-create: our keepall windows cannot delete, so
+        // a fresh statement (fresh windows) picks up the new snapshot.
+        for r in &self.rules {
+            for &id in &r.statements {
+                self.engine.remove_statement(id)?;
+            }
+        }
+        self.rules.clear();
+        for (spec, monitored) in rules {
+            let statements = self.create_statements(&spec, &monitored)?;
+            self.rules.push(InstalledRule { spec, monitored, statements });
+        }
+        Ok(())
+    }
+
+    /// Feeds one enriched trace to the engine: for every installed rule,
+    /// every monitored location the trace belongs to becomes one event on
+    /// the rule's attribute stream. Returns how many events entered the
+    /// engine.
+    pub fn send_trace(&mut self, e: &EnrichedTrace) -> Result<usize, CoreError> {
+        let hour = e.trace.hour_of_day();
+        let day = DayType::from_weekday_index((e.trace.day_index() % 7) as u8);
+        let clock = self.clock();
+        *clock.lock() = e.trace.timestamp_ms;
+
+        // Candidate locations of this trace.
+        let mut locations: Vec<&str> = e.areas.iter().map(String::as_str).collect();
+        if let Some(s) = &e.bus_stop {
+            locations.push(s.as_str());
+        }
+
+        // One event per (attribute stream, matched location) — a tuple
+        // enters the engine once per stream, and every statement standing
+        // on that stream sees it (Esper's delivery model). Emitting per
+        // *rule* would square the evaluation count for same-attribute
+        // rules.
+        let mut per_attribute: Vec<(tms_traffic::Attribute, f64, f64, Vec<String>)> = Vec::new();
+        for r in &self.rules {
+            let attr = r.spec.attribute;
+            let Some(value) = attr.value(e) else { continue };
+            let entry = match per_attribute.iter_mut().find(|(a, _, _, _)| *a == attr) {
+                Some(entry) => entry,
+                None => {
+                    per_attribute.push((attr, value, r.spec.s, Vec::new()));
+                    per_attribute.last_mut().expect("just pushed")
+                }
+            };
+            for l in &locations {
+                if r.monitored.contains(*l) && !entry.3.iter().any(|x| x == *l) {
+                    entry.3.push((*l).to_string());
+                }
+            }
+        }
+
+        let mut sent = 0usize;
+        let mut outbox: Vec<Event> = Vec::new();
+        for (attr, value, s_param, matched) in per_attribute {
+            let stream = format!("bus_{}", attr.name());
+            for location in matched {
+                let threshold = match &self.method {
+                    RetrievalMethod::JoinWithDatabase => {
+                        // The per-tuple lookup, paying one round trip.
+                        let query =
+                            ThresholdQuery { attribute: attr.name().into(), s: s_param };
+                        let looked_up = match &self.db {
+                            Some(db) => ThresholdStore::threshold_for_remote(
+                                db, &query, &location, hour, day,
+                            )?,
+                            None => self.store.threshold_for(&query, &location, hour, day)?,
+                        };
+                        // No statistics for the cell: the rule cannot
+                        // apply; skip the event entirely.
+                        let Some(t) = looked_up else { continue };
+                        t
+                    }
+                    _ => 0.0,
+                };
+                let ty = self
+                    .engine
+                    .event_type(&stream)
+                    .expect("bus stream registered at install")
+                    .clone();
+                outbox.push(Event::from_pairs(
+                    &ty,
+                    e.trace.timestamp_ms,
+                    &[
+                        ("location", FieldValue::from(location.as_str())),
+                        ("hour", FieldValue::Int(i64::from(hour))),
+                        ("day", FieldValue::from(day.as_str())),
+                        ("value", FieldValue::Float(value)),
+                        ("threshold", FieldValue::Float(threshold)),
+                    ],
+                )?);
+            }
+        }
+        for ev in outbox {
+            self.engine.send_event(ev)?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::LocationSelector;
+    use tms_storage::{StatRecord, TableStore};
+    use tms_traffic::{Attribute, BusTrace};
+
+    fn store_with_stats() -> ThresholdStore {
+        let ts = ThresholdStore::new(TableStore::new());
+        // R1 fires above 100 at hour 8 weekday; R2 above 1000.
+        let recs = vec![
+            StatRecord {
+                area_id: "R1".into(),
+                hour: 8,
+                day_type: DayType::Weekday,
+                mean: 100.0,
+                stdv: 0.0,
+                count: 50,
+            },
+            StatRecord {
+                area_id: "R2".into(),
+                hour: 8,
+                day_type: DayType::Weekday,
+                mean: 1000.0,
+                stdv: 0.0,
+                count: 50,
+            },
+        ];
+        ts.publish("delay", &recs).unwrap();
+        ts
+    }
+
+    fn rule(window: usize) -> RuleSpec {
+        let mut r = RuleSpec::new(
+            "delay-rule",
+            Attribute::Delay,
+            LocationSelector::QuadtreeLeaves,
+            window,
+        );
+        r.s = 0.0;
+        r
+    }
+
+    fn trace(ts: u64, area: &str, delay: f64) -> EnrichedTrace {
+        EnrichedTrace {
+            trace: BusTrace {
+                timestamp_ms: ts + 8 * tms_traffic::HOUR_MS,
+                line_id: 1,
+                direction: true,
+                position: tms_geo::GeoPoint::new_unchecked(53.33, -6.26),
+                delay_s: delay,
+                congestion: false,
+                reported_stop: None,
+                at_stop: false,
+                vehicle_id: 1,
+            },
+            speed_kmh: Some(20.0),
+            actual_delay_s: Some(0.0),
+            areas: vec![area.to_string()],
+            bus_stop: None,
+        }
+    }
+
+    fn monitored() -> Vec<String> {
+        vec!["R1".into(), "R2".into()]
+    }
+
+    fn methods() -> Vec<RetrievalMethod> {
+        vec![
+            RetrievalMethod::ThresholdStream,
+            RetrievalMethod::MultipleRules,
+            RetrievalMethod::JoinWithDatabase,
+        ]
+    }
+
+    #[test]
+    fn all_methods_detect_the_same_events() {
+        for method in methods() {
+            let mut re = RuleEngine::new(method.clone(), store_with_stats(), None);
+            re.install_rule(&rule(2), monitored()).unwrap();
+            let sink = re.detections();
+            // R1: delays 150, 170 → avg crosses 100 from the first event.
+            re.send_trace(&trace(1000, "R1", 150.0)).unwrap();
+            re.send_trace(&trace(2000, "R1", 170.0)).unwrap();
+            // R2 threshold is 1000: never fires.
+            re.send_trace(&trace(3000, "R2", 170.0)).unwrap();
+            let got = sink.lock();
+            assert!(
+                got.len() >= 2,
+                "{method:?}: expected at least 2 detections, got {}",
+                got.len()
+            );
+            for d in got.iter() {
+                assert_eq!(d.location, "R1", "{method:?} misfired at {}", d.location);
+                assert!(d.observed > 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn static_optimal_uses_the_literal() {
+        let mut re =
+            RuleEngine::new(RetrievalMethod::StaticOptimal(50.0), store_with_stats(), None);
+        re.install_rule(&rule(1), monitored()).unwrap();
+        let sink = re.detections();
+        re.send_trace(&trace(1000, "R1", 60.0)).unwrap();
+        re.send_trace(&trace(2000, "R1", 40.0)).unwrap();
+        let got = sink.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].observed, 60.0);
+    }
+
+    #[test]
+    fn multiple_rules_explodes_statement_count() {
+        let mut stream = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        stream.install_rule(&rule(2), monitored()).unwrap();
+        let mut multi = RuleEngine::new(RetrievalMethod::MultipleRules, store_with_stats(), None);
+        multi.install_rule(&rule(2), monitored()).unwrap();
+        assert_eq!(stream.statement_count(), 1);
+        assert_eq!(multi.statement_count(), 2, "one per (location, hour, day) cell");
+    }
+
+    #[test]
+    fn join_with_database_counts_roundtrips() {
+        let store = store_with_stats();
+        let db = RemoteDb::new(store.store().clone(), std::time::Duration::ZERO);
+        let mut re =
+            RuleEngine::new(RetrievalMethod::JoinWithDatabase, store, Some(db.clone()));
+        re.install_rule(&rule(1), monitored()).unwrap();
+        let before = db.query_count();
+        for i in 0..5 {
+            re.send_trace(&trace(i * 1000, "R1", 10.0)).unwrap();
+        }
+        assert_eq!(db.query_count() - before, 5, "one lookup per tuple");
+    }
+
+    #[test]
+    fn threshold_stream_queries_once_at_install() {
+        let store = store_with_stats();
+        let db = RemoteDb::new(store.store().clone(), std::time::Duration::ZERO);
+        let mut re =
+            RuleEngine::new(RetrievalMethod::ThresholdStream, store, Some(db.clone()));
+        re.install_rule(&rule(1), monitored()).unwrap();
+        let after_install = db.query_count();
+        assert_eq!(after_install, 1);
+        for i in 0..10 {
+            re.send_trace(&trace(i * 1000, "R1", 10.0)).unwrap();
+        }
+        assert_eq!(db.query_count(), after_install, "no per-tuple queries");
+    }
+
+    #[test]
+    fn unmonitored_locations_are_ignored() {
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        re.install_rule(&rule(1), vec!["R1".to_string()]).unwrap();
+        let sink = re.detections();
+        let sent = re.send_trace(&trace(1000, "R2", 5000.0)).unwrap();
+        assert_eq!(sent, 0, "R2 is not monitored by this engine");
+        assert!(sink.lock().is_empty());
+    }
+
+    #[test]
+    fn refresh_picks_up_new_statistics() {
+        let store = store_with_stats();
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store.clone(), None);
+        re.install_rule(&rule(1), monitored()).unwrap();
+        let sink = re.detections();
+        // Delay 150 crosses the initial threshold (100).
+        re.send_trace(&trace(1000, "R1", 150.0)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
+        // The batch layer publishes a much higher normal level for R1
+        // (e.g. roadworks finished): threshold rises to 500.
+        store
+            .publish(
+                "delay",
+                &[StatRecord {
+                    area_id: "R1".into(),
+                    hour: 8,
+                    day_type: DayType::Weekday,
+                    mean: 500.0,
+                    stdv: 0.0,
+                    count: 80,
+                }],
+            )
+            .unwrap();
+        re.refresh_thresholds().unwrap();
+        re.send_trace(&trace(60_000, "R1", 150.0)).unwrap();
+        assert_eq!(sink.lock().len(), 1, "150 no longer abnormal after refresh");
+        re.send_trace(&trace(120_000, "R1", 600.0)).unwrap();
+        assert_eq!(sink.lock().len(), 2, "600 crosses the new threshold");
+    }
+
+    #[test]
+    fn first_reports_without_derived_attributes_are_skipped() {
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        let mut speed_rule = RuleSpec::new(
+            "speed-rule",
+            Attribute::Speed,
+            LocationSelector::QuadtreeLeaves,
+            1,
+        );
+        speed_rule.s = 0.0;
+        // No speed statistics exist; install still works (empty stream).
+        let err = re.install_rule(&speed_rule, monitored());
+        assert!(
+            matches!(err, Err(CoreError::Storage(tms_storage::StorageError::TableNotFound(_)))),
+            "installing a rule without statistics reports the missing table"
+        );
+    }
+
+    #[test]
+    fn detections_carry_timestamps_and_thresholds() {
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        re.install_rule(&rule(1), monitored()).unwrap();
+        let sink = re.detections();
+        re.send_trace(&trace(5000, "R1", 200.0)).unwrap();
+        let got = sink.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].timestamp_ms, 5000 + 8 * tms_traffic::HOUR_MS);
+        assert_eq!(got[0].threshold, Some(100.0));
+        assert_eq!(got[0].rule, "delay-rule");
+    }
+}

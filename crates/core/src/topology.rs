@@ -1,0 +1,564 @@
+//! The traffic monitoring topology (Figure 8): BusReader spout →
+//! PreProcess → AreaTracker → BusStopsTracker → Splitter → Esper bolts →
+//! EventsStorer, expressed over the DSPS substrate.
+
+use crate::rules::{RuleSpec, SpatialContext};
+use crate::thresholds::{Detection, RetrievalMethod, RuleEngine};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tms_cep::CepError;
+use tms_dsps::{Bolt, BoltContext, Emitter, Grouping, Parallelism, Spout, Topology, TopologyBuilder};
+use tms_geo::{BusStopIndex, RegionQuadtree};
+use tms_storage::{RemoteDb, TableStore, ThresholdStore};
+use tms_traffic::{BusTrace, EnrichedTrace, Preprocessor};
+
+/// The message flowing through the topology.
+#[derive(Debug, Clone)]
+pub enum TrafficMessage {
+    /// A raw bus report from the spout.
+    Raw(BusTrace),
+    /// An enriched trace (kinematics and/or spatial ids attached).
+    Enriched(Arc<EnrichedTrace>),
+    /// A detection fired by an Esper bolt.
+    Detection(Detection),
+}
+
+// ---------------------------------------------------------------------------
+// Spout and bolts
+// ---------------------------------------------------------------------------
+
+/// The BusReader spout: replays a shared slice of traces. Tasks stripe
+/// the input (task `i` reads trace `i, i+n, …`) so multiple reader tasks
+/// divide the file, like the paper's two-task spout.
+pub struct BusReaderSpout {
+    traces: Arc<Vec<BusTrace>>,
+    cursor: usize,
+    stride: usize,
+}
+
+impl BusReaderSpout {
+    /// Creates the spout task reading stripe `task_index` of `task_count`.
+    pub fn new(traces: Arc<Vec<BusTrace>>, task_index: usize, task_count: usize) -> Self {
+        BusReaderSpout { traces, cursor: task_index, stride: task_count.max(1) }
+    }
+}
+
+impl Spout<TrafficMessage> for BusReaderSpout {
+    fn next(&mut self) -> Option<TrafficMessage> {
+        let t = self.traces.get(self.cursor)?;
+        self.cursor += self.stride;
+        Some(TrafficMessage::Raw(*t))
+    }
+}
+
+/// PreProcess bolt: computes speed and actual delay (Section 3.1).
+/// Requires fields grouping on `vehicle_id` so one task sees a vehicle's
+/// whole history.
+pub struct PreProcessBolt {
+    pre: Preprocessor,
+}
+
+impl PreProcessBolt {
+    /// Creates a fresh preprocessor task.
+    pub fn new() -> Self {
+        PreProcessBolt { pre: Preprocessor::new() }
+    }
+}
+
+impl Default for PreProcessBolt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bolt<TrafficMessage> for PreProcessBolt {
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let TrafficMessage::Raw(trace) = msg {
+            let enriched = self.pre.enrich(trace);
+            emitter.emit(TrafficMessage::Enriched(Arc::new(enriched)));
+        }
+    }
+}
+
+/// AreaTracker bolt: attaches the quadtree region chain ("each task of
+/// this bolt has an instance of the Region Quadtree", Section 4.3.2).
+pub struct AreaTrackerBolt {
+    quadtree: Arc<RegionQuadtree>,
+}
+
+impl AreaTrackerBolt {
+    /// Creates a task holding its own reference to the shared quadtree.
+    pub fn new(quadtree: Arc<RegionQuadtree>) -> Self {
+        AreaTrackerBolt { quadtree }
+    }
+}
+
+impl Bolt<TrafficMessage> for AreaTrackerBolt {
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let TrafficMessage::Enriched(e) = msg {
+            let mut enriched = (*e).clone();
+            enriched.areas = self
+                .quadtree
+                .locate_all_layers(&enriched.trace.position)
+                .iter()
+                .map(|r| SpatialContext::region_id(r.id))
+                .collect();
+            emitter.emit(TrafficMessage::Enriched(Arc::new(enriched)));
+        }
+    }
+}
+
+/// BusStopsTracker bolt: attaches the recovered closest bus stop.
+pub struct BusStopsTrackerBolt {
+    stops: Arc<BusStopIndex>,
+}
+
+impl BusStopsTrackerBolt {
+    /// Creates a task holding the shared bus-stop index.
+    pub fn new(stops: Arc<BusStopIndex>) -> Self {
+        BusStopsTrackerBolt { stops }
+    }
+}
+
+impl Bolt<TrafficMessage> for BusStopsTrackerBolt {
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let TrafficMessage::Enriched(e) = msg {
+            let mut enriched = (*e).clone();
+            enriched.bus_stop = self
+                .stops
+                .closest_stop(enriched.trace.line_id, enriched.trace.direction, &enriched.trace.position)
+                .map(|s| SpatialContext::stop_id(s.id));
+            emitter.emit(TrafficMessage::Enriched(Arc::new(enriched)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Splitter: the partitioning schema at run time (Section 4.2.1)
+// ---------------------------------------------------------------------------
+
+/// How one grouping's tuples select their routing key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupingKind {
+    /// Key = the trace's region at this quadtree layer.
+    QuadtreeLayer(u8),
+    /// Key = the trace's recovered bus stop.
+    BusStops,
+}
+
+/// One grouping's routing: location key → global Esper-task index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingRoute {
+    /// How tuples select their routing key for this grouping.
+    pub kind: GroupingKind,
+    /// Location key → global Esper-task index.
+    pub table: HashMap<String, usize>,
+}
+
+/// The Splitter's full plan: one route per grouping; each tuple is sent to
+/// one engine per grouping (Section 4.2.2's re-transmission accounting).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SplitPlan {
+    /// One route per grouping; a tuple is sent to one engine per route.
+    pub routes: Vec<GroupingRoute>,
+}
+
+impl SplitPlan {
+    /// The engines this trace must reach (deduplicated).
+    pub fn engines_for(&self, e: &EnrichedTrace) -> Vec<usize> {
+        let mut out = Vec::new();
+        for route in &self.routes {
+            let target = match &route.kind {
+                GroupingKind::QuadtreeLayer(layer) => {
+                    // The trace's area chain is root-first; the region at
+                    // `layer` is areas[layer] when the tree is that deep
+                    // here, otherwise the deepest (leaf) entry. Unknown
+                    // regions walk up the chain until the table knows one.
+                    if e.areas.is_empty() {
+                        None
+                    } else {
+                        let idx = (*layer as usize).min(e.areas.len() - 1);
+                        e.areas[..=idx]
+                            .iter()
+                            .rev()
+                            .find_map(|a| route.table.get(a))
+                            .copied()
+                    }
+                }
+                GroupingKind::BusStops => {
+                    e.bus_stop.as_ref().and_then(|s| route.table.get(s)).copied()
+                }
+            };
+            if let Some(t) = target {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The Splitter bolt: routes each tuple to the engines that own its
+/// locations, via direct grouping.
+pub struct SplitterBolt {
+    plan: Arc<SplitPlan>,
+}
+
+impl SplitterBolt {
+    /// Creates a splitter task sharing the routing plan.
+    pub fn new(plan: Arc<SplitPlan>) -> Self {
+        SplitterBolt { plan }
+    }
+}
+
+impl Bolt<TrafficMessage> for SplitterBolt {
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let TrafficMessage::Enriched(e) = msg {
+            for engine in self.plan.engines_for(&e) {
+                emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
+            }
+        }
+    }
+}
+
+/// A Splitter baseline that fans every tuple to every engine — the *All
+/// Grouping* approach of Figures 12/13.
+pub struct BroadcastSplitterBolt {
+    engines: usize,
+}
+
+impl BroadcastSplitterBolt {
+    /// Creates a broadcast splitter over `engines` engines.
+    pub fn new(engines: usize) -> Self {
+        BroadcastSplitterBolt { engines }
+    }
+}
+
+impl Bolt<TrafficMessage> for BroadcastSplitterBolt {
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let TrafficMessage::Enriched(e) = msg {
+            for engine in 0..self.engines {
+                emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Esper bolt and events storer
+// ---------------------------------------------------------------------------
+
+/// The per-engine rule assignment computed at start-up: for every Esper
+/// task, the rules it runs and the locations it monitors for each.
+#[derive(Debug, Clone, Default)]
+pub struct EnginePlan {
+    /// `per_engine[e]` lists `(rule, monitored locations)`.
+    pub per_engine: Vec<Vec<(RuleSpec, Vec<String>)>>,
+}
+
+impl EnginePlan {
+    /// Number of engines planned.
+    pub fn engines(&self) -> usize {
+        self.per_engine.len()
+    }
+}
+
+/// The Esper bolt: one [`RuleEngine`] per task, rules installed from the
+/// shared [`EnginePlan`]. Detections are forwarded downstream.
+pub struct EsperBolt {
+    plan: Arc<EnginePlan>,
+    method: RetrievalMethod,
+    store: ThresholdStore,
+    db: Option<RemoteDb>,
+    engine: Option<RuleEngine>,
+    /// Install errors surface on the first processed tuple (prepare()
+    /// cannot fail in the Bolt contract).
+    install_error: Option<String>,
+}
+
+impl EsperBolt {
+    /// Creates an Esper bolt task factory state (the engine itself is
+    /// built in `prepare`, on the executor thread).
+    pub fn new(
+        plan: Arc<EnginePlan>,
+        method: RetrievalMethod,
+        store: ThresholdStore,
+        db: Option<RemoteDb>,
+    ) -> Self {
+        EsperBolt { plan, method, store, db, engine: None, install_error: None }
+    }
+}
+
+impl Bolt<TrafficMessage> for EsperBolt {
+    fn prepare(&mut self, ctx: BoltContext) {
+        let mut engine = RuleEngine::new(self.method.clone(), self.store.clone(), self.db.clone());
+        if let Some(rules) = self.plan.per_engine.get(ctx.task_index) {
+            for (spec, monitored) in rules {
+                if let Err(e) = engine.install_rule(spec, monitored.iter().cloned()) {
+                    self.install_error = Some(e.to_string());
+                }
+            }
+        }
+        self.engine = Some(engine);
+    }
+
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let Some(err) = &self.install_error {
+            panic!("esper bolt failed to install rules: {err}");
+        }
+        let Some(engine) = self.engine.as_mut() else {
+            panic!("esper bolt used before prepare()");
+        };
+        if let TrafficMessage::Enriched(e) = msg {
+            let sink = engine.detections();
+            let before = sink.lock().len();
+            if let Err(err) = engine.send_trace(&e) {
+                // Feed errors indicate a wiring bug, not bad data.
+                if !matches!(err, crate::error::CoreError::Cep(CepError::UnknownStream(_))) {
+                    panic!("esper engine rejected a trace: {err}");
+                }
+            }
+            let mut sink = sink.lock();
+            for d in sink.drain(before..) {
+                emitter.emit(TrafficMessage::Detection(d));
+            }
+        }
+    }
+}
+
+/// EventsStorer bolt: persists detections to the storage medium and a
+/// shared in-memory sink for the caller.
+pub struct EventsStorerBolt {
+    store: TableStore,
+    sink: Arc<Mutex<Vec<Detection>>>,
+}
+
+/// Schema of the `detected_events` table.
+pub fn detected_events_schema() -> tms_storage::Schema {
+    tms_storage::Schema::new(vec![
+        tms_storage::Column::new("rule", tms_storage::ColumnType::Str),
+        tms_storage::Column::new("location", tms_storage::ColumnType::Str),
+        tms_storage::Column::new("observed", tms_storage::ColumnType::Float),
+        tms_storage::Column::new("threshold", tms_storage::ColumnType::Float),
+        tms_storage::Column::new("timestamp_ms", tms_storage::ColumnType::Int),
+    ])
+    .expect("detected_events schema is valid")
+}
+
+impl EventsStorerBolt {
+    /// Creates the storer, ensuring the `detected_events` table exists.
+    pub fn new(store: TableStore, sink: Arc<Mutex<Vec<Detection>>>) -> Self {
+        store
+            .create_table_if_missing("detected_events", detected_events_schema())
+            .expect("detected_events schema is stable");
+        EventsStorerBolt { store, sink }
+    }
+}
+
+impl Bolt<TrafficMessage> for EventsStorerBolt {
+    fn process(&mut self, msg: TrafficMessage, _emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let TrafficMessage::Detection(d) = msg {
+            self.store
+                .insert(
+                    "detected_events",
+                    vec![
+                        tms_storage::Value::from(d.rule.clone()),
+                        tms_storage::Value::from(d.location.clone()),
+                        tms_storage::Value::Float(d.observed),
+                        d.threshold.map(tms_storage::Value::Float).unwrap_or(tms_storage::Value::Null),
+                        tms_storage::Value::Int(d.timestamp_ms as i64),
+                    ],
+                )
+                .expect("detected_events table exists");
+            self.sink.lock().push(d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topology wiring
+// ---------------------------------------------------------------------------
+
+/// Parallelism knobs for the Figure 8 topology.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyParallelism {
+    /// BusReader spout tasks.
+    pub spout_tasks: usize,
+    /// PreProcess bolt tasks.
+    pub preprocess_tasks: usize,
+    /// AreaTracker / BusStopsTracker tasks.
+    pub tracker_tasks: usize,
+    /// Splitter tasks.
+    pub splitter_tasks: usize,
+    /// Esper tasks = number of engines.
+    pub esper_tasks: usize,
+}
+
+impl Default for TopologyParallelism {
+    fn default() -> Self {
+        TopologyParallelism {
+            spout_tasks: 2,
+            preprocess_tasks: 2,
+            tracker_tasks: 2,
+            splitter_tasks: 1,
+            esper_tasks: 4,
+        }
+    }
+}
+
+/// Builds the Figure 8 topology.
+#[allow(clippy::too_many_arguments)]
+pub fn build_traffic_topology(
+    traces: Arc<Vec<BusTrace>>,
+    quadtree: Arc<RegionQuadtree>,
+    stops: Arc<BusStopIndex>,
+    split_plan: Arc<SplitPlan>,
+    engine_plan: Arc<EnginePlan>,
+    method: RetrievalMethod,
+    store: TableStore,
+    db: Option<RemoteDb>,
+    detections: Arc<Mutex<Vec<Detection>>>,
+    parallelism: TopologyParallelism,
+) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
+    let threshold_store = ThresholdStore::new(store.clone());
+    let spout_tasks = parallelism.spout_tasks.max(1);
+    TopologyBuilder::new("traffic")
+        .add_spout("busReader", Parallelism::of(spout_tasks), move |ti| {
+            Box::new(BusReaderSpout::new(traces.clone(), ti, spout_tasks))
+        })
+        .add_bolt(
+            "preprocess",
+            Parallelism::of(parallelism.preprocess_tasks.max(1)),
+            vec![(
+                "busReader",
+                Grouping::fields(|m: &TrafficMessage| match m {
+                    TrafficMessage::Raw(t) => u64::from(t.vehicle_id),
+                    _ => 0,
+                }),
+            )],
+            |_| Box::new(PreProcessBolt::new()),
+        )
+        .add_bolt(
+            "areaTracker",
+            Parallelism::of(parallelism.tracker_tasks.max(1)),
+            vec![("preprocess", Grouping::Shuffle)],
+            move |_| Box::new(AreaTrackerBolt::new(quadtree.clone())),
+        )
+        .add_bolt(
+            "busStopsTracker",
+            Parallelism::of(parallelism.tracker_tasks.max(1)),
+            vec![("areaTracker", Grouping::Shuffle)],
+            move |_| Box::new(BusStopsTrackerBolt::new(stops.clone())),
+        )
+        .add_bolt(
+            "splitter",
+            Parallelism::of(parallelism.splitter_tasks.max(1)),
+            vec![("busStopsTracker", Grouping::Shuffle)],
+            move |_| Box::new(SplitterBolt::new(split_plan.clone())),
+        )
+        .add_bolt(
+            "esper",
+            Parallelism::of(parallelism.esper_tasks.max(1)),
+            vec![("splitter", Grouping::Direct)],
+            move |_| {
+                Box::new(EsperBolt::new(
+                    engine_plan.clone(),
+                    method.clone(),
+                    threshold_store.clone(),
+                    db.clone(),
+                ))
+            },
+        )
+        .add_bolt(
+            "eventsStorer",
+            Parallelism::of(1),
+            vec![("esper", Grouping::Shuffle)],
+            move |_| Box::new(EventsStorerBolt::new(store.clone(), detections.clone())),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enriched(areas: Vec<&str>, stop: Option<&str>) -> EnrichedTrace {
+        EnrichedTrace {
+            trace: BusTrace {
+                timestamp_ms: 0,
+                line_id: 1,
+                direction: true,
+                position: tms_geo::GeoPoint::new_unchecked(53.33, -6.26),
+                delay_s: 0.0,
+                congestion: false,
+                reported_stop: None,
+                at_stop: false,
+                vehicle_id: 1,
+            },
+            speed_kmh: None,
+            actual_delay_s: None,
+            areas: areas.into_iter().map(String::from).collect(),
+            bus_stop: stop.map(String::from),
+        }
+    }
+
+    #[test]
+    fn split_plan_routes_by_layer_and_stop() {
+        let plan = SplitPlan {
+            routes: vec![
+                GroupingRoute {
+                    kind: GroupingKind::QuadtreeLayer(1),
+                    table: [("R1".to_string(), 0), ("R2".to_string(), 1)].into(),
+                },
+                GroupingRoute {
+                    kind: GroupingKind::BusStops,
+                    table: [("S5".to_string(), 2)].into(),
+                },
+            ],
+        };
+        // Trace in R0→R1→R4 with stop S5: layer-1 region is R1 → engine 0;
+        // stop S5 → engine 2.
+        let e = enriched(vec!["R0", "R1", "R4"], Some("S5"));
+        assert_eq!(plan.engines_for(&e), vec![0, 2]);
+        // Trace in R2 without a stop.
+        let e = enriched(vec!["R0", "R2"], None);
+        assert_eq!(plan.engines_for(&e), vec![1]);
+        // Unknown regions walk up the chain; fully unknown yields nothing.
+        let e = enriched(vec!["R9"], Some("S9"));
+        assert!(plan.engines_for(&e).is_empty());
+    }
+
+    #[test]
+    fn split_plan_handles_shallow_leaves() {
+        // Partition layer is 2 but the trace's chain stops at layer 1
+        // (unbalanced tree): the leaf entry is used.
+        let plan = SplitPlan {
+            routes: vec![GroupingRoute {
+                kind: GroupingKind::QuadtreeLayer(2),
+                table: [("R3".to_string(), 4)].into(),
+            }],
+        };
+        let e = enriched(vec!["R0", "R3"], None);
+        assert_eq!(plan.engines_for(&e), vec![4]);
+    }
+
+    #[test]
+    fn split_plan_deduplicates_engines() {
+        let plan = SplitPlan {
+            routes: vec![
+                GroupingRoute {
+                    kind: GroupingKind::QuadtreeLayer(0),
+                    table: [("R0".to_string(), 3)].into(),
+                },
+                GroupingRoute {
+                    kind: GroupingKind::QuadtreeLayer(1),
+                    table: [("R1".to_string(), 3)].into(),
+                },
+            ],
+        };
+        let e = enriched(vec!["R0", "R1"], None);
+        assert_eq!(plan.engines_for(&e), vec![3], "same engine listed once");
+    }
+}

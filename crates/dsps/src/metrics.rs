@@ -1,0 +1,250 @@
+//! Per-task metrics and the Nimbus-style monitor.
+//!
+//! Section 5 of the paper: "we enhanced Storm with an extra monitor thread
+//! per worker processor, that periodically (every 40 seconds) reports
+//! these metrics for each bolt's task to the Nimbus node. The Nimbus
+//! aggregates these data to compute the final monitor metrics per bolt."
+//!
+//! Here every task owns a set of atomic counters ([`TaskCounters`]); the
+//! [`MetricsHub`] plays Nimbus: on demand (or from a monitor thread with a
+//! fixed window) it snapshots the counters and produces per-component
+//! windows of the two metrics the evaluation reports — **throughput**
+//! (tuples processed per window) and **average processing latency** per
+//! tuple.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Atomic counters owned by one task.
+#[derive(Debug, Default)]
+pub struct TaskCounters {
+    /// Tuples processed (bolts) or emitted (spouts).
+    pub processed: AtomicU64,
+    /// Tuples emitted downstream.
+    pub emitted: AtomicU64,
+    /// Cumulative processing time in nanoseconds.
+    pub busy_ns: AtomicU64,
+}
+
+impl TaskCounters {
+    /// Records the processing of one tuple that took `elapsed`.
+    pub fn record(&self, elapsed: Duration) {
+        self.processed.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one downstream emission.
+    pub fn record_emit(&self) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Sampling window. The paper uses 40 s.
+    pub window: Duration,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { window: Duration::from_secs(40) }
+    }
+}
+
+/// One sampled window for one component, aggregated over its tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentWindow {
+    /// The component's name.
+    pub component: String,
+    /// Window start, relative to topology start.
+    pub at: Duration,
+    /// Tuples processed by all tasks during the window.
+    pub throughput: u64,
+    /// Average processing latency per tuple during the window, if any
+    /// tuple was processed.
+    pub avg_latency: Option<Duration>,
+    /// Tuples emitted during the window.
+    pub emitted: u64,
+}
+
+#[derive(Debug)]
+struct TaskEntry {
+    component: String,
+    counters: Arc<TaskCounters>,
+    last_processed: u64,
+    last_emitted: u64,
+    last_busy_ns: u64,
+}
+
+/// The Nimbus-side collector.
+#[derive(Debug)]
+pub struct MetricsHub {
+    started: Instant,
+    tasks: Mutex<Vec<TaskEntry>>,
+    history: Mutex<Vec<ComponentWindow>>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        MetricsHub {
+            started: Instant::now(),
+            tasks: Mutex::new(Vec::new()),
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a task's counters under its component name.
+    pub fn register_task(&self, component: &str) -> Arc<TaskCounters> {
+        let counters = Arc::new(TaskCounters::default());
+        self.tasks.lock().push(TaskEntry {
+            component: component.to_string(),
+            counters: counters.clone(),
+            last_processed: 0,
+            last_emitted: 0,
+            last_busy_ns: 0,
+        });
+        counters
+    }
+
+    /// Samples one window: per-component deltas since the previous sample.
+    /// Appends to the history and returns the fresh windows.
+    pub fn sample(&self) -> Vec<ComponentWindow> {
+        let at = self.started.elapsed();
+        let mut tasks = self.tasks.lock();
+        // component → (throughput, emitted, busy_ns)
+        let mut per_component: std::collections::BTreeMap<String, (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for t in tasks.iter_mut() {
+            let processed = t.counters.processed.load(Ordering::Relaxed);
+            let emitted = t.counters.emitted.load(Ordering::Relaxed);
+            let busy = t.counters.busy_ns.load(Ordering::Relaxed);
+            let entry = per_component.entry(t.component.clone()).or_default();
+            entry.0 += processed - t.last_processed;
+            entry.1 += emitted - t.last_emitted;
+            entry.2 += busy - t.last_busy_ns;
+            t.last_processed = processed;
+            t.last_emitted = emitted;
+            t.last_busy_ns = busy;
+        }
+        let windows: Vec<ComponentWindow> = per_component
+            .into_iter()
+            .map(|(component, (throughput, emitted, busy_ns))| ComponentWindow {
+                component,
+                at,
+                throughput,
+                emitted,
+                avg_latency: busy_ns
+                    .checked_div(throughput)
+                    .map(Duration::from_nanos),
+            })
+            .collect();
+        self.history.lock().extend(windows.iter().cloned());
+        windows
+    }
+
+    /// Every window sampled so far.
+    pub fn history(&self) -> Vec<ComponentWindow> {
+        self.history.lock().clone()
+    }
+
+    /// Lifetime totals per component (independent of windows).
+    pub fn totals(&self) -> Vec<ComponentWindow> {
+        let at = self.started.elapsed();
+        let tasks = self.tasks.lock();
+        let mut per_component: std::collections::BTreeMap<String, (u64, u64, u64)> =
+            std::collections::BTreeMap::new();
+        for t in tasks.iter() {
+            let entry = per_component.entry(t.component.clone()).or_default();
+            entry.0 += t.counters.processed.load(Ordering::Relaxed);
+            entry.1 += t.counters.emitted.load(Ordering::Relaxed);
+            entry.2 += t.counters.busy_ns.load(Ordering::Relaxed);
+        }
+        per_component
+            .into_iter()
+            .map(|(component, (throughput, emitted, busy_ns))| ComponentWindow {
+                component,
+                at,
+                throughput,
+                emitted,
+                avg_latency: busy_ns
+                    .checked_div(throughput)
+                    .map(Duration::from_nanos),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_report_deltas_not_totals() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("esper");
+        c.record(Duration::from_millis(2));
+        c.record(Duration::from_millis(4));
+        let w1 = hub.sample();
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].throughput, 2);
+        assert_eq!(w1[0].avg_latency, Some(Duration::from_millis(3)));
+        // Second window with no work: throughput 0, no latency.
+        let w2 = hub.sample();
+        assert_eq!(w2[0].throughput, 0);
+        assert_eq!(w2[0].avg_latency, None);
+        // One more tuple appears only in the third window.
+        c.record(Duration::from_millis(6));
+        let w3 = hub.sample();
+        assert_eq!(w3[0].throughput, 1);
+        assert_eq!(w3[0].avg_latency, Some(Duration::from_millis(6)));
+    }
+
+    #[test]
+    fn tasks_of_one_component_aggregate() {
+        let hub = MetricsHub::new();
+        let a = hub.register_task("esper");
+        let b = hub.register_task("esper");
+        let other = hub.register_task("splitter");
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(3));
+        other.record(Duration::from_millis(10));
+        let w = hub.sample();
+        assert_eq!(w.len(), 2);
+        let esper = w.iter().find(|c| c.component == "esper").unwrap();
+        assert_eq!(esper.throughput, 2);
+        assert_eq!(esper.avg_latency, Some(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn totals_and_history_accumulate() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("b");
+        c.record(Duration::from_millis(1));
+        hub.sample();
+        c.record(Duration::from_millis(1));
+        hub.sample();
+        assert_eq!(hub.history().len(), 2);
+        let totals = hub.totals();
+        assert_eq!(totals[0].throughput, 2);
+    }
+
+    #[test]
+    fn emitted_counter() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("b");
+        c.record_emit();
+        c.record_emit();
+        let w = hub.sample();
+        assert_eq!(w[0].emitted, 2);
+    }
+}

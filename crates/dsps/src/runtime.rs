@@ -1,0 +1,792 @@
+//! The local execution runtime: executor threads, channels, routing,
+//! end-of-stream termination and panic containment.
+//!
+//! Every task owns a bounded input channel; emitting to a full channel
+//! blocks, which gives the same backpressure a saturated Storm deployment
+//! exhibits. When all spout tasks are exhausted, end-of-stream markers
+//! propagate edge-by-edge: a bolt task finishes once it has received one
+//! marker from every upstream task on every incoming edge, flushes via
+//! [`Bolt::finish`], forwards its own markers, and exits.
+
+use crate::error::DspsError;
+use crate::grouping::Grouping;
+use crate::metrics::{MetricsHub, MonitorConfig, TaskCounters};
+use crate::scheduler::{assign, Assignment, ClusterSpec};
+use crate::topology::{Bolt, BoltContext, Spout, Topology};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message or an end-of-stream marker.
+enum Packet<T> {
+    Data(T),
+    Eos,
+}
+
+/// The interface bolts and spout drivers use to send messages downstream.
+pub trait Emitter<T> {
+    /// Emits under each outgoing edge's grouping.
+    fn emit(&mut self, msg: T);
+
+    /// Emits on *direct*-grouped edges only, to the task with the given
+    /// index (modulo the downstream task count). Non-direct edges ignore
+    /// direct emissions — mixing disciplines on one component is an
+    /// authoring error the validator cannot see, so we keep the semantics
+    /// strict and simple.
+    fn emit_direct(&mut self, task: usize, msg: T);
+}
+
+/// One outgoing edge of a component.
+struct Route<T> {
+    grouping: Grouping<T>,
+    /// Input channels of every downstream task.
+    senders: Vec<Sender<Packet<T>>>,
+    /// Round-robin cursor for shuffle grouping.
+    rr: usize,
+}
+
+/// The per-task emitter: owns this task's copy of each outgoing edge.
+struct TaskEmitter<T> {
+    routes: Vec<Route<T>>,
+    counters: Arc<TaskCounters>,
+}
+
+impl<T: Clone> Emitter<T> for TaskEmitter<T> {
+    fn emit(&mut self, msg: T) {
+        self.counters.record_emit();
+        for route in &mut self.routes {
+            match &route.grouping {
+                Grouping::Shuffle => {
+                    let n = route.senders.len();
+                    let target = route.rr % n;
+                    route.rr = route.rr.wrapping_add(1);
+                    // A closed channel means the receiver died (panic);
+                    // drop the message, the topology is failing anyway.
+                    let _ = route.senders[target].send(Packet::Data(msg.clone()));
+                }
+                Grouping::Fields(key) => {
+                    let n = route.senders.len() as u64;
+                    let target = (key(&msg) % n) as usize;
+                    let _ = route.senders[target].send(Packet::Data(msg.clone()));
+                }
+                Grouping::All => {
+                    for s in &route.senders {
+                        let _ = s.send(Packet::Data(msg.clone()));
+                    }
+                }
+                Grouping::Direct => {
+                    // Ignored: direct edges deliver via emit_direct only.
+                }
+            }
+        }
+    }
+
+    fn emit_direct(&mut self, task: usize, msg: T) {
+        self.counters.record_emit();
+        for route in &mut self.routes {
+            if let Grouping::Direct = route.grouping {
+                let target = task % route.senders.len();
+                let _ = route.senders[target].send(Packet::Data(msg.clone()));
+            }
+        }
+    }
+}
+
+impl<T> TaskEmitter<T> {
+    fn send_eos(&mut self) {
+        for route in &mut self.routes {
+            for s in &route.senders {
+                let _ = s.send(Packet::Eos);
+            }
+        }
+    }
+}
+
+/// Runtime configuration for [`LocalCluster::submit`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Capacity of each task's input channel.
+    pub channel_capacity: usize,
+    /// Number of worker processes to model; defaults to one per node.
+    pub workers: Option<usize>,
+    /// Metrics monitor window; `None` disables the monitor thread (metrics
+    /// can still be sampled manually through the handle).
+    pub monitor: Option<MonitorConfig>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { channel_capacity: 1024, workers: None, monitor: None }
+    }
+}
+
+/// A local, threaded stand-in for a Storm cluster.
+pub struct LocalCluster {
+    spec: ClusterSpec,
+}
+
+impl LocalCluster {
+    /// Creates a cluster model.
+    pub fn new(spec: ClusterSpec) -> Result<Self, DspsError> {
+        spec.validate()?;
+        Ok(LocalCluster { spec })
+    }
+
+    /// The cluster spec.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// Submits a topology and starts executing it on real threads.
+    pub fn submit<T: Clone + Send + 'static>(
+        &self,
+        topology: Topology<T>,
+        config: RuntimeConfig,
+    ) -> Result<TopologyHandle, DspsError> {
+        let workers = config.workers.unwrap_or_else(|| self.spec.default_workers());
+        let components: Vec<(&str, usize, usize)> = topology
+            .spouts
+            .iter()
+            .map(|s| (s.name.as_str(), s.parallelism.tasks, s.parallelism.executors))
+            .chain(
+                topology
+                    .bolts
+                    .iter()
+                    .map(|b| (b.name.as_str(), b.parallelism.tasks, b.parallelism.executors)),
+            )
+            .collect();
+        let assignment = assign(&components, self.spec, workers)?;
+
+        let metrics = Arc::new(MetricsHub::new());
+        let done = Arc::new(AtomicBool::new(false));
+
+        // ---- Channels: one bounded channel per bolt task ------------------
+        let mut senders_by_bolt: Vec<Vec<Sender<Packet<T>>>> =
+            Vec::with_capacity(topology.bolts.len());
+        let mut receivers_by_bolt: Vec<Vec<Option<Receiver<Packet<T>>>>> =
+            Vec::with_capacity(topology.bolts.len());
+        for b in &topology.bolts {
+            let mut senders = Vec::with_capacity(b.parallelism.tasks);
+            let mut receivers = Vec::with_capacity(b.parallelism.tasks);
+            for _ in 0..b.parallelism.tasks {
+                let (tx, rx) = bounded(config.channel_capacity.max(1));
+                senders.push(tx);
+                receivers.push(Some(rx));
+            }
+            senders_by_bolt.push(senders);
+            receivers_by_bolt.push(receivers);
+        }
+
+        // ---- Outgoing edges per source component --------------------------
+        // source name → [(grouping, downstream senders)]
+        let make_routes = |source: &str| -> Vec<Route<T>> {
+            let mut routes = Vec::new();
+            for (bi, b) in topology.bolts.iter().enumerate() {
+                for sub in &b.subscriptions {
+                    if sub.source == source {
+                        routes.push(Route {
+                            grouping: sub.grouping.clone(),
+                            senders: senders_by_bolt[bi].clone(),
+                            rr: 0,
+                        });
+                    }
+                }
+            }
+            routes
+        };
+
+        // Upstream task count per bolt: one EOS arrives per upstream task
+        // per incoming edge.
+        let task_count_of = |name: &str| -> usize {
+            components
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|&(_, tasks, _)| tasks)
+                .unwrap_or(0)
+        };
+        let expected_eos: Vec<usize> = topology
+            .bolts
+            .iter()
+            .map(|b| b.subscriptions.iter().map(|s| task_count_of(&s.source)).sum())
+            .collect();
+
+        let mut threads: Vec<std::thread::JoinHandle<Result<(), DspsError>>> = Vec::new();
+
+        // ---- Spout executors ----------------------------------------------
+        for s in &topology.spouts {
+            let packing = crate::scheduler::pack_tasks(s.parallelism.tasks, s.parallelism.executors);
+            for task_ids in packing {
+                // Instantiate this executor's spout tasks and emitters.
+                let mut tasks: Vec<(Box<dyn Spout<T>>, TaskEmitter<T>)> = Vec::new();
+                for &ti in &task_ids {
+                    let counters = metrics.register_task(&s.name);
+                    tasks.push((
+                        (s.factory)(ti),
+                        TaskEmitter { routes: make_routes(&s.name), counters },
+                    ));
+                }
+                let component = s.name.clone();
+                threads.push(std::thread::spawn(move || -> Result<(), DspsError> {
+                    let mut live: Vec<bool> = vec![true; tasks.len()];
+                    let mut remaining = tasks.len();
+                    let mut failure: Option<DspsError> = None;
+                    'outer: while remaining > 0 {
+                        for (i, (spout, emitter)) in tasks.iter_mut().enumerate() {
+                            if !live[i] {
+                                continue;
+                            }
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    spout.next()
+                                }));
+                            match result {
+                                Ok(Some(msg)) => {
+                                    emitter.counters.record(Duration::ZERO);
+                                    emitter.emit(msg);
+                                }
+                                Ok(None) => {
+                                    emitter.send_eos();
+                                    live[i] = false;
+                                    remaining -= 1;
+                                }
+                                Err(e) => {
+                                    failure = Some(DspsError::TaskPanicked {
+                                        component: component.clone(),
+                                        task: i,
+                                        reason: panic_text(e.as_ref()),
+                                    });
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    // EOS every task this executor still owes, so downstream
+                    // terminates even when this executor failed.
+                    for (i, (_, emitter)) in tasks.iter_mut().enumerate() {
+                        if live[i] && failure.is_some() {
+                            emitter.send_eos();
+                        }
+                    }
+                    match failure {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                }));
+            }
+        }
+
+        // ---- Bolt executors -----------------------------------------------
+        for (bi, b) in topology.bolts.iter().enumerate() {
+            let packing = crate::scheduler::pack_tasks(b.parallelism.tasks, b.parallelism.executors);
+            for task_ids in packing {
+                struct BoltTask<T> {
+                    bolt: Box<dyn Bolt<T>>,
+                    emitter: TaskEmitter<T>,
+                    rx: Receiver<Packet<T>>,
+                    eos_seen: usize,
+                    done: bool,
+                }
+                let mut tasks: Vec<BoltTask<T>> = Vec::new();
+                for &ti in &task_ids {
+                    let counters = metrics.register_task(&b.name);
+                    let rx = receivers_by_bolt[bi][ti]
+                        .take()
+                        .expect("each task receiver is claimed exactly once");
+                    let bolt = (b.factory)(ti);
+                    tasks.push(BoltTask {
+                        bolt,
+                        emitter: TaskEmitter { routes: make_routes(&b.name), counters },
+                        rx,
+                        eos_seen: 0,
+                        done: false,
+                    });
+                }
+                let component = b.name.clone();
+                let expected = expected_eos[bi];
+                let task_count = b.parallelism.tasks;
+                threads.push(std::thread::spawn(move || -> Result<(), DspsError> {
+                    // Storm calls prepare() on the worker, not the
+                    // submitting client; per-task state must live on the
+                    // executor thread.
+                    for (ti, t) in task_ids.iter().zip(tasks.iter_mut()) {
+                        t.bolt.prepare(BoltContext { task_index: *ti, task_count });
+                    }
+                    let single = tasks.len() == 1;
+                    let mut remaining = tasks.len();
+                    let mut failure: Option<DspsError> = None;
+                    'outer: while remaining > 0 {
+                        let mut progressed = false;
+                        for (i, t) in tasks.iter_mut().enumerate() {
+                            if t.done {
+                                continue;
+                            }
+                            // Single-task executors block on their channel
+                            // (the common 1:1 configuration); shared
+                            // executors poll their tasks pseudo-parallelly.
+                            let budget = 64;
+                            for step in 0..budget {
+                                let packet = if single && step == 0 {
+                                    match t.rx.recv_timeout(Duration::from_millis(50)) {
+                                        Ok(p) => Some(p),
+                                        Err(RecvTimeoutError::Timeout) => None,
+                                        Err(RecvTimeoutError::Disconnected) => {
+                                            // Upstream died without EOS
+                                            // (panic); terminate the task.
+                                            t.eos_seen = expected;
+                                            Some(Packet::Eos)
+                                        }
+                                    }
+                                } else {
+                                    match t.rx.try_recv() {
+                                        Ok(p) => Some(p),
+                                        Err(crossbeam::channel::TryRecvError::Empty) => None,
+                                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                                            t.eos_seen = expected;
+                                            Some(Packet::Eos)
+                                        }
+                                    }
+                                };
+                                let Some(packet) = packet else { break };
+                                progressed = true;
+                                match packet {
+                                    Packet::Data(msg) => {
+                                        let start = Instant::now();
+                                        let r = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| {
+                                                t.bolt.process(msg, &mut t.emitter)
+                                            }),
+                                        );
+                                        t.emitter.counters.record(start.elapsed());
+                                        if let Err(e) = r {
+                                            failure = Some(DspsError::TaskPanicked {
+                                                component: component.clone(),
+                                                task: i,
+                                                reason: panic_text(e.as_ref()),
+                                            });
+                                            break 'outer;
+                                        }
+                                    }
+                                    Packet::Eos => {
+                                        t.eos_seen += 1;
+                                        if t.eos_seen >= expected {
+                                            let r = std::panic::catch_unwind(
+                                                std::panic::AssertUnwindSafe(|| {
+                                                    t.bolt.finish(&mut t.emitter)
+                                                }),
+                                            );
+                                            t.emitter.send_eos();
+                                            t.done = true;
+                                            remaining -= 1;
+                                            if let Err(e) = r {
+                                                failure = Some(DspsError::TaskPanicked {
+                                                    component: component.clone(),
+                                                    task: i,
+                                                    reason: panic_text(e.as_ref()),
+                                                });
+                                                break 'outer;
+                                            }
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if !progressed && !single {
+                            // All channels empty: yield briefly.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    // On failure, EOS every unfinished task so downstream
+                    // components terminate instead of waiting forever.
+                    if failure.is_some() {
+                        for t in tasks.iter_mut() {
+                            if !t.done {
+                                t.emitter.send_eos();
+                            }
+                        }
+                    }
+                    match failure {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                }));
+            }
+        }
+
+        // ---- Monitor thread -----------------------------------------------
+        let monitor_thread = config.monitor.map(|mc| {
+            let metrics = metrics.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    // Sleep in small steps so shutdown is prompt.
+                    let mut slept = Duration::ZERO;
+                    while slept < mc.window && !done.load(Ordering::Relaxed) {
+                        let step = Duration::from_millis(20).min(mc.window - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    metrics.sample();
+                }
+            })
+        });
+
+        Ok(TopologyHandle { threads, monitor_thread, metrics, assignment, done })
+    }
+}
+
+fn panic_text(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Handle to a running topology.
+pub struct TopologyHandle {
+    threads: Vec<std::thread::JoinHandle<Result<(), DspsError>>>,
+    monitor_thread: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<MetricsHub>,
+    assignment: Assignment,
+    done: Arc<AtomicBool>,
+}
+
+impl TopologyHandle {
+    /// The Nimbus-side metrics hub.
+    pub fn metrics(&self) -> &Arc<MetricsHub> {
+        &self.metrics
+    }
+
+    /// The executor placement the scheduler computed.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Waits for the topology to drain (all spouts exhausted, all tuples
+    /// processed). Returns the first task failure, if any.
+    pub fn join(mut self) -> Result<Arc<MetricsHub>, DspsError> {
+        let mut first_err = None;
+        for t in self.threads.drain(..) {
+            match t.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(e) => {
+                    first_err = first_err.or(Some(DspsError::TaskPanicked {
+                        component: "<executor>".into(),
+                        task: 0,
+                        reason: panic_text(e.as_ref()),
+                    }))
+                }
+            }
+        }
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(m) = self.monitor_thread.take() {
+            let _ = m.join();
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(self.metrics),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::hash_key;
+    use crate::topology::{Parallelism, TopologyBuilder};
+    use parking_lot::Mutex;
+
+    #[derive(Clone)]
+    struct Msg {
+        key: u64,
+        value: u64,
+    }
+
+    struct RangeSpout {
+        next: u64,
+        end: u64,
+    }
+    impl Spout<Msg> for RangeSpout {
+        fn next(&mut self) -> Option<Msg> {
+            if self.next >= self.end {
+                return None;
+            }
+            let v = self.next;
+            self.next += 1;
+            Some(Msg { key: v % 7, value: v })
+        }
+    }
+
+    fn sink_bolt(
+        collected: Arc<Mutex<Vec<(usize, u64)>>>,
+    ) -> impl Fn(usize) -> Box<dyn Bolt<Msg>> + Send + 'static {
+        move |_| {
+            struct Sink {
+                task: usize,
+                collected: Arc<Mutex<Vec<(usize, u64)>>>,
+            }
+            impl Bolt<Msg> for Sink {
+                fn prepare(&mut self, ctx: BoltContext) {
+                    self.task = ctx.task_index;
+                }
+                fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+                    self.collected.lock().push((self.task, msg.value));
+                }
+            }
+            Box::new(Sink { task: 0, collected: collected.clone() })
+        }
+    }
+
+    fn small_cluster() -> LocalCluster {
+        LocalCluster::new(ClusterSpec { nodes: 2, slots_per_node: 2, cores_per_node: 2 }).unwrap()
+    }
+
+    #[test]
+    fn linear_pipeline_delivers_everything() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(2), |ti| {
+                Box::new(RangeSpout { next: ti as u64 * 100, end: ti as u64 * 100 + 50 })
+            })
+            .add_map_bolt(
+                "double",
+                Parallelism::of(2),
+                vec![("src", Grouping::Shuffle)],
+                |m: Msg| Some(Msg { key: m.key, value: m.value * 2 }),
+            )
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("double", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let mut values: Vec<u64> = collected.lock().iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        let expected: Vec<u64> =
+            (0..50).chain(100..150).map(|v| v * 2).collect();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn fields_grouping_keeps_keys_on_one_task() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 200 }))
+            .add_bolt(
+                "sink",
+                Parallelism::of(4),
+                vec![("src", Grouping::fields(|m: &Msg| hash_key(&m.key)))],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        // Every key must have landed on exactly one task.
+        let got = collected.lock();
+        let mut key_task: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for &(task, value) in got.iter() {
+            let key = value % 7;
+            let prev = key_task.insert(key, task);
+            if let Some(p) = prev {
+                assert_eq!(p, task, "key {key} visited two tasks");
+            }
+        }
+        assert_eq!(got.len(), 200);
+    }
+
+    #[test]
+    fn all_grouping_replicates() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 10 }))
+            .add_bolt(
+                "sink",
+                Parallelism::of(3),
+                vec![("src", Grouping::All)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        assert_eq!(collected.lock().len(), 30, "each of 3 tasks sees all 10");
+    }
+
+    #[test]
+    fn direct_grouping_routes_by_task_index() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        struct Router;
+        impl Bolt<Msg> for Router {
+            fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+                // Route by key directly: key k → task k % count (emitter
+                // wraps for us).
+                e.emit_direct(msg.key as usize, msg);
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 70 }))
+            .add_bolt("router", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(Router)
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(7),
+                vec![("router", Grouping::Direct)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let got = collected.lock();
+        assert_eq!(got.len(), 70);
+        for &(task, value) in got.iter() {
+            assert_eq!(task, (value % 7) as usize, "value {value} misrouted");
+        }
+    }
+
+    #[test]
+    fn tasks_sharing_an_executor_all_run() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 100 }))
+            .add_bolt(
+                "sink",
+                // 4 tasks on 2 executors — Figure 1's SpeedCalculator case.
+                Parallelism { tasks: 4, executors: 2 },
+                vec![("src", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let got = collected.lock();
+        assert_eq!(got.len(), 100);
+        let tasks: std::collections::HashSet<usize> = got.iter().map(|&(t, _)| t).collect();
+        assert_eq!(tasks.len(), 4, "all four tasks processed something");
+    }
+
+    #[test]
+    fn finish_hook_flushes_buffered_state() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        struct Batcher {
+            buf: Vec<Msg>,
+        }
+        impl Bolt<Msg> for Batcher {
+            fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+                self.buf.push(msg);
+            }
+            fn finish(&mut self, e: &mut dyn Emitter<Msg>) {
+                let total: u64 = self.buf.iter().map(|m| m.value).sum();
+                e.emit(Msg { key: 0, value: total });
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 1, end: 11 }))
+            .add_bolt("batch", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(Batcher { buf: Vec::new() })
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("batch", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        assert_eq!(collected.lock().as_slice(), &[(0usize, 55u64)]);
+    }
+
+    #[test]
+    fn bolt_panic_surfaces_as_error() {
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 10 }))
+            .add_map_bolt(
+                "explode",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                |m: Msg| {
+                    if m.value == 5 {
+                        panic!("boom on 5");
+                    }
+                    Some(m)
+                },
+            )
+            .build()
+            .unwrap();
+        let err = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join();
+        match err {
+            Err(DspsError::TaskPanicked { component, reason, .. }) => {
+                assert_eq!(component, "explode");
+                assert!(reason.contains("boom"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_capture_throughput() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 500 }))
+            .add_bolt(
+                "sink",
+                Parallelism::of(2),
+                vec![("src", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let metrics =
+            small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let totals = metrics.totals();
+        let sink = totals.iter().find(|c| c.component == "sink").unwrap();
+        assert_eq!(sink.throughput, 500);
+        let src = totals.iter().find(|c| c.component == "src").unwrap();
+        assert_eq!(src.emitted, 500);
+    }
+
+    #[test]
+    fn monitor_thread_samples_windows() {
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        struct SlowSpout {
+            n: u64,
+        }
+        impl Spout<Msg> for SlowSpout {
+            fn next(&mut self) -> Option<Msg> {
+                if self.n == 0 {
+                    return None;
+                }
+                self.n -= 1;
+                std::thread::sleep(Duration::from_millis(1));
+                Some(Msg { key: 0, value: self.n })
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(SlowSpout { n: 100 }))
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let cfg = RuntimeConfig {
+            monitor: Some(MonitorConfig { window: Duration::from_millis(25) }),
+            ..RuntimeConfig::default()
+        };
+        let metrics = small_cluster().submit(t, cfg).unwrap().join().unwrap();
+        assert!(
+            !metrics.history().is_empty(),
+            "monitor thread must have sampled at least one window"
+        );
+    }
+}

@@ -1,0 +1,475 @@
+//! XML topology definitions (Section 3.2).
+//!
+//! The paper enhances Storm so users describe topologies in an XML file —
+//! spouts, bolts, parallelism, subscriptions and the Esper rules to run —
+//! instead of writing Java builder code. This module parses that format
+//! into a [`TopologySpec`]; the application layer (`tms-core`) maps the
+//! declared component types onto registered factories.
+//!
+//! ```xml
+//! <topology name="traffic">
+//!   <spout name="busReader" type="BusReaderSpout" tasks="2" executors="2"/>
+//!   <bolt name="preprocess" type="PreProcessBolt" tasks="1" executors="1">
+//!     <subscribe source="busReader" grouping="shuffle"/>
+//!   </bolt>
+//!   <bolt name="esper" type="EsperBolt" tasks="4" executors="4">
+//!     <subscribe source="preprocess" grouping="direct"/>
+//!   </bolt>
+//!   <rules>
+//!     <rule>SELECT * FROM bus WHERE delay > 60</rule>
+//!   </rules>
+//! </topology>
+//! ```
+//!
+//! The parser is a minimal, hand-written XML reader covering the subset
+//! this format needs: elements, attributes (single- or double-quoted),
+//! text content, self-closing tags, comments and XML declarations. It is
+//! not a general-purpose XML library.
+
+use crate::error::DspsError;
+use crate::topology::Parallelism;
+
+/// A grouping named in XML (resolved to a real [`crate::Grouping`] by the
+/// application layer, which supplies the fields key function).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupingSpec {
+    /// Round-robin over the downstream tasks.
+    Shuffle,
+    /// Fields grouping on a named key.
+    Fields(String),
+    /// Every downstream task receives every message.
+    All,
+    /// The emitter names the destination task.
+    Direct,
+}
+
+/// One subscription edge in XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionSpec {
+    /// The upstream component's name.
+    pub source: String,
+    /// The grouping discipline.
+    pub grouping: GroupingSpec,
+}
+
+/// A declared component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSpec {
+    /// Component name (unique within the topology).
+    pub name: String,
+    /// Registered component type (e.g. `BusReaderSpout`).
+    pub component_type: String,
+    /// Tasks / executors.
+    pub parallelism: Parallelism,
+    /// Empty for spouts.
+    pub subscriptions: Vec<SubscriptionSpec>,
+}
+
+/// A parsed XML topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Topology name.
+    pub name: String,
+    /// Declared spouts.
+    pub spouts: Vec<ComponentSpec>,
+    /// Declared bolts.
+    pub bolts: Vec<ComponentSpec>,
+    /// EPL rule texts from the `<rules>` section.
+    pub rules: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Minimal XML reader
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct XmlElement {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<XmlElement>,
+    text: String,
+}
+
+impl XmlElement {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+struct XmlParser<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, reason: impl Into<String>) -> DspsError {
+        DspsError::XmlParse { line: self.line, reason: reason.into() }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.src[self.pos..].chars().next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn skip_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws_and_misc(&mut self) -> Result<(), DspsError> {
+        loop {
+            while self.peek().is_some_and(|c| c.is_whitespace()) {
+                self.bump();
+            }
+            if self.starts_with("<!--") {
+                let end = self.src[self.pos..]
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.skip_n(end + 3);
+            } else if self.starts_with("<?") {
+                let end = self.src[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated XML declaration"))?;
+                self.skip_n(end + 2);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, DspsError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':')
+        {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, DspsError> {
+        self.skip_ws_and_misc()?;
+        if self.bump() != Some('<') {
+            return Err(self.err("expected '<'"));
+        }
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            while self.peek().is_some_and(|c| c.is_whitespace()) {
+                self.bump();
+            }
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    if self.bump() != Some('>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    return Ok(XmlElement { name, attributes, children: Vec::new(), text: String::new() });
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.parse_name()?;
+                    while self.peek().is_some_and(|c| c.is_whitespace()) {
+                        self.bump();
+                    }
+                    if self.bump() != Some('=') {
+                        return Err(self.err(format!("expected '=' after attribute {aname}")));
+                    }
+                    while self.peek().is_some_and(|c| c.is_whitespace()) {
+                        self.bump();
+                    }
+                    let quote = self
+                        .bump()
+                        .filter(|&c| c == '"' || c == '\'')
+                        .ok_or_else(|| self.err("expected quoted attribute value"))?;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.bump();
+                    }
+                    let value = self.src[start..self.pos].to_string();
+                    if self.bump() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    attributes.push((aname, unescape(&value)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content: children and text until the closing tag.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                let end = self.src[self.pos..]
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.skip_n(end + 3);
+                continue;
+            }
+            if self.starts_with("</") {
+                self.skip_n(2);
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched closing tag: <{name}> vs </{close}>")));
+                }
+                while self.peek().is_some_and(|c| c.is_whitespace()) {
+                    self.bump();
+                }
+                if self.bump() != Some('>') {
+                    return Err(self.err("expected '>' in closing tag"));
+                }
+                return Ok(XmlElement { name, attributes, children, text: unescape(text.trim()) });
+            }
+            match self.peek() {
+                Some('<') => children.push(self.parse_element()?),
+                Some(_) => {
+                    text.push(self.bump().expect("peeked"));
+                }
+                None => return Err(self.err(format!("unterminated element <{name}>"))),
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+// ---------------------------------------------------------------------------
+// Topology mapping
+// ---------------------------------------------------------------------------
+
+/// Parses an XML topology document.
+pub fn parse_topology_xml(src: &str) -> Result<TopologySpec, DspsError> {
+    let mut parser = XmlParser { src, pos: 0, line: 1 };
+    let root = parser.parse_element()?;
+    parser.skip_ws_and_misc().ok();
+    if root.name != "topology" {
+        return Err(DspsError::XmlInvalid {
+            reason: format!("root element must be <topology>, found <{}>", root.name),
+        });
+    }
+    let name = root
+        .attr("name")
+        .ok_or_else(|| DspsError::XmlInvalid { reason: "<topology> needs a name".into() })?
+        .to_string();
+
+    let parse_parallelism = |el: &XmlElement| -> Result<Parallelism, DspsError> {
+        let parse_num = |attr: &str| -> Result<usize, DspsError> {
+            match el.attr(attr) {
+                None => Ok(1),
+                Some(v) => v.parse().map_err(|_| DspsError::XmlInvalid {
+                    reason: format!("attribute {attr}={v:?} is not a positive integer"),
+                }),
+            }
+        };
+        let tasks = parse_num("tasks")?;
+        // Executors default to tasks (the ideal 1:1 packing).
+        let executors = match el.attr("executors") {
+            None => tasks,
+            Some(_) => parse_num("executors")?,
+        };
+        Ok(Parallelism { tasks, executors })
+    };
+
+    let parse_component = |el: &XmlElement, is_spout: bool| -> Result<ComponentSpec, DspsError> {
+        let name = el
+            .attr("name")
+            .ok_or_else(|| DspsError::XmlInvalid { reason: "component needs a name".into() })?
+            .to_string();
+        let component_type = el
+            .attr("type")
+            .ok_or_else(|| DspsError::XmlInvalid {
+                reason: format!("component {name} needs a type"),
+            })?
+            .to_string();
+        let mut subscriptions = Vec::new();
+        for sub in el.children_named("subscribe") {
+            let source = sub
+                .attr("source")
+                .ok_or_else(|| DspsError::XmlInvalid {
+                    reason: format!("subscription in {name} needs a source"),
+                })?
+                .to_string();
+            let grouping = match sub.attr("grouping").unwrap_or("shuffle") {
+                "shuffle" => GroupingSpec::Shuffle,
+                "all" => GroupingSpec::All,
+                "direct" => GroupingSpec::Direct,
+                "fields" => {
+                    let key = sub.attr("key").ok_or_else(|| DspsError::XmlInvalid {
+                        reason: format!("fields grouping in {name} needs a key attribute"),
+                    })?;
+                    GroupingSpec::Fields(key.to_string())
+                }
+                other => {
+                    return Err(DspsError::XmlInvalid {
+                        reason: format!("unknown grouping {other:?} in {name}"),
+                    })
+                }
+            };
+            subscriptions.push(SubscriptionSpec { source, grouping });
+        }
+        if is_spout && !subscriptions.is_empty() {
+            return Err(DspsError::XmlInvalid {
+                reason: format!("spout {name} cannot subscribe to anything"),
+            });
+        }
+        Ok(ComponentSpec { name, component_type, parallelism: parse_parallelism(el)?, subscriptions })
+    };
+
+    let mut spouts = Vec::new();
+    let mut bolts = Vec::new();
+    let mut rules = Vec::new();
+    for child in &root.children {
+        match child.name.as_str() {
+            "spout" => spouts.push(parse_component(child, true)?),
+            "bolt" => bolts.push(parse_component(child, false)?),
+            "rules" => {
+                for r in child.children_named("rule") {
+                    if r.text.is_empty() {
+                        return Err(DspsError::XmlInvalid { reason: "empty <rule>".into() });
+                    }
+                    rules.push(r.text.clone());
+                }
+            }
+            other => {
+                return Err(DspsError::XmlInvalid {
+                    reason: format!("unexpected element <{other}> under <topology>"),
+                })
+            }
+        }
+    }
+    if spouts.is_empty() {
+        return Err(DspsError::XmlInvalid { reason: "topology declares no spout".into() });
+    }
+    Ok(TopologySpec { name, spouts, bolts, rules })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<!-- the paper's Figure 8 topology, abridged -->
+<topology name="traffic">
+  <spout name="busReader" type="BusReaderSpout" tasks="2" executors="2"/>
+  <bolt name="preprocess" type="PreProcessBolt" tasks="2" executors="1">
+    <subscribe source="busReader" grouping="shuffle"/>
+  </bolt>
+  <bolt name="areaTracker" type="AreaTrackerBolt" tasks="2">
+    <subscribe source="preprocess" grouping="fields" key="vehicle"/>
+  </bolt>
+  <bolt name="esper" type="EsperBolt" tasks="4">
+    <subscribe source="areaTracker" grouping="direct"/>
+  </bolt>
+  <rules>
+    <rule>SELECT * FROM bus WHERE delay &gt; 60</rule>
+    <rule>SELECT avg(speed) FROM bus.win:length(100)</rule>
+  </rules>
+</topology>"#;
+
+    #[test]
+    fn parses_the_sample_topology() {
+        let spec = parse_topology_xml(SAMPLE).unwrap();
+        assert_eq!(spec.name, "traffic");
+        assert_eq!(spec.spouts.len(), 1);
+        assert_eq!(spec.spouts[0].parallelism, Parallelism { tasks: 2, executors: 2 });
+        assert_eq!(spec.bolts.len(), 3);
+        assert_eq!(spec.bolts[0].parallelism, Parallelism { tasks: 2, executors: 1 });
+        // executors defaults to tasks.
+        assert_eq!(spec.bolts[1].parallelism, Parallelism { tasks: 2, executors: 2 });
+        assert_eq!(
+            spec.bolts[1].subscriptions[0].grouping,
+            GroupingSpec::Fields("vehicle".into())
+        );
+        assert_eq!(spec.bolts[2].subscriptions[0].grouping, GroupingSpec::Direct);
+        assert_eq!(spec.rules.len(), 2);
+        assert_eq!(spec.rules[0], "SELECT * FROM bus WHERE delay > 60");
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let xml = r#"<topology name="t"><spout name="s" type="T"/><rules><rule>a &lt; b &amp;&amp; c &gt; d</rule></rules></topology>"#;
+        let spec = parse_topology_xml(xml).unwrap();
+        assert_eq!(spec.rules[0], "a < b && c > d");
+    }
+
+    #[test]
+    fn rejects_bad_root_and_missing_fields() {
+        assert!(matches!(
+            parse_topology_xml("<nope/>"),
+            Err(DspsError::XmlInvalid { .. })
+        ));
+        assert!(parse_topology_xml(r#"<topology><spout name="s" type="T"/></topology>"#).is_err());
+        assert!(parse_topology_xml(r#"<topology name="t"></topology>"#).is_err());
+        assert!(
+            parse_topology_xml(r#"<topology name="t"><spout name="s"/></topology>"#).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_xml() {
+        assert!(matches!(
+            parse_topology_xml("<topology name=\"t\">"),
+            Err(DspsError::XmlParse { .. })
+        ));
+        assert!(parse_topology_xml("<a><b></a></b>").is_err());
+        assert!(parse_topology_xml("<a attr=oops/>").is_err());
+        assert!(parse_topology_xml("<!-- unterminated").is_err());
+    }
+
+    #[test]
+    fn spout_with_subscription_rejected() {
+        let xml = r#"<topology name="t">
+            <spout name="s" type="T"><subscribe source="x"/></spout>
+        </topology>"#;
+        assert!(matches!(parse_topology_xml(xml), Err(DspsError::XmlInvalid { .. })));
+    }
+
+    #[test]
+    fn unknown_grouping_rejected() {
+        let xml = r#"<topology name="t">
+            <spout name="s" type="T"/>
+            <bolt name="b" type="B"><subscribe source="s" grouping="magic"/></bolt>
+        </topology>"#;
+        assert!(matches!(parse_topology_xml(xml), Err(DspsError::XmlInvalid { .. })));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let xml = "<topology name=\"t\">\n  <spout name=\"s\" type=\"T\"/>\n  <bolt name=b/>\n</topology>";
+        match parse_topology_xml(xml) {
+            Err(DspsError::XmlParse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error with line, got {other:?}"),
+        }
+    }
+}

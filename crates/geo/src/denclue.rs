@@ -1,0 +1,434 @@
+//! DENCLUE density-based clustering (Hinneburg & Keim, KDD'98), as applied
+//! by the paper to noisy bus-stop reports (Section 4.1.2).
+//!
+//! The paper's procedure: place a 2-dimensional Gaussian with σ = 20 m at
+//! every GPS location where a bus reported reaching a stop; sum the
+//! Gaussians into a global density function; hill-climb each data point to
+//! its local density maximum (its *density attractor*); and merge points
+//! whose attractors lie close together into one cluster.
+//!
+//! This implementation works in a local planar projection (metres) around
+//! the data's centroid, which is accurate at city scale, and uses a spatial
+//! grid of cell size 4σ so each density/gradient evaluation only visits
+//! nearby points (the Gaussian kernel is negligible beyond ~4σ).
+
+// `!(x > 0.0)` is used deliberately in validations: unlike `x <= 0.0`
+// it also rejects NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use crate::error::GeoError;
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for a DENCLUE run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DenclueConfig {
+    /// Gaussian kernel bandwidth σ in metres. The paper uses 20 m.
+    pub sigma_m: f64,
+    /// Attractors closer than this distance (metres) are merged into one
+    /// cluster. A multiple of σ is customary; 2σ by default.
+    pub merge_distance_m: f64,
+    /// Hill-climbing step scale; the climb moves to the kernel-weighted
+    /// mean of the neighbourhood (mean-shift), so this is an iteration cap.
+    pub max_iterations: usize,
+    /// Convergence threshold in metres: stop climbing when the move is
+    /// smaller than this.
+    pub convergence_m: f64,
+    /// Minimum density (in kernel-sum units) an attractor needs for its
+    /// points to be clustered; points attracted to lower-density maxima are
+    /// labelled noise. Set to 0.0 to keep everything.
+    pub min_density: f64,
+}
+
+impl Default for DenclueConfig {
+    fn default() -> Self {
+        DenclueConfig {
+            sigma_m: 20.0,
+            merge_distance_m: 40.0,
+            max_iterations: 100,
+            convergence_m: 0.05,
+            min_density: 0.0,
+        }
+    }
+}
+
+/// One cluster produced by DENCLUE.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Cluster id, dense `0..n`.
+    pub id: usize,
+    /// Density attractor the members climbed to (projected back to WGS-84).
+    pub attractor: GeoPoint,
+    /// Density value at the attractor.
+    pub density: f64,
+    /// Indices into the input slice of the member points.
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Centroid of the member points (not the attractor).
+    pub fn centroid(&self, points: &[GeoPoint]) -> GeoPoint {
+        let n = self.members.len().max(1) as f64;
+        let (mut lat, mut lon) = (0.0, 0.0);
+        for &i in &self.members {
+            lat += points[i].lat;
+            lon += points[i].lon;
+        }
+        GeoPoint { lat: lat / n, lon: lon / n }
+    }
+}
+
+/// Result of a clustering run: clusters plus noise points.
+#[derive(Debug, Clone)]
+pub struct ClusteringResult {
+    /// Clusters, ordered by descending member count.
+    pub clusters: Vec<Cluster>,
+    /// Indices of input points that were not assigned to any cluster.
+    pub noise: Vec<usize>,
+}
+
+/// DENCLUE clustering engine.
+#[derive(Debug, Clone)]
+pub struct Denclue {
+    config: DenclueConfig,
+}
+
+/// Planar projection of the inputs: metres east/north of the centroid.
+struct Projection {
+    lat0: f64,
+    lon0: f64,
+    m_per_deg_lat: f64,
+    m_per_deg_lon: f64,
+}
+
+impl Projection {
+    fn fit(points: &[GeoPoint]) -> Projection {
+        let n = points.len() as f64;
+        let lat0 = points.iter().map(|p| p.lat).sum::<f64>() / n;
+        let lon0 = points.iter().map(|p| p.lon).sum::<f64>() / n;
+        Projection {
+            lat0,
+            lon0,
+            m_per_deg_lat: 111_320.0,
+            m_per_deg_lon: 111_320.0 * lat0.to_radians().cos(),
+        }
+    }
+
+    fn to_xy(&self, p: &GeoPoint) -> (f64, f64) {
+        (
+            (p.lon - self.lon0) * self.m_per_deg_lon,
+            (p.lat - self.lat0) * self.m_per_deg_lat,
+        )
+    }
+
+    fn to_geo(&self, x: f64, y: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat0 + y / self.m_per_deg_lat,
+            lon: self.lon0 + x / self.m_per_deg_lon,
+        }
+    }
+}
+
+/// Uniform grid over projected points for O(1) neighbourhood queries.
+struct Grid {
+    cell: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl Grid {
+    fn build(xy: &[(f64, f64)], cell: f64) -> Grid {
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, &(x, y)) in xy.iter().enumerate() {
+            cells
+                .entry(((x / cell).floor() as i64, (y / cell).floor() as i64))
+                .or_default()
+                .push(i);
+        }
+        Grid { cell, cells }
+    }
+
+    /// Indices of points in the 3×3 cell neighbourhood of (x, y).
+    fn neighbours(&self, x: f64, y: f64, out: &mut Vec<usize>) {
+        out.clear();
+        let cx = (x / self.cell).floor() as i64;
+        let cy = (y / self.cell).floor() as i64;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(v) = self.cells.get(&(cx + dx, cy + dy)) {
+                    out.extend_from_slice(v);
+                }
+            }
+        }
+    }
+}
+
+impl Denclue {
+    /// Creates an engine, validating the configuration.
+    pub fn new(config: DenclueConfig) -> Result<Self, GeoError> {
+        if !(config.sigma_m > 0.0) {
+            return Err(GeoError::InvalidClusteringConfig {
+                reason: format!("sigma_m must be positive, got {}", config.sigma_m),
+            });
+        }
+        if !(config.merge_distance_m > 0.0) {
+            return Err(GeoError::InvalidClusteringConfig {
+                reason: format!("merge_distance_m must be positive, got {}", config.merge_distance_m),
+            });
+        }
+        if config.max_iterations == 0 {
+            return Err(GeoError::InvalidClusteringConfig {
+                reason: "max_iterations must be at least 1".into(),
+            });
+        }
+        Ok(Denclue { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DenclueConfig {
+        self.config
+    }
+
+    /// Clusters the given points.
+    pub fn cluster(&self, points: &[GeoPoint]) -> Result<ClusteringResult, GeoError> {
+        if points.is_empty() {
+            return Err(GeoError::EmptyInput { what: "DENCLUE input points" });
+        }
+        let proj = Projection::fit(points);
+        let xy: Vec<(f64, f64)> = points.iter().map(|p| proj.to_xy(p)).collect();
+        // Kernel support: contributions beyond 4σ are < e^-8 ≈ 3e-4 and are
+        // ignored; a 4σ grid cell means the 3×3 neighbourhood covers them.
+        let grid = Grid::build(&xy, 4.0 * self.config.sigma_m);
+        let inv_2s2 = 1.0 / (2.0 * self.config.sigma_m * self.config.sigma_m);
+
+        let mut scratch = Vec::new();
+        let mut attractors = Vec::with_capacity(points.len());
+        let mut densities = Vec::with_capacity(points.len());
+        for &(sx, sy) in &xy {
+            let (mut x, mut y) = (sx, sy);
+            let mut density = 0.0;
+            for _ in 0..self.config.max_iterations {
+                // Mean-shift step: move to the kernel-weighted mean of the
+                // neighbourhood; fixed points of this map are the local
+                // maxima (density attractors) of the kernel sum.
+                grid.neighbours(x, y, &mut scratch);
+                let (mut wx, mut wy, mut w) = (0.0, 0.0, 0.0);
+                for &j in &scratch {
+                    let (px, py) = xy[j];
+                    let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                    let k = (-d2 * inv_2s2).exp();
+                    wx += k * px;
+                    wy += k * py;
+                    w += k;
+                }
+                density = w;
+                if w <= f64::MIN_POSITIVE {
+                    break;
+                }
+                let (nx, ny) = (wx / w, wy / w);
+                let step2 = (nx - x) * (nx - x) + (ny - y) * (ny - y);
+                x = nx;
+                y = ny;
+                if step2.sqrt() < self.config.convergence_m {
+                    break;
+                }
+            }
+            attractors.push((x, y));
+            densities.push(density);
+        }
+
+        // Merge attractors closer than merge_distance via union-find.
+        let mut parent: Vec<usize> = (0..points.len()).collect();
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut r = i;
+            while parent[r] != r {
+                r = parent[r];
+            }
+            let mut c = i;
+            while parent[c] != r {
+                let next = parent[c];
+                parent[c] = r;
+                c = next;
+            }
+            r
+        }
+        let merge2 = self.config.merge_distance_m * self.config.merge_distance_m;
+        let agrid = Grid::build(&attractors, self.config.merge_distance_m.max(1e-9));
+        let mut neigh = Vec::new();
+        for (i, &(ax, ay)) in attractors.iter().enumerate() {
+            agrid.neighbours(ax, ay, &mut neigh);
+            for &j in &neigh {
+                if j <= i {
+                    continue;
+                }
+                let (bx, by) = attractors[j];
+                if (ax - bx) * (ax - bx) + (ay - by) * (ay - by) <= merge2 {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..points.len() {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+
+        let mut clusters = Vec::new();
+        let mut noise = Vec::new();
+        for (_, members) in groups {
+            // Representative attractor: the member with the highest density.
+            let &peak = members
+                .iter()
+                .max_by(|&&a, &&b| densities[a].total_cmp(&densities[b]))
+                .expect("groups are non-empty");
+            if densities[peak] < self.config.min_density {
+                noise.extend(members);
+                continue;
+            }
+            let (ax, ay) = attractors[peak];
+            clusters.push(Cluster {
+                id: 0, // assigned after sorting
+                attractor: proj.to_geo(ax, ay),
+                density: densities[peak],
+                members,
+            });
+        }
+        clusters.sort_by(|a, b| {
+            b.members
+                .len()
+                .cmp(&a.members.len())
+                .then(a.attractor.lat.total_cmp(&b.attractor.lat))
+                .then(a.attractor.lon.total_cmp(&b.attractor.lon))
+        });
+        for (i, c) in clusters.iter_mut().enumerate() {
+            c.id = i;
+        }
+        noise.sort_unstable();
+        Ok(ClusteringResult { clusters, noise })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Scatter `n` points with `spread_m` Gaussian-ish noise around centre.
+    fn blob(rng: &mut StdRng, center: GeoPoint, n: usize, spread_m: f64) -> Vec<GeoPoint> {
+        (0..n)
+            .map(|_| {
+                let bearing = rng.random_range(0.0..360.0);
+                let dist = rng.random_range(0.0..spread_m);
+                center.destination(bearing, dist)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c1 = GeoPoint::new_unchecked(53.340, -6.260);
+        let c2 = GeoPoint::new_unchecked(53.345, -6.250); // ~850 m apart
+        let mut pts = blob(&mut rng, c1, 40, 15.0);
+        pts.extend(blob(&mut rng, c2, 30, 15.0));
+        let result = Denclue::new(DenclueConfig::default()).unwrap().cluster(&pts).unwrap();
+        assert_eq!(result.clusters.len(), 2, "got {:?}", result.clusters.len());
+        assert_eq!(result.clusters[0].members.len(), 40);
+        assert_eq!(result.clusters[1].members.len(), 30);
+        // Attractors land near the blob centres.
+        assert!(result.clusters[0].attractor.haversine_m(&c1) < 30.0);
+        assert!(result.clusters[1].attractor.haversine_m(&c2) < 30.0);
+    }
+
+    #[test]
+    fn merges_nearby_blobs() {
+        // Two blobs only 25 m apart with σ=20 m merge into one stop, which
+        // is the paper's motivation: the same physical stop gets reported
+        // at scattered locations.
+        let mut rng = StdRng::seed_from_u64(11);
+        let c1 = GeoPoint::new_unchecked(53.3400, -6.2600);
+        let c2 = c1.destination(90.0, 25.0);
+        let mut pts = blob(&mut rng, c1, 25, 8.0);
+        pts.extend(blob(&mut rng, c2, 25, 8.0));
+        let result = Denclue::new(DenclueConfig::default()).unwrap().cluster(&pts).unwrap();
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0].members.len(), 50);
+    }
+
+    #[test]
+    fn every_point_is_clustered_or_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pts = blob(&mut rng, GeoPoint::new_unchecked(53.33, -6.27), 20, 10.0);
+        pts.extend(blob(&mut rng, GeoPoint::new_unchecked(53.36, -6.22), 20, 10.0));
+        let result = Denclue::new(DenclueConfig::default()).unwrap().cluster(&pts).unwrap();
+        let mut seen = vec![false; pts.len()];
+        for c in &result.clusters {
+            for &m in &c.members {
+                assert!(!seen[m], "point {m} assigned twice");
+                seen[m] = true;
+            }
+        }
+        for &m in &result.noise {
+            assert!(!seen[m], "noise point {m} also clustered");
+            seen[m] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every point accounted for");
+    }
+
+    #[test]
+    fn min_density_marks_isolated_points_as_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pts = blob(&mut rng, GeoPoint::new_unchecked(53.34, -6.26), 50, 10.0);
+        // A lone outlier 2 km away has density ≈ 1 (its own kernel).
+        pts.push(GeoPoint::new_unchecked(53.36, -6.23));
+        let cfg = DenclueConfig { min_density: 3.0, ..DenclueConfig::default() };
+        let result = Denclue::new(cfg).unwrap().cluster(&pts).unwrap();
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.noise, vec![50]);
+    }
+
+    #[test]
+    fn single_point_forms_single_cluster() {
+        let pts = vec![GeoPoint::new_unchecked(53.33, -6.26)];
+        let result = Denclue::new(DenclueConfig::default()).unwrap().cluster(&pts).unwrap();
+        assert_eq!(result.clusters.len(), 1);
+        assert_eq!(result.clusters[0].members, vec![0]);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let err = Denclue::new(DenclueConfig::default()).unwrap().cluster(&[]);
+        assert!(matches!(err, Err(GeoError::EmptyInput { .. })));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Denclue::new(DenclueConfig { sigma_m: 0.0, ..Default::default() }).is_err());
+        assert!(Denclue::new(DenclueConfig { sigma_m: -1.0, ..Default::default() }).is_err());
+        assert!(
+            Denclue::new(DenclueConfig { merge_distance_m: 0.0, ..Default::default() }).is_err()
+        );
+        assert!(Denclue::new(DenclueConfig { max_iterations: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn cluster_ids_are_dense_and_ordered_by_size() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut pts = blob(&mut rng, GeoPoint::new_unchecked(53.32, -6.30), 10, 10.0);
+        pts.extend(blob(&mut rng, GeoPoint::new_unchecked(53.35, -6.20), 30, 10.0));
+        pts.extend(blob(&mut rng, GeoPoint::new_unchecked(53.38, -6.10), 20, 10.0));
+        let result = Denclue::new(DenclueConfig::default()).unwrap().cluster(&pts).unwrap();
+        assert_eq!(result.clusters.len(), 3);
+        for (i, c) in result.clusters.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+        for w in result.clusters.windows(2) {
+            assert!(w[0].members.len() >= w[1].members.len());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the spatial substrate.
+
+use std::fmt;
+
+/// Errors produced by the spatial substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A coordinate was outside the valid WGS-84 range or not finite.
+    InvalidCoordinate {
+        /// The offending latitude.
+        lat: f64,
+        /// The offending longitude.
+        lon: f64,
+    },
+    /// A bounding box was constructed with inverted corners.
+    InvalidBoundingBox {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A quadtree was configured with impossible parameters.
+    InvalidQuadtreeConfig {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A clustering run was configured with impossible parameters.
+    InvalidClusteringConfig {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A point lookup fell outside the indexed area.
+    OutOfBounds {
+        /// The probed latitude.
+        lat: f64,
+        /// The probed longitude.
+        lon: f64,
+    },
+    /// An operation needed data that was not provided (e.g. clustering an
+    /// empty observation set).
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidCoordinate { lat, lon } => {
+                write!(f, "invalid coordinate: lat={lat}, lon={lon}")
+            }
+            GeoError::InvalidBoundingBox { reason } => {
+                write!(f, "invalid bounding box: {reason}")
+            }
+            GeoError::InvalidQuadtreeConfig { reason } => {
+                write!(f, "invalid quadtree configuration: {reason}")
+            }
+            GeoError::InvalidClusteringConfig { reason } => {
+                write!(f, "invalid clustering configuration: {reason}")
+            }
+            GeoError::OutOfBounds { lat, lon } => {
+                write!(f, "point (lat={lat}, lon={lon}) is outside the indexed area")
+            }
+            GeoError::EmptyInput { what } => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

@@ -1,0 +1,31 @@
+//! Spatial substrate for the traffic management system.
+//!
+//! This crate provides the geometric building blocks the paper's off-line
+//! computation component relies on (Section 4.1):
+//!
+//! * [`point`] — WGS-84 points, haversine distances, bearings and bounding
+//!   boxes over the Dublin metropolitan area;
+//! * [`quadtree`] — the **region quadtree** used for the hierarchical
+//!   decomposition of the city map (Section 4.1.1, Figure 6): regions split
+//!   into four equal quadrants until each holds at most a configured number
+//!   of seed points, producing the (possibly unbalanced) layer structure the
+//!   Esper rules reference;
+//! * [`denclue`] — the **DENCLUE** density-based clustering algorithm
+//!   (Hinneburg & Keim, KDD'98) applied to noisy bus-stop reports
+//!   (Section 4.1.2): a Gaussian kernel is placed on every observation, each
+//!   point hill-climbs to its *density attractor*, and attractors that lie
+//!   close together are merged into one cluster;
+//! * [`busstops`] — the angle-based sub-clustering that separates travel
+//!   directions inside a DENCLUE cluster and the nearest-stop lookup tool.
+
+pub mod busstops;
+pub mod denclue;
+pub mod error;
+pub mod point;
+pub mod quadtree;
+
+pub use busstops::{BusStop, BusStopIndex, StopObservation};
+pub use denclue::{Cluster, Denclue, DenclueConfig};
+pub use error::GeoError;
+pub use point::{BoundingBox, GeoPoint, DUBLIN_BBOX};
+pub use quadtree::{QuadtreeConfig, Region, RegionId, RegionQuadtree};

@@ -1,0 +1,283 @@
+//! WGS-84 points, distances, bearings and bounding boxes.
+
+use crate::error::GeoError;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Bounding box covering the Dublin metropolitan area the dataset spans
+/// (Figures 4 and 6 of the paper show trajectories within this extent).
+pub const DUBLIN_BBOX: BoundingBox = BoundingBox {
+    min_lat: 53.20,
+    min_lon: -6.45,
+    max_lat: 53.42,
+    max_lon: -6.05,
+};
+
+/// A WGS-84 geographic point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating the coordinate ranges.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, GeoError> {
+        if !lat.is_finite() || !lon.is_finite() || !(-90.0..=90.0).contains(&lat)
+            || !(-180.0..=180.0).contains(&lon)
+        {
+            return Err(GeoError::InvalidCoordinate { lat, lon });
+        }
+        Ok(GeoPoint { lat, lon })
+    }
+
+    /// Creates a point without range validation. Intended for constants and
+    /// generated data already known to be in range.
+    pub const fn new_unchecked(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Initial bearing from `self` towards `other`, in degrees `[0, 360)`.
+    ///
+    /// This is the "average angle when entering the cluster" quantity used
+    /// to split DENCLUE clusters by travel direction (Section 4.1.2).
+    pub fn bearing_deg(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let deg = y.atan2(x).to_degrees();
+        (deg + 360.0) % 360.0
+    }
+
+    /// Destination point after travelling `distance_m` metres on the given
+    /// initial bearing (degrees). Used by the synthetic route generator.
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lon1 = self.lon.to_radians();
+        let lat2 =
+            (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos())
+                .atan2(delta.cos() - lat1.sin() * lat2.sin());
+        GeoPoint {
+            lat: lat2.to_degrees(),
+            lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
+        }
+    }
+
+    /// Fast approximate squared planar distance in degrees², with longitude
+    /// scaled by `cos(lat)`. Adequate for comparisons inside a city-sized
+    /// extent, where it is monotone in the true distance.
+    pub fn approx_dist2(&self, other: &GeoPoint) -> f64 {
+        let scale = ((self.lat + other.lat) * 0.5).to_radians().cos();
+        let dlat = self.lat - other.lat;
+        let dlon = (self.lon - other.lon) * scale;
+        dlat * dlat + dlon * dlon
+    }
+}
+
+/// The smallest absolute difference between two bearings, in `[0, 180]`.
+pub fn angle_diff_deg(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(360.0);
+    if d > 180.0 {
+        360.0 - d
+    } else {
+        d
+    }
+}
+
+/// Circular mean of a set of bearings in degrees, `[0, 360)`.
+///
+/// Returns `None` for an empty slice or when the directions cancel out
+/// exactly (the mean is undefined in that case).
+pub fn circular_mean_deg(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let (mut s, mut c) = (0.0, 0.0);
+    for a in angles {
+        s += a.to_radians().sin();
+        c += a.to_radians().cos();
+    }
+    if s.abs() < 1e-12 && c.abs() < 1e-12 {
+        return None;
+    }
+    Some((s.atan2(c).to_degrees() + 360.0) % 360.0)
+}
+
+/// An axis-aligned geographic bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southern edge, degrees latitude.
+    pub min_lat: f64,
+    /// Western edge, degrees longitude.
+    pub min_lon: f64,
+    /// Northern edge, degrees latitude.
+    pub max_lat: f64,
+    /// Eastern edge, degrees longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box, validating corner ordering.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Result<Self, GeoError> {
+        if !(min_lat < max_lat && min_lon < max_lon)
+            || [min_lat, min_lon, max_lat, max_lon].iter().any(|v| !v.is_finite())
+        {
+            return Err(GeoError::InvalidBoundingBox {
+                reason: format!(
+                    "corners must be finite and ordered: ({min_lat},{min_lon})..({max_lat},{max_lon})"
+                ),
+            });
+        }
+        Ok(BoundingBox { min_lat, min_lon, max_lat, max_lon })
+    }
+
+    /// Whether the point lies inside (min-inclusive, max-exclusive, so
+    /// quadrants tile the parent without overlap).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat && p.lat < self.max_lat && p.lon >= self.min_lon && p.lon < self.max_lon
+    }
+
+    /// Whether the point lies inside with both bounds inclusive. Used for
+    /// the root region so the north/east box edges are not lost.
+    pub fn contains_inclusive(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+    }
+
+    /// The centre of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint {
+            lat: (self.min_lat + self.max_lat) * 0.5,
+            lon: (self.min_lon + self.max_lon) * 0.5,
+        }
+    }
+
+    /// Splits the box into four equal quadrants, ordered `[SW, SE, NW, NE]`.
+    pub fn quadrants(&self) -> [BoundingBox; 4] {
+        let c = self.center();
+        [
+            BoundingBox { min_lat: self.min_lat, min_lon: self.min_lon, max_lat: c.lat, max_lon: c.lon },
+            BoundingBox { min_lat: self.min_lat, min_lon: c.lon, max_lat: c.lat, max_lon: self.max_lon },
+            BoundingBox { min_lat: c.lat, min_lon: self.min_lon, max_lat: self.max_lat, max_lon: c.lon },
+            BoundingBox { min_lat: c.lat, min_lon: c.lon, max_lat: self.max_lat, max_lon: self.max_lon },
+        ]
+    }
+
+    /// Whether `other` intersects this box.
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min_lat < other.max_lat
+            && other.min_lat < self.max_lat
+            && self.min_lon < other.max_lon
+            && other.min_lon < self.max_lon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // O'Connell Bridge to Heuston Station is roughly 2.4 km.
+        let a = GeoPoint::new(53.3472, -6.2592).unwrap();
+        let b = GeoPoint::new(53.3465, -6.2923).unwrap();
+        let d = a.haversine_m(&b);
+        assert!((1800.0..2800.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let a = GeoPoint::new(53.35, -6.26).unwrap();
+        assert_eq!(a.haversine_m(&a), 0.0);
+    }
+
+    #[test]
+    fn invalid_coordinates_rejected() {
+        assert!(GeoPoint::new(91.0, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, 181.0).is_err());
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = GeoPoint::new(53.3, -6.3).unwrap();
+        let north = GeoPoint::new(53.4, -6.3).unwrap();
+        let east = GeoPoint::new(53.3, -6.2).unwrap();
+        assert!(angle_diff_deg(origin.bearing_deg(&north), 0.0) < 1.0);
+        assert!(angle_diff_deg(origin.bearing_deg(&east), 90.0) < 1.0);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let origin = GeoPoint::new(53.33, -6.25).unwrap();
+        let dest = origin.destination(45.0, 1000.0);
+        let d = origin.haversine_m(&dest);
+        assert!((d - 1000.0).abs() < 1.0, "distance was {d}");
+        assert!(angle_diff_deg(origin.bearing_deg(&dest), 45.0) < 0.5);
+    }
+
+    #[test]
+    fn angle_diff_wraps() {
+        assert_eq!(angle_diff_deg(350.0, 10.0), 20.0);
+        assert_eq!(angle_diff_deg(10.0, 350.0), 20.0);
+        assert_eq!(angle_diff_deg(180.0, 0.0), 180.0);
+    }
+
+    #[test]
+    fn circular_mean_handles_wraparound() {
+        let m = circular_mean_deg(&[350.0, 10.0]).unwrap();
+        assert!(angle_diff_deg(m, 0.0) < 1e-9, "mean was {m}");
+        assert!(circular_mean_deg(&[]).is_none());
+        // Opposite directions cancel out.
+        assert!(circular_mean_deg(&[0.0, 180.0]).is_none());
+    }
+
+    #[test]
+    fn bbox_quadrants_tile_parent() {
+        let bb = DUBLIN_BBOX;
+        let quads = bb.quadrants();
+        let p = GeoPoint::new(53.30, -6.20).unwrap();
+        let containing: Vec<_> = quads.iter().filter(|q| q.contains(&p)).collect();
+        assert_eq!(containing.len(), 1, "each interior point is in exactly one quadrant");
+        // Centre point belongs to exactly one quadrant (NE, by half-open rule).
+        let c = bb.center();
+        assert_eq!(quads.iter().filter(|q| q.contains(&c)).count(), 1);
+    }
+
+    #[test]
+    fn bbox_rejects_inverted_corners() {
+        assert!(BoundingBox::new(53.4, -6.0, 53.2, -6.4).is_err());
+    }
+
+    #[test]
+    fn bbox_intersections() {
+        let a = BoundingBox::new(0.0, 0.0, 2.0, 2.0).unwrap();
+        let b = BoundingBox::new(1.0, 1.0, 3.0, 3.0).unwrap();
+        let c = BoundingBox::new(2.5, 2.5, 3.5, 3.5).unwrap();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+}

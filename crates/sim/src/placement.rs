@@ -1,0 +1,30 @@
+//! Engine placement: one worker per node, executors dealt round-robin —
+//! the paper's scheduling policy ("we allocate the executors into
+//! different worker processors to make sure that each cluster node will be
+//! assigned with the same number of Esper engines", Section 3.2).
+
+/// Node index for each of `engines` engines over `nodes` nodes.
+pub fn round_robin_nodes(engines: usize, nodes: usize) -> Vec<usize> {
+    (0..engines).map(|e| e % nodes.max(1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_evenly() {
+        assert_eq!(round_robin_nodes(6, 3), vec![0, 1, 2, 0, 1, 2]);
+        let p = round_robin_nodes(7, 3);
+        let mut counts = [0usize; 3];
+        for n in p {
+            counts[n] += 1;
+        }
+        assert_eq!(counts.iter().max().unwrap() - counts.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn zero_nodes_degrades_to_one() {
+        assert_eq!(round_robin_nodes(3, 0), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the storage medium.
+
+use std::fmt;
+
+/// Errors produced by the storage medium.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// No table with that name exists.
+    TableNotFound(String),
+    /// A table with that name already exists.
+    TableExists(String),
+    /// A row did not match the table schema.
+    SchemaMismatch {
+        /// The table.
+        table: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A column name was not found in the schema.
+    ColumnNotFound {
+        /// The table.
+        table: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A value had the wrong type for the requested operation.
+    TypeError {
+        /// The expected type.
+        expected: &'static str,
+        /// The value actually found.
+        got: String,
+    },
+    /// CSV text could not be parsed.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An IO error during persistence (stringified: io::Error is not Clone).
+    Io(String),
+    /// A schema was declared with no columns or duplicate column names.
+    InvalidSchema {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            StorageError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StorageError::SchemaMismatch { table, reason } => {
+                write!(f, "schema mismatch for table {table}: {reason}")
+            }
+            StorageError::ColumnNotFound { table, column } => {
+                write!(f, "column {column} not found in table {table}")
+            }
+            StorageError::TypeError { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            StorageError::CsvParse { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,241 @@
+//! Dynamically typed cell values.
+
+use crate::error::StorageError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Type of a table column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (integer values widen in).
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Str => "STR",
+            ColumnType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer cell.
+    Int(i64),
+    /// A float cell.
+    Float(f64),
+    /// A string cell.
+    Str(String),
+    /// A boolean cell.
+    Bool(bool),
+    /// An absent value (fits any column).
+    Null,
+}
+
+impl Value {
+    /// The column type this value belongs to, `None` for `Null`.
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Float(_) => Some(ColumnType::Float),
+            Value::Str(_) => Some(ColumnType::Str),
+            Value::Bool(_) => Some(ColumnType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Whether this value may be stored in a column of the given type.
+    /// `Null` is storable anywhere; `Int` widens into `Float` columns.
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), ColumnType::Float) => true,
+            (v, t) => v.column_type() == Some(t),
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Result<i64, StorageError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(StorageError::TypeError { expected: "Int", got: format!("{other:?}") }),
+        }
+    }
+
+    /// Float accessor; integers widen.
+    pub fn as_float(&self) -> Result<f64, StorageError> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(StorageError::TypeError { expected: "Float", got: format!("{other:?}") }),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Result<&str, StorageError> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(StorageError::TypeError { expected: "Str", got: format!("{other:?}") }),
+        }
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Result<bool, StorageError> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(StorageError::TypeError { expected: "Bool", got: format!("{other:?}") }),
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Renders the value for CSV output. Strings are quoted only when they
+    /// contain separators; `Null` renders as the empty field.
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => {
+                // Keep full round-trip precision.
+                format!("{v}")
+            }
+            Value::Str(v) => {
+                if v.contains(',') || v.contains('"') || v.contains('\n') {
+                    format!("\"{}\"", v.replace('"', "\"\""))
+                } else {
+                    v.clone()
+                }
+            }
+            Value::Bool(v) => v.to_string(),
+            Value::Null => String::new(),
+        }
+    }
+
+    /// Parses a CSV field into a value of the given column type. Empty
+    /// fields parse to `Null`.
+    pub fn parse_csv_field(field: &str, ty: ColumnType) -> Result<Value, StorageError> {
+        if field.is_empty() {
+            return Ok(Value::Null);
+        }
+        match ty {
+            ColumnType::Int => field.parse::<i64>().map(Value::Int).map_err(|e| {
+                StorageError::TypeError { expected: "Int", got: format!("{field:?} ({e})") }
+            }),
+            ColumnType::Float => field.parse::<f64>().map(Value::Float).map_err(|e| {
+                StorageError::TypeError { expected: "Float", got: format!("{field:?} ({e})") }
+            }),
+            ColumnType::Str => Ok(Value::Str(field.to_string())),
+            ColumnType::Bool => match field {
+                "true" | "1" => Ok(Value::Bool(true)),
+                "false" | "0" => Ok(Value::Bool(false)),
+                other => Err(StorageError::TypeError {
+                    expected: "Bool",
+                    got: format!("{other:?}"),
+                }),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_matrix() {
+        assert!(Value::Int(1).fits(ColumnType::Int));
+        assert!(Value::Int(1).fits(ColumnType::Float), "ints widen to float");
+        assert!(!Value::Float(1.0).fits(ColumnType::Int));
+        assert!(Value::Null.fits(ColumnType::Str));
+        assert!(!Value::Bool(true).fits(ColumnType::Str));
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(Value::Str("x".into()).as_int().is_err());
+        assert!(Value::Null.as_bool().is_err());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let cases = [
+            (Value::Int(-42), ColumnType::Int),
+            (Value::Float(3.25), ColumnType::Float),
+            (Value::Str("hello".into()), ColumnType::Str),
+            (Value::Bool(true), ColumnType::Bool),
+            (Value::Null, ColumnType::Float),
+        ];
+        for (v, ty) in cases {
+            let field = v.to_csv_field();
+            let parsed = Value::parse_csv_field(&field, ty).unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+
+    #[test]
+    fn csv_quoting_for_commas() {
+        let v = Value::Str("a,b \"c\"".into());
+        assert_eq!(v.to_csv_field(), "\"a,b \"\"c\"\"\"");
+    }
+
+    #[test]
+    fn csv_parse_rejects_garbage() {
+        assert!(Value::parse_csv_field("abc", ColumnType::Int).is_err());
+        assert!(Value::parse_csv_field("maybe", ColumnType::Bool).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types for the traffic substrate.
+
+use std::fmt;
+
+/// Errors produced by the traffic substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// The fleet was configured with impossible parameters.
+    InvalidConfig {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A CSV trace line failed to parse.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An IO error (stringified; io::Error is not Clone).
+    Io(String),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidConfig { reason } => {
+                write!(f, "invalid fleet configuration: {reason}")
+            }
+            TrafficError::CsvParse { line, reason } => {
+                write!(f, "trace CSV parse error at line {line}: {reason}")
+            }
+            TrafficError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+impl From<std::io::Error> for TrafficError {
+    fn from(e: std::io::Error) -> Self {
+        TrafficError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,197 @@
+//! The bus trace data model (Table 1 of the paper) and its enrichment
+//! (Section 3.1).
+
+use serde::{Deserialize, Serialize};
+use tms_geo::GeoPoint;
+
+/// Milliseconds in an hour.
+pub const HOUR_MS: u64 = 3_600_000;
+/// Milliseconds in a day.
+pub const DAY_MS: u64 = 24 * HOUR_MS;
+
+/// One raw bus report — the fields of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusTrace {
+    /// Time of the measurement, in milliseconds since the simulation
+    /// epoch (midnight of day 0).
+    pub timestamp_ms: u64,
+    /// The line of the bus.
+    pub line_id: u32,
+    /// Travel direction flag.
+    pub direction: bool,
+    /// GPS position of the bus.
+    pub position: GeoPoint,
+    /// Seconds the bus is **behind** schedule (the dataset stores "ahead
+    /// of schedule"; we store the negated value so bigger = worse, which
+    /// is how every rule in the paper reads it).
+    pub delay_s: f64,
+    /// Whether the vehicle reports congestion.
+    pub congestion: bool,
+    /// Id of the closest bus stop as reported by the vehicle (noisy; the
+    /// off-line component recomputes stops from scratch, Section 4.1.2).
+    pub reported_stop: Option<u32>,
+    /// Whether the vehicle reported being at a stop with this trace.
+    pub at_stop: bool,
+    /// Distinguishes different vehicles.
+    pub vehicle_id: u32,
+}
+
+impl BusTrace {
+    /// Hour of day of the measurement, `0..24`.
+    pub fn hour_of_day(&self) -> u8 {
+        ((self.timestamp_ms % DAY_MS) / HOUR_MS) as u8
+    }
+
+    /// Day index since the simulation epoch.
+    pub fn day_index(&self) -> u32 {
+        (self.timestamp_ms / DAY_MS) as u32
+    }
+}
+
+/// A trace after the PreProcess / AreaTracker / BusStopsTracker bolts ran
+/// (Figure 8): speed and actual delay computed, spatial ids attached.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnrichedTrace {
+    /// The raw report.
+    pub trace: BusTrace,
+    /// Speed over ground since the previous report of this vehicle, km/h.
+    /// `None` for a vehicle's first report.
+    pub speed_kmh: Option<f64>,
+    /// Change of the delay value since the previous report ("actual
+    /// delay" in Section 3.1). `None` for a vehicle's first report.
+    pub actual_delay_s: Option<f64>,
+    /// Region ids (as `R<id>` strings) of the quadtree areas containing
+    /// the position, root first — attached by the AreaTracker bolt.
+    pub areas: Vec<String>,
+    /// Recomputed closest bus stop (as an `S<id>` string) — attached by
+    /// the BusStopsTracker bolt.
+    pub bus_stop: Option<String>,
+}
+
+/// The monitorable attributes of the generic rule template (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// The reported schedule delay.
+    Delay,
+    /// The per-report change in delay.
+    ActualDelay,
+    /// The computed speed.
+    Speed,
+    /// Delay, gated on the congestion flag (the rule only counts delayed
+    /// reports that also flag congestion).
+    DelayAndCongestion,
+}
+
+impl Attribute {
+    /// All attributes, in Table 6 order.
+    pub const ALL: [Attribute; 4] =
+        [Attribute::Delay, Attribute::ActualDelay, Attribute::Speed, Attribute::DelayAndCongestion];
+
+    /// Stable name used in table names, EPL fields and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attribute::Delay => "delay",
+            Attribute::ActualDelay => "actual_delay",
+            Attribute::Speed => "speed",
+            Attribute::DelayAndCongestion => "delay_congestion",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn parse(s: &str) -> Option<Attribute> {
+        Attribute::ALL.into_iter().find(|a| a.name() == s)
+    }
+
+    /// Extracts the attribute's value from an enriched trace; `None` when
+    /// the trace cannot provide it (first report, or the congestion gate
+    /// is closed).
+    pub fn value(self, t: &EnrichedTrace) -> Option<f64> {
+        match self {
+            Attribute::Delay => Some(t.trace.delay_s),
+            Attribute::ActualDelay => t.actual_delay_s,
+            Attribute::Speed => t.speed_kmh,
+            Attribute::DelayAndCongestion => t.trace.congestion.then_some(t.trace.delay_s),
+        }
+    }
+
+    /// Whether "abnormal" means *exceeding* the threshold (delay) or
+    /// *falling below* it (speed: congestion shows as low speed,
+    /// Section 3.1).
+    pub fn abnormal_is_high(self) -> bool {
+        !matches!(self, Attribute::Speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_geo::GeoPoint;
+
+    fn trace(ts: u64) -> BusTrace {
+        BusTrace {
+            timestamp_ms: ts,
+            line_id: 46,
+            direction: true,
+            position: GeoPoint::new_unchecked(53.33, -6.26),
+            delay_s: 120.0,
+            congestion: false,
+            reported_stop: Some(7),
+            at_stop: false,
+            vehicle_id: 33001,
+        }
+    }
+
+    fn enriched(ts: u64) -> EnrichedTrace {
+        EnrichedTrace {
+            trace: trace(ts),
+            speed_kmh: Some(24.0),
+            actual_delay_s: Some(10.0),
+            areas: vec!["R0".into(), "R3".into()],
+            bus_stop: Some("S5".into()),
+        }
+    }
+
+    #[test]
+    fn hour_and_day_derivation() {
+        let t = trace(6 * HOUR_MS + 30 * 60_000);
+        assert_eq!(t.hour_of_day(), 6);
+        assert_eq!(t.day_index(), 0);
+        // 02:00 on day 1 — the tail of day 0's service window.
+        let t = trace(DAY_MS + 2 * HOUR_MS);
+        assert_eq!(t.hour_of_day(), 2);
+        assert_eq!(t.day_index(), 1);
+    }
+
+    #[test]
+    fn attribute_values() {
+        let e = enriched(0);
+        assert_eq!(Attribute::Delay.value(&e), Some(120.0));
+        assert_eq!(Attribute::ActualDelay.value(&e), Some(10.0));
+        assert_eq!(Attribute::Speed.value(&e), Some(24.0));
+        // Congestion flag is off → gated attribute yields nothing.
+        assert_eq!(Attribute::DelayAndCongestion.value(&e), None);
+        let mut congested = enriched(0);
+        congested.trace.congestion = true;
+        assert_eq!(Attribute::DelayAndCongestion.value(&congested), Some(120.0));
+        // First report: no derived attributes.
+        let mut first = enriched(0);
+        first.speed_kmh = None;
+        first.actual_delay_s = None;
+        assert_eq!(Attribute::Speed.value(&first), None);
+        assert_eq!(Attribute::ActualDelay.value(&first), None);
+    }
+
+    #[test]
+    fn attribute_names_round_trip() {
+        for a in Attribute::ALL {
+            assert_eq!(Attribute::parse(a.name()), Some(a));
+        }
+        assert_eq!(Attribute::parse("bogus"), None);
+    }
+
+    #[test]
+    fn speed_abnormality_is_low() {
+        assert!(Attribute::Delay.abnormal_is_high());
+        assert!(!Attribute::Speed.abnormal_is_high());
+    }
+}

@@ -1,0 +1,126 @@
+//! The PreProcess bolt's logic (Section 3.1, Figure 8): enrich each raw
+//! trace with the vehicle's speed over ground and its *actual delay* (the
+//! change in the reported delay since the previous measurement).
+
+use crate::model::{BusTrace, EnrichedTrace};
+use std::collections::HashMap;
+use tms_geo::GeoPoint;
+
+/// Stateful per-vehicle preprocessor. One instance per PreProcess bolt
+/// task; routing traces to tasks by `vehicle_id` (fields grouping) keeps
+/// each vehicle's history on one task.
+#[derive(Debug, Default)]
+pub struct Preprocessor {
+    last: HashMap<u32, (u64, GeoPoint, f64)>,
+}
+
+impl Preprocessor {
+    /// Creates an empty preprocessor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enriches one trace. Spatial enrichment (areas, bus stop) is done by
+    /// the downstream AreaTracker / BusStopsTracker bolts; this fills the
+    /// kinematic fields.
+    pub fn enrich(&mut self, trace: BusTrace) -> EnrichedTrace {
+        let prev = self.last.insert(
+            trace.vehicle_id,
+            (trace.timestamp_ms, trace.position, trace.delay_s),
+        );
+        let (speed_kmh, actual_delay_s) = match prev {
+            Some((pts, ppos, pdelay)) if trace.timestamp_ms > pts => {
+                let dt_h = (trace.timestamp_ms - pts) as f64 / 3_600_000.0;
+                let dist_km = trace.position.haversine_m(&ppos) / 1000.0;
+                (Some(dist_km / dt_h), Some(trace.delay_s - pdelay))
+            }
+            // Duplicate or reordered timestamp: treat as a first report
+            // rather than dividing by zero.
+            _ => (None, None),
+        };
+        EnrichedTrace {
+            trace,
+            speed_kmh,
+            actual_delay_s,
+            areas: Vec::new(),
+            bus_stop: None,
+        }
+    }
+
+    /// Number of vehicles currently tracked.
+    pub fn tracked_vehicles(&self) -> usize {
+        self.last.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_geo::GeoPoint;
+
+    fn trace(vehicle: u32, ts: u64, lat: f64, delay: f64) -> BusTrace {
+        BusTrace {
+            timestamp_ms: ts,
+            line_id: 1,
+            direction: true,
+            position: GeoPoint::new_unchecked(lat, -6.26),
+            delay_s: delay,
+            congestion: false,
+            reported_stop: None,
+            at_stop: false,
+            vehicle_id: vehicle,
+        }
+    }
+
+    #[test]
+    fn first_report_has_no_derived_fields() {
+        let mut p = Preprocessor::new();
+        let e = p.enrich(trace(1, 0, 53.33, 100.0));
+        assert_eq!(e.speed_kmh, None);
+        assert_eq!(e.actual_delay_s, None);
+    }
+
+    #[test]
+    fn speed_and_actual_delay_from_consecutive_reports() {
+        let mut p = Preprocessor::new();
+        p.enrich(trace(1, 0, 53.3300, 100.0));
+        // 20 s later, moved north; delay grew by 15 s.
+        let e = p.enrich(trace(1, 20_000, 53.3318, 115.0));
+        let speed = e.speed_kmh.unwrap();
+        // ~200 m in 20 s = 36 km/h.
+        assert!((30.0..42.0).contains(&speed), "speed {speed}");
+        assert_eq!(e.actual_delay_s, Some(15.0));
+    }
+
+    #[test]
+    fn vehicles_are_independent() {
+        let mut p = Preprocessor::new();
+        p.enrich(trace(1, 0, 53.33, 0.0));
+        let e2 = p.enrich(trace(2, 20_000, 53.35, 50.0));
+        assert_eq!(e2.speed_kmh, None, "vehicle 2's first report");
+        let e1 = p.enrich(trace(1, 40_000, 53.33, 10.0));
+        assert_eq!(e1.actual_delay_s, Some(10.0));
+        assert_eq!(p.tracked_vehicles(), 2);
+    }
+
+    #[test]
+    fn duplicate_timestamp_does_not_divide_by_zero() {
+        let mut p = Preprocessor::new();
+        p.enrich(trace(1, 1000, 53.33, 0.0));
+        let e = p.enrich(trace(1, 1000, 53.34, 5.0));
+        assert_eq!(e.speed_kmh, None);
+        assert_eq!(e.actual_delay_s, None);
+        // And recovery afterwards.
+        let e = p.enrich(trace(1, 21_000, 53.34, 8.0));
+        assert!(e.speed_kmh.is_some());
+        assert_eq!(e.actual_delay_s, Some(3.0));
+    }
+
+    #[test]
+    fn stationary_bus_has_zero_speed() {
+        let mut p = Preprocessor::new();
+        p.enrich(trace(1, 0, 53.33, 0.0));
+        let e = p.enrich(trace(1, 20_000, 53.33, 0.0));
+        assert_eq!(e.speed_kmh, Some(0.0));
+    }
+}

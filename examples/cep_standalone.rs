@@ -1,0 +1,92 @@
+//! The CEP engine on its own: register streams, write EPL, feed events —
+//! the Esper-style API underneath the traffic system (Section 2.1.2).
+//!
+//! ```text
+//! cargo run --release --example cep_standalone
+//! ```
+
+use traffic_insight::cep::{Engine, Event, EventType, FieldType};
+
+fn main() {
+    let mut engine = Engine::new();
+    engine
+        .register_type(
+            EventType::with_fields(
+                "trade",
+                &[
+                    ("symbol", FieldType::Str),
+                    ("price", FieldType::Float),
+                    ("size", FieldType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // A windowed aggregate with GROUP BY / HAVING, plus INSERT INTO
+    // composition: large average prices feed a second stream whose rule
+    // raises alerts. Streams with non-numeric fields must be registered
+    // before the INSERT INTO statement that feeds them.
+    engine
+        .register_type(
+            EventType::with_fields(
+                "pricey",
+                &[("symbol", FieldType::Str), ("avg_price", FieldType::Float)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    engine
+        .create_statement_silent(
+            "INSERT INTO pricey \
+             SELECT w.symbol AS symbol, avg(w.price) AS avg_price \
+             FROM trade.std:groupwin(symbol).win:length(3) AS w \
+             GROUP BY w.symbol \
+             HAVING avg(w.price) > 100",
+        )
+        .unwrap();
+    engine
+        .create_statement(
+            "SELECT symbol, avg_price FROM pricey",
+            Box::new(|_, rows| {
+                for row in rows {
+                    println!(
+                        "  alert: {} averaging {}",
+                        row.get("symbol").unwrap(),
+                        row.get("avg_price").unwrap()
+                    );
+                }
+            }),
+        )
+        .unwrap();
+
+    let ty = engine.event_type("trade").unwrap().clone();
+    let feed = [
+        ("ACME", 95.0),
+        ("ACME", 103.0),
+        ("ACME", 110.0), // avg 102.7 -> alert
+        ("WIDG", 20.0),
+        ("WIDG", 22.0),
+        ("ACME", 120.0), // window slides: avg 111 -> alert
+        ("WIDG", 21.0),  // quiet stock stays quiet
+    ];
+    println!("feeding {} trades:", feed.len());
+    for (i, (symbol, price)) in feed.iter().enumerate() {
+        let ev = Event::from_pairs(
+            &ty,
+            i as u64 * 1000,
+            &[
+                ("symbol", (*symbol).into()),
+                ("price", (*price).into()),
+                ("size", 100i64.into()),
+            ],
+        )
+        .unwrap();
+        engine.send_event(ev).unwrap();
+    }
+    let stats = engine.stats();
+    println!(
+        "engine processed {} events, emitted {} rows over {} firings",
+        stats.events_in, stats.rows_out, stats.firings
+    );
+}

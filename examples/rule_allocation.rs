@@ -1,0 +1,109 @@
+//! The start-up optimization components in isolation (Section 4.2): the
+//! latency estimation model, Algorithm 1 (rule partitioning) and
+//! Algorithm 2 (rules allocation), plus the XML topology front end.
+//!
+//! ```text
+//! cargo run --release --example rule_allocation
+//! ```
+
+use traffic_insight::core::allocation::{allocate, round_robin, system_rate, Grouping};
+use traffic_insight::core::latency::{EstimationModel, RuleLoad};
+use traffic_insight::core::partitioning::{partition_rule, RegionRate};
+use traffic_insight::core::rules::{LocationSelector, RuleSpec};
+use traffic_insight::dsps::parse_topology_xml;
+use traffic_insight::traffic::Attribute;
+
+fn main() {
+    // ---- The estimation model (Section 4.1.4, Figure 7) -----------------
+    let model = EstimationModel::default_paper_shaped();
+    println!("latency estimation model (Function 1):");
+    for (l, t) in [(1usize, 48usize), (100, 48), (100, 2400), (1000, 2400)] {
+        let ms = model.rule_latency(RuleLoad { window: l, thresholds: t }).unwrap();
+        println!("  rule(window {l:>4}, thresholds {t:>4}) -> {ms:.3} ms/tuple");
+    }
+    let one = model.rule_latency(RuleLoad { window: 100, thresholds: 480 }).unwrap();
+    println!(
+        "Function 2 fold: 1 rule {:.3} ms, 4 rules {:.3} ms, 10 rules {:.3} ms",
+        model.engine_latency(&[one]).unwrap(),
+        model.engine_latency(&[one; 4]).unwrap(),
+        model.engine_latency(&[one; 10]).unwrap(),
+    );
+    let crowded = model.node_adjusted(&[2.0, 2.0, 2.0]).unwrap();
+    println!("Function 3: three 2 ms engines co-located -> {:.2} ms each\n", crowded[0]);
+
+    // ---- Algorithm 1: partition a rule's regions -------------------------
+    // A skewed city: the centre regions carry most of the traffic.
+    let regions: Vec<RegionRate> = (0..12)
+        .map(|i| RegionRate {
+            region: format!("R{i}"),
+            rate: if i < 3 { 900.0 } else { 100.0 },
+        })
+        .collect();
+    let partition = partition_rule(&regions, 4).unwrap();
+    println!("Algorithm 1: 12 skewed regions over 4 engines");
+    for (e, (assigned, rate)) in
+        partition.assignments.iter().zip(&partition.rates).enumerate()
+    {
+        println!("  engine {e}: {:>6.0} tuples/s <- {assigned:?}", rate);
+    }
+    println!("  imbalance (max/min rate): {:.2}\n", partition.imbalance());
+
+    // ---- Algorithm 2: allocate engines over groupings --------------------
+    let grouping = |name: &str, windows: &[usize], regions: usize, rate: f64| Grouping {
+        name: name.into(),
+        layers: vec![0],
+        rules: windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                RuleSpec::new(
+                    format!("{name}-{i}"),
+                    Attribute::Delay,
+                    LocationSelector::QuadtreeLeaves,
+                    w,
+                )
+            })
+            .collect(),
+        regions: (0..regions)
+            .map(|i| RegionRate { region: format!("{name}{i}"), rate: rate / regions as f64 })
+            .collect(),
+        thresholds: vec![regions * 48; windows.len()],
+    };
+    let groupings = vec![
+        grouping("heavy", &[1000, 1000, 100], 64, 6_000.0),
+        grouping("light", &[1, 10], 64, 6_000.0),
+    ];
+    for n in [4usize, 10, 20] {
+        let ours = allocate(&model, &groupings, n).unwrap();
+        let rr = round_robin(&groupings, n).unwrap();
+        println!(
+            "Algorithm 2 with {n:>2} engines: ours {:?} (system sustains {:.0}%), round-robin {:?} ({:.0}%)",
+            ours.engines,
+            system_rate(&model, &groupings, &ours).unwrap() * 100.0,
+            rr.engines,
+            system_rate(&model, &groupings, &rr).unwrap() * 100.0,
+        );
+    }
+
+    // ---- XML topologies (Section 3.2) ------------------------------------
+    let xml = r#"
+<topology name="traffic">
+  <spout name="busReader" type="BusReaderSpout" tasks="2"/>
+  <bolt name="preprocess" type="PreProcessBolt" tasks="2">
+    <subscribe source="busReader" grouping="fields" key="vehicle"/>
+  </bolt>
+  <bolt name="esper" type="EsperBolt" tasks="8">
+    <subscribe source="preprocess" grouping="direct"/>
+  </bolt>
+  <rules>
+    <rule>delay:leaves:100</rule>
+    <rule>speed:stops:10:2.0</rule>
+  </rules>
+</topology>"#;
+    let spec = parse_topology_xml(xml).unwrap();
+    let rules = traffic_insight::core::system::TrafficSystem::rules_from_xml_spec(&spec).unwrap();
+    println!("\nXML topology {:?}: {} spouts, {} bolts, {} rules", spec.name, spec.spouts.len(), spec.bolts.len(), rules.len());
+    for r in &rules {
+        println!("  rule {}: {:?} over {:?}, window {}, weight {}", r.name, r.attribute, r.location, r.window_length, r.weight);
+    }
+}

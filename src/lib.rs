@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole traffic-insight workspace API.
+pub use tms_batch as batch;
+pub use tms_cep as cep;
+pub use tms_core as core;
+pub use tms_dsps as dsps;
+pub use tms_geo as geo;
+pub use tms_sim as sim;
+pub use tms_storage as storage;
+pub use tms_traffic as traffic;

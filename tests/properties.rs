@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use traffic_insight::cep::{Engine, Event, EventType, FieldType};
+use traffic_insight::core::latency::PolyModel;
+use traffic_insight::core::partitioning::{partition_rule, RegionRate};
+use traffic_insight::geo::{GeoPoint, QuadtreeConfig, RegionQuadtree, DUBLIN_BBOX};
+use traffic_insight::traffic::csv::{from_csv_line, to_csv_line};
+use traffic_insight::traffic::BusTrace;
+
+fn dublin_point() -> impl Strategy<Value = GeoPoint> {
+    (
+        DUBLIN_BBOX.min_lat..DUBLIN_BBOX.max_lat,
+        DUBLIN_BBOX.min_lon..DUBLIN_BBOX.max_lon,
+    )
+        .prop_map(|(lat, lon)| GeoPoint::new_unchecked(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quadtree: every in-bounds point maps to exactly one leaf, and the
+    /// layer lookup always returns an ancestor of that leaf.
+    #[test]
+    fn quadtree_point_location(
+        seeds in prop::collection::vec(dublin_point(), 1..80),
+        probes in prop::collection::vec(dublin_point(), 1..40),
+        cap in 1usize..8,
+    ) {
+        let tree = RegionQuadtree::build(
+            DUBLIN_BBOX,
+            &seeds,
+            QuadtreeConfig { max_points_per_region: cap, max_depth: 8 },
+        ).unwrap();
+        for p in &probes {
+            let leaf = tree.locate_leaf(p).expect("in bounds");
+            prop_assert!(leaf.is_leaf());
+            prop_assert!(leaf.bbox.contains_inclusive(p));
+            // Exactly one leaf contains the point (half-open tiling).
+            let containing = tree.leaves().iter().filter(|l| l.bbox.contains(p)).count();
+            prop_assert!(containing <= 1);
+            // The chain is consistent.
+            let chain = tree.locate_all_layers(p);
+            prop_assert_eq!(chain.last().unwrap().id, leaf.id);
+            for w in chain.windows(2) {
+                prop_assert_eq!(w[1].parent, Some(w[0].id));
+            }
+        }
+    }
+
+    /// Algorithm 1: every region assigned exactly once, and the heaviest
+    /// engine carries at most (ideal average + heaviest single region) —
+    /// the classic greedy-balancing bound.
+    #[test]
+    fn partition_balance_bound(
+        rates in prop::collection::vec(0.1f64..1000.0, 1..120),
+        engines in 1usize..12,
+    ) {
+        let regions: Vec<RegionRate> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| RegionRate { region: format!("R{i}"), rate })
+            .collect();
+        let p = partition_rule(&regions, engines).unwrap();
+        // Exactly-once assignment.
+        let assigned: usize = p.assignments.iter().map(Vec::len).sum();
+        prop_assert_eq!(assigned, regions.len());
+        // Rates accounted for.
+        let total: f64 = rates.iter().sum();
+        let sum: f64 = p.rates.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total.max(1.0));
+        // Greedy bound.
+        let ideal = total / engines as f64;
+        let max_region = rates.iter().cloned().fold(0.0, f64::max);
+        let max_engine = p.rates.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(
+            max_engine <= ideal + max_region + 1e-9,
+            "max engine {} exceeds ideal {} + max region {}", max_engine, ideal, max_region
+        );
+    }
+
+    /// Polynomial regression recovers exact linear data, regardless of the
+    /// coefficients.
+    #[test]
+    fn polyfit_recovers_linear_models(
+        c0 in -100.0f64..100.0,
+        c1 in -10.0f64..10.0,
+        c2 in -10.0f64..10.0,
+    ) {
+        let mut samples = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                let (x1, x2) = (i as f64 * 3.0, j as f64 * 7.0);
+                samples.push((vec![x1, x2], c0 + c1 * x1 + c2 * x2));
+            }
+        }
+        let m = PolyModel::fit(&samples, 1).unwrap();
+        prop_assert!(m.mean_abs_error(&samples).unwrap() < 1e-6);
+        let probe = m.predict(&[50.0, 50.0]).unwrap();
+        let truth = c0 + c1 * 50.0 + c2 * 50.0;
+        prop_assert!((probe - truth).abs() < 1e-5 * (1.0 + truth.abs()));
+    }
+
+    /// Bus trace CSV round-trips for arbitrary in-range values.
+    #[test]
+    fn trace_csv_round_trip(
+        ts in 0u64..2_000_000_000,
+        line in 0u32..100,
+        direction in any::<bool>(),
+        p in dublin_point(),
+        delay in -600.0f64..3600.0,
+        congestion in any::<bool>(),
+        stop in prop::option::of(0u32..10_000),
+        at_stop in any::<bool>(),
+        vehicle in 0u32..50_000,
+    ) {
+        let t = BusTrace {
+            timestamp_ms: ts,
+            line_id: line,
+            direction,
+            position: p,
+            delay_s: delay,
+            congestion,
+            reported_stop: stop,
+            at_stop,
+            vehicle_id: vehicle,
+        };
+        let parsed = from_csv_line(&to_csv_line(&t), 1).unwrap();
+        prop_assert_eq!(parsed.timestamp_ms, t.timestamp_ms);
+        prop_assert_eq!(parsed.line_id, t.line_id);
+        prop_assert_eq!(parsed.direction, t.direction);
+        prop_assert_eq!(parsed.reported_stop, t.reported_stop);
+        prop_assert_eq!(parsed.vehicle_id, t.vehicle_id);
+        prop_assert!((parsed.delay_s - t.delay_s).abs() < 0.01);
+        prop_assert!((parsed.position.lat - t.position.lat).abs() < 1e-5);
+        prop_assert!((parsed.position.lon - t.position.lon).abs() < 1e-5);
+    }
+
+    /// CEP length windows: after any event sequence, a `win:length(n)`
+    /// statement's count never exceeds n per group, and the reported
+    /// average equals the true average over the last n values of the
+    /// group.
+    #[test]
+    fn cep_window_average_matches_reference(
+        values in prop::collection::vec((0u8..3, -100.0f64..100.0), 1..60),
+        n in 1usize..8,
+    ) {
+        let mut engine = Engine::new();
+        engine.register_type(EventType::with_fields(
+            "s",
+            &[("location", FieldType::Str), ("v", FieldType::Float)],
+        ).unwrap()).unwrap();
+        let results = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = results.clone();
+        engine.create_statement(
+            &format!(
+                "SELECT w.location AS location, avg(w.v) AS m, count(*) AS n \
+                 FROM s.std:groupwin(location).win:length({n}) AS w GROUP BY w.location"
+            ),
+            Box::new(move |_, rows| {
+                for r in rows {
+                    sink.lock().push((
+                        r.get("location").unwrap().to_string(),
+                        r.get("m").unwrap().as_f64().unwrap(),
+                        r.get("n").unwrap().as_f64().unwrap(),
+                    ));
+                }
+            }),
+        ).unwrap();
+        let ty = engine.event_type("s").unwrap().clone();
+        let mut reference: std::collections::HashMap<String, Vec<f64>> = Default::default();
+        for (i, (loc, v)) in values.iter().enumerate() {
+            let loc = format!("L{loc}");
+            engine.send_event(Event::from_pairs(
+                &ty,
+                i as u64,
+                &[("location", loc.as_str().into()), ("v", (*v).into())],
+            ).unwrap()).unwrap();
+            reference.entry(loc.clone()).or_default().push(*v);
+
+            let got = results.lock().pop().expect("one result per event");
+            results.lock().clear();
+            let window = reference.get(&loc).unwrap();
+            let tail: Vec<f64> = window.iter().rev().take(n).cloned().collect();
+            let want = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert_eq!(&got.0, &loc);
+            prop_assert!((got.1 - want).abs() < 1e-9, "avg {} vs {}", got.1, want);
+            prop_assert!(got.2 as usize <= n, "count exceeds window");
+        }
+    }
+}

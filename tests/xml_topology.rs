@@ -1,0 +1,71 @@
+//! Integration: the XML topology front end (Section 3.2) driving the
+//! start-up optimizer — "the user must submit only a spout for specifying
+//! the input source along with the rules she wishes to execute".
+
+use traffic_insight::core::system::{SystemConfig, TrafficSystem};
+use traffic_insight::dsps::parse_topology_xml;
+use traffic_insight::geo::DUBLIN_BBOX;
+use traffic_insight::traffic::{FleetConfig, FleetGenerator, HOUR_MS};
+
+const XML: &str = r#"<?xml version="1.0"?>
+<topology name="dublin-traffic">
+  <spout name="busReader" type="BusReaderSpout" tasks="2"/>
+  <bolt name="preprocess" type="PreProcessBolt" tasks="2">
+    <subscribe source="busReader" grouping="fields" key="vehicle"/>
+  </bolt>
+  <bolt name="esper" type="EsperBolt" tasks="4">
+    <subscribe source="preprocess" grouping="direct"/>
+  </bolt>
+  <rules>
+    <rule>delay:leaves:10:1.5</rule>
+    <rule>delay:stops:10</rule>
+    <rule>speed:leaves:100</rule>
+  </rules>
+</topology>"#;
+
+#[test]
+fn xml_rules_drive_the_startup_optimizer() {
+    let spec = parse_topology_xml(XML).unwrap();
+    assert_eq!(spec.name, "dublin-traffic");
+    assert_eq!(spec.bolts.len(), 2);
+
+    let mut rules = TrafficSystem::rules_from_xml_spec(&spec).unwrap();
+    assert_eq!(rules.len(), 3);
+    assert_eq!(rules[0].weight, 1.5);
+    // Higher sensitivity keeps the test focused on plumbing, not noise.
+    for r in &mut rules {
+        r.s = 2.5;
+    }
+
+    let fleet = FleetConfig { buses: 20, lines: 5, seed: 7, ..FleetConfig::default() };
+    let gen = FleetGenerator::new(fleet, 0).unwrap();
+    let seeds = gen.route_seed_points();
+    let history: Vec<_> = gen.take_while(|t| t.timestamp_ms < 9 * HOUR_MS).collect();
+    let system =
+        TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, SystemConfig::default()).unwrap();
+
+    // Engines follow the XML's esper task count.
+    let esper_tasks = spec.bolts.iter().find(|b| b.name == "esper").unwrap().parallelism.tasks;
+    let plan = system.startup_plan(&rules, esper_tasks).unwrap();
+    assert_eq!(plan.allocation.engines.iter().sum::<usize>(), 4);
+    // Every rule appears in at least one engine's plan.
+    for rule in &rules {
+        let present = plan
+            .engine_plan
+            .per_engine
+            .iter()
+            .flatten()
+            .any(|(spec, locations)| spec.name == rule.name && !locations.is_empty());
+        assert!(present, "rule {} missing from the engine plan", rule.name);
+    }
+}
+
+#[test]
+fn malformed_xml_rules_are_rejected() {
+    let bad = r#"<topology name="t">
+      <spout name="s" type="T"/>
+      <rules><rule>delay:everywhere:10</rule></rules>
+    </topology>"#;
+    let spec = parse_topology_xml(bad).unwrap();
+    assert!(TrafficSystem::rules_from_xml_spec(&spec).is_err());
+}
