@@ -148,6 +148,67 @@ fn bench_join_cache_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation: the delta-maintained incremental evaluation path vs the
+/// full-window rescan. A single grouped avg+stddev statement over
+/// `win:length(100)` — the rescan arm walks all 100 window events and
+/// rebuilds every group's accumulators per tuple, while the incremental
+/// arm applies the insert/evict delta in O(1).
+fn bench_incremental_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cep/incremental_ablation");
+    for (name, enabled) in [("incremental", true), ("rescan", false)] {
+        let mut engine = tms_cep::Engine::new();
+        engine
+            .register_type(
+                tms_cep::EventType::with_fields(
+                    "bus",
+                    &[
+                        ("location", tms_cep::FieldType::Str),
+                        ("delay", tms_cep::FieldType::Float),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        engine.set_incremental_enabled(enabled).unwrap();
+        engine
+            .create_statement(
+                "SELECT w.location AS loc, avg(w.delay) AS m, stddev(w.delay) AS sd \
+                 FROM bus.win:length(100) AS w GROUP BY w.location",
+                Box::new(|_, rows| {
+                    black_box(rows.len());
+                }),
+            )
+            .unwrap();
+        let locations: Vec<String> = (0..10).map(|i| format!("L{i}")).collect();
+        let mut i = 0usize;
+        let send = |engine: &mut tms_cep::Engine, i: usize| {
+            let ev = engine
+                .make_event(
+                    "bus",
+                    i as u64 * 50,
+                    &[
+                        ("location", locations[i % locations.len()].as_str().into()),
+                        ("delay", ((i % 300) as f64).into()),
+                    ],
+                )
+                .unwrap();
+            engine.send_event(ev).unwrap();
+        };
+        // Fill the window so eviction deltas flow from the first sample.
+        for _ in 0..200 {
+            i += 1;
+            send(&mut engine, i);
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                send(&mut engine, black_box(i));
+            })
+        });
+    }
+    group.finish();
+}
+
 /// EPL front-end: parsing + compiling a Listing 1 statement.
 fn bench_statement_compile(c: &mut Criterion) {
     let epl = rule_spec(0, 100).to_epl();
@@ -159,6 +220,6 @@ fn bench_statement_compile(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_window_length, bench_threshold_count, bench_rule_count, bench_join_cache_ablation, bench_statement_compile
+    targets = bench_window_length, bench_threshold_count, bench_rule_count, bench_join_cache_ablation, bench_incremental_ablation, bench_statement_compile
 }
 criterion_main!(benches);

@@ -13,7 +13,9 @@
 //! target, as recorded in EXPERIMENTS.md.
 
 use std::path::PathBuf;
-use tms_bench::calibrate::{measure_engine_latency, measure_rule_latency};
+use tms_bench::calibrate::{
+    measure_engine_latency, measure_engine_latency_with_mode, measure_rule_latency,
+};
 use tms_bench::report::{format_num, print_series, print_table, ExperimentResult, Series};
 use tms_core::allocation::{allocate, round_robin, Grouping};
 use tms_core::latency::{EstimationModel, PolyModel};
@@ -42,6 +44,7 @@ fn main() {
         "fig12_13" => fig12_13(),
         "fig14_15" => fig14_15(),
         "fig16_17" => fig16_17(),
+        "bench_snapshot" | "--bench-snapshot" => bench_snapshot(),
         "all" => {
             table1();
             table2();
@@ -56,7 +59,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table1 table2 table6 \
-                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 all"
+                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot all"
             );
             std::process::exit(2);
         }
@@ -361,6 +364,116 @@ fn synthetic_trace(i: usize, location: &str) -> tms_traffic::EnrichedTrace {
         areas: vec![location.to_string()],
         bus_stop: None,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Throughput snapshot (BENCH_cep_throughput.json)
+// ---------------------------------------------------------------------------
+
+/// Headline engine throughput: one engine running ten Table 6 rules
+/// (the window grid cycled, threshold-stream retrieval) measured under
+/// both evaluation modes, plus one incremental-eligible grouped-aggregate
+/// statement isolating the delta-maintenance win. The Table 6 rules are
+/// multi-source joins and therefore stay on the rescan join pipeline in
+/// both modes — the two headline numbers bracket the mode switch's effect
+/// on the full rule workload, while the single-statement pair shows the
+/// incremental path itself. Results land in `BENCH_cep_throughput.json`
+/// at the repository root.
+fn bench_snapshot() {
+    println!("\n== Bench snapshot: engine throughput (events/sec) ==");
+    let windows: Vec<usize> = (0..10).map(|i| [1usize, 10, 100, 1000][i % 4]).collect();
+    let t = 480;
+    let tuples = 2_000;
+    let mut headline = Vec::new();
+    for (name, incremental) in [("incremental", true), ("rescan", false)] {
+        let ms = measure_engine_latency_with_mode(&windows, t, tuples, incremental);
+        let eps = 1000.0 / ms;
+        println!(
+            "  10 Table-6 rules, {name:>11}: {} events/s ({} ms/tuple)",
+            format_num(eps),
+            format_num(ms)
+        );
+        headline.push((ms, eps));
+    }
+    let single_inc = single_statement_events_per_sec(true);
+    let single_scan = single_statement_events_per_sec(false);
+    println!(
+        "  grouped avg+stddev win:length(100): incremental {} events/s, \
+         rescan {} events/s ({:.1}x)",
+        format_num(single_inc),
+        format_num(single_scan),
+        single_inc / single_scan
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"cep_engine_throughput\",\n  \
+         \"workload\": \"one engine, 10 Table-6 rules (windows 1/10/100/1000 cycled), \
+         480 thresholds, threshold-stream retrieval\",\n  \
+         \"tuples_measured\": {tuples},\n  \
+         \"ten_table6_rules\": {{\n    \
+         \"incremental\": {{ \"ms_per_tuple\": {:.6}, \"events_per_sec\": {:.1} }},\n    \
+         \"rescan\": {{ \"ms_per_tuple\": {:.6}, \"events_per_sec\": {:.1} }}\n  }},\n  \
+         \"single_grouped_avg_stddev_len100\": {{\n    \
+         \"incremental_events_per_sec\": {:.1},\n    \
+         \"rescan_events_per_sec\": {:.1},\n    \
+         \"speedup\": {:.2}\n  }}\n}}\n",
+        headline[0].0, headline[0].1, headline[1].0, headline[1].1,
+        single_inc, single_scan, single_inc / single_scan,
+    );
+    std::fs::write("BENCH_cep_throughput.json", json)
+        .expect("writing BENCH_cep_throughput.json");
+    println!("(wrote BENCH_cep_throughput.json)");
+}
+
+/// Events/sec through a bare CEP engine running one grouped avg+stddev
+/// statement over `win:length(100)` — the statement shape the incremental
+/// path accelerates.
+fn single_statement_events_per_sec(incremental: bool) -> f64 {
+    let mut engine = tms_cep::Engine::new();
+    engine
+        .register_type(
+            tms_cep::EventType::with_fields(
+                "bus",
+                &[
+                    ("location", tms_cep::FieldType::Str),
+                    ("delay", tms_cep::FieldType::Float),
+                ],
+            )
+            .expect("bus type is valid"),
+        )
+        .expect("registering bus type");
+    engine.set_incremental_enabled(incremental).expect("selecting evaluation mode");
+    engine
+        .create_statement(
+            "SELECT w.location AS loc, avg(w.delay) AS m, stddev(w.delay) AS sd \
+             FROM bus.win:length(100) AS w GROUP BY w.location",
+            Box::new(|_, _| {}),
+        )
+        .expect("creating benchmark statement");
+    let locations: Vec<String> = (0..10).map(|i| format!("L{i}")).collect();
+    let send = |engine: &mut tms_cep::Engine, i: usize| {
+        let ev = engine
+            .make_event(
+                "bus",
+                i as u64 * 50,
+                &[
+                    ("location", locations[i % locations.len()].as_str().into()),
+                    ("delay", ((i % 300) as f64).into()),
+                ],
+            )
+            .expect("benchmark event");
+        engine.send_event(ev).expect("benchmark event accepted");
+    };
+    // Fill the window so evictions flow from the first measured sample.
+    let warmup = 1_500;
+    for i in 0..warmup {
+        send(&mut engine, i);
+    }
+    let n = 30_000;
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        send(&mut engine, warmup + i);
+    }
+    n as f64 / start.elapsed().as_secs_f64()
 }
 
 // ---------------------------------------------------------------------------

@@ -107,18 +107,36 @@ pub fn measure_rule_latency(l: usize, t: usize, tuples: usize) -> f64 {
 /// otherwise poison the regression fit (and, through the sequential F2
 /// fold, everything downstream).
 pub fn measure_engine_latency(windows: &[usize], t: usize, tuples: usize) -> f64 {
+    measure_engine_latency_with_mode(windows, t, tuples, true)
+}
+
+/// Like [`measure_engine_latency`], but selecting the engine's evaluation
+/// mode: `incremental = false` forces full-window rescans, so the latency
+/// model can be recalibrated under either ablation arm.
+pub fn measure_engine_latency_with_mode(
+    windows: &[usize],
+    t: usize,
+    tuples: usize,
+    incremental: bool,
+) -> f64 {
     let mut runs = [
-        measure_engine_latency_once(windows, t, tuples),
-        measure_engine_latency_once(windows, t, tuples),
-        measure_engine_latency_once(windows, t, tuples),
+        measure_engine_latency_once(windows, t, tuples, incremental),
+        measure_engine_latency_once(windows, t, tuples, incremental),
+        measure_engine_latency_once(windows, t, tuples, incremental),
     ];
     runs.sort_by(f64::total_cmp);
     runs[1]
 }
 
-fn measure_engine_latency_once(windows: &[usize], t: usize, tuples: usize) -> f64 {
+fn measure_engine_latency_once(
+    windows: &[usize],
+    t: usize,
+    tuples: usize,
+    incremental: bool,
+) -> f64 {
     let (store, locations) = store_with_thresholds(t);
     let mut engine = RuleEngine::new(RetrievalMethod::ThresholdStream, store, None);
+    engine.set_incremental_enabled(incremental).expect("selecting evaluation mode");
     for (i, &l) in windows.iter().enumerate() {
         let mut spec = rule(l);
         spec.name = format!("cal-{i}-l{l}");

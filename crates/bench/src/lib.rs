@@ -4,5 +4,8 @@
 pub mod calibrate;
 pub mod report;
 
-pub use calibrate::{measure_engine_latency, measure_rule_latency, CalibrationGrid};
+pub use calibrate::{
+    measure_engine_latency, measure_engine_latency_with_mode, measure_rule_latency,
+    CalibrationGrid,
+};
 pub use report::{print_series, print_table, ExperimentResult, Series};

@@ -36,6 +36,49 @@ impl Accumulator {
         self.count += 1;
     }
 
+    /// Removes one previously-added sample (the inverse of [`add`], used
+    /// when a window evicts an event). Count/sum/sum_sq subtract exactly;
+    /// min/max cannot be subtracted, so the return value is `true` when
+    /// the removed value sat at an extremum — the caller must then
+    /// [`rebuild_extrema`] from the surviving values before the next
+    /// `min`/`max` finish. Removing the last sample resets the
+    /// accumulator wholesale, clearing any accumulated float drift.
+    ///
+    /// [`add`]: Accumulator::add
+    /// [`rebuild_extrema`]: Accumulator::rebuild_extrema
+    pub fn remove(&mut self, v: f64) -> bool {
+        debug_assert!(self.count > 0, "remove without matching add");
+        self.count -= 1;
+        if self.count == 0 {
+            *self = Accumulator::new();
+            return false;
+        }
+        self.sum -= v;
+        self.sum_sq -= v * v;
+        v <= self.min || v >= self.max
+    }
+
+    /// Removes a row counted by [`add_row`](Accumulator::add_row).
+    pub fn remove_row(&mut self) {
+        debug_assert!(self.count > 0, "remove_row without matching add_row");
+        self.count = self.count.saturating_sub(1);
+    }
+
+    /// Recomputes min/max from the surviving samples after [`remove`]
+    /// reported a stale extremum. A lazy rescan: it only runs when an
+    /// evicted value actually sat at the extremum *and* the statement
+    /// reads `min`/`max`.
+    ///
+    /// [`remove`]: Accumulator::remove
+    pub fn rebuild_extrema(&mut self, values: impl Iterator<Item = f64>) {
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        for v in values {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -149,5 +192,61 @@ mod tests {
         a.add_row();
         a.add_row();
         assert_eq!(a.finish(AggFunc::Count).unwrap(), 2.0);
+        a.remove_row();
+        assert_eq!(a.finish(AggFunc::Count).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn remove_inverts_add() {
+        let mut a = acc(&[1.0, 2.0, 3.0, 4.0]);
+        let stale = a.remove(2.0);
+        assert!(!stale, "2.0 was not an extremum");
+        assert_eq!(a.finish(AggFunc::Count).unwrap(), 3.0);
+        assert_eq!(a.finish(AggFunc::Sum).unwrap(), 8.0);
+        assert!((a.finish(AggFunc::Avg).unwrap() - 8.0 / 3.0).abs() < 1e-12);
+        // Extrema survive: 2.0 was interior.
+        assert_eq!(a.finish(AggFunc::Min).unwrap(), 1.0);
+        assert_eq!(a.finish(AggFunc::Max).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn remove_extremum_flags_stale_and_rebuild_fixes() {
+        let mut a = acc(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(a.remove(4.0), "max removal must flag stale extrema");
+        a.rebuild_extrema([1.0, 2.0, 3.0].into_iter());
+        assert_eq!(a.finish(AggFunc::Max).unwrap(), 3.0);
+        assert_eq!(a.finish(AggFunc::Min).unwrap(), 1.0);
+        assert!(a.remove(1.0), "min removal must flag stale extrema");
+        a.rebuild_extrema([2.0, 3.0].into_iter());
+        assert_eq!(a.finish(AggFunc::Min).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn removing_last_sample_resets() {
+        let mut a = acc(&[7.0]);
+        a.remove(7.0);
+        assert_eq!(a.finish(AggFunc::Count).unwrap(), 0.0);
+        assert_eq!(a.finish(AggFunc::Sum).unwrap(), 0.0);
+        assert!(a.finish(AggFunc::Min).is_err());
+        // Refilling behaves like a fresh accumulator.
+        a.add(3.0);
+        assert_eq!(a.finish(AggFunc::Min).unwrap(), 3.0);
+        assert_eq!(a.finish(AggFunc::Max).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn stddev_stays_exact_through_integer_add_remove_cycles() {
+        // Integer-valued samples keep sum/sum_sq arithmetic exact, so a
+        // remove-then-finish matches a fresh accumulator bit-for-bit —
+        // the property the incremental evaluation path relies on.
+        let mut a = acc(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        a.remove(2.0);
+        a.remove(9.0);
+        let fresh = acc(&[4.0, 4.0, 4.0, 5.0, 5.0, 7.0]);
+        assert_eq!(
+            a.finish(AggFunc::Stddev).unwrap(),
+            fresh.finish(AggFunc::Stddev).unwrap()
+        );
+        assert_eq!(a.finish(AggFunc::Avg).unwrap(), fresh.finish(AggFunc::Avg).unwrap());
     }
 }

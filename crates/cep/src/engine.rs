@@ -11,8 +11,8 @@
 use crate::error::CepError;
 use crate::event::{Event, EventType, FieldValue};
 use crate::parser::parse_statement;
-use crate::plan::{compile, CompiledStatement, JoinCache, OutputRow};
-use crate::window::SourceWindow;
+use crate::plan::{compile, CompiledStatement, IncrementalState, JoinCache, OutputRow};
+use crate::window::{SourceWindow, WindowDelta, WindowSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -29,6 +29,11 @@ struct Runtime {
     compiled: CompiledStatement,
     windows: Vec<SourceWindow>,
     cache: JoinCache,
+    /// Delta-maintained aggregate state; `Some` only while the
+    /// incremental path is enabled and the statement is eligible.
+    inc: Option<IncrementalState>,
+    /// Reusable window-delta scratch buffer.
+    delta: WindowDelta,
     listener: Option<Listener>,
     fired: u64,
 }
@@ -62,6 +67,9 @@ pub struct Engine {
     by_stream: HashMap<String, Vec<usize>>,
     next_id: u64,
     stats: EngineStats,
+    /// Whether eligible statements evaluate via delta-maintained
+    /// aggregates / the anchor fast path instead of a window rescan.
+    incremental_enabled: bool,
 }
 
 impl Default for Engine {
@@ -89,6 +97,7 @@ impl Engine {
             by_stream: HashMap::new(),
             next_id: 0,
             stats: EngineStats::default(),
+            incremental_enabled: true,
         }
     }
 
@@ -167,7 +176,21 @@ impl Engine {
             self.by_stream.entry(s.to_string()).or_default().push(idx);
         }
         let cache = JoinCache::for_statement(&compiled);
-        self.statements.push(Runtime { id, compiled, windows, cache, listener, fired: 0 });
+        let inc = if self.incremental_enabled && compiled.incremental_eligible() {
+            Some(compiled.build_incremental(&windows[0])?)
+        } else {
+            None
+        };
+        self.statements.push(Runtime {
+            id,
+            compiled,
+            windows,
+            cache,
+            inc,
+            delta: WindowDelta::new(),
+            listener,
+            fired: 0,
+        });
         Ok(StatementHandle { id })
     }
 
@@ -218,6 +241,30 @@ impl Engine {
         }
     }
 
+    /// Ablation switch: enables/disables incremental evaluation
+    /// (delta-maintained aggregates and the anchor fast path). Disabled,
+    /// every arrival rescans the full window state — the
+    /// pre-optimization behaviour, kept selectable so benchmarks can
+    /// quantify the incremental path and the differential tests can
+    /// compare both. Re-enabling rebuilds aggregate state from the live
+    /// windows, so the switch can flip mid-stream.
+    pub fn set_incremental_enabled(&mut self, enabled: bool) -> Result<(), CepError> {
+        self.incremental_enabled = enabled;
+        for rt in &mut self.statements {
+            rt.inc = if enabled && rt.compiled.incremental_eligible() {
+                Some(rt.compiled.build_incremental(&rt.windows[0])?)
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
+
+    /// Whether the incremental evaluation path is enabled.
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental_enabled
+    }
+
     /// Builds an event for a registered stream from field pairs.
     pub fn make_event(
         &self,
@@ -253,20 +300,36 @@ impl Engine {
         let mut fed_back: Vec<Event> = Vec::new();
         for idx in subscribers {
             let rt = &mut self.statements[idx];
-            // Insert into every source window fed by this stream.
+            // Insert into every source window fed by this stream; eligible
+            // statements capture the change as a delta and fold it into
+            // their incremental state instead of rescanning later.
             let mut evaluate = false;
             let mut batch_release = false;
-            for (src, win) in rt.compiled.sources.iter().zip(rt.windows.iter_mut()) {
-                if src.stream == event.event_type() {
-                    let outcome = win.insert(&event);
-                    if outcome.evaluate {
-                        evaluate = true;
-                        if matches!(
-                            win.spec(),
-                            crate::window::WindowSpec::LengthBatch(_)
-                                | crate::window::WindowSpec::TimeBatchMs(_)
-                        ) {
-                            batch_release = true;
+            if let Some(state) = &mut rt.inc {
+                let win = &mut rt.windows[0];
+                let outcome = win.insert_with_delta(&event, &mut rt.delta);
+                if outcome.evaluate {
+                    evaluate = true;
+                    if matches!(
+                        win.spec(),
+                        WindowSpec::LengthBatch(_) | WindowSpec::TimeBatchMs(_)
+                    ) {
+                        batch_release = true;
+                    }
+                }
+                rt.compiled.apply_delta(win, &rt.delta, state)?;
+            } else {
+                for (src, win) in rt.compiled.sources.iter().zip(rt.windows.iter_mut()) {
+                    if src.stream == event.event_type() {
+                        let outcome = win.insert(&event);
+                        if outcome.evaluate {
+                            evaluate = true;
+                            if matches!(
+                                win.spec(),
+                                WindowSpec::LengthBatch(_) | WindowSpec::TimeBatchMs(_)
+                            ) {
+                                batch_release = true;
+                            }
                         }
                     }
                 }
@@ -275,7 +338,16 @@ impl Engine {
                 continue;
             }
             let anchor = if batch_release { None } else { Some(&event) };
-            let rows = rt.compiled.evaluate(&rt.windows, anchor, &mut rt.cache)?;
+            let rows = if let Some(state) = &rt.inc {
+                rt.compiled.evaluate_incremental(anchor, state)?
+            } else if self.incremental_enabled
+                && rt.compiled.anchor_fast_eligible()
+                && !batch_release
+            {
+                rt.compiled.evaluate_anchor(&event)?
+            } else {
+                rt.compiled.evaluate(&rt.windows, anchor, &mut rt.cache)?
+            };
             if rows.is_empty() {
                 continue;
             }
@@ -312,8 +384,18 @@ impl Engine {
     /// without sending an event.
     pub fn advance_time(&mut self, now_ms: u64) {
         for rt in &mut self.statements {
-            for w in &mut rt.windows {
-                w.advance_time(now_ms);
+            if let Some(state) = &mut rt.inc {
+                let win = &mut rt.windows[0];
+                win.advance_time_with_delta(now_ms, &mut rt.delta);
+                rt.compiled
+                    .apply_delta(win, &rt.delta, state)
+                    // Removal re-evaluates only expressions that already
+                    // succeeded when these events were inserted.
+                    .expect("delta eviction cannot fail after a successful insert");
+            } else {
+                for w in &mut rt.windows {
+                    w.advance_time(now_ms);
+                }
             }
         }
     }
@@ -623,6 +705,77 @@ mod tests {
         let conflicting =
             EventType::with_fields("bus", &[("other", FieldType::Int)]).unwrap();
         assert!(matches!(e.register_type(conflicting), Err(CepError::TypeConflict(_))));
+    }
+
+    #[test]
+    fn incremental_and_rescan_paths_agree() {
+        // The same grouped sliding-average statement, one engine per
+        // evaluation path; every firing must match row-for-row.
+        let epl = "SELECT w.location AS loc, avg(w.delay) AS m, count(*) AS n \
+                   FROM bus.std:groupwin(location).win:length(3) AS w \
+                   GROUP BY w.location HAVING avg(w.delay) > 20";
+        let mut fast = engine();
+        let mut slow = engine();
+        slow.set_incremental_enabled(false).unwrap();
+        let (fsink, fl) = capture();
+        let (ssink, sl) = capture();
+        fast.create_statement(epl, fl).unwrap();
+        slow.create_statement(epl, sl).unwrap();
+        for (ts, v, loc, d) in [
+            (1u64, 1i64, "R1", 10.0),
+            (2, 2, "R2", 50.0),
+            (3, 3, "R1", 40.0),
+            (4, 4, "R1", 90.0),
+            (5, 5, "R2", 0.0),
+            (6, 6, "R1", 5.0),
+        ] {
+            fast.send_event(bus_event(&fast, ts, v, loc, d, 8)).unwrap();
+            slow.send_event(bus_event(&slow, ts, v, loc, d, 8)).unwrap();
+        }
+        assert_eq!(*fsink.lock(), *ssink.lock());
+        assert!(!fsink.lock().is_empty(), "the scenario must actually fire");
+    }
+
+    #[test]
+    fn incremental_toggle_rebuilds_mid_stream() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT avg(delay) AS m FROM bus.win:length(3) HAVING count(*) >= 1",
+            l,
+        )
+        .unwrap();
+        e.send_event(bus_event(&e, 1, 1, "R1", 10.0, 8)).unwrap();
+        e.send_event(bus_event(&e, 2, 2, "R1", 20.0, 8)).unwrap();
+        // Disable (drops state), run one event on the rescan path, then
+        // re-enable: state must rebuild from the live window.
+        e.set_incremental_enabled(false).unwrap();
+        e.send_event(bus_event(&e, 3, 3, "R1", 30.0, 8)).unwrap();
+        e.set_incremental_enabled(true).unwrap();
+        e.send_event(bus_event(&e, 4, 4, "R1", 40.0, 8)).unwrap();
+        let rows = sink.lock();
+        let means: Vec<f64> =
+            rows.iter().map(|r| r.get("m").unwrap().as_f64().unwrap()).collect();
+        assert_eq!(means, vec![10.0, 15.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn incremental_advance_time_evicts_state() {
+        let mut e = engine();
+        let (sink, l) = capture();
+        e.create_statement(
+            "SELECT count(*) AS n FROM bus.win:time(10) HAVING count(*) >= 2",
+            l,
+        )
+        .unwrap();
+        e.send_event(bus_event(&e, 1_000, 1, "R1", 1.0, 8)).unwrap();
+        e.send_event(bus_event(&e, 2_000, 2, "R1", 1.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
+        // Advance past both events: incremental state must empty too, so
+        // the next single arrival cannot reach count >= 2.
+        e.advance_time(52_000);
+        e.send_event(bus_event(&e, 52_500, 3, "R1", 1.0, 8)).unwrap();
+        assert_eq!(sink.lock().len(), 1);
     }
 }
 

@@ -97,7 +97,10 @@ impl FieldValue {
 }
 
 /// Hashable key form of a [`FieldValue`], used by group-by and hash joins.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The derived `Ord` is an arbitrary but *total* order (numeric keys
+/// compare by f64 bit pattern) — enough for the engine to emit group rows
+/// in a deterministic order on both evaluation paths.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum JoinKey {
     /// A numeric key (f64 bit pattern; ints normalized through f64).
     Num(u64),

@@ -37,6 +37,41 @@ pub struct InsertOutcome {
     pub evaluate: bool,
 }
 
+/// The change one mutation made to a window's *visible* contents.
+///
+/// Incremental statement evaluation consumes these instead of rescanning
+/// the window: an arrival into a sliding window yields one `inserted`
+/// event plus whatever it pushed out; a batch release yields the whole
+/// outgoing batch as `evicted` and the released batch as `inserted`; an
+/// accumulating batch window yields an empty delta (its visible contents
+/// did not change). Reused as a scratch buffer — callers `clear()` between
+/// mutations.
+#[derive(Debug, Clone, Default)]
+pub struct WindowDelta {
+    /// Events that entered the visible window, in insertion order.
+    pub inserted: Vec<Event>,
+    /// Events that left the visible window, in eviction order.
+    pub evicted: Vec<Event>,
+}
+
+impl WindowDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties both sides, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inserted.clear();
+        self.evicted.clear();
+    }
+
+    /// Whether the mutation changed nothing visible.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.evicted.is_empty()
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct Pane {
     events: VecDeque<Event>,
@@ -56,6 +91,10 @@ pub struct SourceWindow {
     group_field: Option<usize>,
     ungrouped: Pane,
     grouped: HashMap<JoinKey, Pane>,
+    /// Group keys in first-seen order, so [`SourceWindow::iter`] walks
+    /// panes deterministically (the rescan and incremental evaluation
+    /// paths must emit identical row sequences).
+    pane_order: Vec<JoinKey>,
     len: usize,
     /// Bumped on every mutation; lets the engine cache join indexes over
     /// windows that rarely change (e.g. the threshold `keepall` stream).
@@ -85,6 +124,7 @@ impl SourceWindow {
             group_field,
             ungrouped: Pane::default(),
             grouped: HashMap::new(),
+            pane_order: Vec::new(),
             len: 0,
             version: 0,
         })
@@ -112,6 +152,17 @@ impl SourceWindow {
 
     /// Inserts an event, evicting per the spec.
     pub fn insert(&mut self, event: &Event) -> InsertOutcome {
+        self.insert_inner(event, None)
+    }
+
+    /// Inserts an event, recording the visible-window change in `delta`
+    /// (which is cleared first).
+    pub fn insert_with_delta(&mut self, event: &Event, delta: &mut WindowDelta) -> InsertOutcome {
+        delta.clear();
+        self.insert_inner(event, Some(delta))
+    }
+
+    fn insert_inner(&mut self, event: &Event, mut delta: Option<&mut WindowDelta>) -> InsertOutcome {
         self.version += 1;
         let ts = event.timestamp_ms();
         let spec = self.spec;
@@ -124,7 +175,10 @@ impl SourceWindow {
                     .join_key();
                 let pane = match self.grouped.entry(key) {
                     Entry::Occupied(e) => e.into_mut(),
-                    Entry::Vacant(e) => e.insert(Pane::default()),
+                    Entry::Vacant(e) => {
+                        self.pane_order.push(e.key().clone());
+                        e.insert(Pane::default())
+                    }
                 };
                 (pane, &mut self.len)
             }
@@ -133,24 +187,41 @@ impl SourceWindow {
         match spec {
             WindowSpec::LastEvent => {
                 *len -= pane.events.len();
-                pane.events.clear();
+                if let Some(d) = delta.as_deref_mut() {
+                    d.evicted.extend(pane.events.drain(..));
+                } else {
+                    pane.events.clear();
+                }
                 pane.events.push_back(event.clone());
                 *len += 1;
+                if let Some(d) = delta {
+                    d.inserted.push(event.clone());
+                }
             }
             WindowSpec::Length(n) => {
                 pane.events.push_back(event.clone());
                 *len += 1;
                 while pane.events.len() > n {
-                    pane.events.pop_front();
+                    let old = pane.events.pop_front();
                     *len -= 1;
+                    if let (Some(d), Some(old)) = (delta.as_deref_mut(), old) {
+                        d.evicted.push(old);
+                    }
+                }
+                if let Some(d) = delta {
+                    d.inserted.push(event.clone());
                 }
             }
             WindowSpec::LengthBatch(n) => {
                 pane.pending.push_back(event.clone());
                 if pane.pending.len() >= n {
                     *len -= pane.events.len();
-                    pane.events = std::mem::take(&mut pane.pending);
+                    let old = std::mem::replace(&mut pane.events, std::mem::take(&mut pane.pending));
                     *len += pane.events.len();
+                    if let Some(d) = delta {
+                        d.evicted.extend(old);
+                        d.inserted.extend(pane.events.iter().cloned());
+                    }
                 } else {
                     evaluate = false;
                 }
@@ -164,8 +235,14 @@ impl SourceWindow {
                     .front()
                     .is_some_and(|e| e.timestamp_ms() < cutoff)
                 {
-                    pane.events.pop_front();
+                    let old = pane.events.pop_front();
                     *len -= 1;
+                    if let (Some(d), Some(old)) = (delta.as_deref_mut(), old) {
+                        d.evicted.push(old);
+                    }
+                }
+                if let Some(d) = delta {
+                    d.inserted.push(event.clone());
                 }
             }
             WindowSpec::TimeBatchMs(w) => {
@@ -174,10 +251,14 @@ impl SourceWindow {
                     // The arriving event opens a new interval; everything
                     // accumulated in the previous one releases now.
                     *len -= pane.events.len();
-                    pane.events = std::mem::take(&mut pane.pending);
+                    let old = std::mem::replace(&mut pane.events, std::mem::take(&mut pane.pending));
                     *len += pane.events.len();
                     pane.batch_start = Some(ts);
                     pane.pending.push_back(event.clone());
+                    if let Some(d) = delta {
+                        d.evicted.extend(old);
+                        d.inserted.extend(pane.events.iter().cloned());
+                    }
                 } else {
                     pane.pending.push_back(event.clone());
                     evaluate = false;
@@ -186,6 +267,9 @@ impl SourceWindow {
             WindowSpec::KeepAll => {
                 pane.events.push_back(event.clone());
                 *len += 1;
+                if let Some(d) = delta {
+                    d.inserted.push(event.clone());
+                }
             }
         }
         InsertOutcome { evaluate }
@@ -194,15 +278,26 @@ impl SourceWindow {
     /// Advances event time without an arrival, evicting expired events
     /// from time windows. Other specs are unaffected.
     pub fn advance_time(&mut self, now_ms: u64) {
+        self.advance_time_inner(now_ms, None);
+    }
+
+    /// Advances event time, recording evictions in `delta` (cleared
+    /// first). Deterministic: panes are visited in first-seen order.
+    pub fn advance_time_with_delta(&mut self, now_ms: u64, delta: &mut WindowDelta) {
+        delta.clear();
+        self.advance_time_inner(now_ms, Some(delta));
+    }
+
+    fn advance_time_inner(&mut self, now_ms: u64, mut delta: Option<&mut WindowDelta>) {
         let WindowSpec::TimeMs(w) = self.spec else { return };
         let cutoff = now_ms.saturating_sub(w);
-        let mut evicted = false;
-        let panes = std::iter::once(&mut self.ungrouped).chain(self.grouped.values_mut());
-        for pane in panes {
-            while pane.events.front().is_some_and(|e| e.timestamp_ms() < cutoff) {
-                pane.events.pop_front();
-                self.len -= 1;
-                evicted = true;
+        let SourceWindow { ungrouped, grouped, pane_order, len, .. } = self;
+        // Ungrouped pane first, then keyed panes in first-seen order — the
+        // same order `iter` exposes, so delta eviction order matches.
+        let mut evicted = evict_expired(ungrouped, cutoff, len, &mut delta);
+        for k in pane_order.iter() {
+            if let Some(pane) = grouped.get_mut(k) {
+                evicted |= evict_expired(pane, cutoff, len, &mut delta);
             }
         }
         if evicted {
@@ -210,13 +305,17 @@ impl SourceWindow {
         }
     }
 
-    /// Iterates all retained events (across panes, insertion order within
-    /// a pane; pane order unspecified).
+    /// Iterates all retained events: the ungrouped pane first, then each
+    /// `groupwin` pane in first-seen key order (insertion order within a
+    /// pane). The order is deterministic so rescan evaluation matches the
+    /// incremental path row-for-row.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.ungrouped
-            .events
-            .iter()
-            .chain(self.grouped.values().flat_map(|p| p.events.iter()))
+        self.ungrouped.events.iter().chain(
+            self.pane_order
+                .iter()
+                .filter_map(|k| self.grouped.get(k))
+                .flat_map(|p| p.events.iter()),
+        )
     }
 
     /// Fast path: retained events of one `groupwin` pane. Only valid when
@@ -229,6 +328,25 @@ impl SourceWindow {
     pub fn group_field(&self) -> Option<usize> {
         self.group_field
     }
+}
+
+/// Pops expired events off a pane's front, recording them in `delta`.
+fn evict_expired(
+    pane: &mut Pane,
+    cutoff: u64,
+    len: &mut usize,
+    delta: &mut Option<&mut WindowDelta>,
+) -> bool {
+    let mut any = false;
+    while pane.events.front().is_some_and(|e| e.timestamp_ms() < cutoff) {
+        let old = pane.events.pop_front();
+        *len -= 1;
+        any = true;
+        if let (Some(d), Some(old)) = (delta.as_deref_mut(), old) {
+            d.evicted.push(old);
+        }
+    }
+    any
 }
 
 #[cfg(test)]
@@ -348,5 +466,86 @@ mod tests {
         w.insert(&ev(&t, 2, "R2", 3.0));
         assert_eq!(w.len(), 2, "one per group");
         assert_eq!(delays(&w), vec![2.0, 3.0]);
+    }
+
+    fn dvals(events: &[Event]) -> Vec<f64> {
+        events.iter().map(|e| e.value_at(1).unwrap().as_f64().unwrap()).collect()
+    }
+
+    #[test]
+    fn length_delta_reports_inserted_and_evicted() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::Length(2), None).unwrap();
+        let mut d = WindowDelta::new();
+        w.insert_with_delta(&ev(&t, 0, "R1", 0.0), &mut d);
+        assert_eq!(dvals(&d.inserted), vec![0.0]);
+        assert!(d.evicted.is_empty());
+        w.insert_with_delta(&ev(&t, 1, "R1", 1.0), &mut d);
+        assert!(d.evicted.is_empty());
+        w.insert_with_delta(&ev(&t, 2, "R1", 2.0), &mut d);
+        assert_eq!(dvals(&d.inserted), vec![2.0]);
+        assert_eq!(dvals(&d.evicted), vec![0.0], "window of 2 pushed out the oldest");
+    }
+
+    #[test]
+    fn last_event_delta_swaps_previous() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::LastEvent, None).unwrap();
+        let mut d = WindowDelta::new();
+        w.insert_with_delta(&ev(&t, 0, "R1", 1.0), &mut d);
+        assert!(d.evicted.is_empty());
+        w.insert_with_delta(&ev(&t, 1, "R1", 2.0), &mut d);
+        assert_eq!(dvals(&d.evicted), vec![1.0]);
+        assert_eq!(dvals(&d.inserted), vec![2.0]);
+    }
+
+    #[test]
+    fn length_batch_delta_is_empty_while_accumulating() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::LengthBatch(3), None).unwrap();
+        let mut d = WindowDelta::new();
+        assert!(!w.insert_with_delta(&ev(&t, 0, "R1", 0.0), &mut d).evaluate);
+        assert!(d.is_empty(), "visible window unchanged while accumulating");
+        w.insert_with_delta(&ev(&t, 1, "R1", 1.0), &mut d);
+        assert!(w.insert_with_delta(&ev(&t, 2, "R1", 2.0), &mut d).evaluate);
+        assert_eq!(dvals(&d.inserted), vec![0.0, 1.0, 2.0], "whole batch enters at once");
+        assert!(d.evicted.is_empty());
+        // Next release evicts the previous batch.
+        for i in 3..5 {
+            w.insert_with_delta(&ev(&t, i, "R1", i as f64), &mut d);
+        }
+        w.insert_with_delta(&ev(&t, 5, "R1", 5.0), &mut d);
+        assert_eq!(dvals(&d.evicted), vec![0.0, 1.0, 2.0]);
+        assert_eq!(dvals(&d.inserted), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn time_delta_and_advance_time_delta() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::TimeMs(1000), None).unwrap();
+        let mut d = WindowDelta::new();
+        w.insert_with_delta(&ev(&t, 0, "R1", 0.0), &mut d);
+        w.insert_with_delta(&ev(&t, 500, "R1", 1.0), &mut d);
+        w.insert_with_delta(&ev(&t, 1400, "R1", 2.0), &mut d);
+        assert_eq!(dvals(&d.evicted), vec![0.0], "expired on arrival");
+        w.advance_time_with_delta(3000, &mut d);
+        assert_eq!(dvals(&d.evicted), vec![1.0, 2.0]);
+        assert!(d.inserted.is_empty());
+        assert!(w.is_empty());
+        // No further evictions: delta comes back empty.
+        w.advance_time_with_delta(4000, &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iter_order_is_first_seen_pane_order() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::Length(2), Some(0)).unwrap();
+        w.insert(&ev(&t, 0, "B", 1.0));
+        w.insert(&ev(&t, 1, "A", 2.0));
+        w.insert(&ev(&t, 2, "B", 3.0));
+        let order: Vec<f64> =
+            w.iter().map(|e| e.value_at(1).unwrap().as_f64().unwrap()).collect();
+        assert_eq!(order, vec![1.0, 3.0, 2.0], "pane B (seen first) before pane A");
     }
 }

@@ -46,6 +46,9 @@ pub struct SystemConfig {
     pub monitor: Option<MonitorConfig>,
     /// Parallelism of the non-Esper topology components.
     pub parallelism: TopologyParallelism,
+    /// Whether the Esper engines use the incremental evaluation path
+    /// (delta-maintained aggregates); `false` forces full-window rescans.
+    pub incremental: bool,
 }
 
 impl Default for SystemConfig {
@@ -57,6 +60,7 @@ impl Default for SystemConfig {
             strategy: AllocationStrategy::Proposed,
             monitor: None,
             parallelism: TopologyParallelism::default(),
+            incremental: true,
         }
     }
 }
@@ -330,6 +334,7 @@ impl TrafficSystem {
             db,
             detections.clone(),
             parallelism,
+            self.config.incremental,
         )?;
         let cluster = LocalCluster::new(self.config.cluster)?;
         let handle = cluster.submit(

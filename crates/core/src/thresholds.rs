@@ -122,6 +122,19 @@ impl RuleEngine {
         self.engine.set_join_cache_enabled(enabled);
     }
 
+    /// Ablation switch for the underlying engine's incremental evaluation
+    /// path (see [`tms_cep::Engine::set_incremental_enabled`]). On by
+    /// default; switching it off forces full-window rescans.
+    pub fn set_incremental_enabled(&mut self, enabled: bool) -> Result<(), CoreError> {
+        self.engine.set_incremental_enabled(enabled)?;
+        Ok(())
+    }
+
+    /// Whether the incremental evaluation path is currently enabled.
+    pub fn incremental_enabled(&self) -> bool {
+        self.engine.incremental_enabled()
+    }
+
     /// Installs a rule for the locations this engine was assigned by the
     /// partitioning component.
     pub fn install_rule(

@@ -272,6 +272,8 @@ pub struct EsperBolt {
     method: RetrievalMethod,
     store: ThresholdStore,
     db: Option<RemoteDb>,
+    /// Whether the engine's incremental evaluation path is enabled.
+    incremental: bool,
     engine: Option<RuleEngine>,
     /// Install errors surface on the first processed tuple (prepare()
     /// cannot fail in the Bolt contract).
@@ -287,13 +289,23 @@ impl EsperBolt {
         store: ThresholdStore,
         db: Option<RemoteDb>,
     ) -> Self {
-        EsperBolt { plan, method, store, db, engine: None, install_error: None }
+        EsperBolt { plan, method, store, db, incremental: true, engine: None, install_error: None }
+    }
+
+    /// Selects the engine's evaluation mode (incremental by default;
+    /// `false` forces full-window rescans — the ablation baseline).
+    pub fn with_incremental(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
+        self
     }
 }
 
 impl Bolt<TrafficMessage> for EsperBolt {
     fn prepare(&mut self, ctx: BoltContext) {
         let mut engine = RuleEngine::new(self.method.clone(), self.store.clone(), self.db.clone());
+        if let Err(e) = engine.set_incremental_enabled(self.incremental) {
+            self.install_error = Some(e.to_string());
+        }
         if let Some(rules) = self.plan.per_engine.get(ctx.task_index) {
             for (spec, monitored) in rules {
                 if let Err(e) = engine.install_rule(spec, monitored.iter().cloned()) {
@@ -421,6 +433,7 @@ pub fn build_traffic_topology(
     db: Option<RemoteDb>,
     detections: Arc<Mutex<Vec<Detection>>>,
     parallelism: TopologyParallelism,
+    incremental: bool,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
     let threshold_store = ThresholdStore::new(store.clone());
     let spout_tasks = parallelism.spout_tasks.max(1);
@@ -463,12 +476,15 @@ pub fn build_traffic_topology(
             Parallelism::of(parallelism.esper_tasks.max(1)),
             vec![("splitter", Grouping::Direct)],
             move |_| {
-                Box::new(EsperBolt::new(
-                    engine_plan.clone(),
-                    method.clone(),
-                    threshold_store.clone(),
-                    db.clone(),
-                ))
+                Box::new(
+                    EsperBolt::new(
+                        engine_plan.clone(),
+                        method.clone(),
+                        threshold_store.clone(),
+                        db.clone(),
+                    )
+                    .with_incremental(incremental),
+                )
             },
         )
         .add_bolt(

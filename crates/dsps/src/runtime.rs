@@ -55,24 +55,54 @@ struct TaskEmitter<T> {
 impl<T: Clone> Emitter<T> for TaskEmitter<T> {
     fn emit(&mut self, msg: T) {
         self.counters.record_emit();
-        for route in &mut self.routes {
+        // The message moves into the final send; only earlier fan-out sends
+        // clone. A single-subscriber edge — the common topology — therefore
+        // never clones at all.
+        let Some(last) =
+            self.routes.iter().rposition(|r| {
+                !matches!(r.grouping, Grouping::Direct) && !r.senders.is_empty()
+            })
+        else {
+            return;
+        };
+        let mut msg = Some(msg);
+        for ri in 0..=last {
+            let final_route = ri == last;
+            let route = &mut self.routes[ri];
             match &route.grouping {
                 Grouping::Shuffle => {
                     let n = route.senders.len();
                     let target = route.rr % n;
                     route.rr = route.rr.wrapping_add(1);
+                    let payload = if final_route {
+                        msg.take().expect("message moved before final send")
+                    } else {
+                        msg.as_ref().expect("message moved before final send").clone()
+                    };
                     // A closed channel means the receiver died (panic);
                     // drop the message, the topology is failing anyway.
-                    let _ = route.senders[target].send(Packet::Data(msg.clone()));
+                    let _ = route.senders[target].send(Packet::Data(payload));
                 }
                 Grouping::Fields(key) => {
                     let n = route.senders.len() as u64;
-                    let target = (key(&msg) % n) as usize;
-                    let _ = route.senders[target].send(Packet::Data(msg.clone()));
+                    let target =
+                        (key(msg.as_ref().expect("message moved before final send")) % n) as usize;
+                    let payload = if final_route {
+                        msg.take().expect("message moved before final send")
+                    } else {
+                        msg.as_ref().expect("message moved before final send").clone()
+                    };
+                    let _ = route.senders[target].send(Packet::Data(payload));
                 }
                 Grouping::All => {
-                    for s in &route.senders {
-                        let _ = s.send(Packet::Data(msg.clone()));
+                    let n = route.senders.len();
+                    for (si, s) in route.senders.iter().enumerate() {
+                        let payload = if final_route && si + 1 == n {
+                            msg.take().expect("message moved before final send")
+                        } else {
+                            msg.as_ref().expect("message moved before final send").clone()
+                        };
+                        let _ = s.send(Packet::Data(payload));
                     }
                 }
                 Grouping::Direct => {
@@ -84,11 +114,26 @@ impl<T: Clone> Emitter<T> for TaskEmitter<T> {
 
     fn emit_direct(&mut self, task: usize, msg: T) {
         self.counters.record_emit();
-        for route in &mut self.routes {
-            if let Grouping::Direct = route.grouping {
-                let target = task % route.senders.len();
-                let _ = route.senders[target].send(Packet::Data(msg.clone()));
+        let Some(last) =
+            self.routes.iter().rposition(|r| {
+                matches!(r.grouping, Grouping::Direct) && !r.senders.is_empty()
+            })
+        else {
+            return;
+        };
+        let mut msg = Some(msg);
+        for ri in 0..=last {
+            let route = &self.routes[ri];
+            if !matches!(route.grouping, Grouping::Direct) || route.senders.is_empty() {
+                continue;
             }
+            let target = task % route.senders.len();
+            let payload = if ri == last {
+                msg.take().expect("message moved before final send")
+            } else {
+                msg.as_ref().expect("message moved before final send").clone()
+            };
+            let _ = route.senders[target].send(Packet::Data(payload));
         }
     }
 }

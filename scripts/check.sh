@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full local gate: release build, workspace tests, strict clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `Bytes` here is an `Arc<[u8]>`: cheap `Clone` (refcount bump), `Deref`
+//! to `[u8]`, and the constructors the repo uses (`From<Vec<u8>>`,
+//! `copy_from_slice`). No split/advance cursor API — nothing in the repo
+//! needs zero-copy slicing yet.
+
+use std::sync::Arc;
+
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.data == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &*self.data == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_compares() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(Bytes::copy_from_slice(&[1, 2, 3]), b);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+}

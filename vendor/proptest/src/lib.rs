@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Same testing model — strategies generate random inputs, `prop_assert*`
+//! report failures as `Err` so every case's cleanup runs — minus
+//! shrinking: a failing case prints its inputs (via the macro's Debug
+//! formatting of arguments) instead of a minimized counterexample. The
+//! RNG is seeded from the test name, so failures reproduce exactly on
+//! re-run.
+
+pub mod test_runner {
+    /// Run-loop configuration; only `cases` is honoured here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// xoshiro256++ seeded from the test's name: deterministic per test,
+    /// different across tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf29ce484222325u64; // FNV-1a over the name
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                *slot = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of randomness.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (start as i128 + r as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start as f64
+                        + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                    if v as $t >= self.end { self.start } else { v as $t }
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    /// String literals act as regex-ish string strategies. Only the
+    /// `.{lo,hi}` shape the repo uses is interpreted; anything else
+    /// falls back to short arbitrary strings.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 16));
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| crate::arbitrary::random_char(rng)).collect()
+        }
+    }
+
+    /// Parses `.{lo,hi}` patterns; `None` for anything else.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub trait Arbitrary {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// ASCII-weighted so generated text exercises tokenizers, with a
+    /// tail of arbitrary Unicode scalars for the nasty cases.
+    pub(crate) fn random_char(rng: &mut TestRng) -> char {
+        match rng.below(10) {
+            0..=6 => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+            7 => (rng.below(0x20) as u8) as char,
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.below(0x110000) as u32) {
+                    break c;
+                }
+            },
+        }
+    }
+
+    pub struct AnyChar;
+
+    impl Strategy for AnyChar {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            random_char(rng)
+        }
+    }
+
+    impl Arbitrary for char {
+        type Strategy = AnyChar;
+
+        fn arbitrary() -> AnyChar {
+            AnyChar
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`]; built from the range forms tests use.
+    pub trait SizeBounds {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeBounds for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeBounds for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl SizeBounds for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, B> {
+        element: S,
+        size: B,
+    }
+
+    pub fn vec<S: Strategy, B: SizeBounds>(element: S, size: B) -> VecStrategy<S, B> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, B: SizeBounds> Strategy for VecStrategy<S, B> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` three times out of four, `None` otherwise (mirrors real
+    /// proptest's Some-biased default).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ...)` body
+/// becomes a `#[test]` that runs `config.cases` random cases; the body is
+/// wrapped in a closure returning `Result` so `prop_assert*` failures
+/// carry out cleanly, then reported with the generated inputs (no
+/// shrinking in this shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
