@@ -15,9 +15,9 @@ use crate::topology::{
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tms_dsps::runtime::RuntimeConfig;
+use tms_dsps::runtime::{ReliabilityConfig, RuntimeConfig};
 use tms_dsps::scheduler::ClusterSpec;
-use tms_dsps::{LocalCluster, MonitorConfig};
+use tms_dsps::{FaultConfig, LocalCluster, MonitorConfig};
 use tms_geo::GeoPoint;
 use tms_storage::TableStore;
 use tms_traffic::BusTrace;
@@ -49,6 +49,12 @@ pub struct SystemConfig {
     /// Whether the Esper engines use the incremental evaluation path
     /// (delta-maintained aggregates); `false` forces full-window rescans.
     pub incremental: bool,
+    /// At-least-once delivery (acker + replay + supervised restarts).
+    /// `None` keeps the default fail-fast, at-most-once runtime.
+    pub reliability: Option<ReliabilityConfig>,
+    /// Fault injection: wraps the Esper bolts in chaos wrappers and arms
+    /// transport drops. `None` (the default) injects nothing.
+    pub chaos: Option<FaultConfig>,
 }
 
 impl Default for SystemConfig {
@@ -61,6 +67,8 @@ impl Default for SystemConfig {
             monitor: None,
             parallelism: TopologyParallelism::default(),
             incremental: true,
+            reliability: None,
+            chaos: None,
         }
     }
 }
@@ -335,11 +343,17 @@ impl TrafficSystem {
             detections.clone(),
             parallelism,
             self.config.incremental,
+            self.config.chaos,
         )?;
         let cluster = LocalCluster::new(self.config.cluster)?;
         let handle = cluster.submit(
             topology,
-            RuntimeConfig { monitor: self.config.monitor, ..RuntimeConfig::default() },
+            RuntimeConfig {
+                monitor: self.config.monitor,
+                reliability: self.config.reliability,
+                fault: self.config.chaos,
+                ..RuntimeConfig::default()
+            },
         )?;
         let metrics = handle.join()?;
         let report = RunReport {
@@ -547,6 +561,55 @@ mod tests {
         assert_eq!(stored, report.detections.len());
         // Metrics cover the esper component.
         assert!(report.metrics.iter().any(|m| m.component == "esper" && m.throughput > 0));
+    }
+
+    #[test]
+    fn end_to_end_chaos_run_with_recovery_still_detects() {
+        use std::time::Duration;
+        let (history, seeds) = small_history();
+        let config = SystemConfig {
+            reliability: Some(tms_dsps::ReliabilityConfig {
+                ack_timeout: Duration::from_millis(500),
+                max_retries: 20,
+                backoff: 1.5,
+                max_pending: 256,
+                max_task_restarts: 200,
+            }),
+            chaos: Some(tms_dsps::FaultConfig {
+                panic_p: 0.002,
+                drop_p: 0.002,
+                delay: None,
+                seed: 0x7EA_5EED,
+            }),
+            ..SystemConfig::default()
+        };
+        let sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+        let cfg = FleetConfig::small(17);
+        let probe = FleetGenerator::new(cfg.clone(), 1).unwrap();
+        let center = probe.routes()[0].points[probe.routes()[0].points.len() / 2];
+        let incident = tms_traffic::Incident {
+            center,
+            radius_m: 1500.0,
+            start_ms: tms_traffic::DAY_MS + 7 * HOUR_MS,
+            end_ms: tms_traffic::DAY_MS + 9 * HOUR_MS,
+            severity: 0.03,
+        };
+        let live: Vec<BusTrace> = FleetGenerator::with_incidents(cfg, 1, vec![incident])
+            .unwrap()
+            .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
+            .collect();
+        let (_, report) = sys.plan_and_run(live, &rules(), 3).unwrap();
+        assert!(
+            !report.detections.is_empty(),
+            "the incident must still be detected under injected faults"
+        );
+        let reader = report
+            .metrics
+            .iter()
+            .find(|m| m.component == "busReader")
+            .expect("spout metrics present");
+        assert!(reader.acked > 0, "reliability was on: roots must be acked");
+        assert_eq!(reader.failed, 0, "no root may exhaust its replay budget");
     }
 
     #[test]

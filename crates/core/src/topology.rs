@@ -8,7 +8,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tms_cep::CepError;
-use tms_dsps::{Bolt, BoltContext, Emitter, Grouping, Parallelism, Spout, Topology, TopologyBuilder};
+use tms_dsps::{
+    chaos_wrap, Bolt, BoltContext, Emitter, FaultConfig, Grouping, Parallelism, Spout, Topology,
+    TopologyBuilder,
+};
 use tms_geo::{BusStopIndex, RegionQuadtree};
 use tms_storage::{RemoteDb, TableStore, ThresholdStore};
 use tms_traffic::{BusTrace, EnrichedTrace, Preprocessor};
@@ -421,6 +424,11 @@ impl Default for TopologyParallelism {
 }
 
 /// Builds the Figure 8 topology.
+///
+/// `chaos` wraps the Esper bolts in fault-injecting [`ChaosBolt`]s
+/// (`tms_dsps::fault`): the engine is the stateful heart of the topology
+/// and rebuilds itself from the shared [`EnginePlan`] in `prepare`, so a
+/// supervised restart after an injected panic recovers it completely.
 #[allow(clippy::too_many_arguments)]
 pub fn build_traffic_topology(
     traces: Arc<Vec<BusTrace>>,
@@ -434,9 +442,26 @@ pub fn build_traffic_topology(
     detections: Arc<Mutex<Vec<Detection>>>,
     parallelism: TopologyParallelism,
     incremental: bool,
+    chaos: Option<FaultConfig>,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
     let threshold_store = ThresholdStore::new(store.clone());
     let spout_tasks = parallelism.spout_tasks.max(1);
+    let esper_factory = move |_: usize| -> Box<dyn Bolt<TrafficMessage>> {
+        Box::new(
+            EsperBolt::new(
+                engine_plan.clone(),
+                method.clone(),
+                threshold_store.clone(),
+                db.clone(),
+            )
+            .with_incremental(incremental),
+        )
+    };
+    let esper_factory: Box<dyn Fn(usize) -> Box<dyn Bolt<TrafficMessage>> + Send + Sync> =
+        match chaos {
+            Some(f) => Box::new(chaos_wrap(esper_factory, f)),
+            None => Box::new(esper_factory),
+        };
     TopologyBuilder::new("traffic")
         .add_spout("busReader", Parallelism::of(spout_tasks), move |ti| {
             Box::new(BusReaderSpout::new(traces.clone(), ti, spout_tasks))
@@ -475,17 +500,7 @@ pub fn build_traffic_topology(
             "esper",
             Parallelism::of(parallelism.esper_tasks.max(1)),
             vec![("splitter", Grouping::Direct)],
-            move |_| {
-                Box::new(
-                    EsperBolt::new(
-                        engine_plan.clone(),
-                        method.clone(),
-                        threshold_store.clone(),
-                        db.clone(),
-                    )
-                    .with_incremental(incremental),
-                )
-            },
+            move |ti| esper_factory(ti),
         )
         .add_bolt(
             "eventsStorer",

@@ -47,6 +47,18 @@ pub enum DspsError {
         /// The panic message.
         reason: String,
     },
+    /// A supervised task kept panicking after exhausting its restart
+    /// budget ([`ReliabilityConfig::max_task_restarts`](crate::runtime::ReliabilityConfig)).
+    TaskRestartsExhausted {
+        /// The component.
+        component: String,
+        /// The task index.
+        task: usize,
+        /// Restarts attempted before giving up.
+        restarts: u32,
+        /// The final panic message.
+        reason: String,
+    },
     /// XML topology text failed to parse.
     XmlParse {
         /// 1-based line number.
@@ -79,6 +91,12 @@ impl fmt::Display for DspsError {
             }
             DspsError::TaskPanicked { component, task, reason } => {
                 write!(f, "task {component}[{task}] panicked: {reason}")
+            }
+            DspsError::TaskRestartsExhausted { component, task, restarts, reason } => {
+                write!(
+                    f,
+                    "task {component}[{task}] still panicking after {restarts} restarts: {reason}"
+                )
             }
             DspsError::XmlParse { line, reason } => {
                 write!(f, "XML parse error at line {line}: {reason}")

@@ -14,9 +14,13 @@
 //!
 //! The runtime executes everything in-process with real threads and
 //! bounded channels (so saturation behaves like a real deployment's
-//! backpressure), delivers messages at-most-once (the paper does not use
-//! Storm's acking), and terminates by end-of-stream propagation once every
-//! spout is exhausted.
+//! backpressure) and terminates by end-of-stream propagation once every
+//! spout is exhausted. Delivery is at-most-once by default; enabling
+//! [`runtime::ReliabilityConfig`] turns on Storm's guaranteed message
+//! processing — an XOR tuple-tree acker ([`ack`]), spout-side replay of
+//! timed-out tuples, and supervised restart of panicked bolt tasks — for
+//! at-least-once delivery. A seeded fault injector ([`fault`]) exercises
+//! that machinery with probabilistic panics, drops and latency.
 //!
 //! A Nimbus-style [`metrics`] monitor samples per-task throughput and
 //! processing latency on a fixed window (the paper uses 40 s windows;
@@ -26,7 +30,9 @@
 //! Topologies can also be described in XML ([`xml`]), the usability layer
 //! the paper adds on top of Storm's Java builder API.
 
+mod ack;
 pub mod error;
+pub mod fault;
 pub mod grouping;
 pub mod metrics;
 pub mod runtime;
@@ -35,8 +41,9 @@ pub mod topology;
 pub mod xml;
 
 pub use error::DspsError;
+pub use fault::{chaos_wrap, ChaosBolt, FaultConfig};
 pub use grouping::Grouping;
 pub use metrics::{ComponentWindow, MetricsHub, MonitorConfig};
-pub use runtime::{Emitter, LocalCluster, TopologyHandle};
+pub use runtime::{Emitter, LocalCluster, ReliabilityConfig, RuntimeConfig, TopologyHandle};
 pub use topology::{Bolt, BoltContext, Parallelism, Spout, Topology, TopologyBuilder};
 pub use xml::{parse_topology_xml, TopologySpec};

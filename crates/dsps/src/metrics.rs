@@ -26,6 +26,17 @@ pub struct TaskCounters {
     pub emitted: AtomicU64,
     /// Cumulative processing time in nanoseconds.
     pub busy_ns: AtomicU64,
+    /// Deliveries lost in transit: sends to a closed channel (the
+    /// receiving task died) plus injected fault drops.
+    pub dropped: AtomicU64,
+    /// Spout roots whose whole tuple tree completed (at-least-once mode).
+    pub acked: AtomicU64,
+    /// Spout roots abandoned after exhausting their replay budget.
+    pub failed: AtomicU64,
+    /// Replays emitted after an ack timeout.
+    pub replayed: AtomicU64,
+    /// Supervised restarts of this task after a panic.
+    pub restarted: AtomicU64,
 }
 
 impl TaskCounters {
@@ -38,6 +49,31 @@ impl TaskCounters {
     /// Records one downstream emission.
     pub fn record_emit(&self) {
         self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one delivery lost in transit.
+    pub fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fully-acked spout root.
+    pub fn record_acked(&self) {
+        self.acked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one spout root given up on.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one replayed spout root.
+    pub fn record_replayed(&self) {
+        self.replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one supervised task restart.
+    pub fn record_restarted(&self) {
+        self.restarted.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -68,15 +104,90 @@ pub struct ComponentWindow {
     pub avg_latency: Option<Duration>,
     /// Tuples emitted during the window.
     pub emitted: u64,
+    /// Deliveries lost in transit (closed channels, injected drops).
+    pub dropped: u64,
+    /// Spout roots fully acked (at-least-once mode).
+    pub acked: u64,
+    /// Spout roots abandoned after exhausting replays.
+    pub failed: u64,
+    /// Replays emitted after ack timeouts.
+    pub replayed: u64,
+    /// Supervised task restarts after panics.
+    pub restarted: u64,
+}
+
+/// The counter values a window is computed from.
+#[derive(Debug, Default, Clone, Copy)]
+struct Snapshot {
+    processed: u64,
+    emitted: u64,
+    busy_ns: u64,
+    dropped: u64,
+    acked: u64,
+    failed: u64,
+    replayed: u64,
+    restarted: u64,
+}
+
+impl Snapshot {
+    fn read(counters: &TaskCounters) -> Self {
+        Snapshot {
+            processed: counters.processed.load(Ordering::Relaxed),
+            emitted: counters.emitted.load(Ordering::Relaxed),
+            busy_ns: counters.busy_ns.load(Ordering::Relaxed),
+            dropped: counters.dropped.load(Ordering::Relaxed),
+            acked: counters.acked.load(Ordering::Relaxed),
+            failed: counters.failed.load(Ordering::Relaxed),
+            replayed: counters.replayed.load(Ordering::Relaxed),
+            restarted: counters.restarted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn delta(&self, last: &Snapshot) -> Snapshot {
+        Snapshot {
+            processed: self.processed - last.processed,
+            emitted: self.emitted - last.emitted,
+            busy_ns: self.busy_ns - last.busy_ns,
+            dropped: self.dropped - last.dropped,
+            acked: self.acked - last.acked,
+            failed: self.failed - last.failed,
+            replayed: self.replayed - last.replayed,
+            restarted: self.restarted - last.restarted,
+        }
+    }
+
+    fn add(&mut self, other: &Snapshot) {
+        self.processed += other.processed;
+        self.emitted += other.emitted;
+        self.busy_ns += other.busy_ns;
+        self.dropped += other.dropped;
+        self.acked += other.acked;
+        self.failed += other.failed;
+        self.replayed += other.replayed;
+        self.restarted += other.restarted;
+    }
+
+    fn into_window(self, component: String, at: Duration) -> ComponentWindow {
+        ComponentWindow {
+            component,
+            at,
+            throughput: self.processed,
+            avg_latency: self.busy_ns.checked_div(self.processed).map(Duration::from_nanos),
+            emitted: self.emitted,
+            dropped: self.dropped,
+            acked: self.acked,
+            failed: self.failed,
+            replayed: self.replayed,
+            restarted: self.restarted,
+        }
+    }
 }
 
 #[derive(Debug)]
 struct TaskEntry {
     component: String,
     counters: Arc<TaskCounters>,
-    last_processed: u64,
-    last_emitted: u64,
-    last_busy_ns: u64,
+    last: Snapshot,
 }
 
 /// The Nimbus-side collector.
@@ -109,9 +220,7 @@ impl MetricsHub {
         self.tasks.lock().push(TaskEntry {
             component: component.to_string(),
             counters: counters.clone(),
-            last_processed: 0,
-            last_emitted: 0,
-            last_busy_ns: 0,
+            last: Snapshot::default(),
         });
         counters
     }
@@ -121,32 +230,16 @@ impl MetricsHub {
     pub fn sample(&self) -> Vec<ComponentWindow> {
         let at = self.started.elapsed();
         let mut tasks = self.tasks.lock();
-        // component → (throughput, emitted, busy_ns)
-        let mut per_component: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        let mut per_component: std::collections::BTreeMap<String, Snapshot> =
             std::collections::BTreeMap::new();
         for t in tasks.iter_mut() {
-            let processed = t.counters.processed.load(Ordering::Relaxed);
-            let emitted = t.counters.emitted.load(Ordering::Relaxed);
-            let busy = t.counters.busy_ns.load(Ordering::Relaxed);
-            let entry = per_component.entry(t.component.clone()).or_default();
-            entry.0 += processed - t.last_processed;
-            entry.1 += emitted - t.last_emitted;
-            entry.2 += busy - t.last_busy_ns;
-            t.last_processed = processed;
-            t.last_emitted = emitted;
-            t.last_busy_ns = busy;
+            let now = Snapshot::read(&t.counters);
+            per_component.entry(t.component.clone()).or_default().add(&now.delta(&t.last));
+            t.last = now;
         }
         let windows: Vec<ComponentWindow> = per_component
             .into_iter()
-            .map(|(component, (throughput, emitted, busy_ns))| ComponentWindow {
-                component,
-                at,
-                throughput,
-                emitted,
-                avg_latency: busy_ns
-                    .checked_div(throughput)
-                    .map(Duration::from_nanos),
-            })
+            .map(|(component, snap)| snap.into_window(component, at))
             .collect();
         self.history.lock().extend(windows.iter().cloned());
         windows
@@ -161,25 +254,17 @@ impl MetricsHub {
     pub fn totals(&self) -> Vec<ComponentWindow> {
         let at = self.started.elapsed();
         let tasks = self.tasks.lock();
-        let mut per_component: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        let mut per_component: std::collections::BTreeMap<String, Snapshot> =
             std::collections::BTreeMap::new();
         for t in tasks.iter() {
-            let entry = per_component.entry(t.component.clone()).or_default();
-            entry.0 += t.counters.processed.load(Ordering::Relaxed);
-            entry.1 += t.counters.emitted.load(Ordering::Relaxed);
-            entry.2 += t.counters.busy_ns.load(Ordering::Relaxed);
+            per_component
+                .entry(t.component.clone())
+                .or_default()
+                .add(&Snapshot::read(&t.counters));
         }
         per_component
             .into_iter()
-            .map(|(component, (throughput, emitted, busy_ns))| ComponentWindow {
-                component,
-                at,
-                throughput,
-                emitted,
-                avg_latency: busy_ns
-                    .checked_div(throughput)
-                    .map(Duration::from_nanos),
-            })
+            .map(|(component, snap)| snap.into_window(component, at))
             .collect()
     }
 }
@@ -246,5 +331,29 @@ mod tests {
         c.record_emit();
         let w = hub.sample();
         assert_eq!(w[0].emitted, 2);
+    }
+
+    #[test]
+    fn reliability_counters_flow_into_windows() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("spout");
+        c.record_dropped();
+        c.record_acked();
+        c.record_acked();
+        c.record_failed();
+        c.record_replayed();
+        c.record_restarted();
+        let w = hub.sample();
+        assert_eq!(w[0].dropped, 1);
+        assert_eq!(w[0].acked, 2);
+        assert_eq!(w[0].failed, 1);
+        assert_eq!(w[0].replayed, 1);
+        assert_eq!(w[0].restarted, 1);
+        // Windows are deltas; totals are lifetime.
+        let w2 = hub.sample();
+        assert_eq!(w2[0].acked, 0);
+        let totals = hub.totals();
+        assert_eq!(totals[0].acked, 2);
+        assert_eq!(totals[0].dropped, 1);
     }
 }

@@ -7,20 +7,74 @@
 //! propagate edge-by-edge: a bolt task finishes once it has received one
 //! marker from every upstream task on every incoming edge, flushes via
 //! [`Bolt::finish`], forwards its own markers, and exits.
+//!
+//! # Reliability (at-least-once delivery)
+//!
+//! By default delivery is at-most-once and any task panic fails the
+//! topology. Setting [`RuntimeConfig::reliability`] enables Storm's
+//! guaranteed message processing instead:
+//!
+//! * every spout tuple becomes the **root** of a tuple tree tracked by the
+//!   XOR [`Acker`]; the runtime registers each downstream delivery before
+//!   sending it and acks it after the receiving bolt's `process` returns
+//!   (outputs are anchored to the input's roots automatically — Storm's
+//!   `BasicBolt` discipline, so the [`Bolt`] trait is unchanged);
+//! * each spout task keeps a **pending buffer** of unacked tuples; a tree
+//!   that does not complete within `ack_timeout` is abandoned and the
+//!   tuple replayed under a fresh root with exponential backoff, up to
+//!   `max_retries` times — after which the root is counted `failed` and
+//!   dropped so the topology still terminates;
+//! * a **supervisor** catches bolt-task panics, re-invokes the component
+//!   factory to rebuild the task in place (up to `max_task_restarts`
+//!   per task) and keeps consuming; the tuple that was being processed is
+//!   never acked, so the spout replays it.
+//!
+//! Replays mean *duplicates are possible*: exactly-once is the consumer's
+//! job (dedup on a message key), as in Storm 0.8 without Trident.
 
+use crate::ack::Acker;
 use crate::error::DspsError;
+use crate::fault::FaultConfig;
 use crate::grouping::Grouping;
 use crate::metrics::{MetricsHub, MonitorConfig, TaskCounters};
 use crate::scheduler::{assign, Assignment, ClusterSpec};
 use crate::topology::{Bolt, BoltContext, Spout, Topology};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Bits of a tuple id reserved for the per-task sequence number; the high
+/// bits carry the global task id, so every task mints from a disjoint
+/// namespace without coordination.
+const ID_SEQ_BITS: u32 = 40;
+
+/// SplitMix64 finalizer: a bijection on `u64` scattering our sequential
+/// ids. Distinct inputs stay distinct (no collisions), but the XOR of a
+/// small set of live ids is no longer accidentally zero — with raw
+/// sequential ids `1 ^ 2 ^ 3 == 0` would complete a tuple tree early.
+/// This is the same argument Storm makes for its random 64-bit ids.
+fn mix_id(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One delivery: the message plus its reliability lineage.
+struct Envelope<T> {
+    msg: T,
+    /// This delivery's id, registered with the acker (0 when untracked).
+    tid: u64,
+    /// Spout roots this delivery descends from (empty when untracked).
+    roots: Vec<u64>,
+}
+
 /// A message or an end-of-stream marker.
 enum Packet<T> {
-    Data(T),
+    Data(Envelope<T>),
     Eos,
 }
 
@@ -50,59 +104,116 @@ struct Route<T> {
 struct TaskEmitter<T> {
     routes: Vec<Route<T>>,
     counters: Arc<TaskCounters>,
+    /// Shared tuple-tree tracker; `None` = at-most-once mode.
+    acker: Option<Arc<Acker>>,
+    /// High bits of every id this task mints: global task id << 40.
+    id_hi: u64,
+    /// Next id sequence number; starts at 1 so `id_hi | id_seq` (and its
+    /// bijective mix) is never 0, the "untracked" sentinel.
+    id_seq: u64,
+    /// Roots of the input currently being processed; every output emitted
+    /// while processing it is anchored to them.
+    anchors: Vec<u64>,
+    /// Seeded transport-level drop injection, when faults are enabled.
+    drop_fault: Option<(f64, StdRng)>,
+    /// Scratch for resolved (route, task) targets, reused across emits.
+    targets: Vec<(usize, usize)>,
+}
+
+impl<T> TaskEmitter<T> {
+    /// Mints a fresh tuple/root id from this task's namespace.
+    fn next_id(&mut self) -> u64 {
+        let id = mix_id(self.id_hi | self.id_seq);
+        self.id_seq += 1;
+        id
+    }
+
+    fn send_eos(&mut self) {
+        for route in &mut self.routes {
+            for s in &route.senders {
+                let _ = s.send(Packet::Eos);
+            }
+        }
+    }
+}
+
+impl<T: Clone> TaskEmitter<T> {
+    /// Delivers `msg` to every target resolved into `self.targets`. The
+    /// message moves into the final send; only earlier fan-out sends
+    /// clone. A single-subscriber edge — the common topology — therefore
+    /// never clones at all.
+    fn dispatch(&mut self, msg: T) {
+        if self.targets.is_empty() {
+            // Nothing routed (terminal bolt, or direct emit without a
+            // direct edge): not an emission, and nothing to track.
+            return;
+        }
+        self.counters.record_emit();
+        let n = self.targets.len();
+        let targets = std::mem::take(&mut self.targets);
+        let mut msg = Some(msg);
+        for (i, &(ri, ti)) in targets.iter().enumerate() {
+            let payload = if i + 1 == n {
+                msg.take().expect("message moved before final send")
+            } else {
+                msg.as_ref().expect("message moved before final send").clone()
+            };
+            self.send_one(ri, ti, payload);
+        }
+        self.targets = targets; // hand the scratch buffer back
+    }
+
+    /// Sends one delivery, registering it with the acker first (so the
+    /// tree cannot complete before the receiver has seen it) and applying
+    /// transport fault injection after (so an injected loss looks exactly
+    /// like a network drop the replay machinery must heal).
+    fn send_one(&mut self, ri: usize, ti: usize, msg: T) {
+        let tracked = self.acker.is_some() && !self.anchors.is_empty();
+        let tid = if tracked { self.next_id() } else { 0 };
+        if tracked {
+            let acker = self.acker.as_ref().expect("tracked implies acker");
+            for &root in &self.anchors {
+                acker.xor(root, tid);
+            }
+        }
+        if let Some((p, rng)) = &mut self.drop_fault {
+            if rng.random_bool(*p) {
+                self.counters.record_dropped();
+                return;
+            }
+        }
+        let roots = if tracked { self.anchors.clone() } else { Vec::new() };
+        if self.routes[ri].senders[ti].send(Packet::Data(Envelope { msg, tid, roots })).is_err() {
+            // The receiving task died (its channel tore down): the
+            // delivery is lost — count it instead of vanishing silently.
+            self.counters.record_dropped();
+        }
+    }
 }
 
 impl<T: Clone> Emitter<T> for TaskEmitter<T> {
     fn emit(&mut self, msg: T) {
-        self.counters.record_emit();
-        // The message moves into the final send; only earlier fan-out sends
-        // clone. A single-subscriber edge — the common topology — therefore
-        // never clones at all.
-        let Some(last) =
-            self.routes.iter().rposition(|r| {
-                !matches!(r.grouping, Grouping::Direct) && !r.senders.is_empty()
-            })
-        else {
-            return;
-        };
-        let mut msg = Some(msg);
-        for ri in 0..=last {
-            let final_route = ri == last;
-            let route = &mut self.routes[ri];
+        // Resolve every (route, task) target before counting or sending:
+        // the emitted counter and the acker must reflect deliveries that
+        // actually route somewhere.
+        self.targets.clear();
+        for (ri, route) in self.routes.iter_mut().enumerate() {
+            if route.senders.is_empty() {
+                continue;
+            }
             match &route.grouping {
                 Grouping::Shuffle => {
-                    let n = route.senders.len();
-                    let target = route.rr % n;
+                    let target = route.rr % route.senders.len();
                     route.rr = route.rr.wrapping_add(1);
-                    let payload = if final_route {
-                        msg.take().expect("message moved before final send")
-                    } else {
-                        msg.as_ref().expect("message moved before final send").clone()
-                    };
-                    // A closed channel means the receiver died (panic);
-                    // drop the message, the topology is failing anyway.
-                    let _ = route.senders[target].send(Packet::Data(payload));
+                    self.targets.push((ri, target));
                 }
                 Grouping::Fields(key) => {
                     let n = route.senders.len() as u64;
-                    let target =
-                        (key(msg.as_ref().expect("message moved before final send")) % n) as usize;
-                    let payload = if final_route {
-                        msg.take().expect("message moved before final send")
-                    } else {
-                        msg.as_ref().expect("message moved before final send").clone()
-                    };
-                    let _ = route.senders[target].send(Packet::Data(payload));
+                    self.targets.push((ri, (key(&msg) % n) as usize));
                 }
                 Grouping::All => {
-                    let n = route.senders.len();
-                    for (si, s) in route.senders.iter().enumerate() {
-                        let payload = if final_route && si + 1 == n {
-                            msg.take().expect("message moved before final send")
-                        } else {
-                            msg.as_ref().expect("message moved before final send").clone()
-                        };
-                        let _ = s.send(Packet::Data(payload));
+                    for si in 0..route.senders.len() {
+                        self.targets.push((ri, si));
                     }
                 }
                 Grouping::Direct => {
@@ -110,40 +221,46 @@ impl<T: Clone> Emitter<T> for TaskEmitter<T> {
                 }
             }
         }
+        self.dispatch(msg);
     }
 
     fn emit_direct(&mut self, task: usize, msg: T) {
-        self.counters.record_emit();
-        let Some(last) =
-            self.routes.iter().rposition(|r| {
-                matches!(r.grouping, Grouping::Direct) && !r.senders.is_empty()
-            })
-        else {
-            return;
-        };
-        let mut msg = Some(msg);
-        for ri in 0..=last {
-            let route = &self.routes[ri];
-            if !matches!(route.grouping, Grouping::Direct) || route.senders.is_empty() {
-                continue;
+        self.targets.clear();
+        for (ri, route) in self.routes.iter().enumerate() {
+            if matches!(route.grouping, Grouping::Direct) && !route.senders.is_empty() {
+                self.targets.push((ri, task % route.senders.len()));
             }
-            let target = task % route.senders.len();
-            let payload = if ri == last {
-                msg.take().expect("message moved before final send")
-            } else {
-                msg.as_ref().expect("message moved before final send").clone()
-            };
-            let _ = route.senders[target].send(Packet::Data(payload));
         }
+        self.dispatch(msg);
     }
 }
 
-impl<T> TaskEmitter<T> {
-    fn send_eos(&mut self) {
-        for route in &mut self.routes {
-            for s in &route.senders {
-                let _ = s.send(Packet::Eos);
-            }
+/// At-least-once delivery and supervised recovery parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityConfig {
+    /// How long a spout waits for a tuple tree to complete before
+    /// abandoning the root and replaying the tuple.
+    pub ack_timeout: Duration,
+    /// Replays per tuple before the root is abandoned as failed.
+    pub max_retries: u32,
+    /// Timeout multiplier applied per retry (exponential backoff).
+    pub backoff: f64,
+    /// Max in-flight (unacked) roots per spout task; `Spout::next` is not
+    /// called while the buffer is full — Storm's `max.spout.pending`.
+    pub max_pending: usize,
+    /// Supervised restarts of a panicking bolt task before the topology
+    /// fails with [`DspsError::TaskRestartsExhausted`].
+    pub max_task_restarts: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            ack_timeout: Duration::from_secs(30),
+            max_retries: 5,
+            backoff: 2.0,
+            max_pending: 1024,
+            max_task_restarts: 3,
         }
     }
 }
@@ -158,12 +275,64 @@ pub struct RuntimeConfig {
     /// Metrics monitor window; `None` disables the monitor thread (metrics
     /// can still be sampled manually through the handle).
     pub monitor: Option<MonitorConfig>,
+    /// At-least-once machinery (acker + replay + supervised restarts);
+    /// `None` keeps the default fail-fast, at-most-once runtime.
+    pub reliability: Option<ReliabilityConfig>,
+    /// Transport-level fault injection (seeded message drops). Panic and
+    /// latency injection wrap individual bolts via
+    /// [`chaos_wrap`](crate::fault::chaos_wrap) instead.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { channel_capacity: 1024, workers: None, monitor: None }
+        RuntimeConfig {
+            channel_capacity: 1024,
+            workers: None,
+            monitor: None,
+            reliability: None,
+            fault: None,
+        }
     }
+}
+
+/// A spout tuple awaiting the completion of its tree.
+struct PendingRoot<T> {
+    msg: T,
+    deadline: Instant,
+    retries: u32,
+}
+
+/// One spout task's state inside its executor thread.
+struct SpoutTask<T> {
+    spout: Box<dyn Spout<T>>,
+    emitter: TaskEmitter<T>,
+    /// Global task id — indexes this task's completion channel.
+    global: usize,
+    /// Completion notifications from the acker (reliability mode only).
+    completions: Option<Receiver<u64>>,
+    /// In-flight roots awaiting completion.
+    pending: HashMap<u64, PendingRoot<T>>,
+    /// Next time the pending buffer is scanned for timeouts.
+    next_scan: Instant,
+    /// Source not yet exhausted.
+    live: bool,
+    /// EOS forwarded (after the source drained *and* pending emptied).
+    eos_sent: bool,
+}
+
+/// One bolt task's state inside its executor thread.
+struct BoltTask<T> {
+    bolt: Box<dyn Bolt<T>>,
+    emitter: TaskEmitter<T>,
+    rx: Receiver<Packet<T>>,
+    /// Task index within the component (what errors must report).
+    index: usize,
+    /// Context handed to `prepare`, kept for supervised restarts.
+    ctx: BoltContext,
+    eos_seen: usize,
+    restarts: u32,
+    done: bool,
 }
 
 /// A local, threaded stand-in for a Storm cluster.
@@ -205,6 +374,37 @@ impl LocalCluster {
 
         let metrics = Arc::new(MetricsHub::new());
         let done = Arc::new(AtomicBool::new(false));
+        let reliability = config.reliability;
+        let fault = config.fault;
+
+        // ---- Global task ids ----------------------------------------------
+        // Components in declaration order (spouts first), tasks within a
+        // component contiguous. They give every task a disjoint tuple-id
+        // namespace and index the spout completion channels.
+        let mut global_base: HashMap<&str, usize> = HashMap::new();
+        let mut next_global = 0usize;
+        for &(name, tasks, _) in &components {
+            global_base.insert(name, next_global);
+            next_global += tasks;
+        }
+        let spout_task_total: usize =
+            topology.spouts.iter().map(|s| s.parallelism.tasks).sum();
+
+        // ---- Acker + completion channels (reliability mode) ---------------
+        // Completion channels are unbounded so completing a tree can never
+        // block a bolt executor against a stalled spout.
+        let mut completion_rxs: Vec<Option<Receiver<u64>>> = Vec::new();
+        let acker: Option<Arc<Acker>> = if reliability.is_some() {
+            let mut txs = Vec::with_capacity(spout_task_total);
+            for _ in 0..spout_task_total {
+                let (tx, rx) = unbounded();
+                txs.push(tx);
+                completion_rxs.push(Some(rx));
+            }
+            Some(Arc::new(Acker::new(txs)))
+        } else {
+            None
+        };
 
         // ---- Channels: one bounded channel per bolt task ------------------
         let mut senders_by_bolt: Vec<Vec<Sender<Packet<T>>>> =
@@ -240,6 +440,20 @@ impl LocalCluster {
             }
             routes
         };
+        let make_emitter = |source: &str, global: usize, counters: Arc<TaskCounters>| {
+            TaskEmitter {
+                routes: make_routes(source),
+                counters,
+                acker: acker.clone(),
+                id_hi: (global as u64) << ID_SEQ_BITS,
+                id_seq: 1,
+                anchors: Vec::new(),
+                drop_fault: fault
+                    .filter(|f| f.drop_p > 0.0)
+                    .map(|f| (f.drop_p, f.rng_for(global as u64 | (1 << 48)))),
+                targets: Vec::new(),
+            }
+        };
 
         // Upstream task count per bolt: one EOS arrives per upstream task
         // per incoming edge.
@@ -260,201 +474,73 @@ impl LocalCluster {
 
         // ---- Spout executors ----------------------------------------------
         for s in &topology.spouts {
-            let packing = crate::scheduler::pack_tasks(s.parallelism.tasks, s.parallelism.executors);
+            let packing =
+                crate::scheduler::pack_tasks(s.parallelism.tasks, s.parallelism.executors);
             for task_ids in packing {
-                // Instantiate this executor's spout tasks and emitters.
-                let mut tasks: Vec<(Box<dyn Spout<T>>, TaskEmitter<T>)> = Vec::new();
+                let mut tasks: Vec<SpoutTask<T>> = Vec::new();
                 for &ti in &task_ids {
                     let counters = metrics.register_task(&s.name);
-                    tasks.push((
-                        (s.factory)(ti),
-                        TaskEmitter { routes: make_routes(&s.name), counters },
-                    ));
+                    let global = global_base[s.name.as_str()] + ti;
+                    tasks.push(SpoutTask {
+                        spout: (*s.factory)(ti),
+                        emitter: make_emitter(&s.name, global, counters),
+                        global,
+                        completions: reliability.map(|_| {
+                            completion_rxs[global]
+                                .take()
+                                .expect("each completion receiver is claimed exactly once")
+                        }),
+                        pending: HashMap::new(),
+                        next_scan: Instant::now(),
+                        live: true,
+                        eos_sent: false,
+                    });
                 }
                 let component = s.name.clone();
-                threads.push(std::thread::spawn(move || -> Result<(), DspsError> {
-                    let mut live: Vec<bool> = vec![true; tasks.len()];
-                    let mut remaining = tasks.len();
-                    let mut failure: Option<DspsError> = None;
-                    'outer: while remaining > 0 {
-                        for (i, (spout, emitter)) in tasks.iter_mut().enumerate() {
-                            if !live[i] {
-                                continue;
-                            }
-                            let result =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    spout.next()
-                                }));
-                            match result {
-                                Ok(Some(msg)) => {
-                                    emitter.counters.record(Duration::ZERO);
-                                    emitter.emit(msg);
-                                }
-                                Ok(None) => {
-                                    emitter.send_eos();
-                                    live[i] = false;
-                                    remaining -= 1;
-                                }
-                                Err(e) => {
-                                    failure = Some(DspsError::TaskPanicked {
-                                        component: component.clone(),
-                                        task: i,
-                                        reason: panic_text(e.as_ref()),
-                                    });
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                    // EOS every task this executor still owes, so downstream
-                    // terminates even when this executor failed.
-                    for (i, (_, emitter)) in tasks.iter_mut().enumerate() {
-                        if live[i] && failure.is_some() {
-                            emitter.send_eos();
-                        }
-                    }
-                    match failure {
-                        Some(e) => Err(e),
-                        None => Ok(()),
-                    }
+                let thread_acker = acker.clone();
+                threads.push(std::thread::spawn(move || {
+                    run_spout_executor(tasks, task_ids, component, thread_acker, reliability)
                 }));
             }
         }
 
         // ---- Bolt executors -----------------------------------------------
         for (bi, b) in topology.bolts.iter().enumerate() {
-            let packing = crate::scheduler::pack_tasks(b.parallelism.tasks, b.parallelism.executors);
+            let packing =
+                crate::scheduler::pack_tasks(b.parallelism.tasks, b.parallelism.executors);
+            let task_count = b.parallelism.tasks;
             for task_ids in packing {
-                struct BoltTask<T> {
-                    bolt: Box<dyn Bolt<T>>,
-                    emitter: TaskEmitter<T>,
-                    rx: Receiver<Packet<T>>,
-                    eos_seen: usize,
-                    done: bool,
-                }
                 let mut tasks: Vec<BoltTask<T>> = Vec::new();
                 for &ti in &task_ids {
                     let counters = metrics.register_task(&b.name);
+                    let global = global_base[b.name.as_str()] + ti;
                     let rx = receivers_by_bolt[bi][ti]
                         .take()
                         .expect("each task receiver is claimed exactly once");
-                    let bolt = (b.factory)(ti);
                     tasks.push(BoltTask {
-                        bolt,
-                        emitter: TaskEmitter { routes: make_routes(&b.name), counters },
+                        bolt: (*b.factory)(ti),
+                        emitter: make_emitter(&b.name, global, counters),
                         rx,
+                        index: ti,
+                        ctx: BoltContext { task_index: ti, task_count },
                         eos_seen: 0,
+                        restarts: 0,
                         done: false,
                     });
                 }
                 let component = b.name.clone();
                 let expected = expected_eos[bi];
-                let task_count = b.parallelism.tasks;
-                threads.push(std::thread::spawn(move || -> Result<(), DspsError> {
-                    // Storm calls prepare() on the worker, not the
-                    // submitting client; per-task state must live on the
-                    // executor thread.
-                    for (ti, t) in task_ids.iter().zip(tasks.iter_mut()) {
-                        t.bolt.prepare(BoltContext { task_index: *ti, task_count });
-                    }
-                    let single = tasks.len() == 1;
-                    let mut remaining = tasks.len();
-                    let mut failure: Option<DspsError> = None;
-                    'outer: while remaining > 0 {
-                        let mut progressed = false;
-                        for (i, t) in tasks.iter_mut().enumerate() {
-                            if t.done {
-                                continue;
-                            }
-                            // Single-task executors block on their channel
-                            // (the common 1:1 configuration); shared
-                            // executors poll their tasks pseudo-parallelly.
-                            let budget = 64;
-                            for step in 0..budget {
-                                let packet = if single && step == 0 {
-                                    match t.rx.recv_timeout(Duration::from_millis(50)) {
-                                        Ok(p) => Some(p),
-                                        Err(RecvTimeoutError::Timeout) => None,
-                                        Err(RecvTimeoutError::Disconnected) => {
-                                            // Upstream died without EOS
-                                            // (panic); terminate the task.
-                                            t.eos_seen = expected;
-                                            Some(Packet::Eos)
-                                        }
-                                    }
-                                } else {
-                                    match t.rx.try_recv() {
-                                        Ok(p) => Some(p),
-                                        Err(crossbeam::channel::TryRecvError::Empty) => None,
-                                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                                            t.eos_seen = expected;
-                                            Some(Packet::Eos)
-                                        }
-                                    }
-                                };
-                                let Some(packet) = packet else { break };
-                                progressed = true;
-                                match packet {
-                                    Packet::Data(msg) => {
-                                        let start = Instant::now();
-                                        let r = std::panic::catch_unwind(
-                                            std::panic::AssertUnwindSafe(|| {
-                                                t.bolt.process(msg, &mut t.emitter)
-                                            }),
-                                        );
-                                        t.emitter.counters.record(start.elapsed());
-                                        if let Err(e) = r {
-                                            failure = Some(DspsError::TaskPanicked {
-                                                component: component.clone(),
-                                                task: i,
-                                                reason: panic_text(e.as_ref()),
-                                            });
-                                            break 'outer;
-                                        }
-                                    }
-                                    Packet::Eos => {
-                                        t.eos_seen += 1;
-                                        if t.eos_seen >= expected {
-                                            let r = std::panic::catch_unwind(
-                                                std::panic::AssertUnwindSafe(|| {
-                                                    t.bolt.finish(&mut t.emitter)
-                                                }),
-                                            );
-                                            t.emitter.send_eos();
-                                            t.done = true;
-                                            remaining -= 1;
-                                            if let Err(e) = r {
-                                                failure = Some(DspsError::TaskPanicked {
-                                                    component: component.clone(),
-                                                    task: i,
-                                                    reason: panic_text(e.as_ref()),
-                                                });
-                                                break 'outer;
-                                            }
-                                            break;
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                        if !progressed && !single {
-                            // All channels empty: yield briefly.
-                            std::thread::sleep(Duration::from_micros(200));
-                        }
-                    }
-                    // On failure, EOS every unfinished task so downstream
-                    // components terminate instead of waiting forever.
-                    if failure.is_some() {
-                        for t in tasks.iter_mut() {
-                            if !t.done {
-                                t.emitter.send_eos();
-                            }
-                        }
-                    }
-                    match failure {
-                        Some(e) => Err(e),
-                        None => Ok(()),
-                    }
+                let factory = b.factory.clone();
+                let thread_acker = acker.clone();
+                threads.push(std::thread::spawn(move || {
+                    run_bolt_executor(
+                        tasks,
+                        component,
+                        expected,
+                        factory,
+                        thread_acker,
+                        reliability,
+                    )
                 }));
             }
         }
@@ -478,6 +564,324 @@ impl LocalCluster {
         });
 
         Ok(TopologyHandle { threads, monitor_thread, metrics, assignment, done })
+    }
+}
+
+/// Drives one spout executor: round-robins its tasks, each pulling from
+/// its source, draining acker completions and replaying timed-out trees
+/// until the source is exhausted *and* every in-flight tuple resolved.
+fn run_spout_executor<T: Clone + Send>(
+    mut tasks: Vec<SpoutTask<T>>,
+    task_ids: Vec<usize>,
+    component: String,
+    acker: Option<Arc<Acker>>,
+    reliability: Option<ReliabilityConfig>,
+) -> Result<(), DspsError> {
+    let mut finished = 0usize;
+    let mut failure: Option<DspsError> = None;
+    'outer: while finished < tasks.len() {
+        let mut progressed = false;
+        for (i, t) in tasks.iter_mut().enumerate() {
+            if t.eos_sent {
+                continue;
+            }
+            // 1. Completions: fully-acked trees leave the pending buffer.
+            if let Some(rx) = &t.completions {
+                while let Ok(root) = rx.try_recv() {
+                    if t.pending.remove(&root).is_some() {
+                        t.emitter.counters.record_acked();
+                        progressed = true;
+                    }
+                }
+            }
+            // 2. Timed-out trees: abandon the old root (late acks become
+            //    no-ops) and replay under a fresh one with exponential
+            //    backoff; an exhausted budget fails the tuple instead, so
+            //    the topology still terminates.
+            if let Some(rel) = &reliability {
+                let now = Instant::now();
+                if t.next_scan <= now && !t.pending.is_empty() {
+                    t.next_scan = now + Duration::from_millis(10).min(rel.ack_timeout / 4);
+                    let acker = acker.as_ref().expect("reliability implies acker");
+                    let due: Vec<u64> = t
+                        .pending
+                        .iter()
+                        .filter(|(_, p)| p.deadline <= now)
+                        .map(|(&root, _)| root)
+                        .collect();
+                    for root in due {
+                        let p = t.pending.remove(&root).expect("key drawn from this map");
+                        acker.abandon(root);
+                        if p.retries >= rel.max_retries {
+                            t.emitter.counters.record_failed();
+                            continue;
+                        }
+                        let retries = p.retries + 1;
+                        let new_root = t.emitter.next_id();
+                        acker.register(new_root, t.global);
+                        let timeout = rel.ack_timeout.mul_f64(rel.backoff.powi(retries as i32));
+                        t.pending.insert(
+                            new_root,
+                            PendingRoot { msg: p.msg.clone(), deadline: now + timeout, retries },
+                        );
+                        t.emitter.anchors.clear();
+                        t.emitter.anchors.push(new_root);
+                        t.emitter.emit(p.msg);
+                        t.emitter.anchors.clear();
+                        acker.seal(new_root);
+                        t.emitter.counters.record_replayed();
+                        progressed = true;
+                    }
+                }
+            }
+            // 3. Pull from the source, unless the pending buffer is full.
+            let throttled =
+                reliability.is_some_and(|rel| t.pending.len() >= rel.max_pending);
+            if t.live && !throttled {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    t.spout.next()
+                }));
+                match result {
+                    Ok(Some(msg)) => {
+                        progressed = true;
+                        t.emitter.counters.record(Duration::ZERO);
+                        if let Some(rel) = &reliability {
+                            let acker = acker.as_ref().expect("reliability implies acker");
+                            let root = t.emitter.next_id();
+                            acker.register(root, t.global);
+                            t.pending.insert(
+                                root,
+                                PendingRoot {
+                                    msg: msg.clone(),
+                                    deadline: Instant::now() + rel.ack_timeout,
+                                    retries: 0,
+                                },
+                            );
+                            t.emitter.anchors.clear();
+                            t.emitter.anchors.push(root);
+                            t.emitter.emit(msg);
+                            t.emitter.anchors.clear();
+                            // Completes roots whose emit found no route.
+                            acker.seal(root);
+                        } else {
+                            t.emitter.emit(msg);
+                        }
+                    }
+                    Ok(None) => {
+                        t.live = false;
+                        progressed = true;
+                    }
+                    Err(e) => {
+                        failure = Some(DspsError::TaskPanicked {
+                            component: component.clone(),
+                            task: task_ids[i],
+                            reason: panic_text(e.as_ref()),
+                        });
+                        break 'outer;
+                    }
+                }
+            }
+            // 4. EOS once drained: source exhausted, nothing in flight.
+            if !t.live && t.pending.is_empty() && !t.eos_sent {
+                t.emitter.send_eos();
+                t.eos_sent = true;
+                finished += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Only waiting on acks: don't spin.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // EOS every task this executor still owes, so downstream terminates
+    // even when this executor failed mid-stream.
+    for t in tasks.iter_mut() {
+        if !t.eos_sent {
+            if let Some(acker) = &acker {
+                for &root in t.pending.keys() {
+                    acker.abandon(root);
+                }
+            }
+            t.emitter.send_eos();
+            t.eos_sent = true;
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Drives one bolt executor: consumes each task's input channel, acks
+/// processed tuples, supervises panics (restarting the task from its
+/// factory when reliability allows) and terminates on EOS quorum.
+fn run_bolt_executor<T: Clone + Send>(
+    mut tasks: Vec<BoltTask<T>>,
+    component: String,
+    expected: usize,
+    factory: crate::topology::BoltFactory<T>,
+    acker: Option<Arc<Acker>>,
+    reliability: Option<ReliabilityConfig>,
+) -> Result<(), DspsError> {
+    // Storm calls prepare() on the worker, not the submitting client;
+    // per-task state must live on the executor thread.
+    for t in tasks.iter_mut() {
+        t.bolt.prepare(t.ctx);
+    }
+    let single = tasks.len() == 1;
+    let mut remaining = tasks.len();
+    let mut failure: Option<DspsError> = None;
+    'outer: while remaining > 0 {
+        let mut progressed = false;
+        for t in tasks.iter_mut() {
+            if t.done {
+                continue;
+            }
+            // Single-task executors block on their channel (the common
+            // 1:1 configuration); shared executors poll their tasks
+            // pseudo-parallelly.
+            let budget = 64;
+            for step in 0..budget {
+                let packet = if single && step == 0 {
+                    match t.rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(p) => Some(p),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // Upstream died without EOS (hard panic);
+                            // terminate the task.
+                            t.eos_seen = expected;
+                            Some(Packet::Eos)
+                        }
+                    }
+                } else {
+                    match t.rx.try_recv() {
+                        Ok(p) => Some(p),
+                        Err(crossbeam::channel::TryRecvError::Empty) => None,
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                            t.eos_seen = expected;
+                            Some(Packet::Eos)
+                        }
+                    }
+                };
+                let Some(packet) = packet else { break };
+                progressed = true;
+                match packet {
+                    Packet::Data(Envelope { msg, tid, roots }) => {
+                        t.emitter.anchors = roots;
+                        let start = Instant::now();
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            t.bolt.process(msg, &mut t.emitter)
+                        }));
+                        t.emitter.counters.record(start.elapsed());
+                        match r {
+                            Ok(()) => {
+                                // Auto-ack: outputs were registered during
+                                // process(), so acking the input now can
+                                // only complete a genuinely finished tree.
+                                if let Some(acker) = &acker {
+                                    for &root in &t.emitter.anchors {
+                                        acker.xor(root, tid);
+                                    }
+                                }
+                                t.emitter.anchors.clear();
+                            }
+                            Err(e) => {
+                                // Never ack a failed input: its tree stays
+                                // incomplete and the spout replays it.
+                                t.emitter.anchors.clear();
+                                let budget =
+                                    reliability.map_or(0, |rel| rel.max_task_restarts);
+                                if t.restarts < budget {
+                                    // Supervisor: rebuild the task from its
+                                    // factory and keep consuming. State is
+                                    // fresh; replay covers the lost tuple.
+                                    let ctx = t.ctx;
+                                    let index = t.index;
+                                    let rebuilt = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            let mut bolt = (*factory)(index);
+                                            bolt.prepare(ctx);
+                                            bolt
+                                        }),
+                                    );
+                                    match rebuilt {
+                                        Ok(bolt) => {
+                                            t.bolt = bolt;
+                                            t.restarts += 1;
+                                            t.emitter.counters.record_restarted();
+                                        }
+                                        Err(e2) => {
+                                            failure = Some(DspsError::TaskPanicked {
+                                                component: component.clone(),
+                                                task: t.index,
+                                                reason: format!(
+                                                    "restart failed: {}",
+                                                    panic_text(e2.as_ref())
+                                                ),
+                                            });
+                                            break 'outer;
+                                        }
+                                    }
+                                } else if reliability.is_some() {
+                                    failure = Some(DspsError::TaskRestartsExhausted {
+                                        component: component.clone(),
+                                        task: t.index,
+                                        restarts: t.restarts,
+                                        reason: panic_text(e.as_ref()),
+                                    });
+                                    break 'outer;
+                                } else {
+                                    failure = Some(DspsError::TaskPanicked {
+                                        component: component.clone(),
+                                        task: t.index,
+                                        reason: panic_text(e.as_ref()),
+                                    });
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    Packet::Eos => {
+                        t.eos_seen += 1;
+                        if t.eos_seen >= expected {
+                            let r = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| t.bolt.finish(&mut t.emitter)),
+                            );
+                            t.emitter.send_eos();
+                            t.done = true;
+                            remaining -= 1;
+                            if let Err(e) = r {
+                                failure = Some(DspsError::TaskPanicked {
+                                    component: component.clone(),
+                                    task: t.index,
+                                    reason: panic_text(e.as_ref()),
+                                });
+                                break 'outer;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed && !single {
+            // All channels empty: yield briefly.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    // On failure, EOS every unfinished task so downstream components
+    // terminate instead of waiting forever.
+    if failure.is_some() {
+        for t in tasks.iter_mut() {
+            if !t.done {
+                t.emitter.send_eos();
+            }
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -569,7 +973,7 @@ mod tests {
 
     fn sink_bolt(
         collected: Arc<Mutex<Vec<(usize, u64)>>>,
-    ) -> impl Fn(usize) -> Box<dyn Bolt<Msg>> + Send + 'static {
+    ) -> impl Fn(usize) -> Box<dyn Bolt<Msg>> + Send + Sync + 'static {
         move |_| {
             struct Sink {
                 task: usize,
@@ -773,6 +1177,356 @@ mod tests {
                 assert!(reason.contains("boom"));
             }
             other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spout_panic_reports_global_task_index() {
+        // Regression: the error used to carry the executor-local loop
+        // index. 3 tasks on 2 executors pack as [[0, 2], [1]]; task 2 is
+        // the *second* task of executor 0, so the buggy code reported 1.
+        struct MaybePanicSpout {
+            task: usize,
+        }
+        impl Spout<Msg> for MaybePanicSpout {
+            fn next(&mut self) -> Option<Msg> {
+                if self.task == 2 {
+                    panic!("spout task 2 exploded");
+                }
+                None
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism { tasks: 3, executors: 2 }, |ti| {
+                Box::new(MaybePanicSpout { task: ti })
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                sink_bolt(Arc::new(Mutex::new(Vec::new()))),
+            )
+            .build()
+            .unwrap();
+        let err = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join();
+        match err {
+            Err(DspsError::TaskPanicked { component, task, .. }) => {
+                assert_eq!(component, "src");
+                assert_eq!(task, 2, "error must name the task, not the loop index");
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bolt_panic_reports_global_task_index() {
+        // Same regression on the bolt path: 3 sink tasks on 2 executors,
+        // All grouping so task 2 (executor-local index 1) sees data.
+        struct MaybePanicBolt {
+            task: usize,
+        }
+        impl Bolt<Msg> for MaybePanicBolt {
+            fn process(&mut self, _msg: Msg, _e: &mut dyn Emitter<Msg>) {
+                if self.task == 2 {
+                    panic!("bolt task 2 exploded");
+                }
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 5 }))
+            .add_bolt(
+                "sink",
+                Parallelism { tasks: 3, executors: 2 },
+                vec![("src", Grouping::All)],
+                |ti| Box::new(MaybePanicBolt { task: ti }),
+            )
+            .build()
+            .unwrap();
+        let err = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join();
+        match err {
+            Err(DspsError::TaskPanicked { component, task, .. }) => {
+                assert_eq!(component, "sink");
+                assert_eq!(task, 2, "error must name the task, not the loop index");
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sends_to_dead_tasks_count_as_dropped() {
+        // Regression: sends to a closed channel used to vanish silently.
+        // The sink dies on its first tuple; with a tiny channel the spout
+        // keeps emitting into a torn-down channel and must count it.
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 100 }))
+            .add_map_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                |_m: Msg| panic!("dies immediately"),
+            )
+            .build()
+            .unwrap();
+        let cfg = RuntimeConfig { channel_capacity: 4, ..RuntimeConfig::default() };
+        let handle = small_cluster().submit(t, cfg).unwrap();
+        let metrics = handle.metrics().clone();
+        assert!(handle.join().is_err(), "sink panic must surface");
+        let totals = metrics.totals();
+        let src = totals.iter().find(|c| c.component == "src").unwrap();
+        assert!(
+            src.dropped > 0,
+            "sends into the dead sink's channel must be counted, got {totals:?}"
+        );
+    }
+
+    #[test]
+    fn emit_without_route_is_not_counted() {
+        // Regression: a terminal bolt's emit used to bump the emitted
+        // counter even though the message went nowhere.
+        struct Forwarder;
+        impl Bolt<Msg> for Forwarder {
+            fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+                e.emit(msg.clone());
+                e.emit_direct(0, msg); // no direct edge either
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 25 }))
+            .add_bolt("term", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(Forwarder)
+            })
+            .build()
+            .unwrap();
+        let metrics = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let totals = metrics.totals();
+        let term = totals.iter().find(|c| c.component == "term").unwrap();
+        assert_eq!(term.emitted, 0, "routeless emits must not count as emissions");
+        let src = totals.iter().find(|c| c.component == "src").unwrap();
+        assert_eq!(src.emitted, 25, "routed emits still count");
+    }
+
+    #[test]
+    fn finish_panic_still_sends_eos_downstream() {
+        // A panic in finish() fails the topology but must not strand the
+        // downstream component waiting for EOS (this test would hang).
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        struct FlushBomb;
+        impl Bolt<Msg> for FlushBomb {
+            fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+                e.emit(msg);
+            }
+            fn finish(&mut self, _e: &mut dyn Emitter<Msg>) {
+                panic!("flush failed");
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 10 }))
+            .add_bolt("bomb", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(FlushBomb)
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("bomb", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let err = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join();
+        match err {
+            Err(DspsError::TaskPanicked { component, reason, .. }) => {
+                assert_eq!(component, "bomb");
+                assert!(reason.contains("flush failed"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        assert_eq!(collected.lock().len(), 10, "all pre-finish tuples delivered");
+    }
+
+    #[test]
+    fn upstream_hard_death_terminates_single_task_bolt() {
+        // A bolt whose prepare() panics kills its executor thread without
+        // sending EOS; the downstream bolt must detect the disconnect on
+        // its blocking receive path and terminate (else this test hangs).
+        struct PreparePanic;
+        impl Bolt<Msg> for PreparePanic {
+            fn prepare(&mut self, _ctx: BoltContext) {
+                panic!("prepare failed");
+            }
+            fn process(&mut self, _msg: Msg, _e: &mut dyn Emitter<Msg>) {}
+        }
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 10 }))
+            .add_bolt("bad", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(PreparePanic)
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("bad", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let err = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join();
+        assert!(err.is_err(), "the dead executor must surface an error");
+    }
+
+    #[test]
+    fn upstream_hard_death_terminates_shared_executor_bolt() {
+        // Same, but the downstream tasks share one executor and sit on
+        // the polling (try_recv) path.
+        struct PreparePanic;
+        impl Bolt<Msg> for PreparePanic {
+            fn prepare(&mut self, _ctx: BoltContext) {
+                panic!("prepare failed");
+            }
+            fn process(&mut self, _msg: Msg, _e: &mut dyn Emitter<Msg>) {}
+        }
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 10 }))
+            .add_bolt("bad", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(PreparePanic)
+            })
+            .add_bolt(
+                "sink",
+                Parallelism { tasks: 2, executors: 1 },
+                vec![("bad", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let err = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join();
+        assert!(err.is_err(), "the dead executor must surface an error");
+    }
+
+    #[test]
+    fn reliability_happy_path_acks_everything() {
+        // No faults: at-least-once mode must deliver exactly once, ack
+        // every root and terminate cleanly.
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(2), |ti| {
+                Box::new(RangeSpout { next: ti as u64 * 100, end: ti as u64 * 100 + 50 })
+            })
+            .add_map_bolt(
+                "double",
+                Parallelism::of(2),
+                vec![("src", Grouping::Shuffle)],
+                |m: Msg| Some(Msg { key: m.key, value: m.value * 2 }),
+            )
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("double", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let cfg = RuntimeConfig {
+            reliability: Some(ReliabilityConfig {
+                ack_timeout: Duration::from_secs(5),
+                ..ReliabilityConfig::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        let metrics = small_cluster().submit(t, cfg).unwrap().join().unwrap();
+        let mut values: Vec<u64> = collected.lock().iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        let expected: Vec<u64> = (0..50).chain(100..150).map(|v| v * 2).collect();
+        assert_eq!(values, expected, "exactly-once on the failure-free path");
+        let totals = metrics.totals();
+        let src = totals.iter().find(|c| c.component == "src").unwrap();
+        assert_eq!(src.acked, 100, "every root fully acked");
+        assert_eq!(src.failed, 0);
+        assert_eq!(src.replayed, 0);
+    }
+
+    #[test]
+    fn reliability_supervisor_restarts_poisoned_bolt() {
+        // The bolt panics the first time it sees value 7; the supervisor
+        // must rebuild it and the spout must replay the lost tuple.
+        let tripped = Arc::new(AtomicBool::new(false));
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        struct OnceBomb {
+            tripped: Arc<AtomicBool>,
+        }
+        impl Bolt<Msg> for OnceBomb {
+            fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+                if msg.value == 7 && !self.tripped.swap(true, Ordering::SeqCst) {
+                    panic!("first 7 is fatal");
+                }
+                e.emit(msg);
+            }
+        }
+        let tripped_f = tripped.clone();
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 20 }))
+            .add_bolt("bomb", Parallelism::of(1), vec![("src", Grouping::Shuffle)], move |_| {
+                Box::new(OnceBomb { tripped: tripped_f.clone() })
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("bomb", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let cfg = RuntimeConfig {
+            reliability: Some(ReliabilityConfig {
+                ack_timeout: Duration::from_millis(200),
+                max_retries: 10,
+                backoff: 1.5,
+                ..ReliabilityConfig::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        let metrics = small_cluster().submit(t, cfg).unwrap().join().unwrap();
+        let mut values: Vec<u64> = collected.lock().iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values, (0..20).collect::<Vec<u64>>(), "replay healed the lost tuple");
+        let totals = metrics.totals();
+        let src = totals.iter().find(|c| c.component == "src").unwrap();
+        assert!(src.replayed >= 1, "the poisoned tuple must have been replayed");
+        assert_eq!(src.failed, 0);
+        let bomb = totals.iter().find(|c| c.component == "bomb").unwrap();
+        assert_eq!(bomb.restarted, 1, "the supervisor restarted the bolt once");
+    }
+
+    #[test]
+    fn restarts_exhausted_fails_topology() {
+        // A bolt that always panics burns through its restart budget and
+        // must surface TaskRestartsExhausted, not hang or loop forever.
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 10 }))
+            .add_map_bolt(
+                "explode",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                |_m: Msg| panic!("always fatal"),
+            )
+            .build()
+            .unwrap();
+        let cfg = RuntimeConfig {
+            reliability: Some(ReliabilityConfig {
+                ack_timeout: Duration::from_millis(100),
+                max_retries: 2,
+                max_task_restarts: 2,
+                ..ReliabilityConfig::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        let err = small_cluster().submit(t, cfg).unwrap().join();
+        match err {
+            Err(DspsError::TaskRestartsExhausted { component, restarts, .. }) => {
+                assert_eq!(component, "explode");
+                assert_eq!(restarts, 2);
+            }
+            other => panic!("expected TaskRestartsExhausted, got {other:?}"),
         }
     }
 

@@ -94,7 +94,15 @@ impl Assignment {
 
 /// Distributes a component's `tasks` over its `executors` as evenly as
 /// possible, in order — Figure 1's task→executor packing.
+///
+/// `executors == 0` yields an empty packing (no executors to fill) rather
+/// than dividing by zero; topology validation rejects the configuration
+/// long before scheduling, but this function is public and must hold up
+/// on its own.
 pub fn pack_tasks(tasks: usize, executors: usize) -> Vec<Vec<usize>> {
+    if executors == 0 {
+        return Vec::new();
+    }
     let mut out = vec![Vec::new(); executors];
     for t in 0..tasks {
         out[t % executors].push(t);
@@ -152,6 +160,14 @@ mod tests {
         assert_eq!(pack_tasks(4, 2), vec![vec![0, 2], vec![1, 3]]);
         assert_eq!(pack_tasks(3, 3), vec![vec![0], vec![1], vec![2]]);
         assert_eq!(pack_tasks(5, 2), vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn pack_tasks_zero_executors_yields_empty_packing() {
+        // Regression: this used to panic with a division by zero.
+        assert_eq!(pack_tasks(5, 0), Vec::<Vec<usize>>::new());
+        assert_eq!(pack_tasks(0, 0), Vec::<Vec<usize>>::new());
+        assert_eq!(pack_tasks(0, 2), vec![Vec::<usize>::new(), Vec::new()]);
     }
 
     #[test]

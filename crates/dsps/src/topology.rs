@@ -90,9 +90,11 @@ impl<T: Send, F: FnMut(T) -> Option<T> + Send> Bolt<T> for MapBolt<T, F> {
 }
 
 /// Factory producing one spout instance per spout task.
-pub type SpoutFactory<T> = Box<dyn Fn(usize) -> Box<dyn Spout<T>> + Send>;
-/// Factory producing one bolt instance per bolt task.
-pub type BoltFactory<T> = Box<dyn Fn(usize) -> Box<dyn Bolt<T>> + Send>;
+pub type SpoutFactory<T> = std::sync::Arc<dyn Fn(usize) -> Box<dyn Spout<T>> + Send + Sync>;
+/// Factory producing one bolt instance per bolt task. Shared (`Arc`, not
+/// `Box`) because the supervisor re-invokes it from executor threads to
+/// restart a panicked task.
+pub type BoltFactory<T> = std::sync::Arc<dyn Fn(usize) -> Box<dyn Bolt<T>> + Send + Sync>;
 
 /// One subscription edge: `source` component feeding a bolt under a
 /// grouping.
@@ -166,11 +168,11 @@ impl<T: Send + 'static> TopologyBuilder<T> {
         mut self,
         name: impl Into<String>,
         parallelism: Parallelism,
-        factory: impl Fn(usize) -> Box<dyn Spout<T>> + Send + 'static,
+        factory: impl Fn(usize) -> Box<dyn Spout<T>> + Send + Sync + 'static,
     ) -> Self {
         self.spouts.push(SpoutDecl {
             name: name.into(),
-            factory: Box::new(factory),
+            factory: std::sync::Arc::new(factory),
             parallelism,
         });
         self
@@ -182,11 +184,11 @@ impl<T: Send + 'static> TopologyBuilder<T> {
         name: impl Into<String>,
         parallelism: Parallelism,
         subscriptions: Vec<(impl Into<String>, Grouping<T>)>,
-        factory: impl Fn(usize) -> Box<dyn Bolt<T>> + Send + 'static,
+        factory: impl Fn(usize) -> Box<dyn Bolt<T>> + Send + Sync + 'static,
     ) -> Self {
         self.bolts.push(BoltDecl {
             name: name.into(),
-            factory: Box::new(factory),
+            factory: std::sync::Arc::new(factory),
             parallelism,
             subscriptions: subscriptions
                 .into_iter()

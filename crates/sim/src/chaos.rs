@@ -1,0 +1,173 @@
+//! Chaos scenarios: declarative fault/recovery setups for live DSPS runs.
+//!
+//! The fluid simulator in this crate models *capacity*; it cannot model
+//! partial failure. Chaos scenarios instead drive the real threaded
+//! runtime in `tms-dsps`: a [`ChaosSpec`] declares seeded fault
+//! probabilities and the recovery budget, and converts into the runtime's
+//! [`FaultConfig`] / [`ReliabilityConfig`] pair. Because everything is
+//! seeded, a chaos experiment is as reproducible as a fluid one.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use tms_dsps::runtime::ReliabilityConfig;
+use tms_dsps::FaultConfig;
+
+/// A declarative chaos scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosSpec {
+    /// Probability a wrapped bolt panics before processing a tuple.
+    pub panic_p: f64,
+    /// Probability the transport drops a delivery in transit.
+    pub drop_p: f64,
+    /// Extra per-tuple latency injected into wrapped bolts, milliseconds.
+    pub delay_ms: f64,
+    /// RNG seed; fixed seed ⇒ reproducible fault schedule.
+    pub seed: u64,
+    /// Ack timeout before a tuple tree is replayed, milliseconds.
+    pub ack_timeout_ms: u64,
+    /// Replays per tuple before it is abandoned as failed.
+    pub max_retries: u32,
+    /// Supervised restarts per bolt task before the topology fails.
+    pub max_task_restarts: u32,
+    /// Max in-flight roots per spout task (throttle).
+    pub max_pending: usize,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec::light()
+    }
+}
+
+impl ChaosSpec {
+    /// The acceptance scenario: 1% panics + 1% drops, generous recovery.
+    pub fn light() -> Self {
+        ChaosSpec {
+            panic_p: 0.01,
+            drop_p: 0.01,
+            delay_ms: 0.0,
+            seed: 0x7EA_5EED,
+            ack_timeout_ms: 250,
+            max_retries: 20,
+            max_task_restarts: 200,
+            max_pending: 256,
+        }
+    }
+
+    /// A harsher scenario: 5% panics + 5% drops with added latency.
+    pub fn heavy() -> Self {
+        ChaosSpec {
+            panic_p: 0.05,
+            drop_p: 0.05,
+            delay_ms: 1.0,
+            seed: 0x7EA_5EED,
+            ack_timeout_ms: 500,
+            max_retries: 40,
+            max_task_restarts: 1000,
+            max_pending: 128,
+        }
+    }
+
+    /// Validates probabilities and budgets.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [("panic_p", self.panic_p), ("drop_p", self.drop_p)] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if !(self.delay_ms >= 0.0) || !self.delay_ms.is_finite() {
+            return Err(format!("delay_ms must be non-negative, got {}", self.delay_ms));
+        }
+        if self.ack_timeout_ms == 0 {
+            return Err("ack_timeout_ms must be at least 1".into());
+        }
+        if self.max_pending == 0 {
+            return Err("max_pending must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// The fault half: feed to `RuntimeConfig::fault` and
+    /// [`tms_dsps::chaos_wrap`].
+    pub fn fault_config(&self) -> FaultConfig {
+        FaultConfig {
+            panic_p: self.panic_p,
+            drop_p: self.drop_p,
+            delay: (self.delay_ms > 0.0)
+                .then(|| Duration::from_secs_f64(self.delay_ms / 1000.0)),
+            seed: self.seed,
+        }
+    }
+
+    /// The recovery half: feed to `RuntimeConfig::reliability`.
+    pub fn reliability_config(&self) -> ReliabilityConfig {
+        ReliabilityConfig {
+            ack_timeout: Duration::from_millis(self.ack_timeout_ms),
+            max_retries: self.max_retries,
+            backoff: 1.5,
+            max_pending: self.max_pending,
+            max_task_restarts: self.max_task_restarts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_convert() {
+        for spec in [ChaosSpec::light(), ChaosSpec::heavy(), ChaosSpec::default()] {
+            spec.validate().unwrap();
+            let f = spec.fault_config();
+            assert_eq!(f.panic_p, spec.panic_p);
+            assert_eq!(f.drop_p, spec.drop_p);
+            assert_eq!(f.seed, spec.seed);
+            let r = spec.reliability_config();
+            assert_eq!(r.ack_timeout, Duration::from_millis(spec.ack_timeout_ms));
+            assert_eq!(r.max_task_restarts, spec.max_task_restarts);
+        }
+        // Light injects no latency; heavy injects 1 ms.
+        assert_eq!(ChaosSpec::light().fault_config().delay, None);
+        assert_eq!(
+            ChaosSpec::heavy().fault_config().delay,
+            Some(Duration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = ChaosSpec::light();
+        s.panic_p = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = ChaosSpec::light();
+        s.drop_p = -0.1;
+        assert!(s.validate().is_err());
+        let mut s = ChaosSpec::light();
+        s.delay_ms = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = ChaosSpec::light();
+        s.ack_timeout_ms = 0;
+        assert!(s.validate().is_err());
+        let mut s = ChaosSpec::light();
+        s.max_pending = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn specs_serialize_with_every_knob_visible() {
+        let spec = ChaosSpec::heavy();
+        let json = serde_json::to_string(&spec).unwrap();
+        for field in [
+            "\"panic_p\":0.05",
+            "\"drop_p\":0.05",
+            "\"delay_ms\":1",
+            "\"ack_timeout_ms\":500",
+            "\"max_retries\":40",
+            "\"max_task_restarts\":1000",
+            "\"max_pending\":128",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
+    }
+}

@@ -22,14 +22,22 @@
 //! spread over its backlogged engines, queues drain accordingly, and
 //! waiting time accumulates by Little's law. The simulation is exactly
 //! reproducible: no randomness anywhere.
+//!
+//! The fluid model covers capacity, not failure. The [`chaos`] module
+//! covers the other half: declarative, seeded fault scenarios
+//! ([`ChaosSpec`]) that configure the *real* threaded runtime in
+//! `tms-dsps` — probabilistic panics, message drops and added latency —
+//! together with the at-least-once recovery budget that must absorb them.
 
 // `!(x > 0.0)` is used deliberately in validations: unlike `x <= 0.0`
 // it also rejects NaN.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod chaos;
 pub mod placement;
 pub mod scenario;
 
+pub use chaos::ChaosSpec;
 pub use placement::round_robin_nodes;
 pub use scenario::{PartitioningApproach, ScenarioBuilder};
 

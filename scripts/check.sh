@@ -5,4 +5,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# The chaos integration suite is the reliability layer's acceptance bar:
+# seeded panics + drops with recovery on must reproduce the failure-free
+# output after dedup (see crates/dsps/tests/reliability.rs).
+cargo test -p tms-dsps --test reliability
 cargo clippy --workspace -- -D warnings
