@@ -21,8 +21,12 @@ use tms_core::allocation::{allocate, round_robin, Grouping};
 use tms_core::latency::{EstimationModel, PolyModel};
 use tms_core::partitioning::RegionRate;
 use tms_core::rules::{LocationSelector, RuleSpec};
+use tms_core::system::SystemConfig;
 use tms_core::thresholds::{RetrievalMethod, RuleEngine};
-use tms_sim::{simulate, PartitioningApproach, ScenarioBuilder, SimConfig};
+use tms_core::TrafficSystem;
+use tms_sim::{
+    simulate, ChaosSpec, MonitorSpec, PartitioningApproach, ScenarioBuilder, SimConfig,
+};
 use tms_storage::{DayType, RemoteDb, StatRecord, TableStore, ThresholdStore};
 use tms_traffic::{Attribute, FleetConfig, FleetGenerator};
 
@@ -45,6 +49,7 @@ fn main() {
         "fig14_15" => fig14_15(),
         "fig16_17" => fig16_17(),
         "bench_snapshot" | "--bench-snapshot" => bench_snapshot(),
+        "drift" => drift(),
         "all" => {
             table1();
             table2();
@@ -59,7 +64,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table1 table2 table6 \
-                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot all"
+                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot drift all"
             );
             std::process::exit(2);
         }
@@ -474,6 +479,132 @@ fn single_statement_events_per_sec(incremental: bool) -> f64 {
         send(&mut engine, warmup + i);
     }
     n as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// Latency drift: chaos run with end-to-end tracing (BENCH_latency_drift.jsonl)
+// ---------------------------------------------------------------------------
+
+/// A chaos-enabled live run (the `ChaosSpec::light` acceptance scenario)
+/// with end-to-end tracing on: per-component completion-latency
+/// percentiles, queue-depth gauges, and the per-window predicted-vs-
+/// observed Esper latency drift (the Figure 7 model against the real
+/// engines). The drift series is exported as JSON Lines to
+/// `BENCH_latency_drift.jsonl` at the repository root. The same workload
+/// runs once more with tracing off to measure the instrumentation
+/// overhead (budget: <5%).
+fn drift() {
+    println!("\n== Latency drift: chaos run with end-to-end tracing ==");
+    let chaos = ChaosSpec::light();
+    chaos.validate().expect("light preset is valid");
+    let monitor = MonitorSpec::traced(500);
+    monitor.validate().expect("traced spec is valid");
+
+    let gen = FleetGenerator::new(FleetConfig::small(17), 0).expect("fleet config is valid");
+    let seeds = gen.route_seed_points();
+    let history: Vec<tms_traffic::BusTrace> =
+        gen.take_while(|t| t.timestamp_ms < 9 * tms_traffic::HOUR_MS).collect();
+    let live: Vec<tms_traffic::BusTrace> = FleetGenerator::new(FleetConfig::small(17), 1)
+        .expect("fleet config is valid")
+        .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * tms_traffic::HOUR_MS)
+        .collect();
+    let rules: Vec<RuleSpec> = [
+        ("drift-leaves", LocationSelector::QuadtreeLeaves),
+        ("drift-stops", LocationSelector::BusStops),
+    ]
+    .into_iter()
+    .map(|(name, loc)| {
+        let mut r = RuleSpec::new(name, Attribute::Delay, loc, 10);
+        r.s = 0.5;
+        r
+    })
+    .collect();
+    let config = |m: Option<tms_dsps::MonitorConfig>| SystemConfig {
+        monitor: m,
+        reliability: Some(chaos.reliability_config()),
+        chaos: Some(chaos.fault_config()),
+        ..SystemConfig::default()
+    };
+
+    // Tracing-off baseline: identical workload and chaos schedule, so the
+    // wall-clock delta is the instrumentation cost.
+    let sys = TrafficSystem::bootstrap(tms_geo::DUBLIN_BBOX, &seeds, &history, config(None))
+        .expect("bootstrap");
+    let t = std::time::Instant::now();
+    sys.plan_and_run(live.clone(), &rules, 3).expect("baseline run");
+    let base_s = t.elapsed().as_secs_f64();
+
+    let sys = TrafficSystem::bootstrap(
+        tms_geo::DUBLIN_BBOX,
+        &seeds,
+        &history,
+        config(Some(monitor.monitor_config())),
+    )
+    .expect("bootstrap");
+    let t = std::time::Instant::now();
+    let (_, report) = sys.plan_and_run(live, &rules, 3).expect("traced run");
+    let traced_s = t.elapsed().as_secs_f64();
+    let overhead_pct = (traced_s - base_s) / base_s * 100.0;
+
+    let ms = |d: Option<std::time::Duration>| {
+        d.map(|d| format_num(d.as_secs_f64() * 1e3)).unwrap_or_else(|| "-".into())
+    };
+    let rows: Vec<Vec<String>> = report
+        .metrics
+        .iter()
+        .map(|w| {
+            let peak = report
+                .history
+                .iter()
+                .filter(|h| h.component == w.component)
+                .map(|h| h.queue_depth_max)
+                .max()
+                .unwrap_or(0);
+            vec![
+                w.component.clone(),
+                w.e2e.count().to_string(),
+                ms(w.e2e.p50()),
+                ms(w.e2e.p95()),
+                ms(w.e2e.p99()),
+                peak.to_string(),
+                w.queue_capacity.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Per-component end-to-end completion latency and queue gauges",
+        &["component", "e2e count", "p50 (ms)", "p95 (ms)", "p99 (ms)", "peak queue", "capacity"],
+        &rows,
+    );
+
+    let mean_ratio = if report.drift.is_empty() {
+        f64::NAN
+    } else {
+        report.drift.iter().map(|d| d.ratio).sum::<f64>() / report.drift.len() as f64
+    };
+    println!(
+        "drift: {} windows, mean observed/predicted ratio {}",
+        report.drift.len(),
+        format_num(mean_ratio)
+    );
+    println!(
+        "tracing overhead: baseline {}s vs traced {}s ({}%)",
+        format_num(base_s),
+        format_num(traced_s),
+        format_num(overhead_pct)
+    );
+    std::fs::write("BENCH_latency_drift.jsonl", report.drift_jsonl())
+        .expect("writing BENCH_latency_drift.jsonl");
+    println!("(wrote BENCH_latency_drift.jsonl, one JSON object per sampled Esper window)");
+
+    let mut result =
+        ExperimentResult::new("drift", "Predicted-vs-observed Esper latency drift under chaos");
+    result.fact("drift_windows", report.drift.len());
+    result.fact("mean_ratio", format_num(mean_ratio));
+    result.fact("baseline_s", format_num(base_s));
+    result.fact("traced_s", format_num(traced_s));
+    result.fact("tracing_overhead_pct", format_num(overhead_pct));
+    result.save_json(&results_dir()).expect("writing results");
 }
 
 // ---------------------------------------------------------------------------

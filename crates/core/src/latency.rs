@@ -278,6 +278,29 @@ impl EstimationModel {
         }
         Ok(adjusted)
     }
+
+    /// [`estimate`](Self::estimate) reduced to the scalar the drift
+    /// monitor compares against observed latency: the mean predicted
+    /// latency over engines that actually hold rules. Empty engines are
+    /// placement slack, not load — averaging them in would bias the
+    /// prediction toward zero. Errors when no engine holds any rule.
+    pub fn estimate_mean(
+        &self,
+        engines: &[Vec<RuleLoad>],
+        nodes: &[Vec<usize>],
+    ) -> Result<f64, CoreError> {
+        let per_engine = self.estimate(engines, nodes)?;
+        let loaded: Vec<f64> = per_engine
+            .iter()
+            .zip(engines)
+            .filter(|(_, rules)| !rules.is_empty())
+            .map(|(&lat, _)| lat)
+            .collect();
+        if loaded.is_empty() {
+            return Err(CoreError::Model { reason: "no engine holds any rule".into() });
+        }
+        Ok(loaded.iter().sum::<f64>() / loaded.len() as f64)
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +448,23 @@ mod tests {
         assert!(close(lat[1], raw1, 1e-9));
         // Bad node reference.
         assert!(m.estimate(&engines, &[vec![9]]).is_err());
+    }
+
+    #[test]
+    fn estimate_mean_averages_only_loaded_engines() {
+        let m = EstimationModel::default_paper_shaped();
+        let engines = vec![
+            vec![RuleLoad { window: 100, thresholds: 50 }],
+            Vec::new(), // placement slack: must not drag the mean down
+            vec![RuleLoad { window: 100, thresholds: 50 }],
+        ];
+        let nodes = vec![vec![0, 1, 2]];
+        let mean = m.estimate_mean(&engines, &nodes).unwrap();
+        let per_engine = m.estimate(&engines, &nodes).unwrap();
+        assert!(close(mean, (per_engine[0] + per_engine[2]) / 2.0, 1e-9));
+        assert!(mean > 0.0);
+        // All engines empty: nothing to predict.
+        assert!(m.estimate_mean(&[Vec::new()], &[vec![0]]).is_err());
     }
 
     #[test]

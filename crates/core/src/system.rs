@@ -3,7 +3,7 @@
 
 use crate::allocation::{best_grouping_allocation, round_robin, Allocation, Grouping};
 use crate::error::CoreError;
-use crate::latency::EstimationModel;
+use crate::latency::{EstimationModel, RuleLoad};
 use crate::offline::{run_offline, OfflineArtifacts, OfflineConfig};
 use crate::partitioning::partition_rule;
 use crate::rules::{LocationSelector, RuleSpec, SpatialContext};
@@ -13,10 +13,10 @@ use crate::topology::{
     TopologyParallelism,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use tms_dsps::runtime::{ReliabilityConfig, RuntimeConfig};
-use tms_dsps::scheduler::ClusterSpec;
+use tms_dsps::scheduler::{Assignment, ClusterSpec};
 use tms_dsps::{FaultConfig, LocalCluster, MonitorConfig};
 use tms_geo::GeoPoint;
 use tms_storage::TableStore;
@@ -86,6 +86,37 @@ pub struct StartupPlan {
     pub engine_plan: EnginePlan,
 }
 
+/// One predicted-vs-observed latency comparison for a sampled monitor
+/// window: does the Section 4.1.4 model (Figure 7) track what the Esper
+/// engines actually did?
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSample {
+    /// Window start relative to topology start, in milliseconds.
+    pub at_ms: f64,
+    /// Window duration in milliseconds.
+    pub len_ms: f64,
+    /// Observed mean Esper processing latency per tuple in the window,
+    /// milliseconds.
+    pub observed_ms: f64,
+    /// Mean per-engine latency the model predicts for the installed rules
+    /// under the scheduler's node co-location, milliseconds.
+    pub predicted_ms: f64,
+    /// Drift ratio `observed / predicted`; 1.0 means the model is exact.
+    pub ratio: f64,
+    /// True for the shutdown flush window (shorter than a full period).
+    pub partial: bool,
+}
+
+impl DriftSample {
+    /// One JSON object, suitable for a JSON-Lines export.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"at_ms\":{:.3},\"len_ms\":{:.3},\"observed_ms\":{:.6},\"predicted_ms\":{:.6},\"ratio\":{:.6},\"partial\":{}}}",
+            self.at_ms, self.len_ms, self.observed_ms, self.predicted_ms, self.ratio, self.partial
+        )
+    }
+}
+
 /// The outcome of an on-line run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -95,6 +126,22 @@ pub struct RunReport {
     pub metrics: Vec<tms_dsps::ComponentWindow>,
     /// Windowed metric history (only populated when a monitor ran).
     pub history: Vec<tms_dsps::ComponentWindow>,
+    /// Per-window predicted-vs-observed Esper latency drift (only
+    /// populated when the monitor ran with tracing enabled).
+    pub drift: Vec<DriftSample>,
+}
+
+impl RunReport {
+    /// The drift samples as JSON Lines (one object per window), the format
+    /// the bench harness writes next to its `BENCH_*` snapshots.
+    pub fn drift_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.drift {
+            out.push_str(&d.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// The system facade.
@@ -355,13 +402,84 @@ impl TrafficSystem {
                 ..RuntimeConfig::default()
             },
         )?;
+        let assignment = handle.assignment().clone();
         let metrics = handle.join()?;
+        let history = metrics.history();
+        let drift = self.drift_samples(plan, &assignment, &history);
         let report = RunReport {
             detections: std::mem::take(&mut detections.lock()),
             metrics: metrics.totals(),
-            history: metrics.history(),
+            history,
+            drift,
         };
         Ok(report)
+    }
+
+    /// The Figure 7 prediction for the Esper component as planned and
+    /// scheduled: rule loads per engine from the startup plan, node
+    /// co-location from the runtime assignment (esper task `i` runs
+    /// engine `i`). Returns the mean predicted per-engine latency in ms.
+    pub fn predicted_esper_latency_ms(
+        &self,
+        plan: &StartupPlan,
+        assignment: &Assignment,
+    ) -> Result<f64, CoreError> {
+        let engines: Vec<Vec<RuleLoad>> = plan
+            .engine_plan
+            .per_engine
+            .iter()
+            .map(|rules| {
+                rules
+                    .iter()
+                    .map(|(spec, _)| RuleLoad {
+                        window: spec.window_length,
+                        thresholds: self.thresholds_for(spec),
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for p in assignment.component_placements("esper") {
+            by_node
+                .entry(p.node)
+                .or_default()
+                .extend(p.tasks.iter().copied().filter(|&t| t < engines.len()));
+        }
+        let nodes: Vec<Vec<usize>> = by_node.into_values().collect();
+        self.model.estimate_mean(&engines, &nodes)
+    }
+
+    /// Predicted-vs-observed drift per sampled Esper window, when the
+    /// monitor ran with tracing. Prediction failures (e.g. a plan with no
+    /// loaded engine) disable drift rather than failing the run.
+    fn drift_samples(
+        &self,
+        plan: &StartupPlan,
+        assignment: &Assignment,
+        history: &[tms_dsps::ComponentWindow],
+    ) -> Vec<DriftSample> {
+        if !self.config.monitor.is_some_and(|m| m.tracing) {
+            return Vec::new();
+        }
+        let predicted = match self.predicted_esper_latency_ms(plan, assignment) {
+            Ok(p) if p > 0.0 => p,
+            _ => return Vec::new(),
+        };
+        history
+            .iter()
+            .filter(|w| w.component == "esper")
+            .filter_map(|w| {
+                let observed = w.avg_latency?.as_secs_f64() * 1e3;
+                Some(DriftSample {
+                    at_ms: w.at.as_secs_f64() * 1e3,
+                    len_ms: w.len.as_secs_f64() * 1e3,
+                    observed_ms: observed,
+                    predicted_ms: predicted,
+                    ratio: observed / predicted,
+                    partial: w.partial,
+                })
+            })
+            .collect()
     }
 
     /// Convenience: bootstrap + plan + run with Algorithm 2, returning
@@ -610,6 +728,47 @@ mod tests {
             .expect("spout metrics present");
         assert!(reader.acked > 0, "reliability was on: roots must be acked");
         assert_eq!(reader.failed, 0, "no root may exhaust its replay budget");
+    }
+
+    #[test]
+    fn tracing_run_reports_drift_against_the_model() {
+        use std::time::Duration;
+        let (history, seeds) = small_history();
+        let config = SystemConfig {
+            monitor: Some(MonitorConfig {
+                window: Duration::from_millis(250),
+                tracing: true,
+                ..MonitorConfig::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+        let live: Vec<BusTrace> = FleetGenerator::new(FleetConfig::small(17), 1)
+            .unwrap()
+            .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
+            .collect();
+        let (_, report) = sys.plan_and_run(live, &rules(), 3).unwrap();
+        // At least one Esper window compared observed against predicted.
+        assert!(!report.drift.is_empty(), "tracing runs must produce drift samples");
+        for d in &report.drift {
+            assert!(d.observed_ms > 0.0);
+            assert!(d.predicted_ms > 0.0);
+            assert!(d.ratio.is_finite() && d.ratio > 0.0);
+            assert!(d.len_ms > 0.0);
+        }
+        // The JSONL export round-trips the fields.
+        let jsonl = report.drift_jsonl();
+        assert_eq!(jsonl.lines().count(), report.drift.len());
+        assert!(jsonl.contains("\"ratio\":"));
+        // History windows chain: starts stamp window starts, the shutdown
+        // flush is marked partial.
+        let esper: Vec<_> =
+            report.history.iter().filter(|w| w.component == "esper").collect();
+        assert!(!esper.is_empty());
+        assert!(esper.last().unwrap().partial, "the final flush window is partial");
+        for pair in esper.windows(2) {
+            assert_eq!(pair[0].at + pair[0].len, pair[1].at, "windows must chain");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::time::Instant;
 
 #[derive(Debug)]
 struct AckEntry {
@@ -36,13 +37,15 @@ pub(crate) struct Acker {
     entries: Mutex<HashMap<u64, AckEntry>>,
     /// One unbounded completion channel per spout task, indexed by the
     /// spout task's global id. Unbounded so completing a tree can never
-    /// block a bolt executor against a stalled spout.
-    completions: Vec<Sender<u64>>,
+    /// block a bolt executor against a stalled spout. Each notification
+    /// carries the instant the tree completed, so end-to-end latency is
+    /// not inflated by however long the spout takes to drain the channel.
+    completions: Vec<Sender<(u64, Instant)>>,
 }
 
 impl Acker {
     /// Creates a tracker delivering completions on the given channels.
-    pub fn new(completions: Vec<Sender<u64>>) -> Self {
+    pub fn new(completions: Vec<Sender<(u64, Instant)>>) -> Self {
         Acker { entries: Mutex::new(HashMap::new()), completions }
     }
 
@@ -62,7 +65,7 @@ impl Acker {
             if e.xor == 0 {
                 let e = entries.remove(&root).expect("entry just accessed");
                 drop(entries);
-                let _ = self.completions[e.spout].send(root);
+                let _ = self.completions[e.spout].send((root, Instant::now()));
             }
         }
     }
@@ -77,7 +80,7 @@ impl Acker {
             if e.xor == 0 {
                 let e = entries.remove(&root).expect("entry just accessed");
                 drop(entries);
-                let _ = self.completions[e.spout].send(root);
+                let _ = self.completions[e.spout].send((root, Instant::now()));
             }
         }
     }
@@ -100,9 +103,14 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
-    fn acker() -> (Acker, crossbeam::channel::Receiver<u64>) {
+    fn acker() -> (Acker, crossbeam::channel::Receiver<(u64, Instant)>) {
         let (tx, rx) = unbounded();
         (Acker::new(vec![tx]), rx)
+    }
+
+    /// The completed root id, ignoring the completion timestamp.
+    fn root_of(r: Result<(u64, Instant), crossbeam::channel::TryRecvError>) -> Option<u64> {
+        r.ok().map(|(root, _)| root)
     }
 
     #[test]
@@ -116,7 +124,7 @@ mod tests {
         a.xor(100, 7); // bolt1 processed its input
         assert!(rx.try_recv().is_err(), "leaf still pending");
         a.xor(100, 9); // bolt2 processed its input
-        assert_eq!(rx.try_recv(), Ok(100));
+        assert_eq!(root_of(rx.try_recv()), Some(100));
         assert_eq!(a.in_flight(), 0);
     }
 
@@ -130,7 +138,7 @@ mod tests {
         a.xor(1, 10);
         assert!(rx.try_recv().is_err(), "second branch still pending");
         a.xor(1, 11);
-        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(root_of(rx.try_recv()), Some(1));
     }
 
     #[test]
@@ -138,7 +146,7 @@ mod tests {
         let (a, rx) = acker();
         a.register(5, 0);
         a.seal(5); // nothing was ever sent
-        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(root_of(rx.try_recv()), Some(5));
     }
 
     #[test]

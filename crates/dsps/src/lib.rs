@@ -25,7 +25,10 @@
 //! A Nimbus-style [`metrics`] monitor samples per-task throughput and
 //! processing latency on a fixed window (the paper uses 40 s windows;
 //! tests use shorter ones) — these are the two metrics every figure of the
-//! evaluation section reports.
+//! evaluation section reports. Opt-in tracing ([`MonitorConfig::tracing`])
+//! adds end-to-end completion latency histograms (spout emit →
+//! tuple-tree completion, with p50/p95/p99) and per-channel queue-depth
+//! gauges to every sampled window.
 //!
 //! Topologies can also be described in XML ([`xml`]), the usability layer
 //! the paper adds on top of Storm's Java builder API.
@@ -43,7 +46,7 @@ pub mod xml;
 pub use error::DspsError;
 pub use fault::{chaos_wrap, ChaosBolt, FaultConfig};
 pub use grouping::Grouping;
-pub use metrics::{ComponentWindow, MetricsHub, MonitorConfig};
+pub use metrics::{AtomicHistogram, ComponentWindow, LatencyHistogram, MetricsHub, MonitorConfig};
 pub use runtime::{Emitter, LocalCluster, ReliabilityConfig, RuntimeConfig, TopologyHandle};
 pub use topology::{Bolt, BoltContext, Parallelism, Spout, Topology, TopologyBuilder};
 pub use xml::{parse_topology_xml, TopologySpec};

@@ -11,16 +11,169 @@
 //! windows of the two metrics the evaluation reports — **throughput**
 //! (tuples processed per window) and **average processing latency** per
 //! tuple.
+//!
+//! With tracing enabled ([`MonitorConfig::tracing`]) each window also
+//! carries an **end-to-end completion latency histogram** (spout emit →
+//! tuple-tree completion, or sink processing in at-most-once mode) as a
+//! fixed-bucket log-scale [`LatencyHistogram`] with p50/p95/p99, plus
+//! **queue-occupancy gauges** over the tasks' input channels so a hot
+//! executor is visible before it saturates.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, so 48 buckets span 1 ns to ~78 hours.
+pub const LATENCY_BUCKETS: usize = 48;
+
+/// History entries the hub retains by default. Each sample appends one
+/// entry per component, so for the seven-component Figure 8 topology this
+/// keeps roughly 6.5 hours of the paper's 40 s windows.
+pub const DEFAULT_RETENTION: usize = 4096;
+
+/// The bucket a latency in nanoseconds falls into: `floor(log2(ns))`,
+/// clamped to the last bucket.
+fn bucket_of(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// A log-scale latency histogram with lock-free recording, owned by one
+/// task. Snapshot into a [`LatencyHistogram`] to merge or query.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A plain (mergeable, queryable) copy of the current contents.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-bucket log-scale latency distribution: the snapshot form of
+/// [`AtomicHistogram`] that windows and totals carry.
+///
+/// Quantiles are conservative: [`quantile`](Self::quantile) returns the
+/// *upper bound* of the bucket holding the requested rank, so the reported
+/// value is never below the true quantile and at most 2× above it (the
+/// buckets are powers of two). The mean is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    sum_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; LATENCY_BUCKETS], sum_ns: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample (non-atomic; for building histograms
+    /// outside the hot path).
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_of(ns)] += 1;
+        self.sum_ns += ns;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Exact mean latency, if any sample was recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        let n = self.count();
+        (n > 0).then(|| Duration::from_nanos(self.sum_ns / n))
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper bound of
+    /// the bucket holding that rank — within 2× of the true value.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Duration::from_nanos(1u64 << (i + 1)));
+            }
+        }
+        None
+    }
+
+    /// Median latency (bucket upper bound).
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile latency (bucket upper bound).
+    pub fn p95(&self) -> Option<Duration> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile latency (bucket upper bound).
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
+    /// Adds another histogram's samples into this one (the Nimbus-side
+    /// aggregation across the tasks of a component).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Samples recorded since `last` (per-window delta).
+    fn delta(&self, last: &LatencyHistogram) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|i| self.buckets[i] - last.buckets[i]),
+            sum_ns: self.sum_ns - last.sum_ns,
+        }
+    }
+}
 
 /// Atomic counters owned by one task.
 #[derive(Debug, Default)]
 pub struct TaskCounters {
-    /// Tuples processed (bolts) or emitted (spouts).
+    /// Tuples processed by the task's `process` call (bolts only; spout
+    /// emission is accounted separately under `emitted`).
     pub processed: AtomicU64,
     /// Tuples emitted downstream.
     pub emitted: AtomicU64,
@@ -37,6 +190,11 @@ pub struct TaskCounters {
     pub replayed: AtomicU64,
     /// Supervised restarts of this task after a panic.
     pub restarted: AtomicU64,
+    /// End-to-end completion latency: spout emit → tuple-tree completion
+    /// (recorded by the spout in reliability mode) or spout emit → sink
+    /// processing (recorded by terminal bolts in at-most-once mode).
+    /// Only populated when tracing is enabled.
+    pub e2e: AtomicHistogram,
 }
 
 impl TaskCounters {
@@ -75,6 +233,11 @@ impl TaskCounters {
     pub fn record_restarted(&self) {
         self.restarted.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records one end-to-end completion latency sample (tracing mode).
+    pub fn record_completion(&self, latency: Duration) {
+        self.e2e.record(latency);
+    }
 }
 
 /// Monitor configuration.
@@ -82,11 +245,22 @@ impl TaskCounters {
 pub struct MonitorConfig {
     /// Sampling window. The paper uses 40 s.
     pub window: Duration,
+    /// Opt-in per-tuple tracing: end-to-end latency histograms and
+    /// queue-occupancy gauges. Off by default — with it off the runtime
+    /// records no timestamps and touches no gauge.
+    pub tracing: bool,
+    /// History entries (one per component per sample) the hub retains;
+    /// older windows are evicted ring-buffer style.
+    pub retention: usize,
 }
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { window: Duration::from_secs(40) }
+        MonitorConfig {
+            window: Duration::from_secs(40),
+            tracing: false,
+            retention: DEFAULT_RETENTION,
+        }
     }
 }
 
@@ -95,8 +269,14 @@ impl Default for MonitorConfig {
 pub struct ComponentWindow {
     /// The component's name.
     pub component: String,
-    /// Window start, relative to topology start.
+    /// Window start, relative to topology start (the previous sample's
+    /// end; `0` for the first window).
     pub at: Duration,
+    /// Window duration: the period this sample actually covers.
+    pub len: Duration,
+    /// True for the shutdown flush window, which may cover less than a
+    /// full monitor period and must not be compared 1:1 with full ones.
+    pub partial: bool,
     /// Tuples processed by all tasks during the window.
     pub throughput: u64,
     /// Average processing latency per tuple during the window, if any
@@ -114,10 +294,21 @@ pub struct ComponentWindow {
     pub replayed: u64,
     /// Supervised task restarts after panics.
     pub restarted: u64,
+    /// End-to-end completion latencies recorded during the window
+    /// (tracing mode only; empty otherwise).
+    pub e2e: LatencyHistogram,
+    /// Tuples sitting in the component's task input channels at sample
+    /// time, summed over tasks (tracing mode only; gauge, not a delta).
+    pub queue_depth: u64,
+    /// Deepest single task input channel at sample time (tracing mode).
+    pub queue_depth_max: u64,
+    /// Total capacity of the component's input channels (tracing mode;
+    /// zero for spouts, which have no input channel).
+    pub queue_capacity: u64,
 }
 
 /// The counter values a window is computed from.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct Snapshot {
     processed: u64,
     emitted: u64,
@@ -127,6 +318,7 @@ struct Snapshot {
     failed: u64,
     replayed: u64,
     restarted: u64,
+    e2e: LatencyHistogram,
 }
 
 impl Snapshot {
@@ -140,6 +332,7 @@ impl Snapshot {
             failed: counters.failed.load(Ordering::Relaxed),
             replayed: counters.replayed.load(Ordering::Relaxed),
             restarted: counters.restarted.load(Ordering::Relaxed),
+            e2e: counters.e2e.snapshot(),
         }
     }
 
@@ -153,6 +346,7 @@ impl Snapshot {
             failed: self.failed - last.failed,
             replayed: self.replayed - last.replayed,
             restarted: self.restarted - last.restarted,
+            e2e: self.e2e.delta(&last.e2e),
         }
     }
 
@@ -165,12 +359,21 @@ impl Snapshot {
         self.failed += other.failed;
         self.replayed += other.replayed;
         self.restarted += other.restarted;
+        self.e2e.merge(&other.e2e);
     }
 
-    fn into_window(self, component: String, at: Duration) -> ComponentWindow {
+    fn into_window(
+        self,
+        component: String,
+        at: Duration,
+        len: Duration,
+        partial: bool,
+    ) -> ComponentWindow {
         ComponentWindow {
             component,
             at,
+            len,
+            partial,
             throughput: self.processed,
             avg_latency: self.busy_ns.checked_div(self.processed).map(Duration::from_nanos),
             emitted: self.emitted,
@@ -179,6 +382,10 @@ impl Snapshot {
             failed: self.failed,
             replayed: self.replayed,
             restarted: self.restarted,
+            e2e: self.e2e,
+            queue_depth: 0,
+            queue_depth_max: 0,
+            queue_capacity: 0,
         }
     }
 }
@@ -190,12 +397,27 @@ struct TaskEntry {
     last: Snapshot,
 }
 
+/// One task input channel's occupancy gauge. The hub deliberately holds a
+/// plain counter rather than a channel handle: a cloned `Sender`/`Receiver`
+/// would keep the channel alive past its task's death and break the
+/// runtime's disconnect detection.
+#[derive(Debug)]
+struct QueueGauge {
+    component: String,
+    depth: Arc<AtomicI64>,
+    capacity: u64,
+}
+
 /// The Nimbus-side collector.
 #[derive(Debug)]
 pub struct MetricsHub {
     started: Instant,
     tasks: Mutex<Vec<TaskEntry>>,
-    history: Mutex<Vec<ComponentWindow>>,
+    queues: Mutex<Vec<QueueGauge>>,
+    history: Mutex<VecDeque<ComponentWindow>>,
+    retention: usize,
+    /// End of the previous sample — the next window's start.
+    last_end: Mutex<Duration>,
 }
 
 impl Default for MetricsHub {
@@ -205,12 +427,20 @@ impl Default for MetricsHub {
 }
 
 impl MetricsHub {
-    /// Creates an empty hub.
+    /// Creates an empty hub with the default history retention.
     pub fn new() -> Self {
+        Self::with_retention(DEFAULT_RETENTION)
+    }
+
+    /// Creates an empty hub keeping at most `retention` history entries.
+    pub fn with_retention(retention: usize) -> Self {
         MetricsHub {
             started: Instant::now(),
             tasks: Mutex::new(Vec::new()),
-            history: Mutex::new(Vec::new()),
+            queues: Mutex::new(Vec::new()),
+            history: Mutex::new(VecDeque::new()),
+            retention: retention.max(1),
+            last_end: Mutex::new(Duration::ZERO),
         }
     }
 
@@ -225,37 +455,92 @@ impl MetricsHub {
         counters
     }
 
+    /// Registers one task input channel's occupancy counter (tracing
+    /// mode): the runtime increments `depth` on send and decrements on
+    /// receive; the hub reads it as a gauge at sample time.
+    pub fn register_queue(&self, component: &str, depth: Arc<AtomicI64>, capacity: usize) {
+        self.queues.lock().push(QueueGauge {
+            component: component.to_string(),
+            depth,
+            capacity: capacity as u64,
+        });
+    }
+
+    /// Per-component `(depth sum, depth max, capacity sum)` right now.
+    fn queue_gauges(&self) -> BTreeMap<String, (u64, u64, u64)> {
+        let mut out: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        for g in self.queues.lock().iter() {
+            let d = g.depth.load(Ordering::Relaxed).max(0) as u64;
+            let e = out.entry(g.component.clone()).or_default();
+            e.0 += d;
+            e.1 = e.1.max(d);
+            e.2 += g.capacity;
+        }
+        out
+    }
+
     /// Samples one window: per-component deltas since the previous sample.
     /// Appends to the history and returns the fresh windows.
     pub fn sample(&self) -> Vec<ComponentWindow> {
-        let at = self.started.elapsed();
+        self.sample_inner(false)
+    }
+
+    /// Samples the final, possibly short window at shutdown; its windows
+    /// are marked [`ComponentWindow::partial`].
+    pub fn flush_sample(&self) -> Vec<ComponentWindow> {
+        self.sample_inner(true)
+    }
+
+    fn sample_inner(&self, partial: bool) -> Vec<ComponentWindow> {
+        let now = self.started.elapsed();
+        let at = {
+            let mut last_end = self.last_end.lock();
+            let at = *last_end;
+            *last_end = now;
+            at
+        };
+        let len = now.saturating_sub(at);
+        let gauges = self.queue_gauges();
         let mut tasks = self.tasks.lock();
-        let mut per_component: std::collections::BTreeMap<String, Snapshot> =
-            std::collections::BTreeMap::new();
+        let mut per_component: BTreeMap<String, Snapshot> = BTreeMap::new();
         for t in tasks.iter_mut() {
             let now = Snapshot::read(&t.counters);
             per_component.entry(t.component.clone()).or_default().add(&now.delta(&t.last));
             t.last = now;
         }
+        drop(tasks);
         let windows: Vec<ComponentWindow> = per_component
             .into_iter()
-            .map(|(component, snap)| snap.into_window(component, at))
+            .map(|(component, snap)| {
+                let mut w = snap.into_window(component, at, len, partial);
+                if let Some(&(depth, max, cap)) = gauges.get(&w.component) {
+                    w.queue_depth = depth;
+                    w.queue_depth_max = max;
+                    w.queue_capacity = cap;
+                }
+                w
+            })
             .collect();
-        self.history.lock().extend(windows.iter().cloned());
+        let mut history = self.history.lock();
+        history.extend(windows.iter().cloned());
+        while history.len() > self.retention {
+            history.pop_front();
+        }
         windows
     }
 
-    /// Every window sampled so far.
+    /// Every retained window, oldest first.
     pub fn history(&self) -> Vec<ComponentWindow> {
-        self.history.lock().clone()
+        self.history.lock().iter().cloned().collect()
     }
 
-    /// Lifetime totals per component (independent of windows).
+    /// Lifetime totals per component (independent of windows): one
+    /// whole-run window starting at zero.
     pub fn totals(&self) -> Vec<ComponentWindow> {
-        let at = self.started.elapsed();
+        let len = self.started.elapsed();
+        let gauges = self.queue_gauges();
         let tasks = self.tasks.lock();
-        let mut per_component: std::collections::BTreeMap<String, Snapshot> =
-            std::collections::BTreeMap::new();
+        let mut per_component: BTreeMap<String, Snapshot> = BTreeMap::new();
         for t in tasks.iter() {
             per_component
                 .entry(t.component.clone())
@@ -264,7 +549,15 @@ impl MetricsHub {
         }
         per_component
             .into_iter()
-            .map(|(component, snap)| snap.into_window(component, at))
+            .map(|(component, snap)| {
+                let mut w = snap.into_window(component, Duration::ZERO, len, false);
+                if let Some(&(depth, max, cap)) = gauges.get(&w.component) {
+                    w.queue_depth = depth;
+                    w.queue_depth_max = max;
+                    w.queue_capacity = cap;
+                }
+                w
+            })
             .collect()
     }
 }
@@ -355,5 +648,167 @@ mod tests {
         let totals = hub.totals();
         assert_eq!(totals[0].acked, 2);
         assert_eq!(totals[0].dropped, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        // 90 fast samples at 1 ms, 10 slow ones at 1 s.
+        for _ in 0..90 {
+            h.record(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_secs(1));
+        }
+        assert_eq!(h.count(), 100);
+        // Quantiles report the holding bucket's upper bound: never below
+        // the true value, at most 2x above.
+        let p50 = h.p50().unwrap();
+        assert!(p50 >= Duration::from_millis(1) && p50 <= Duration::from_millis(2), "{p50:?}");
+        let p99 = h.p99().unwrap();
+        assert!(p99 >= Duration::from_secs(1) && p99 <= Duration::from_secs(2), "{p99:?}");
+        // p90 still falls in the fast bucket, p91 in the slow one.
+        assert!(h.quantile(0.90).unwrap() <= Duration::from_millis(2));
+        assert!(h.quantile(0.91).unwrap() >= Duration::from_secs(1));
+        // The mean is exact, not bucketed.
+        let mean = h.mean().unwrap();
+        assert_eq!(mean, Duration::from_nanos((90 * 1_000_000 + 10 * 1_000_000_000) / 100));
+    }
+
+    #[test]
+    fn histogram_extremes_clamp_to_the_bucket_range() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::ZERO); // below bucket 0 → clamped to [1, 2) ns
+        h.record(Duration::from_secs(60 * 60 * 24 * 365)); // beyond the top bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn histogram_merges_across_tasks_of_one_component() {
+        let hub = MetricsHub::new();
+        let a = hub.register_task("spout");
+        let b = hub.register_task("spout");
+        for _ in 0..5 {
+            a.record_completion(Duration::from_millis(1));
+        }
+        for _ in 0..5 {
+            b.record_completion(Duration::from_secs(1));
+        }
+        let w = hub.sample();
+        assert_eq!(w[0].e2e.count(), 10, "both tasks' histograms merge");
+        assert!(w[0].e2e.quantile(0.4).unwrap() <= Duration::from_millis(2));
+        assert!(w[0].e2e.quantile(0.9).unwrap() >= Duration::from_secs(1));
+        // Direct merge agrees with the hub-side aggregation.
+        let mut m = LatencyHistogram::default();
+        for _ in 0..5 {
+            m.record(Duration::from_millis(1));
+        }
+        let mut other = LatencyHistogram::default();
+        for _ in 0..5 {
+            other.record(Duration::from_secs(1));
+        }
+        m.merge(&other);
+        assert_eq!(m, w[0].e2e);
+    }
+
+    #[test]
+    fn e2e_histograms_window_as_deltas() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("spout");
+        c.record_completion(Duration::from_millis(1));
+        c.record_completion(Duration::from_millis(1));
+        let w1 = hub.sample();
+        assert_eq!(w1[0].e2e.count(), 2);
+        c.record_completion(Duration::from_millis(8));
+        let w2 = hub.sample();
+        assert_eq!(w2[0].e2e.count(), 1, "windows carry only fresh samples");
+        assert_eq!(hub.totals()[0].e2e.count(), 3, "totals carry everything");
+    }
+
+    #[test]
+    fn windows_stamp_start_and_duration() {
+        // Regression: `at` was documented as the window start but stamped
+        // with the sample end. Starts must chain: each window begins where
+        // the previous one ended.
+        let hub = MetricsHub::new();
+        hub.register_task("b");
+        let w1 = hub.sample();
+        assert_eq!(w1[0].at, Duration::ZERO, "first window starts at topology start");
+        assert!(!w1[0].partial);
+        std::thread::sleep(Duration::from_millis(5));
+        let w2 = hub.sample();
+        assert_eq!(w2[0].at, w1[0].len, "second window starts at the first one's end");
+        assert!(w2[0].len >= Duration::from_millis(5));
+        // Totals describe the whole run: start zero, duration = lifetime.
+        let t = hub.totals();
+        assert_eq!(t[0].at, Duration::ZERO);
+        assert!(t[0].len >= w1[0].len + w2[0].len);
+    }
+
+    #[test]
+    fn flush_sample_marks_windows_partial() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("b");
+        c.record(Duration::from_millis(1));
+        let regular = hub.sample();
+        assert!(!regular[0].partial);
+        c.record(Duration::from_millis(1));
+        let flushed = hub.flush_sample();
+        assert!(flushed[0].partial, "the shutdown flush must be distinguishable");
+        assert_eq!(flushed[0].throughput, 1);
+        let history = hub.history();
+        assert_eq!(history.iter().filter(|w| w.partial).count(), 1);
+    }
+
+    #[test]
+    fn history_retention_evicts_oldest_windows() {
+        let hub = MetricsHub::with_retention(3);
+        let c = hub.register_task("b");
+        for i in 0..5u64 {
+            c.record(Duration::from_millis(i + 1));
+            hub.sample();
+        }
+        let history = hub.history();
+        assert_eq!(history.len(), 3, "ring buffer keeps the newest entries");
+        // The two oldest windows were evicted: the survivors are the ones
+        // with the 3rd, 4th and 5th recorded latencies.
+        let lats: Vec<_> = history.iter().map(|w| w.avg_latency.unwrap()).collect();
+        assert_eq!(
+            lats,
+            vec![
+                Duration::from_millis(3),
+                Duration::from_millis(4),
+                Duration::from_millis(5)
+            ]
+        );
+        // Totals are unaffected by eviction.
+        assert_eq!(hub.totals()[0].throughput, 5);
+    }
+
+    #[test]
+    fn queue_gauges_aggregate_per_component() {
+        let hub = MetricsHub::new();
+        hub.register_task("sink");
+        hub.register_task("src");
+        let d1 = Arc::new(AtomicI64::new(0));
+        let d2 = Arc::new(AtomicI64::new(0));
+        hub.register_queue("sink", d1.clone(), 64);
+        hub.register_queue("sink", d2.clone(), 64);
+        d1.store(10, Ordering::Relaxed);
+        d2.store(3, Ordering::Relaxed);
+        let w = hub.sample();
+        let sink = w.iter().find(|c| c.component == "sink").unwrap();
+        assert_eq!(sink.queue_depth, 13);
+        assert_eq!(sink.queue_depth_max, 10);
+        assert_eq!(sink.queue_capacity, 128);
+        let src = w.iter().find(|c| c.component == "src").unwrap();
+        assert_eq!((src.queue_depth, src.queue_capacity), (0, 0), "spouts have no input queue");
+        // Gauges, not deltas: an unchanged depth reads the same next window.
+        let w2 = hub.sample();
+        assert_eq!(w2.iter().find(|c| c.component == "sink").unwrap().queue_depth, 13);
     }
 }

@@ -43,7 +43,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,11 @@ struct Envelope<T> {
     tid: u64,
     /// Spout roots this delivery descends from (empty when untracked).
     roots: Vec<u64>,
+    /// Spout emit time of the root tuple this delivery descends from.
+    /// Only stamped in tracing + at-most-once mode, where end-to-end
+    /// latency is recorded at the terminal bolt (reliability mode records
+    /// it spout-side from the acker's completion instant instead).
+    t0: Option<Instant>,
 }
 
 /// A message or an end-of-stream marker.
@@ -96,6 +101,8 @@ struct Route<T> {
     grouping: Grouping<T>,
     /// Input channels of every downstream task.
     senders: Vec<Sender<Packet<T>>>,
+    /// Occupancy gauges parallel to `senders` (bumped only when tracing).
+    depths: Vec<Arc<AtomicI64>>,
     /// Round-robin cursor for shuffle grouping.
     rr: usize,
 }
@@ -118,6 +125,11 @@ struct TaskEmitter<T> {
     drop_fault: Option<(f64, StdRng)>,
     /// Scratch for resolved (route, task) targets, reused across emits.
     targets: Vec<(usize, usize)>,
+    /// Per-tuple tracing enabled: stamp envelopes and bump queue gauges.
+    tracing: bool,
+    /// Root emit time to stamp on outgoing envelopes (tracing +
+    /// at-most-once only); inherited from the input being processed.
+    t0: Option<Instant>,
 }
 
 impl<T> TaskEmitter<T> {
@@ -183,10 +195,14 @@ impl<T: Clone> TaskEmitter<T> {
             }
         }
         let roots = if tracked { self.anchors.clone() } else { Vec::new() };
-        if self.routes[ri].senders[ti].send(Packet::Data(Envelope { msg, tid, roots })).is_err() {
+        let envelope = Envelope { msg, tid, roots, t0: self.t0 };
+        if self.routes[ri].senders[ti].send(Packet::Data(envelope)).is_err() {
             // The receiving task died (its channel tore down): the
             // delivery is lost — count it instead of vanishing silently.
             self.counters.record_dropped();
+        } else if self.tracing {
+            // Only deliveries that actually entered the channel occupy it.
+            self.routes[ri].depths[ti].fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -301,6 +317,9 @@ struct PendingRoot<T> {
     msg: T,
     deadline: Instant,
     retries: u32,
+    /// When the tuple was first emitted; preserved across replays so
+    /// end-to-end latency covers the full retry history.
+    first_emit: Instant,
 }
 
 /// One spout task's state inside its executor thread.
@@ -309,8 +328,9 @@ struct SpoutTask<T> {
     emitter: TaskEmitter<T>,
     /// Global task id — indexes this task's completion channel.
     global: usize,
-    /// Completion notifications from the acker (reliability mode only).
-    completions: Option<Receiver<u64>>,
+    /// Completion notifications `(root, completed_at)` from the acker
+    /// (reliability mode only).
+    completions: Option<Receiver<(u64, Instant)>>,
     /// In-flight roots awaiting completion.
     pending: HashMap<u64, PendingRoot<T>>,
     /// Next time the pending buffer is scanned for timeouts.
@@ -330,6 +350,8 @@ struct BoltTask<T> {
     index: usize,
     /// Context handed to `prepare`, kept for supervised restarts.
     ctx: BoltContext,
+    /// This task's input-channel occupancy gauge (tracing mode).
+    depth: Arc<AtomicI64>,
     eos_seen: usize,
     restarts: u32,
     done: bool,
@@ -372,10 +394,14 @@ impl LocalCluster {
             .collect();
         let assignment = assign(&components, self.spec, workers)?;
 
-        let metrics = Arc::new(MetricsHub::new());
+        let metrics = Arc::new(match config.monitor {
+            Some(mc) => MetricsHub::with_retention(mc.retention),
+            None => MetricsHub::new(),
+        });
         let done = Arc::new(AtomicBool::new(false));
         let reliability = config.reliability;
         let fault = config.fault;
+        let tracing = config.monitor.is_some_and(|mc| mc.tracing);
 
         // ---- Global task ids ----------------------------------------------
         // Components in declaration order (spouts first), tasks within a
@@ -393,7 +419,7 @@ impl LocalCluster {
         // ---- Acker + completion channels (reliability mode) ---------------
         // Completion channels are unbounded so completing a tree can never
         // block a bolt executor against a stalled spout.
-        let mut completion_rxs: Vec<Option<Receiver<u64>>> = Vec::new();
+        let mut completion_rxs: Vec<Option<Receiver<(u64, Instant)>>> = Vec::new();
         let acker: Option<Arc<Acker>> = if reliability.is_some() {
             let mut txs = Vec::with_capacity(spout_task_total);
             for _ in 0..spout_task_total {
@@ -407,20 +433,32 @@ impl LocalCluster {
         };
 
         // ---- Channels: one bounded channel per bolt task ------------------
+        // Each channel gets an occupancy counter the hub reads as a gauge;
+        // the hub holds only the counter, never a channel handle (that
+        // would defeat disconnect detection when a task dies).
         let mut senders_by_bolt: Vec<Vec<Sender<Packet<T>>>> =
             Vec::with_capacity(topology.bolts.len());
         let mut receivers_by_bolt: Vec<Vec<Option<Receiver<Packet<T>>>>> =
             Vec::with_capacity(topology.bolts.len());
+        let mut depths_by_bolt: Vec<Vec<Arc<AtomicI64>>> =
+            Vec::with_capacity(topology.bolts.len());
         for b in &topology.bolts {
             let mut senders = Vec::with_capacity(b.parallelism.tasks);
             let mut receivers = Vec::with_capacity(b.parallelism.tasks);
+            let mut depths = Vec::with_capacity(b.parallelism.tasks);
             for _ in 0..b.parallelism.tasks {
                 let (tx, rx) = bounded(config.channel_capacity.max(1));
                 senders.push(tx);
                 receivers.push(Some(rx));
+                let depth = Arc::new(AtomicI64::new(0));
+                if tracing {
+                    metrics.register_queue(&b.name, depth.clone(), config.channel_capacity.max(1));
+                }
+                depths.push(depth);
             }
             senders_by_bolt.push(senders);
             receivers_by_bolt.push(receivers);
+            depths_by_bolt.push(depths);
         }
 
         // ---- Outgoing edges per source component --------------------------
@@ -433,6 +471,7 @@ impl LocalCluster {
                         routes.push(Route {
                             grouping: sub.grouping.clone(),
                             senders: senders_by_bolt[bi].clone(),
+                            depths: depths_by_bolt[bi].clone(),
                             rr: 0,
                         });
                     }
@@ -452,6 +491,8 @@ impl LocalCluster {
                     .filter(|f| f.drop_p > 0.0)
                     .map(|f| (f.drop_p, f.rng_for(global as u64 | (1 << 48)))),
                 targets: Vec::new(),
+                tracing,
+                t0: None,
             }
         };
 
@@ -499,7 +540,7 @@ impl LocalCluster {
                 let component = s.name.clone();
                 let thread_acker = acker.clone();
                 threads.push(std::thread::spawn(move || {
-                    run_spout_executor(tasks, task_ids, component, thread_acker, reliability)
+                    run_spout_executor(tasks, task_ids, component, thread_acker, reliability, tracing)
                 }));
             }
         }
@@ -523,6 +564,7 @@ impl LocalCluster {
                         rx,
                         index: ti,
                         ctx: BoltContext { task_index: ti, task_count },
+                        depth: depths_by_bolt[bi][ti].clone(),
                         eos_seen: 0,
                         restarts: 0,
                         done: false,
@@ -540,6 +582,7 @@ impl LocalCluster {
                         factory,
                         thread_acker,
                         reliability,
+                        tracing,
                     )
                 }));
             }
@@ -550,21 +593,46 @@ impl LocalCluster {
             let metrics = metrics.clone();
             let done = done.clone();
             std::thread::spawn(move || {
-                while !done.load(Ordering::Relaxed) {
-                    // Sleep in small steps so shutdown is prompt.
-                    let mut slept = Duration::ZERO;
-                    while slept < mc.window && !done.load(Ordering::Relaxed) {
-                        let step = Duration::from_millis(20).min(mc.window - slept);
-                        std::thread::sleep(step);
-                        slept += step;
+                let window = mc.window.max(Duration::from_millis(1));
+                let start = Instant::now();
+                'sampling: loop {
+                    // Absolute deadlines on the window grid: sampling cost
+                    // delays one sample but never shifts the grid (the old
+                    // sleep-then-sample loop accumulated `window + cost` of
+                    // drift per cycle). A sample slower than the window
+                    // skips grid points instead of bunching up.
+                    let deadline = start + next_window_deadline(start.elapsed(), window);
+                    loop {
+                        if done.load(Ordering::Relaxed) {
+                            break 'sampling;
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        // Sleep in small steps so shutdown is prompt.
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
                     }
                     metrics.sample();
                 }
+                // Flush the tail as an explicitly partial window: it covers
+                // less than a full period, so per-window throughput must not
+                // be compared 1:1 against full windows.
+                metrics.flush_sample();
             })
         });
 
         Ok(TopologyHandle { threads, monitor_thread, metrics, assignment, done })
     }
+}
+
+/// The next absolute sample deadline, as an offset from the monitor's
+/// start: the first multiple of `window` strictly after `elapsed`. Grid
+/// points a slow sample already missed are skipped, not queued.
+fn next_window_deadline(elapsed: Duration, window: Duration) -> Duration {
+    let w = window.as_nanos().max(1);
+    let k = elapsed.as_nanos() / w + 1;
+    Duration::from_nanos((k * w).min(u64::MAX as u128) as u64)
 }
 
 /// Drives one spout executor: round-robins its tasks, each pulling from
@@ -576,6 +644,7 @@ fn run_spout_executor<T: Clone + Send>(
     component: String,
     acker: Option<Arc<Acker>>,
     reliability: Option<ReliabilityConfig>,
+    tracing: bool,
 ) -> Result<(), DspsError> {
     let mut finished = 0usize;
     let mut failure: Option<DspsError> = None;
@@ -586,10 +655,18 @@ fn run_spout_executor<T: Clone + Send>(
                 continue;
             }
             // 1. Completions: fully-acked trees leave the pending buffer.
+            //    End-to-end latency runs from the *first* emit (replays
+            //    included) to the acker's completion instant — not to the
+            //    moment this drain loop got around to the notification.
             if let Some(rx) = &t.completions {
-                while let Ok(root) = rx.try_recv() {
-                    if t.pending.remove(&root).is_some() {
+                while let Ok((root, completed_at)) = rx.try_recv() {
+                    if let Some(p) = t.pending.remove(&root) {
                         t.emitter.counters.record_acked();
+                        if tracing {
+                            t.emitter
+                                .counters
+                                .record_completion(completed_at.saturating_duration_since(p.first_emit));
+                        }
                         progressed = true;
                     }
                 }
@@ -622,7 +699,12 @@ fn run_spout_executor<T: Clone + Send>(
                         let timeout = rel.ack_timeout.mul_f64(rel.backoff.powi(retries as i32));
                         t.pending.insert(
                             new_root,
-                            PendingRoot { msg: p.msg.clone(), deadline: now + timeout, retries },
+                            PendingRoot {
+                                msg: p.msg.clone(),
+                                deadline: now + timeout,
+                                retries,
+                                first_emit: p.first_emit,
+                            },
                         );
                         t.emitter.anchors.clear();
                         t.emitter.anchors.push(new_root);
@@ -643,18 +725,22 @@ fn run_spout_executor<T: Clone + Send>(
                 }));
                 match result {
                     Ok(Some(msg)) => {
+                        // Spout emission is accounted under `emitted` (by
+                        // the emitter); `processed`/`busy_ns` stay bolt-only
+                        // so spout windows don't fake a processing latency.
                         progressed = true;
-                        t.emitter.counters.record(Duration::ZERO);
                         if let Some(rel) = &reliability {
                             let acker = acker.as_ref().expect("reliability implies acker");
                             let root = t.emitter.next_id();
                             acker.register(root, t.global);
+                            let now = Instant::now();
                             t.pending.insert(
                                 root,
                                 PendingRoot {
                                     msg: msg.clone(),
-                                    deadline: Instant::now() + rel.ack_timeout,
+                                    deadline: now + rel.ack_timeout,
                                     retries: 0,
+                                    first_emit: now,
                                 },
                             );
                             t.emitter.anchors.clear();
@@ -664,7 +750,11 @@ fn run_spout_executor<T: Clone + Send>(
                             // Completes roots whose emit found no route.
                             acker.seal(root);
                         } else {
+                            if tracing {
+                                t.emitter.t0 = Some(Instant::now());
+                            }
                             t.emitter.emit(msg);
+                            t.emitter.t0 = None;
                         }
                     }
                     Ok(None) => {
@@ -723,6 +813,7 @@ fn run_bolt_executor<T: Clone + Send>(
     factory: crate::topology::BoltFactory<T>,
     acker: Option<Arc<Acker>>,
     reliability: Option<ReliabilityConfig>,
+    tracing: bool,
 ) -> Result<(), DspsError> {
     // Storm calls prepare() on the worker, not the submitting client;
     // per-task state must live on the executor thread.
@@ -767,13 +858,29 @@ fn run_bolt_executor<T: Clone + Send>(
                 let Some(packet) = packet else { break };
                 progressed = true;
                 match packet {
-                    Packet::Data(Envelope { msg, tid, roots }) => {
+                    Packet::Data(Envelope { msg, tid, roots, t0 }) => {
+                        if tracing {
+                            t.depth.fetch_sub(1, Ordering::Relaxed);
+                        }
                         t.emitter.anchors = roots;
+                        // Outputs inherit the input's root emit time, so the
+                        // stamp survives multi-hop pipelines.
+                        t.emitter.t0 = t0;
                         let start = Instant::now();
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             t.bolt.process(msg, &mut t.emitter)
                         }));
                         t.emitter.counters.record(start.elapsed());
+                        if r.is_ok() && t.emitter.routes.is_empty() {
+                            // A terminal bolt ends the tuple's path: in
+                            // at-most-once tracing mode this is where the
+                            // end-to-end latency is known (reliability mode
+                            // records it spout-side on tree completion).
+                            if let Some(t0) = t.emitter.t0 {
+                                t.emitter.counters.record_completion(t0.elapsed());
+                            }
+                        }
+                        t.emitter.t0 = None;
                         match r {
                             Ok(()) => {
                                 // Auto-ack: outputs were registered during
@@ -1579,7 +1686,10 @@ mod tests {
             .build()
             .unwrap();
         let cfg = RuntimeConfig {
-            monitor: Some(MonitorConfig { window: Duration::from_millis(25) }),
+            monitor: Some(MonitorConfig {
+                window: Duration::from_millis(25),
+                ..MonitorConfig::default()
+            }),
             ..RuntimeConfig::default()
         };
         let metrics = small_cluster().submit(t, cfg).unwrap().join().unwrap();
@@ -1587,5 +1697,47 @@ mod tests {
             !metrics.history().is_empty(),
             "monitor thread must have sampled at least one window"
         );
+    }
+
+    #[test]
+    fn spout_counters_keep_emission_and_processing_apart() {
+        // Regression: spouts used to record a zero-latency "processing"
+        // event per emitted tuple, so their throughput and avg_latency
+        // mixed emission accounting with bolt processing accounting.
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 100 }))
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let metrics =
+            small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let totals = metrics.totals();
+        let src = totals.iter().find(|c| c.component == "src").unwrap();
+        assert_eq!(src.emitted, 100, "spout work shows up as emissions");
+        assert_eq!(src.throughput, 0, "spouts process nothing");
+        assert_eq!(src.avg_latency, None, "no fake zero-latency samples");
+        let sink = totals.iter().find(|c| c.component == "sink").unwrap();
+        assert_eq!(sink.throughput, 100, "bolt processing is unaffected");
+    }
+
+    #[test]
+    fn next_window_deadline_uses_an_absolute_grid() {
+        let w = Duration::from_millis(40);
+        // Normal cadence: the next grid point after `elapsed`.
+        assert_eq!(next_window_deadline(Duration::ZERO, w), Duration::from_millis(40));
+        assert_eq!(next_window_deadline(Duration::from_millis(39), w), Duration::from_millis(40));
+        // A sample that ran 1 ms long does NOT push the next deadline out
+        // by 40 ms from "now" — the grid absorbs the overrun.
+        assert_eq!(next_window_deadline(Duration::from_millis(41), w), Duration::from_millis(80));
+        // A sample slower than the window skips the missed grid points.
+        assert_eq!(next_window_deadline(Duration::from_millis(123), w), Duration::from_millis(160));
+        // Landing exactly on a grid point schedules the *next* one.
+        assert_eq!(next_window_deadline(Duration::from_millis(80), w), Duration::from_millis(120));
     }
 }

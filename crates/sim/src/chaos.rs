@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use tms_dsps::runtime::ReliabilityConfig;
-use tms_dsps::FaultConfig;
+use tms_dsps::{FaultConfig, MonitorConfig};
 
 /// A declarative chaos scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,6 +111,58 @@ impl ChaosSpec {
     }
 }
 
+/// A declarative monitor/tracing scenario: the serializable face of the
+/// runtime's [`MonitorConfig`], so an experiment file can pin the sampling
+/// window and opt into end-to-end tracing the same way [`ChaosSpec`] pins
+/// the fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorSpec {
+    /// Sampling window length, milliseconds (the paper uses 40 000).
+    pub window_ms: u64,
+    /// Enable end-to-end latency histograms and queue-depth gauges.
+    pub tracing: bool,
+    /// Sampled windows retained per run before the oldest are evicted.
+    pub retention: usize,
+}
+
+impl Default for MonitorSpec {
+    fn default() -> Self {
+        let mc = MonitorConfig::default();
+        MonitorSpec {
+            window_ms: mc.window.as_millis() as u64,
+            tracing: mc.tracing,
+            retention: mc.retention,
+        }
+    }
+}
+
+impl MonitorSpec {
+    /// A tracing-enabled spec with the given sampling window.
+    pub fn traced(window_ms: u64) -> Self {
+        MonitorSpec { window_ms, tracing: true, ..MonitorSpec::default() }
+    }
+
+    /// Validates the window and retention budget.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_ms == 0 {
+            return Err("window_ms must be at least 1".into());
+        }
+        if self.retention == 0 {
+            return Err("retention must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Converts into the runtime's config: feed to `RuntimeConfig::monitor`.
+    pub fn monitor_config(&self) -> MonitorConfig {
+        MonitorConfig {
+            window: Duration::from_millis(self.window_ms),
+            tracing: self.tracing,
+            retention: self.retention,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +204,32 @@ mod tests {
         let mut s = ChaosSpec::light();
         s.max_pending = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn monitor_specs_default_match_the_runtime_and_convert() {
+        let spec = MonitorSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.monitor_config(), MonitorConfig::default());
+        assert!(!spec.tracing, "tracing stays opt-in");
+
+        let traced = MonitorSpec::traced(500);
+        traced.validate().unwrap();
+        let mc = traced.monitor_config();
+        assert_eq!(mc.window, Duration::from_millis(500));
+        assert!(mc.tracing);
+        assert_eq!(mc.retention, MonitorConfig::default().retention);
+
+        let mut bad = MonitorSpec::default();
+        bad.window_ms = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = MonitorSpec::default();
+        bad.retention = 0;
+        assert!(bad.validate().is_err());
+
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"window_ms\":500"), "{json}");
+        assert!(json.contains("\"tracing\":true"), "{json}");
     }
 
     #[test]

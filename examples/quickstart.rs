@@ -106,12 +106,16 @@ detections per hour:");
             println!("  {h:02}:00  {n:>6}  {}", "#".repeat((n / 50).min(60)));
         }
     }
+    // Spouts count emissions; bolts count processed tuples.
     println!("\ncomponent throughput (lifetime):");
     for m in &report.metrics {
+        let (count, what) =
+            if m.throughput > 0 { (m.throughput, "processed") } else { (m.emitted, "emitted") };
         println!(
-            "  {:<16} {:>9} tuples{}",
+            "  {:<16} {:>9} tuples {}{}",
             m.component,
-            m.throughput,
+            count,
+            what,
             m.avg_latency
                 .map(|l| format!(", avg {:?}/tuple", l))
                 .unwrap_or_default()

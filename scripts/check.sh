@@ -9,4 +9,8 @@ cargo test -q
 # seeded panics + drops with recovery on must reproduce the failure-free
 # output after dedup (see crates/dsps/tests/reliability.rs).
 cargo test -p tms-dsps --test reliability
+# The observability suite is the tracing layer's acceptance bar: e2e
+# completion histograms in both delivery modes, queue gauges under
+# backlog, and prompt monitor shutdown (see crates/dsps/tests/observability.rs).
+cargo test -p tms-dsps --test observability
 cargo clippy --workspace -- -D warnings

@@ -73,6 +73,7 @@ fn incident_detections_flow_to_storage() {
         report.detections.len()
     );
     // Pipeline conservation: every spout tuple passed through preprocess.
+    // (Spouts count *emissions*; bolts count processed tuples.)
     let get = |c: &str| {
         report
             .metrics
@@ -81,10 +82,61 @@ fn incident_detections_flow_to_storage() {
             .map(|m| m.throughput)
             .unwrap_or(0)
     };
-    assert_eq!(get("busReader"), get("preprocess"));
+    let reader = report.metrics.iter().find(|m| m.component == "busReader").unwrap();
+    assert_eq!(reader.throughput, 0, "spouts have no process() path to count");
+    assert_eq!(reader.emitted, get("preprocess"));
     assert_eq!(get("preprocess"), get("areaTracker"));
     assert_eq!(get("areaTracker"), get("busStopsTracker"));
     assert_eq!(get("eventsStorer"), report.detections.len() as u64);
+}
+
+/// The ISSUE acceptance scenario: a chaos-enabled run (light preset) with
+/// tracing on must report per-component end-to-end percentiles and queue
+/// gauges, and the Esper component must emit a predicted-vs-observed
+/// drift ratio exportable as JSON Lines.
+#[test]
+fn chaos_run_with_tracing_reports_latency_and_drift() {
+    use traffic_insight::sim::{ChaosSpec, MonitorSpec};
+
+    let chaos = ChaosSpec::light();
+    let monitor = MonitorSpec::traced(500);
+    let (history, seeds) = history();
+    let config = SystemConfig {
+        monitor: Some(monitor.monitor_config()),
+        reliability: Some(chaos.reliability_config()),
+        chaos: Some(chaos.fault_config()),
+        ..SystemConfig::default()
+    };
+    let system = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+    let live: Vec<BusTrace> = live_day_with_incident().into_iter().take(6000).collect();
+    let (_, report) = system.plan_and_run(live, &rules(2.5), 3).unwrap();
+
+    // End-to-end latency: reliability mode records one completion per
+    // acked root at the spout, with ordered percentiles.
+    let reader = report.metrics.iter().find(|m| m.component == "busReader").unwrap();
+    assert!(reader.acked > 0);
+    assert_eq!(
+        reader.e2e.count(),
+        reader.acked,
+        "one completion latency per acked root"
+    );
+    let (p50, p95, p99) =
+        (reader.e2e.p50().unwrap(), reader.e2e.p95().unwrap(), reader.e2e.p99().unwrap());
+    assert!(p50 <= p95 && p95 <= p99, "percentiles must be ordered: {p50:?} {p95:?} {p99:?}");
+
+    // Queue gauges: every bolt's input channel reports its capacity.
+    let esper = report.metrics.iter().find(|m| m.component == "esper").unwrap();
+    assert!(esper.queue_capacity > 0, "tracing registers queue gauges");
+
+    // Drift: the Figure 7 prediction tracked against observed windows,
+    // exported as JSONL.
+    assert!(!report.drift.is_empty(), "tracing runs emit drift samples");
+    for d in &report.drift {
+        assert!(d.ratio.is_finite() && d.ratio > 0.0, "bad ratio: {d:?}");
+    }
+    let jsonl = report.drift_jsonl();
+    assert_eq!(jsonl.lines().count(), report.drift.len());
+    assert!(jsonl.lines().all(|l| l.starts_with('{') && l.contains("\"ratio\":")));
 }
 
 /// The retrieval methods implement one semantics: fed the *same ordered*
