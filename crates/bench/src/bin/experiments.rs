@@ -50,6 +50,7 @@ fn main() {
         "fig16_17" => fig16_17(),
         "bench_snapshot" | "--bench-snapshot" => bench_snapshot(),
         "drift" => drift(),
+        "profile" => profile(),
         "all" => {
             table1();
             table2();
@@ -64,7 +65,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table1 table2 table6 \
-                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot drift all"
+                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot drift profile all"
             );
             std::process::exit(2);
         }
@@ -604,6 +605,142 @@ fn drift() {
     result.fact("baseline_s", format_num(base_s));
     result.fact("traced_s", format_num(traced_s));
     result.fact("tracing_overhead_pct", format_num(overhead_pct));
+    result.save_json(&results_dir()).expect("writing results");
+}
+
+/// `profile`: a profiled quickstart-style run — per-rule CEP cost table,
+/// planner drift against Algorithm 1 and the estimation model, and the
+/// online-recalibration error deltas, written to `BENCH_cep_profile.json`.
+fn profile() {
+    println!("\n== Rule-level CEP profile and planner drift ==");
+    let monitor = MonitorSpec::profiled(500);
+    monitor.validate().expect("profiled spec is valid");
+
+    let gen = FleetGenerator::new(FleetConfig::small(17), 0).expect("fleet config is valid");
+    let seeds = gen.route_seed_points();
+    let history: Vec<tms_traffic::BusTrace> =
+        gen.take_while(|t| t.timestamp_ms < 9 * tms_traffic::HOUR_MS).collect();
+    let live: Vec<tms_traffic::BusTrace> = FleetGenerator::new(FleetConfig::small(17), 1)
+        .expect("fleet config is valid")
+        .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * tms_traffic::HOUR_MS)
+        .collect();
+    let rules: Vec<RuleSpec> = [
+        ("profile-leaves", LocationSelector::QuadtreeLeaves),
+        ("profile-stops", LocationSelector::BusStops),
+    ]
+    .into_iter()
+    .map(|(name, loc)| {
+        let mut r = RuleSpec::new(name, Attribute::Delay, loc, 10);
+        r.s = 0.5;
+        r
+    })
+    .collect();
+    let config = SystemConfig {
+        monitor: Some(monitor.monitor_config()),
+        ..SystemConfig::default()
+    };
+    let sys = TrafficSystem::bootstrap(tms_geo::DUBLIN_BBOX, &seeds, &history, config)
+        .expect("bootstrap");
+    let (_, report) = sys.plan_and_run(live, &rules, 3).expect("profiled run");
+
+    // The per-rule cost table, from the lifetime cumulative profiles.
+    let esper = report
+        .metrics
+        .iter()
+        .find(|w| w.component == "esper")
+        .expect("esper totals present");
+    let us = |d: Option<std::time::Duration>| {
+        d.map(|d| format_num(d.as_secs_f64() * 1e6)).unwrap_or_else(|| "-".into())
+    };
+    let rows: Vec<Vec<String>> = esper
+        .rules
+        .iter()
+        .map(|r| {
+            vec![
+                r.rule.clone(),
+                r.engine.to_string(),
+                r.events_in.to_string(),
+                r.evals.to_string(),
+                r.firings.to_string(),
+                us(r.eval.mean()),
+                us(r.eval.p95()),
+                format!("{}/{}/{}", r.path_incremental, r.path_anchor, r.path_rescan),
+                r.window_len.to_string(),
+                r.threshold_age
+                    .map(|a| format_num(a.as_secs_f64()))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Per-rule CEP cost (inc/anchor/rescan are evaluation-path counts)",
+        &[
+            "rule", "engine", "events in", "evals", "firings", "mean eval (µs)",
+            "p95 eval (µs)", "paths", "window", "thr age (s)",
+        ],
+        &rows,
+    );
+
+    let planner = report.planner.as_ref().expect("profiling runs produce a planner report");
+    let drift_rows: Vec<Vec<String>> = planner
+        .engines
+        .iter()
+        .map(|e| {
+            vec![
+                e.engine.to_string(),
+                format_num(e.planned_rate),
+                format_num(e.observed_rate),
+                format_num(e.predicted_latency_ms),
+                format_num(e.observed_latency_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Planner drift: Algorithm 1 planned vs observed per engine",
+        &["engine", "planned rate/s", "observed rate/s", "pred lat (ms)", "obs lat (ms)"],
+        &drift_rows,
+    );
+    println!(
+        "input-rate imbalance (max/min): planned {} vs observed {}",
+        format_num(planner.imbalance_planned),
+        format_num(planner.imbalance_observed)
+    );
+    match &planner.calibration {
+        Some(c) => println!(
+            "online recalibration: {} samples, MAE {} ms -> {} ms",
+            c.samples,
+            format_num(c.mae_before_ms),
+            format_num(c.mae_after_ms)
+        ),
+        None => println!("online recalibration: not enough samples"),
+    }
+
+    let profiled_windows = report
+        .history
+        .iter()
+        .filter(|w| w.component == "esper" && !w.rules.is_empty())
+        .count();
+    let json = format!(
+        "{{\"profiled_windows\":{},\"planner\":{}}}\n",
+        profiled_windows,
+        planner.to_json()
+    );
+    std::fs::write("BENCH_cep_profile.json", &json).expect("writing BENCH_cep_profile.json");
+    println!("(wrote BENCH_cep_profile.json)");
+
+    let mut result = ExperimentResult::new(
+        "profile",
+        "Per-rule CEP profile, planner drift, and online recalibration",
+    );
+    result.fact("profiled_windows", profiled_windows);
+    result.fact("rules", esper.rules.len());
+    result.fact("imbalance_planned", format_num(planner.imbalance_planned));
+    result.fact("imbalance_observed", format_num(planner.imbalance_observed));
+    if let Some(c) = &planner.calibration {
+        result.fact("calibration_samples", c.samples);
+        result.fact("mae_before_ms", format_num(c.mae_before_ms));
+        result.fact("mae_after_ms", format_num(c.mae_after_ms));
+    }
     result.save_json(&results_dir()).expect("writing results");
 }
 

@@ -15,6 +15,7 @@ use crate::plan::{compile, CompiledStatement, IncrementalState, JoinCache, Outpu
 use crate::window::{SourceWindow, WindowDelta, WindowSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Identifier of a registered statement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +37,101 @@ struct Runtime {
     delta: WindowDelta,
     listener: Option<Listener>,
     fired: u64,
+    /// Cumulative profiling counters; `Some` only while profiling is
+    /// enabled (the hot path takes no timestamps otherwise).
+    profile: Option<ProfileState>,
+}
+
+/// Number of log₂ eval-time histogram buckets: bucket *i* covers
+/// `[2^i, 2^(i+1))` nanoseconds, matching the DSPS metrics layer's
+/// `LatencyHistogram` so profiles merge losslessly downstream.
+pub const PROFILE_BUCKETS: usize = 48;
+
+/// The histogram bucket for an eval duration in nanoseconds (same shape
+/// as the DSPS layer's `bucket_of`: floor(log2), saturating at the top).
+fn profile_bucket(ns: u64) -> usize {
+    ((63 - ns.max(1).leading_zeros()) as usize).min(PROFILE_BUCKETS - 1)
+}
+
+/// Which evaluation path a statement evaluation took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvalPath {
+    Incremental,
+    Anchor,
+    Rescan,
+}
+
+/// Mutable per-statement profiling counters (lives inside `Runtime`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ProfileState {
+    events_in: u64,
+    evals: u64,
+    firings: u64,
+    rows_out: u64,
+    eval_ns_sum: u64,
+    eval_ns_buckets: [u64; PROFILE_BUCKETS],
+    path_incremental: u64,
+    path_anchor: u64,
+    path_rescan: u64,
+}
+
+impl Default for ProfileState {
+    fn default() -> Self {
+        ProfileState {
+            events_in: 0,
+            evals: 0,
+            firings: 0,
+            rows_out: 0,
+            eval_ns_sum: 0,
+            eval_ns_buckets: [0; PROFILE_BUCKETS],
+            path_incremental: 0,
+            path_anchor: 0,
+            path_rescan: 0,
+        }
+    }
+}
+
+impl ProfileState {
+    fn record_eval(&mut self, elapsed_ns: u64, path: EvalPath) {
+        self.evals += 1;
+        self.eval_ns_sum += elapsed_ns;
+        self.eval_ns_buckets[profile_bucket(elapsed_ns)] += 1;
+        match path {
+            EvalPath::Incremental => self.path_incremental += 1,
+            EvalPath::Anchor => self.path_anchor += 1,
+            EvalPath::Rescan => self.path_rescan += 1,
+        }
+    }
+}
+
+/// Snapshot of one statement's cumulative profile, returned by
+/// [`Engine::profile`]. All counters run from the moment profiling was
+/// (re-)enabled; `window_len` is a point-in-time gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementProfile {
+    /// The profiled statement.
+    pub id: StatementId,
+    /// Events delivered to this statement (inserted into its windows).
+    pub events_in: u64,
+    /// Evaluations run (events that triggered an evaluate, fired or not).
+    pub evals: u64,
+    /// Evaluations that produced ≥1 row (matches).
+    pub firings: u64,
+    /// Total rows pushed to the listener.
+    pub rows_out: u64,
+    /// Sum of eval wall-times, nanoseconds (exact mean = sum / evals).
+    pub eval_ns_sum: u64,
+    /// Log₂ eval wall-time histogram: bucket *i* counts evals in
+    /// `[2^i, 2^(i+1))` ns (bucket 0 also absorbs sub-1 ns evals).
+    pub eval_ns_buckets: [u64; PROFILE_BUCKETS],
+    /// Evaluations served by the delta-maintained incremental path.
+    pub path_incremental: u64,
+    /// Evaluations served by the anchor fast path.
+    pub path_anchor: u64,
+    /// Evaluations that rescanned the full window state.
+    pub path_rescan: u64,
+    /// Current occupancy summed over the statement's source windows.
+    pub window_len: usize,
 }
 
 /// Engine counters.
@@ -70,6 +166,9 @@ pub struct Engine {
     /// Whether eligible statements evaluate via delta-maintained
     /// aggregates / the anchor fast path instead of a window rescan.
     incremental_enabled: bool,
+    /// Whether per-statement profiles are collected (off by default: the
+    /// hot path then takes no timestamps and touches no extra counters).
+    profiling_enabled: bool,
 }
 
 impl Default for Engine {
@@ -98,6 +197,7 @@ impl Engine {
             next_id: 0,
             stats: EngineStats::default(),
             incremental_enabled: true,
+            profiling_enabled: false,
         }
     }
 
@@ -190,6 +290,7 @@ impl Engine {
             delta: WindowDelta::new(),
             listener,
             fired: 0,
+            profile: self.profiling_enabled.then(ProfileState::default),
         });
         Ok(StatementHandle { id })
     }
@@ -265,6 +366,45 @@ impl Engine {
         self.incremental_enabled
     }
 
+    /// Enables/disables per-statement profiling. Off (the default) the
+    /// event hot path takes no timestamps; on, every evaluation records
+    /// its wall-time into a log₂ histogram plus path and rate counters.
+    /// Re-enabling resets all profile counters to zero.
+    pub fn set_profiling_enabled(&mut self, enabled: bool) {
+        self.profiling_enabled = enabled;
+        for rt in &mut self.statements {
+            rt.profile = enabled.then(ProfileState::default);
+        }
+    }
+
+    /// Whether per-statement profiling is enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling_enabled
+    }
+
+    /// Cumulative per-statement profiles, in statement registration
+    /// order. Empty unless [`Engine::set_profiling_enabled`] is on.
+    pub fn profile(&self) -> Vec<StatementProfile> {
+        self.statements
+            .iter()
+            .filter_map(|rt| {
+                rt.profile.as_ref().map(|p| StatementProfile {
+                    id: rt.id,
+                    events_in: p.events_in,
+                    evals: p.evals,
+                    firings: p.firings,
+                    rows_out: p.rows_out,
+                    eval_ns_sum: p.eval_ns_sum,
+                    eval_ns_buckets: p.eval_ns_buckets,
+                    path_incremental: p.path_incremental,
+                    path_anchor: p.path_anchor,
+                    path_rescan: p.path_rescan,
+                    window_len: rt.windows.iter().map(|w| w.len()).sum(),
+                })
+            })
+            .collect()
+    }
+
     /// Builds an event for a registered stream from field pairs.
     pub fn make_event(
         &self,
@@ -300,6 +440,9 @@ impl Engine {
         let mut fed_back: Vec<Event> = Vec::new();
         for idx in subscribers {
             let rt = &mut self.statements[idx];
+            if let Some(p) = rt.profile.as_mut() {
+                p.events_in += 1;
+            }
             // Insert into every source window fed by this stream; eligible
             // statements capture the change as a delta and fold it into
             // their incremental state instead of rescanning later.
@@ -338,22 +481,30 @@ impl Engine {
                 continue;
             }
             let anchor = if batch_release { None } else { Some(&event) };
-            let rows = if let Some(state) = &rt.inc {
-                rt.compiled.evaluate_incremental(anchor, state)?
+            let t0 = rt.profile.is_some().then(Instant::now);
+            let (rows, path) = if let Some(state) = &rt.inc {
+                (rt.compiled.evaluate_incremental(anchor, state)?, EvalPath::Incremental)
             } else if self.incremental_enabled
                 && rt.compiled.anchor_fast_eligible()
                 && !batch_release
             {
-                rt.compiled.evaluate_anchor(&event)?
+                (rt.compiled.evaluate_anchor(&event)?, EvalPath::Anchor)
             } else {
-                rt.compiled.evaluate(&rt.windows, anchor, &mut rt.cache)?
+                (rt.compiled.evaluate(&rt.windows, anchor, &mut rt.cache)?, EvalPath::Rescan)
             };
+            if let (Some(t0), Some(p)) = (t0, rt.profile.as_mut()) {
+                p.record_eval(t0.elapsed().as_nanos() as u64, path);
+            }
             if rows.is_empty() {
                 continue;
             }
             rt.fired += 1;
             self.stats.firings += 1;
             self.stats.rows_out += rows.len() as u64;
+            if let Some(p) = rt.profile.as_mut() {
+                p.firings += 1;
+                p.rows_out += rows.len() as u64;
+            }
             if let Some(listener) = &mut rt.listener {
                 listener(rt.id, &rows);
             }
@@ -757,6 +908,72 @@ mod tests {
         let means: Vec<f64> =
             rows.iter().map(|r| r.get("m").unwrap().as_f64().unwrap()).collect();
         assert_eq!(means, vec![10.0, 15.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn profiling_off_by_default_and_opt_in() {
+        let mut e = engine();
+        let (_, l) = capture();
+        e.create_statement("SELECT vehicle FROM bus WHERE delay > 50", l).unwrap();
+        e.send_event(bus_event(&e, 0, 1, "R1", 60.0, 8)).unwrap();
+        assert!(e.profile().is_empty(), "no profiles unless enabled");
+        assert!(!e.profiling_enabled());
+
+        e.set_profiling_enabled(true);
+        for d in [10.0, 60.0, 70.0] {
+            e.send_event(bus_event(&e, 0, 1, "R1", d, 8)).unwrap();
+        }
+        let profiles = e.profile();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.events_in, 3);
+        assert_eq!(p.evals, 3);
+        assert_eq!(p.firings, 2);
+        assert_eq!(p.rows_out, 2);
+        assert_eq!(p.evals, p.eval_ns_buckets.iter().sum::<u64>());
+        assert_eq!(p.evals, p.path_incremental + p.path_anchor + p.path_rescan);
+        // A filter-only statement takes the anchor fast path.
+        assert_eq!(p.path_anchor, 3);
+
+        // Disabling clears; re-enabling restarts from zero.
+        e.set_profiling_enabled(false);
+        assert!(e.profile().is_empty());
+        e.set_profiling_enabled(true);
+        assert_eq!(e.profile()[0].events_in, 0);
+    }
+
+    #[test]
+    fn profile_reports_paths_and_window_occupancy() {
+        let epl = "SELECT w.location AS loc, avg(w.delay) AS m \
+                   FROM bus.std:groupwin(location).win:length(3) AS w \
+                   GROUP BY w.location HAVING avg(w.delay) > 0";
+        let mut e = engine();
+        e.set_profiling_enabled(true);
+        let (_, l) = capture();
+        e.create_statement(epl, l).unwrap();
+        for ts in 0..5u64 {
+            e.send_event(bus_event(&e, ts, ts as i64, "R1", 10.0, 8)).unwrap();
+        }
+        let p = &e.profile()[0];
+        assert_eq!(p.path_incremental, 5, "grouped aggregate takes the incremental path");
+        assert_eq!(p.window_len, 3, "length-3 window holds three of five events");
+        assert!(p.eval_ns_sum > 0, "wall time accumulates");
+
+        // Rescan mode shows up in the path counters.
+        e.set_incremental_enabled(false).unwrap();
+        e.set_profiling_enabled(true); // reset counters
+        e.send_event(bus_event(&e, 9, 9, "R1", 10.0, 8)).unwrap();
+        assert_eq!(e.profile()[0].path_rescan, 1);
+    }
+
+    #[test]
+    fn profile_bucket_matches_log2_contract() {
+        assert_eq!(profile_bucket(0), 0, "sub-ns evals land in bucket 0");
+        assert_eq!(profile_bucket(1), 0);
+        assert_eq!(profile_bucket(2), 1);
+        assert_eq!(profile_bucket(3), 1);
+        assert_eq!(profile_bucket(4), 2);
+        assert_eq!(profile_bucket(u64::MAX), PROFILE_BUCKETS - 1);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod parser;
 pub mod plan;
 pub mod window;
 
-pub use engine::{Engine, EngineStats, Listener, StatementHandle, StatementId};
+pub use engine::{
+    Engine, EngineStats, Listener, StatementHandle, StatementId, StatementProfile,
+    PROFILE_BUCKETS,
+};
 pub use error::CepError;
 pub use event::{Event, EventType, FieldType, FieldValue};
 pub use parser::parse_statement;

@@ -48,6 +48,8 @@ pub mod xml_topology;
 pub use error::CoreError;
 pub use latency::{EstimationModel, PolyModel};
 pub use offline::{OfflineArtifacts, OfflineConfig};
-pub use partitioning::{partition_rule, RegionRate};
+pub use partitioning::{partition_rule, Partition, RegionRate};
 pub use rules::{LocationSelector, RuleSpec, SpatialContext};
-pub use system::TrafficSystem;
+pub use system::{
+    CalibrationReport, EngineDrift, PlannerDriftReport, RuleObservedLoad, TrafficSystem,
+};

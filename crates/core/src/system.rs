@@ -4,13 +4,14 @@
 use crate::allocation::{best_grouping_allocation, round_robin, Allocation, Grouping};
 use crate::error::CoreError;
 use crate::latency::{EstimationModel, RuleLoad};
+use crate::latency::PolyModel;
 use crate::offline::{run_offline, OfflineArtifacts, OfflineConfig};
-use crate::partitioning::partition_rule;
+use crate::partitioning::{partition_rule, Partition};
 use crate::rules::{LocationSelector, RuleSpec, SpatialContext};
 use crate::thresholds::{Detection, RetrievalMethod};
 use crate::topology::{
-    build_traffic_topology, EnginePlan, GroupingKind, GroupingRoute, SplitPlan,
-    TopologyParallelism,
+    build_traffic_topology, EnginePlan, EsperProfileRegistry, GroupingKind, GroupingRoute,
+    SplitPlan, TopologyParallelism,
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -84,6 +85,30 @@ pub struct StartupPlan {
     pub split_plan: SplitPlan,
     /// Per-engine rule/location assignments.
     pub engine_plan: EnginePlan,
+    /// Algorithm 1's partition per grouping (same order as `groupings`):
+    /// the planned per-engine input rates the planner-drift report
+    /// compares observed rates against.
+    pub partitions: Vec<Partition>,
+}
+
+impl StartupPlan {
+    /// Planned input rate per global engine index (tuples/s): the
+    /// per-grouping [`Partition::rates`] flattened through the
+    /// allocation's engine offsets.
+    pub fn planned_engine_rates(&self) -> Vec<f64> {
+        let total: usize = self.allocation.engines.iter().sum();
+        let offsets = self.allocation.offsets();
+        let mut rates = vec![0.0f64; total];
+        for (gi, partition) in self.partitions.iter().enumerate() {
+            let offset = offsets.get(gi).copied().unwrap_or(0);
+            for (e, r) in partition.rates.iter().enumerate() {
+                if let Some(slot) = rates.get_mut(offset + e) {
+                    *slot += r;
+                }
+            }
+        }
+        rates
+    }
 }
 
 /// One predicted-vs-observed latency comparison for a sampled monitor
@@ -117,6 +142,157 @@ impl DriftSample {
     }
 }
 
+/// Planned-vs-observed view of one Esper engine over a profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineDrift {
+    /// Global engine (esper task) index.
+    pub engine: usize,
+    /// Algorithm 1's expected input rate for the engine, tuples per
+    /// *simulated* second (from the historical region rates).
+    pub planned_rate: f64,
+    /// Observed rate of events entering the engine's rule statements,
+    /// events per *wall-clock* second (trace replay is unpaced). Absolute
+    /// scale therefore differs from `planned_rate`; the comparable
+    /// quantity is each engine's share, i.e. the imbalance ratios.
+    pub observed_rate: f64,
+    /// Per-tuple latency the estimation model predicts for the engine's
+    /// planned rule loads under the scheduler's co-location, ms.
+    pub predicted_latency_ms: f64,
+    /// Observed mean statement-evaluation latency, ms (0 when the engine
+    /// never evaluated).
+    pub observed_latency_ms: f64,
+}
+
+/// Planned load and observed behaviour of one rule on one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleObservedLoad {
+    /// Rule name.
+    pub rule: String,
+    /// Global engine index running this copy of the rule.
+    pub engine: usize,
+    /// The planned load (window length, threshold rows) Function 1 was
+    /// fed at start-up.
+    pub load: RuleLoad,
+    /// Last observed window occupancy (events held across the rule's
+    /// statements).
+    pub observed_window: u64,
+    /// Observed mean evaluation latency, ms.
+    pub observed_latency_ms: f64,
+    /// Events that entered the rule's statements over the run.
+    pub events_in: u64,
+}
+
+/// Outcome of feeding the run's observed (load, latency) samples back
+/// into [`EstimationModel::calibrate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// `(window, engine)` observation points the errors average over.
+    pub samples: usize,
+    /// Mean absolute error of the run's model (ms) against per-window
+    /// observed engine latencies.
+    pub mae_before_ms: f64,
+    /// Mean absolute error of the recalibrated model (ms) on the same
+    /// observations.
+    pub mae_after_ms: f64,
+}
+
+/// The planner-drift report: how far the run drifted from what
+/// Algorithm 1 (input rates) and the Section 4.1.4 estimation model
+/// (latencies) planned, plus the online-recalibration outcome. Produced
+/// when the monitor runs with profiling enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerDriftReport {
+    /// One entry per planned engine.
+    pub engines: Vec<EngineDrift>,
+    /// Max/min planned engine rate (Algorithm 1's balance goal).
+    pub imbalance_planned: f64,
+    /// Max/min observed engine rate, over engines with planned load.
+    pub imbalance_observed: f64,
+    /// Per-(rule, engine) planned-vs-observed loads.
+    pub rules: Vec<RuleObservedLoad>,
+    /// Online recalibration outcome; `None` when the run produced too few
+    /// or too degenerate samples to fit any model.
+    pub calibration: Option<CalibrationReport>,
+}
+
+/// `null` for non-finite values (JSON has no Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl PlannerDriftReport {
+    /// The report as one JSON object (the shape the bench harness embeds
+    /// in its `BENCH_*` snapshots).
+    pub fn to_json(&self) -> String {
+        let engines: Vec<String> = self
+            .engines
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"engine\":{},\"planned_rate\":{},\"observed_rate\":{},\"predicted_latency_ms\":{},\"observed_latency_ms\":{}}}",
+                    e.engine,
+                    json_f64(e.planned_rate),
+                    json_f64(e.observed_rate),
+                    json_f64(e.predicted_latency_ms),
+                    json_f64(e.observed_latency_ms),
+                )
+            })
+            .collect();
+        let rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"rule\":{},\"engine\":{},\"window\":{},\"thresholds\":{},\"observed_window\":{},\"observed_latency_ms\":{},\"events_in\":{}}}",
+                    json_str(&r.rule),
+                    r.engine,
+                    r.load.window,
+                    r.load.thresholds,
+                    r.observed_window,
+                    json_f64(r.observed_latency_ms),
+                    r.events_in,
+                )
+            })
+            .collect();
+        let calibration = match &self.calibration {
+            Some(c) => format!(
+                "{{\"samples\":{},\"mae_before_ms\":{},\"mae_after_ms\":{}}}",
+                c.samples,
+                json_f64(c.mae_before_ms),
+                json_f64(c.mae_after_ms),
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"imbalance_planned\":{},\"imbalance_observed\":{},\"engines\":[{}],\"rules\":[{}],\"calibration\":{}}}",
+            json_f64(self.imbalance_planned),
+            json_f64(self.imbalance_observed),
+            engines.join(","),
+            rules.join(","),
+            calibration,
+        )
+    }
+}
+
 /// The outcome of an on-line run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -129,6 +305,9 @@ pub struct RunReport {
     /// Per-window predicted-vs-observed Esper latency drift (only
     /// populated when the monitor ran with tracing enabled).
     pub drift: Vec<DriftSample>,
+    /// Planner drift and online-recalibration report (only populated when
+    /// the monitor ran with profiling enabled and sampled rule profiles).
+    pub planner: Option<PlannerDriftReport>,
 }
 
 impl RunReport {
@@ -265,6 +444,7 @@ impl TrafficSystem {
 
         let mut routes = Vec::new();
         let mut per_engine: Vec<Vec<(RuleSpec, Vec<String>)>> = vec![Vec::new(); total_engines];
+        let mut partitions = Vec::new();
 
         for (gi, grouping) in groupings.iter().enumerate() {
             let k = allocation.engines[gi];
@@ -302,12 +482,14 @@ impl TrafficSystem {
                     }
                 }
             }
+            partitions.push(partition);
         }
         Ok(StartupPlan {
             groupings: groupings.to_vec(),
             allocation: allocation.clone(),
             split_plan: SplitPlan { routes },
             engine_plan: EnginePlan { per_engine },
+            partitions,
         })
     }
 
@@ -378,6 +560,11 @@ impl TrafficSystem {
         let detections = Arc::new(Mutex::new(Vec::new()));
         let mut parallelism = self.config.parallelism;
         parallelism.esper_tasks = plan.engine_plan.engines().max(1);
+        let registry = self
+            .config
+            .monitor
+            .is_some_and(|m| m.profiling)
+            .then(|| Arc::new(EsperProfileRegistry::new()));
         let topology = build_traffic_topology(
             Arc::new(traces),
             Arc::new(self.artifacts.spatial.quadtree.clone()),
@@ -391,6 +578,7 @@ impl TrafficSystem {
             parallelism,
             self.config.incremental,
             self.config.chaos,
+            registry.clone(),
         )?;
         let cluster = LocalCluster::new(self.config.cluster)?;
         let handle = cluster.submit(
@@ -402,15 +590,26 @@ impl TrafficSystem {
                 ..RuntimeConfig::default()
             },
         )?;
+        if let Some(registry) = &registry {
+            let registry = registry.clone();
+            handle
+                .metrics()
+                .register_profile_source("esper", Arc::new(move || registry.collect()));
+        }
         let assignment = handle.assignment().clone();
         let metrics = handle.join()?;
         let history = metrics.history();
         let drift = self.drift_samples(plan, &assignment, &history);
+        let planner = registry
+            .is_some()
+            .then(|| self.planner_report(plan, &assignment, &history))
+            .flatten();
         let report = RunReport {
             detections: std::mem::take(&mut detections.lock()),
             metrics: metrics.totals(),
             history,
             drift,
+            planner,
         };
         Ok(report)
     }
@@ -424,8 +623,14 @@ impl TrafficSystem {
         plan: &StartupPlan,
         assignment: &Assignment,
     ) -> Result<f64, CoreError> {
-        let engines: Vec<Vec<RuleLoad>> = plan
-            .engine_plan
+        let engines = self.engine_loads(plan);
+        let nodes = Self::esper_node_groups(assignment, engines.len());
+        self.model.estimate_mean(&engines, &nodes)
+    }
+
+    /// The planned per-engine rule loads Function 1 is fed (Figure 7).
+    fn engine_loads(&self, plan: &StartupPlan) -> Vec<Vec<RuleLoad>> {
+        plan.engine_plan
             .per_engine
             .iter()
             .map(|rules| {
@@ -437,16 +642,20 @@ impl TrafficSystem {
                     })
                     .collect()
             })
-            .collect();
+            .collect()
+    }
+
+    /// Esper engine indices grouped by scheduled node (esper task `i`
+    /// runs engine `i`).
+    fn esper_node_groups(assignment: &Assignment, engines: usize) -> Vec<Vec<usize>> {
         let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for p in assignment.component_placements("esper") {
             by_node
                 .entry(p.node)
                 .or_default()
-                .extend(p.tasks.iter().copied().filter(|&t| t < engines.len()));
+                .extend(p.tasks.iter().copied().filter(|&t| t < engines));
         }
-        let nodes: Vec<Vec<usize>> = by_node.into_values().collect();
-        self.model.estimate_mean(&engines, &nodes)
+        by_node.into_values().collect()
     }
 
     /// Predicted-vs-observed drift per sampled Esper window, when the
@@ -480,6 +689,228 @@ impl TrafficSystem {
                 })
             })
             .collect()
+    }
+
+    /// The planner-drift report for a profiled run: per-engine planned vs
+    /// observed input rates and latencies, per-rule observed loads, and
+    /// the online recalibration of the estimation model from the run's
+    /// own (load, latency) samples. Returns `None` when no sampled window
+    /// carried rule profiles.
+    fn planner_report(
+        &self,
+        plan: &StartupPlan,
+        assignment: &Assignment,
+        history: &[tms_dsps::ComponentWindow],
+    ) -> Option<PlannerDriftReport> {
+        let esper: Vec<&tms_dsps::ComponentWindow> =
+            history.iter().filter(|w| w.component == "esper").collect();
+        let duration_s: f64 = esper.iter().map(|w| w.len.as_secs_f64()).sum();
+        if duration_s <= 0.0 || esper.iter().all(|w| w.rules.is_empty()) {
+            return None;
+        }
+
+        let engine_loads = self.engine_loads(plan);
+        let nodes = Self::esper_node_groups(assignment, engine_loads.len());
+        let planned_rates = plan.planned_engine_rates();
+
+        // The load Function 1 was fed for a rule copy at start-up.
+        let planned_load = |rule: &str, engine: usize| -> RuleLoad {
+            plan.engine_plan
+                .per_engine
+                .get(engine)
+                .and_then(|rules| rules.iter().find(|(spec, _)| spec.name == rule))
+                .map(|(spec, _)| RuleLoad {
+                    window: spec.window_length,
+                    thresholds: self.thresholds_for(spec),
+                })
+                .unwrap_or(RuleLoad { window: 0, thresholds: 0 })
+        };
+
+        // Run totals per (rule, engine) plus per-window samples: the
+        // window deltas drive calibration, the totals drive the report.
+        #[derive(Default)]
+        struct Acc {
+            events_in: u64,
+            sum_ns: u64,
+            count: u64,
+            window_len: u64,
+        }
+        let mut per_rule: BTreeMap<(String, usize), Acc> = BTreeMap::new();
+        let mut f1_samples: Vec<(Vec<f64>, f64)> = Vec::new();
+        let mut f2_samples: Vec<(Vec<f64>, f64)> = Vec::new();
+        let mut f3_samples: Vec<(Vec<f64>, f64)> = Vec::new();
+        // Per window: (engine, observed mean engine latency ms).
+        let mut engine_obs: Vec<Vec<(usize, f64)>> = Vec::new();
+
+        for w in &esper {
+            // (rule latency ms, sum_ns, count) per engine in this window.
+            let mut by_engine: BTreeMap<usize, Vec<(f64, u64, u64)>> = BTreeMap::new();
+            for r in &w.rules {
+                let acc = per_rule.entry((r.rule.clone(), r.engine)).or_default();
+                acc.events_in += r.events_in;
+                acc.sum_ns += r.eval.sum_ns();
+                acc.count += r.eval.count();
+                if r.window_len > 0 {
+                    acc.window_len = r.window_len;
+                }
+                if r.eval.count() == 0 {
+                    continue;
+                }
+                let lat = r.eval.sum_ns() as f64 / r.eval.count() as f64 / 1e6;
+                let load = planned_load(&r.rule, r.engine);
+                f1_samples.push((vec![load.window as f64, load.thresholds as f64], lat));
+                by_engine
+                    .entry(r.engine)
+                    .or_default()
+                    .push((lat, r.eval.sum_ns(), r.eval.count()));
+            }
+            let mut obs = Vec::new();
+            for (engine, rules) in &by_engine {
+                let sum_ns: u64 = rules.iter().map(|(_, s, _)| s).sum();
+                let count: u64 = rules.iter().map(|(_, _, c)| c).sum();
+                let combined = sum_ns as f64 / count as f64 / 1e6;
+                // Function 2 relates two rule-set latencies to the
+                // engine's; single-rule engines teach F2(a, 0) = a.
+                f2_samples.push(match rules.as_slice() {
+                    [(only, _, _)] => (vec![*only, 0.0], combined),
+                    [(a, _, _), (b, _, _), ..] => (vec![*a, *b], combined),
+                    [] => continue,
+                });
+                obs.push((*engine, combined));
+            }
+            // Function 3 relates an engine's latency to its node's load.
+            for node in &nodes {
+                let present: Vec<f64> = node
+                    .iter()
+                    .filter_map(|e| obs.iter().find(|(oe, _)| oe == e).map(|&(_, l)| l))
+                    .collect();
+                let total: f64 = present.iter().sum();
+                for &own in &present {
+                    f3_samples.push((vec![own, total - own], own));
+                }
+            }
+            engine_obs.push(obs);
+        }
+        if per_rule.is_empty() {
+            return None;
+        }
+
+        let predicted = self.model.estimate(&engine_loads, &nodes).unwrap_or_default();
+        let mut events_by_engine = vec![0u64; engine_loads.len()];
+        let mut ns_by_engine = vec![(0u64, 0u64); engine_loads.len()];
+        for ((_, engine), acc) in &per_rule {
+            if let Some(v) = events_by_engine.get_mut(*engine) {
+                *v += acc.events_in;
+            }
+            if let Some((s, c)) = ns_by_engine.get_mut(*engine) {
+                *s += acc.sum_ns;
+                *c += acc.count;
+            }
+        }
+        let engines: Vec<EngineDrift> = (0..engine_loads.len())
+            .map(|e| EngineDrift {
+                engine: e,
+                planned_rate: planned_rates.get(e).copied().unwrap_or(0.0),
+                observed_rate: events_by_engine[e] as f64 / duration_s,
+                predicted_latency_ms: predicted.get(e).copied().unwrap_or(0.0),
+                observed_latency_ms: {
+                    let (s, c) = ns_by_engine[e];
+                    if c > 0 {
+                        s as f64 / c as f64 / 1e6
+                    } else {
+                        0.0
+                    }
+                },
+            })
+            .collect();
+
+        // Balance comparison over the engines Algorithm 1 actually loaded
+        // (placement slack would otherwise force the ratio to infinity).
+        let imbalance = |rates: Vec<f64>| -> f64 {
+            if rates.is_empty() {
+                return 1.0;
+            }
+            Partition { assignments: vec![Vec::new(); rates.len()], rates }.imbalance()
+        };
+        let loaded: Vec<usize> = (0..engine_loads.len())
+            .filter(|&e| planned_rates.get(e).copied().unwrap_or(0.0) > 0.0)
+            .collect();
+        let imbalance_planned =
+            imbalance(loaded.iter().map(|&e| planned_rates[e]).collect());
+        let imbalance_observed =
+            imbalance(loaded.iter().map(|&e| engines[e].observed_rate).collect());
+
+        let rules: Vec<RuleObservedLoad> = per_rule
+            .iter()
+            .map(|((rule, engine), acc)| RuleObservedLoad {
+                rule: rule.clone(),
+                engine: *engine,
+                load: planned_load(rule, *engine),
+                observed_window: acc.window_len,
+                observed_latency_ms: if acc.count > 0 {
+                    acc.sum_ns as f64 / acc.count as f64 / 1e6
+                } else {
+                    0.0
+                },
+                events_in: acc.events_in,
+            })
+            .collect();
+
+        // Online recalibration: refit the three functions from this run's
+        // samples; compare mean absolute error against the per-window
+        // observed engine latencies, before vs after.
+        let mae = |model: &EstimationModel| -> Option<(f64, usize)> {
+            let pred = model.estimate(&engine_loads, &nodes).ok()?;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for obs in &engine_obs {
+                for &(e, observed) in obs {
+                    let Some(&p) = pred.get(e) else { continue };
+                    sum += (p - observed).abs();
+                    n += 1;
+                }
+            }
+            (n > 0).then(|| (sum / n as f64, n))
+        };
+        let recalibrated = EstimationModel::calibrate(&f1_samples, &f2_samples, &f3_samples)
+            .ok()
+            .or_else(|| {
+                // Too few distinct (l, t) cells make the Function 1 design
+                // singular: rescale the current F1 to the observed
+                // magnitude and refit only the composition functions.
+                let f2 = PolyModel::fit(&f2_samples, 1).ok()?;
+                let f3 = PolyModel::fit(&f3_samples, 1).ok()?;
+                if f1_samples.is_empty() {
+                    return None;
+                }
+                let observed_mean =
+                    f1_samples.iter().map(|(_, y)| y).sum::<f64>() / f1_samples.len() as f64;
+                let predicted_mean = f1_samples
+                    .iter()
+                    .filter_map(|(x, _)| self.model.f1.predict(x).ok())
+                    .sum::<f64>()
+                    / f1_samples.len() as f64;
+                let scale =
+                    if predicted_mean > 0.0 { observed_mean / predicted_mean } else { 1.0 };
+                let mut f1 = self.model.f1.clone();
+                for c in &mut f1.coefficients {
+                    *c *= scale;
+                }
+                Some(EstimationModel { f1, f2, f3 })
+            });
+        let calibration = recalibrated.and_then(|m| {
+            let (mae_before_ms, samples) = mae(&self.model)?;
+            let (mae_after_ms, _) = mae(&m)?;
+            Some(CalibrationReport { samples, mae_before_ms, mae_after_ms })
+        });
+
+        Some(PlannerDriftReport {
+            engines,
+            imbalance_planned,
+            imbalance_observed,
+            rules,
+            calibration,
+        })
     }
 
     /// Convenience: bootstrap + plan + run with Algorithm 2, returning
@@ -769,6 +1200,105 @@ mod tests {
         for pair in esper.windows(2) {
             assert_eq!(pair[0].at + pair[0].len, pair[1].at, "windows must chain");
         }
+    }
+
+    #[test]
+    fn profiling_run_reports_planner_drift_and_recalibrates() {
+        use std::time::Duration;
+        let (history, seeds) = small_history();
+        let config = SystemConfig {
+            monitor: Some(MonitorConfig {
+                window: Duration::from_millis(250),
+                tracing: true,
+                profiling: true,
+                ..MonitorConfig::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+        let live: Vec<BusTrace> = FleetGenerator::new(FleetConfig::small(17), 1)
+            .unwrap()
+            .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
+            .collect();
+        let (plan, report) = sys.plan_and_run(live, &rules(), 3).unwrap();
+
+        // The plan now carries Algorithm 1's partitions per grouping.
+        assert_eq!(plan.partitions.len(), plan.groupings.len());
+        let planned = plan.planned_engine_rates();
+        assert_eq!(planned.len(), 3);
+        assert!(planned.iter().all(|&r| r > 0.0), "every engine gets load: {planned:?}");
+
+        // Sampled windows carry per-rule profiles.
+        let profiled_windows = report
+            .history
+            .iter()
+            .filter(|w| w.component == "esper" && !w.rules.is_empty())
+            .count();
+        assert!(profiled_windows > 0, "esper windows must carry rule profiles");
+        assert!(
+            report.history.iter().flat_map(|w| &w.rules).any(|r| r.eval.count() > 0),
+            "some window must record eval latencies"
+        );
+        // The lifetime totals carry cumulative profiles too.
+        let total_esper =
+            report.metrics.iter().find(|w| w.component == "esper").expect("esper totals");
+        assert!(!total_esper.rules.is_empty());
+        assert!(total_esper.rules.iter().any(|r| r.threshold_age.is_some()));
+
+        let planner = report.planner.expect("profiling runs produce a planner report");
+        assert_eq!(planner.engines.len(), 3);
+        for e in &planner.engines {
+            assert!(e.planned_rate > 0.0);
+            assert!(e.predicted_latency_ms > 0.0);
+        }
+        assert!(
+            planner.engines.iter().any(|e| e.observed_rate > 0.0),
+            "some engine must observe events"
+        );
+        assert!(planner.imbalance_planned.is_finite() && planner.imbalance_planned >= 1.0);
+        assert!(!planner.rules.is_empty());
+        assert!(planner.rules.iter().any(|r| r.events_in > 0 && r.observed_latency_ms > 0.0));
+        for r in &planner.rules {
+            assert!(r.load.window > 0, "planned load resolved for {}", r.rule);
+        }
+
+        // Online recalibration must beat the offline-shaped default on
+        // this run's own observations.
+        let cal = planner.calibration.as_ref().expect("recalibration succeeds");
+        assert!(cal.samples > 0);
+        assert!(
+            cal.mae_after_ms <= cal.mae_before_ms,
+            "recalibrated MAE {} must not exceed offline MAE {}",
+            cal.mae_after_ms,
+            cal.mae_before_ms
+        );
+
+        // The JSON export is well-formed enough to embed in a snapshot.
+        let json = planner.to_json();
+        for key in [
+            "\"imbalance_planned\":",
+            "\"engines\":[",
+            "\"rules\":[",
+            "\"calibration\":{",
+            "\"mae_before_ms\":",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+    }
+
+    #[test]
+    fn non_profiling_runs_have_no_planner_report() {
+        let (history, seeds) = small_history();
+        let sys =
+            TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, SystemConfig::default())
+                .unwrap();
+        let live: Vec<BusTrace> = FleetGenerator::new(FleetConfig::small(17), 1)
+            .unwrap()
+            .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 8 * HOUR_MS)
+            .collect();
+        let (_, report) = sys.plan_and_run(live, &rules(), 3).unwrap();
+        assert!(report.planner.is_none());
+        assert!(report.metrics.iter().all(|w| w.rules.is_empty()));
     }
 
     #[test]

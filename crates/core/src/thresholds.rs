@@ -22,8 +22,9 @@
 use crate::error::CoreError;
 use crate::rules::RuleSpec;
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 use tms_cep::{Engine, Event, EventType, FieldType, FieldValue, StatementId};
 use tms_storage::{DayType, RemoteDb, ThresholdQuery, ThresholdStore};
 use tms_traffic::EnrichedTrace;
@@ -64,6 +65,10 @@ struct InstalledRule {
     /// Locations this engine monitors for the rule (its partition share).
     monitored: HashSet<String>,
     statements: Vec<StatementId>,
+    /// When this rule's thresholds were last retrieved from the store:
+    /// at install/refresh for snapshot methods, at the latest per-tuple
+    /// lookup for Join-with-Database, `None` for static literals.
+    thresholds_at: Option<Instant>,
 }
 
 /// One Esper-engine task with rules installed under a retrieval method —
@@ -135,6 +140,74 @@ impl RuleEngine {
         self.engine.incremental_enabled()
     }
 
+    /// Per-statement profiling switch for the underlying engine (see
+    /// [`tms_cep::Engine::set_profiling_enabled`]). Off by default;
+    /// re-enabling resets all counters.
+    pub fn set_profiling_enabled(&mut self, enabled: bool) {
+        self.engine.set_profiling_enabled(enabled);
+    }
+
+    /// Whether per-statement profiling is currently enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.engine.profiling_enabled()
+    }
+
+    /// Cumulative per-rule profiles: the engine's per-statement profiles
+    /// aggregated over each installed rule's statements (Multiple-Rules
+    /// installs many statements per rule), tagged with `engine_index` and
+    /// the rule's threshold-staleness age. Empty unless profiling is on.
+    pub fn rule_profiles(&self, engine_index: usize) -> Vec<tms_dsps::RuleProfile> {
+        if !self.engine.profiling_enabled() {
+            return Vec::new();
+        }
+        let by_id: HashMap<StatementId, tms_cep::StatementProfile> =
+            self.engine.profile().into_iter().map(|p| (p.id, p)).collect();
+        self.rules
+            .iter()
+            .map(|r| {
+                let mut out = tms_dsps::RuleProfile {
+                    rule: r.spec.name.clone(),
+                    engine: engine_index,
+                    events_in: 0,
+                    evals: 0,
+                    firings: 0,
+                    rows_out: 0,
+                    eval: tms_dsps::LatencyHistogram::default(),
+                    path_incremental: 0,
+                    path_anchor: 0,
+                    path_rescan: 0,
+                    window_len: 0,
+                    threshold_age: r.thresholds_at.map(|t| t.elapsed()),
+                };
+                for id in &r.statements {
+                    let Some(p) = by_id.get(id) else { continue };
+                    out.events_in += p.events_in;
+                    out.evals += p.evals;
+                    out.firings += p.firings;
+                    out.rows_out += p.rows_out;
+                    out.eval.merge(&tms_dsps::LatencyHistogram::from_parts(
+                        p.eval_ns_buckets,
+                        p.eval_ns_sum,
+                    ));
+                    out.path_incremental += p.path_incremental;
+                    out.path_anchor += p.path_anchor;
+                    out.path_rescan += p.path_rescan;
+                    out.window_len += p.window_len as u64;
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// The staleness stamp a freshly created statement set gets: `None`
+    /// for static literals (nothing was retrieved), now otherwise.
+    fn threshold_stamp(&self) -> Option<Instant> {
+        match self.method {
+            RetrievalMethod::StaticOptimal(_) => None,
+            _ => Some(Instant::now()),
+        }
+    }
+
     /// Installs a rule for the locations this engine was assigned by the
     /// partitioning component.
     pub fn install_rule(
@@ -146,7 +219,13 @@ impl RuleEngine {
         self.ensure_bus_stream(spec)?;
         let monitored: HashSet<String> = monitored.into_iter().collect();
         let statements = self.create_statements(spec, &monitored)?;
-        self.rules.push(InstalledRule { spec: spec.clone(), monitored, statements });
+        let thresholds_at = self.threshold_stamp();
+        self.rules.push(InstalledRule {
+            spec: spec.clone(),
+            monitored,
+            statements,
+            thresholds_at,
+        });
         Ok(())
     }
 
@@ -323,7 +402,8 @@ impl RuleEngine {
         self.rules.clear();
         for (spec, monitored) in rules {
             let statements = self.create_statements(&spec, &monitored)?;
-            self.rules.push(InstalledRule { spec, monitored, statements });
+            let thresholds_at = self.threshold_stamp();
+            self.rules.push(InstalledRule { spec, monitored, statements, thresholds_at });
         }
         Ok(())
     }
@@ -411,6 +491,14 @@ impl RuleEngine {
         for ev in outbox {
             self.engine.send_event(ev)?;
             sent += 1;
+        }
+        if sent > 0 && matches!(self.method, RetrievalMethod::JoinWithDatabase) {
+            // Per-tuple lookups just refreshed every fired rule's view of
+            // the store; the staleness gauge restarts from here.
+            let now = Instant::now();
+            for r in &mut self.rules {
+                r.thresholds_at = Some(now);
+            }
         }
         Ok(sent)
     }
@@ -625,6 +713,60 @@ mod tests {
             matches!(err, Err(CoreError::Storage(tms_storage::StorageError::TableNotFound(_)))),
             "installing a rule without statistics reports the missing table"
         );
+    }
+
+    #[test]
+    fn rule_profiles_aggregate_per_installed_rule() {
+        // MultipleRules installs one statement per (location, hour, day)
+        // cell; the profile must still come back as ONE row per rule.
+        let mut re = RuleEngine::new(RetrievalMethod::MultipleRules, store_with_stats(), None);
+        re.install_rule(&rule(2), monitored()).unwrap();
+        assert!(re.rule_profiles(0).is_empty(), "profiling off ⇒ no profiles");
+        re.set_profiling_enabled(true);
+        assert!(re.profiling_enabled());
+        re.send_trace(&trace(1000, "R1", 150.0)).unwrap();
+        re.send_trace(&trace(2000, "R2", 170.0)).unwrap();
+        let profiles = re.rule_profiles(3);
+        assert_eq!(profiles.len(), 1, "two statements, one rule");
+        let p = &profiles[0];
+        assert_eq!(p.rule, "delay-rule");
+        assert_eq!(p.engine, 3);
+        assert_eq!(p.events_in, 4, "each event reaches both cell statements");
+        assert!(p.evals >= 2, "both statements evaluated, got {}", p.evals);
+        assert_eq!(p.eval.count(), p.evals, "one histogram sample per eval");
+        assert!(p.firings >= 1, "R1 crossed its threshold");
+        assert!(p.eval.sum_ns() > 0);
+    }
+
+    #[test]
+    fn threshold_age_tracks_snapshot_and_lookup_recency() {
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        re.install_rule(&rule(1), monitored()).unwrap();
+        re.set_profiling_enabled(true);
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let age = re.rule_profiles(0)[0].threshold_age.expect("snapshot method has an age");
+        assert!(age >= std::time::Duration::from_millis(10), "age grows: {age:?}");
+        // A refresh re-reads the snapshot and resets the clock.
+        re.refresh_thresholds().unwrap();
+        let refreshed = re.rule_profiles(0)[0].threshold_age.unwrap();
+        assert!(refreshed < age, "refresh resets staleness: {refreshed:?} vs {age:?}");
+
+        // Join-with-Database re-stamps on every tuple that looked up.
+        let mut re =
+            RuleEngine::new(RetrievalMethod::JoinWithDatabase, store_with_stats(), None);
+        re.install_rule(&rule(1), monitored()).unwrap();
+        re.set_profiling_enabled(true);
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        re.send_trace(&trace(1000, "R1", 10.0)).unwrap();
+        let age = re.rule_profiles(0)[0].threshold_age.unwrap();
+        assert!(age < std::time::Duration::from_millis(10), "lookup re-stamped: {age:?}");
+
+        // Static literals never retrieved anything.
+        let mut re =
+            RuleEngine::new(RetrievalMethod::StaticOptimal(50.0), store_with_stats(), None);
+        re.install_rule(&rule(1), monitored()).unwrap();
+        re.set_profiling_enabled(true);
+        assert_eq!(re.rule_profiles(0)[0].threshold_age, None);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use tms_cep::CepError;
 use tms_dsps::{
-    chaos_wrap, Bolt, BoltContext, Emitter, FaultConfig, Grouping, Parallelism, Spout, Topology,
-    TopologyBuilder,
+    chaos_wrap, Bolt, BoltContext, Emitter, FaultConfig, Grouping, Parallelism, RuleProfile,
+    Spout, Topology, TopologyBuilder,
 };
 use tms_geo::{BusStopIndex, RegionQuadtree};
 use tms_storage::{RemoteDb, TableStore, ThresholdStore};
@@ -268,6 +268,36 @@ impl EnginePlan {
     }
 }
 
+/// Shared mailbox where Esper-bolt tasks publish their cumulative
+/// per-rule profiles, keyed by task index. The monitor's profile source
+/// reads [`Self::collect`] each sampling window; a restarted task simply
+/// overwrites its slot (the hub's delta logic tolerates counter resets).
+#[derive(Debug, Default)]
+pub struct EsperProfileRegistry {
+    slots: Mutex<HashMap<usize, Vec<RuleProfile>>>,
+}
+
+impl EsperProfileRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes task `task`'s cumulative profiles, replacing its slot.
+    pub fn publish(&self, task: usize, profiles: Vec<RuleProfile>) {
+        self.slots.lock().insert(task, profiles);
+    }
+
+    /// All published profiles flattened across tasks, ordered by
+    /// `(rule, engine)` so snapshots are deterministic.
+    pub fn collect(&self) -> Vec<RuleProfile> {
+        let mut out: Vec<RuleProfile> =
+            self.slots.lock().values().flatten().cloned().collect();
+        out.sort_by(|a, b| a.rule.cmp(&b.rule).then(a.engine.cmp(&b.engine)));
+        out
+    }
+}
+
 /// The Esper bolt: one [`RuleEngine`] per task, rules installed from the
 /// shared [`EnginePlan`]. Detections are forwarded downstream.
 pub struct EsperBolt {
@@ -277,6 +307,10 @@ pub struct EsperBolt {
     db: Option<RemoteDb>,
     /// Whether the engine's incremental evaluation path is enabled.
     incremental: bool,
+    /// When set, the engine profiles every statement and publishes
+    /// per-rule profiles here after each processed tuple.
+    profiles: Option<Arc<EsperProfileRegistry>>,
+    task_index: usize,
     engine: Option<RuleEngine>,
     /// Install errors surface on the first processed tuple (prepare()
     /// cannot fail in the Bolt contract).
@@ -292,13 +326,29 @@ impl EsperBolt {
         store: ThresholdStore,
         db: Option<RemoteDb>,
     ) -> Self {
-        EsperBolt { plan, method, store, db, incremental: true, engine: None, install_error: None }
+        EsperBolt {
+            plan,
+            method,
+            store,
+            db,
+            incremental: true,
+            profiles: None,
+            task_index: 0,
+            engine: None,
+            install_error: None,
+        }
     }
 
     /// Selects the engine's evaluation mode (incremental by default;
     /// `false` forces full-window rescans — the ablation baseline).
     pub fn with_incremental(mut self, enabled: bool) -> Self {
         self.incremental = enabled;
+        self
+    }
+
+    /// Enables per-rule profiling, publishing into `registry`.
+    pub fn with_profiling(mut self, registry: Arc<EsperProfileRegistry>) -> Self {
+        self.profiles = Some(registry);
         self
     }
 }
@@ -309,6 +359,10 @@ impl Bolt<TrafficMessage> for EsperBolt {
         if let Err(e) = engine.set_incremental_enabled(self.incremental) {
             self.install_error = Some(e.to_string());
         }
+        if self.profiles.is_some() {
+            engine.set_profiling_enabled(true);
+        }
+        self.task_index = ctx.task_index;
         if let Some(rules) = self.plan.per_engine.get(ctx.task_index) {
             for (spec, monitored) in rules {
                 if let Err(e) = engine.install_rule(spec, monitored.iter().cloned()) {
@@ -338,6 +392,10 @@ impl Bolt<TrafficMessage> for EsperBolt {
             let mut sink = sink.lock();
             for d in sink.drain(before..) {
                 emitter.emit(TrafficMessage::Detection(d));
+            }
+            drop(sink);
+            if let Some(registry) = &self.profiles {
+                registry.publish(self.task_index, engine.rule_profiles(self.task_index));
             }
         }
     }
@@ -443,19 +501,22 @@ pub fn build_traffic_topology(
     parallelism: TopologyParallelism,
     incremental: bool,
     chaos: Option<FaultConfig>,
+    profiling: Option<Arc<EsperProfileRegistry>>,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
     let threshold_store = ThresholdStore::new(store.clone());
     let spout_tasks = parallelism.spout_tasks.max(1);
     let esper_factory = move |_: usize| -> Box<dyn Bolt<TrafficMessage>> {
-        Box::new(
-            EsperBolt::new(
-                engine_plan.clone(),
-                method.clone(),
-                threshold_store.clone(),
-                db.clone(),
-            )
-            .with_incremental(incremental),
+        let mut bolt = EsperBolt::new(
+            engine_plan.clone(),
+            method.clone(),
+            threshold_store.clone(),
+            db.clone(),
         )
+        .with_incremental(incremental);
+        if let Some(registry) = &profiling {
+            bolt = bolt.with_profiling(registry.clone());
+        }
+        Box::new(bolt)
     };
     let esper_factory: Box<dyn Fn(usize) -> Box<dyn Bolt<TrafficMessage>> + Send + Sync> =
         match chaos {

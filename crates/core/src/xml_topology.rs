@@ -329,6 +329,7 @@ mod tests {
                 allocation: crate::allocation::Allocation { engines: vec![], scores: vec![] },
                 split_plan: Default::default(),
                 engine_plan: Default::default(),
+                partitions: Vec::new(),
             },
             method: RetrievalMethod::StaticOptimal(1.0),
             store: TableStore::new(),

@@ -59,6 +59,14 @@ pub enum DspsError {
         /// The final panic message.
         reason: String,
     },
+    /// The metrics exposition endpoint could not bind its socket
+    /// ([`MonitorConfig::expose`](crate::metrics::MonitorConfig)).
+    ExpositionBind {
+        /// The requested loopback port (0 = ephemeral).
+        port: u16,
+        /// The OS error text.
+        reason: String,
+    },
     /// XML topology text failed to parse.
     XmlParse {
         /// 1-based line number.
@@ -97,6 +105,9 @@ impl fmt::Display for DspsError {
                     f,
                     "task {component}[{task}] still panicking after {restarts} restarts: {reason}"
                 )
+            }
+            DspsError::ExpositionBind { port, reason } => {
+                write!(f, "failed to bind metrics endpoint on 127.0.0.1:{port}: {reason}")
             }
             DspsError::XmlParse { line, reason } => {
                 write!(f, "XML parse error at line {line}: {reason}")

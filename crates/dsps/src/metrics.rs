@@ -118,8 +118,24 @@ impl LatencyHistogram {
         (n > 0).then(|| Duration::from_nanos(self.sum_ns / n))
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper bound of
-    /// the bucket holding that rank — within 2× of the true value.
+    /// The `q`-quantile (`q` in `[0, 1]`, clamped into that range).
+    ///
+    /// Exact contract: the requested rank is `max(1, ceil(q · count))`,
+    /// and the reported value is the **upper bound** `2^(i+1)` ns of the
+    /// bucket `i` holding that rank — never below the true quantile and
+    /// at most 2× above it (buckets are powers of two). Two edge cases
+    /// follow directly from that contract:
+    ///
+    /// * `q = 0.0` asks for rank 1, so it reports the first non-empty
+    ///   bucket's upper bound — *not* the true minimum sample, which may
+    ///   be up to 2× smaller. There is no minimum tracker; treat the
+    ///   result as a ≤2× overestimate of the minimum.
+    /// * Bucket 0 covers `[1, 2)` ns and sub-nanosecond samples clamp to
+    ///   1 ns on record, so any rank landing in bucket 0 reports 2 ns,
+    ///   even for a `Duration::ZERO` sample.
+    ///
+    /// `q = 1.0` reports the last non-empty bucket's upper bound
+    /// (`2^48` ns ≈ 78 h when everything sits in the final bucket).
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let total = self.count();
         if total == 0 {
@@ -160,12 +176,35 @@ impl LatencyHistogram {
         self.sum_ns += other.sum_ns;
     }
 
-    /// Samples recorded since `last` (per-window delta).
-    fn delta(&self, last: &LatencyHistogram) -> LatencyHistogram {
+    /// Samples recorded since `last` (per-window delta): the exact
+    /// inverse of [`merge`](Self::merge) — `a.merge(&b); a.delta(&b)`
+    /// recovers `a`'s buckets and `sum_ns` bit-for-bit. When `last` is
+    /// not a prefix of `self` (a counter reset, e.g. a restarted task),
+    /// the subtraction saturates at zero instead of underflowing.
+    pub fn delta(&self, last: &LatencyHistogram) -> LatencyHistogram {
         LatencyHistogram {
-            buckets: std::array::from_fn(|i| self.buckets[i] - last.buckets[i]),
-            sum_ns: self.sum_ns - last.sum_ns,
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(last.buckets[i])),
+            sum_ns: self.sum_ns.saturating_sub(last.sum_ns),
         }
+    }
+
+    /// Builds a histogram from raw parts: 48 log₂ bucket counts (bucket
+    /// `i` = samples in `[2^i, 2^(i+1))` ns) plus the exact nanosecond
+    /// sum. This is how externally-collected histograms with the same
+    /// bucket shape (e.g. the CEP engine's per-statement eval profiles)
+    /// enter the metrics pipeline.
+    pub fn from_parts(buckets: [u64; LATENCY_BUCKETS], sum_ns: u64) -> Self {
+        LatencyHistogram { buckets, sum_ns }
+    }
+
+    /// The raw bucket counts (bucket `i` = samples in `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The exact sum of all recorded samples, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
     }
 }
 
@@ -252,6 +291,16 @@ pub struct MonitorConfig {
     /// History entries (one per component per sample) the hub retains;
     /// older windows are evicted ring-buffer style.
     pub retention: usize,
+    /// Opt-in rule-level CEP profiling: per-statement eval-time
+    /// histograms, rates and path counters, sampled into each window's
+    /// [`ComponentWindow::rules`] breakdown. Off by default — with it
+    /// off the engines take no eval timestamps.
+    pub profiling: bool,
+    /// Opt-in metrics exposition: `Some(port)` binds a loopback
+    /// `TcpListener` (port 0 = ephemeral) polled by the monitor thread,
+    /// serving the Prometheus text format on `/metrics` and a JSON
+    /// snapshot on `/json`. `None` (the default) binds nothing.
+    pub expose: Option<u16>,
 }
 
 impl Default for MonitorConfig {
@@ -260,6 +309,8 @@ impl Default for MonitorConfig {
             window: Duration::from_secs(40),
             tracing: false,
             retention: DEFAULT_RETENTION,
+            profiling: false,
+            expose: None,
         }
     }
 }
@@ -305,7 +356,72 @@ pub struct ComponentWindow {
     /// Total capacity of the component's input channels (tracing mode;
     /// zero for spouts, which have no input channel).
     pub queue_capacity: u64,
+    /// Per-rule CEP profiles recorded during the window (profiling mode
+    /// only; empty otherwise). Counters and histograms are window deltas,
+    /// `window_len` and `threshold_age` are gauges read at sample time.
+    pub rules: Vec<RuleProfile>,
 }
+
+/// One rule's (statement's) profile on one engine instance, as carried by
+/// a [`ComponentWindow`]. In window samples the counters and the `eval`
+/// histogram are deltas over the window; in [`MetricsHub::totals`] they
+/// are lifetime cumulatives. `window_len` and `threshold_age` are always
+/// point-in-time gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleProfile {
+    /// The rule (or statement) name.
+    pub rule: String,
+    /// Which engine instance (task index) of the component ran it.
+    pub engine: usize,
+    /// Events routed into the statement's windows.
+    pub events_in: u64,
+    /// Condition evaluations performed.
+    pub evals: u64,
+    /// Evaluations that produced at least one output row (matches).
+    pub firings: u64,
+    /// Output rows produced.
+    pub rows_out: u64,
+    /// Eval wall-time distribution (same 48-bucket log₂ shape as `e2e`).
+    pub eval: LatencyHistogram,
+    /// Evaluations served by the delta-maintained incremental path.
+    pub path_incremental: u64,
+    /// Evaluations served by the anchor fast path.
+    pub path_anchor: u64,
+    /// Evaluations that fell back to a full window rescan.
+    pub path_rescan: u64,
+    /// Events currently buffered across the statement's windows (gauge).
+    pub window_len: u64,
+    /// Age of the thresholds the rule is currently using (Section 4.3.1),
+    /// if the rule is dynamic and has fetched thresholds at least once.
+    pub threshold_age: Option<Duration>,
+}
+
+impl RuleProfile {
+    /// Counters and histogram recorded since `last` (per-window delta);
+    /// gauges pass through unchanged. Saturates at zero if a counter went
+    /// backwards (a restarted engine).
+    fn delta(&self, last: &RuleProfile) -> RuleProfile {
+        RuleProfile {
+            rule: self.rule.clone(),
+            engine: self.engine,
+            events_in: self.events_in.saturating_sub(last.events_in),
+            evals: self.evals.saturating_sub(last.evals),
+            firings: self.firings.saturating_sub(last.firings),
+            rows_out: self.rows_out.saturating_sub(last.rows_out),
+            eval: self.eval.delta(&last.eval),
+            path_incremental: self.path_incremental.saturating_sub(last.path_incremental),
+            path_anchor: self.path_anchor.saturating_sub(last.path_anchor),
+            path_rescan: self.path_rescan.saturating_sub(last.path_rescan),
+            window_len: self.window_len,
+            threshold_age: self.threshold_age,
+        }
+    }
+}
+
+/// A callback the hub polls at sample time for a component's current
+/// *cumulative* per-rule profiles (the hub computes window deltas itself).
+/// Registered by engine-hosting bolts once their engines exist.
+pub type ProfileSource = Arc<dyn Fn() -> Vec<RuleProfile> + Send + Sync>;
 
 /// The counter values a window is computed from.
 #[derive(Debug, Default, Clone)]
@@ -386,6 +502,7 @@ impl Snapshot {
             queue_depth: 0,
             queue_depth_max: 0,
             queue_capacity: 0,
+            rules: Vec::new(),
         }
     }
 }
@@ -408,12 +525,30 @@ struct QueueGauge {
     capacity: u64,
 }
 
+/// One registered [`ProfileSource`] plus the last cumulative profiles seen
+/// from it, keyed by `(rule, engine)`, for window-delta computation.
+struct ProfileEntry {
+    component: String,
+    source: ProfileSource,
+    last: BTreeMap<(String, usize), RuleProfile>,
+}
+
+impl std::fmt::Debug for ProfileEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileEntry")
+            .field("component", &self.component)
+            .field("last", &self.last)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The Nimbus-side collector.
 #[derive(Debug)]
 pub struct MetricsHub {
     started: Instant,
     tasks: Mutex<Vec<TaskEntry>>,
     queues: Mutex<Vec<QueueGauge>>,
+    profiles: Mutex<Vec<ProfileEntry>>,
     history: Mutex<VecDeque<ComponentWindow>>,
     retention: usize,
     /// End of the previous sample — the next window's start.
@@ -425,6 +560,9 @@ impl Default for MetricsHub {
         Self::new()
     }
 }
+
+/// One Prometheus counter family: (metric name, help text, field reader).
+type MetricSpec<T> = (&'static str, &'static str, fn(&T) -> u64);
 
 impl MetricsHub {
     /// Creates an empty hub with the default history retention.
@@ -438,6 +576,7 @@ impl MetricsHub {
             started: Instant::now(),
             tasks: Mutex::new(Vec::new()),
             queues: Mutex::new(Vec::new()),
+            profiles: Mutex::new(Vec::new()),
             history: Mutex::new(VecDeque::new()),
             retention: retention.max(1),
             last_end: Mutex::new(Duration::ZERO),
@@ -464,6 +603,45 @@ impl MetricsHub {
             depth,
             capacity: capacity as u64,
         });
+    }
+
+    /// Registers a per-rule profile source under its component name
+    /// (profiling mode). The source is polled at every sample for the
+    /// component's cumulative profiles; the hub turns them into window
+    /// deltas. One component may register several sources (one per
+    /// engine-hosting task).
+    pub fn register_profile_source(&self, component: &str, source: ProfileSource) {
+        self.profiles.lock().push(ProfileEntry {
+            component: component.to_string(),
+            source,
+            last: BTreeMap::new(),
+        });
+    }
+
+    /// Polls every profile source and returns per-component rule profiles.
+    /// With `deltas` set, counters are per-window deltas and each entry's
+    /// `last` state advances; otherwise cumulative profiles are returned
+    /// and no state changes.
+    fn rule_profiles(&self, deltas: bool) -> BTreeMap<String, Vec<RuleProfile>> {
+        let mut out: BTreeMap<String, Vec<RuleProfile>> = BTreeMap::new();
+        for entry in self.profiles.lock().iter_mut() {
+            let current = (entry.source)();
+            let dest = out.entry(entry.component.clone()).or_default();
+            for p in current {
+                let key = (p.rule.clone(), p.engine);
+                if deltas {
+                    let windowed = match entry.last.get(&key) {
+                        Some(last) => p.delta(last),
+                        None => p.clone(),
+                    };
+                    entry.last.insert(key, p);
+                    dest.push(windowed);
+                } else {
+                    dest.push(p);
+                }
+            }
+        }
+        out
     }
 
     /// Per-component `(depth sum, depth max, capacity sum)` right now.
@@ -501,6 +679,7 @@ impl MetricsHub {
         };
         let len = now.saturating_sub(at);
         let gauges = self.queue_gauges();
+        let mut rules = self.rule_profiles(true);
         let mut tasks = self.tasks.lock();
         let mut per_component: BTreeMap<String, Snapshot> = BTreeMap::new();
         for t in tasks.iter_mut() {
@@ -517,6 +696,9 @@ impl MetricsHub {
                     w.queue_depth = depth;
                     w.queue_depth_max = max;
                     w.queue_capacity = cap;
+                }
+                if let Some(r) = rules.remove(&w.component) {
+                    w.rules = r;
                 }
                 w
             })
@@ -539,6 +721,7 @@ impl MetricsHub {
     pub fn totals(&self) -> Vec<ComponentWindow> {
         let len = self.started.elapsed();
         let gauges = self.queue_gauges();
+        let mut rules = self.rule_profiles(false);
         let tasks = self.tasks.lock();
         let mut per_component: BTreeMap<String, Snapshot> = BTreeMap::new();
         for t in tasks.iter() {
@@ -556,10 +739,274 @@ impl MetricsHub {
                     w.queue_depth_max = max;
                     w.queue_capacity = cap;
                 }
+                if let Some(r) = rules.remove(&w.component) {
+                    w.rules = r;
+                }
                 w
             })
             .collect()
     }
+
+    /// Renders the current lifetime totals in the Prometheus text
+    /// exposition format (version 0.0.4), dependency-free. Histograms
+    /// follow the cumulative `_bucket`/`_sum`/`_count` contract with
+    /// `le` upper bounds in seconds; only non-empty buckets plus `+Inf`
+    /// are emitted.
+    pub fn render_prometheus(&self) -> String {
+        let totals = self.totals();
+        let mut out = String::with_capacity(4096);
+
+        let counters: [MetricSpec<ComponentWindow>; 7] = [
+            ("tms_processed_total", "Tuples processed", |w| w.throughput),
+            ("tms_emitted_total", "Tuples emitted downstream", |w| w.emitted),
+            ("tms_dropped_total", "Deliveries lost in transit", |w| w.dropped),
+            ("tms_acked_total", "Spout roots fully acked", |w| w.acked),
+            ("tms_failed_total", "Spout roots abandoned after exhausting replays", |w| {
+                w.failed
+            }),
+            ("tms_replayed_total", "Replays emitted after ack timeouts", |w| w.replayed),
+            ("tms_restarted_total", "Supervised task restarts after panics", |w| w.restarted),
+        ];
+        for (name, help, read) in counters {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for w in &totals {
+                out.push_str(&format!(
+                    "{name}{{component=\"{}\"}} {}\n",
+                    escape_label(&w.component),
+                    read(w)
+                ));
+            }
+        }
+
+        out.push_str(
+            "# HELP tms_queue_depth Tuples buffered in the component's input channels\n\
+             # TYPE tms_queue_depth gauge\n",
+        );
+        for w in &totals {
+            out.push_str(&format!(
+                "tms_queue_depth{{component=\"{}\"}} {}\n",
+                escape_label(&w.component),
+                w.queue_depth
+            ));
+        }
+        out.push_str(
+            "# HELP tms_queue_capacity Total capacity of the component's input channels\n\
+             # TYPE tms_queue_capacity gauge\n",
+        );
+        for w in &totals {
+            out.push_str(&format!(
+                "tms_queue_capacity{{component=\"{}\"}} {}\n",
+                escape_label(&w.component),
+                w.queue_capacity
+            ));
+        }
+
+        out.push_str(
+            "# HELP tms_e2e_latency_seconds End-to-end tuple completion latency\n\
+             # TYPE tms_e2e_latency_seconds histogram\n",
+        );
+        for w in &totals {
+            if !w.e2e.is_empty() {
+                let labels = format!("component=\"{}\"", escape_label(&w.component));
+                render_histogram(&mut out, "tms_e2e_latency_seconds", &labels, &w.e2e);
+            }
+        }
+
+        let rule_counters: [MetricSpec<RuleProfile>; 7] = [
+            ("tms_rule_events_in_total", "Events routed into the rule's windows", |r| {
+                r.events_in
+            }),
+            ("tms_rule_evals_total", "Condition evaluations performed", |r| r.evals),
+            ("tms_rule_firings_total", "Evaluations that produced output rows", |r| r.firings),
+            ("tms_rule_rows_out_total", "Output rows produced", |r| r.rows_out),
+            ("tms_rule_path_incremental_total", "Evals on the incremental path", |r| {
+                r.path_incremental
+            }),
+            ("tms_rule_path_anchor_total", "Evals on the anchor fast path", |r| r.path_anchor),
+            ("tms_rule_path_rescan_total", "Evals that fell back to a full rescan", |r| {
+                r.path_rescan
+            }),
+        ];
+        for (name, help, read) in rule_counters {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for w in &totals {
+                for r in &w.rules {
+                    out.push_str(&format!(
+                        "{name}{{component=\"{}\",rule=\"{}\",engine=\"{}\"}} {}\n",
+                        escape_label(&w.component),
+                        escape_label(&r.rule),
+                        r.engine,
+                        read(r)
+                    ));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP tms_rule_window_events Events buffered in the rule's windows\n\
+             # TYPE tms_rule_window_events gauge\n",
+        );
+        for w in &totals {
+            for r in &w.rules {
+                out.push_str(&format!(
+                    "tms_rule_window_events{{component=\"{}\",rule=\"{}\",engine=\"{}\"}} {}\n",
+                    escape_label(&w.component),
+                    escape_label(&r.rule),
+                    r.engine,
+                    r.window_len
+                ));
+            }
+        }
+        out.push_str(
+            "# HELP tms_rule_threshold_age_seconds Age of the thresholds the rule is using\n\
+             # TYPE tms_rule_threshold_age_seconds gauge\n",
+        );
+        for w in &totals {
+            for r in &w.rules {
+                if let Some(age) = r.threshold_age {
+                    out.push_str(&format!(
+                        "tms_rule_threshold_age_seconds{{component=\"{}\",rule=\"{}\",engine=\"{}\"}} {}\n",
+                        escape_label(&w.component),
+                        escape_label(&r.rule),
+                        r.engine,
+                        age.as_secs_f64()
+                    ));
+                }
+            }
+        }
+        out.push_str(
+            "# HELP tms_rule_eval_seconds Rule condition evaluation wall time\n\
+             # TYPE tms_rule_eval_seconds histogram\n",
+        );
+        for w in &totals {
+            for r in &w.rules {
+                if !r.eval.is_empty() {
+                    let labels = format!(
+                        "component=\"{}\",rule=\"{}\",engine=\"{}\"",
+                        escape_label(&w.component),
+                        escape_label(&r.rule),
+                        r.engine
+                    );
+                    render_histogram(&mut out, "tms_rule_eval_seconds", &labels, &r.eval);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the current lifetime totals as a JSON snapshot (one object
+    /// per component, rule profiles nested), dependency-free.
+    pub fn render_json(&self) -> String {
+        let totals = self.totals();
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"uptime_s\":");
+        out.push_str(&format!("{:.3}", self.started.elapsed().as_secs_f64()));
+        out.push_str(",\"components\":[");
+        for (i, w) in totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"component\":{},\"processed\":{},\"emitted\":{},\"avg_latency_ns\":{},\
+                 \"dropped\":{},\"acked\":{},\"failed\":{},\"replayed\":{},\"restarted\":{},\
+                 \"queue_depth\":{},\"queue_depth_max\":{},\"queue_capacity\":{},\
+                 \"e2e\":{},\"rules\":[",
+                json_string(&w.component),
+                w.throughput,
+                w.emitted,
+                w.avg_latency.map_or(0, |d| d.as_nanos()),
+                w.dropped,
+                w.acked,
+                w.failed,
+                w.replayed,
+                w.restarted,
+                w.queue_depth,
+                w.queue_depth_max,
+                w.queue_capacity,
+                json_histogram(&w.e2e),
+            ));
+            for (j, r) in w.rules.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"rule\":{},\"engine\":{},\"events_in\":{},\"evals\":{},\
+                     \"firings\":{},\"rows_out\":{},\"path_incremental\":{},\
+                     \"path_anchor\":{},\"path_rescan\":{},\"window_events\":{},\
+                     \"threshold_age_s\":{},\"eval\":{}}}",
+                    json_string(&r.rule),
+                    r.engine,
+                    r.events_in,
+                    r.evals,
+                    r.firings,
+                    r.rows_out,
+                    r.path_incremental,
+                    r.path_anchor,
+                    r.path_rescan,
+                    r.window_len,
+                    r.threshold_age.map_or("null".to_string(), |d| format!("{:.3}", d.as_secs_f64())),
+                    json_histogram(&r.eval),
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders a quoted JSON string with backslash/quote/control escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a histogram as a compact JSON object: count, exact nanosecond
+/// sum, and the non-empty log₂ buckets as `[bucket_index, count]` pairs.
+fn json_histogram(h: &LatencyHistogram) -> String {
+    let pairs: Vec<String> = h
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| format!("[{i},{n}]"))
+        .collect();
+    format!("{{\"count\":{},\"sum_ns\":{},\"log2_buckets\":[{}]}}", h.count(), h.sum_ns(), pairs.join(","))
+}
+
+/// Appends one Prometheus histogram (cumulative `_bucket` lines for the
+/// non-empty buckets, `+Inf`, `_sum`, `_count`) with `le` bounds in
+/// seconds.
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &LatencyHistogram) {
+    let mut cum = 0u64;
+    for (i, &n) in h.buckets().iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        let le = (1u128 << (i + 1)) as f64 / 1e9;
+        out.push_str(&format!("{name}_bucket{{{labels},le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{{labels},le=\"+Inf\"}} {cum}\n"));
+    out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum_ns() as f64 / 1e9));
+    out.push_str(&format!("{name}_count{{{labels}}} {cum}\n"));
 }
 
 #[cfg(test)]
@@ -810,5 +1257,290 @@ mod tests {
         // Gauges, not deltas: an unchanged depth reads the same next window.
         let w2 = hub.sample();
         assert_eq!(w2.iter().find(|c| c.component == "sink").unwrap().queue_depth, 13);
+    }
+
+    #[test]
+    fn quantile_boundary_q0_reports_first_nonempty_bucket_upper_bound() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(700)); // bucket 9: [512, 1024) ns
+        h.record(Duration::from_millis(3));
+        // q=0 is rank 1 — the bucket upper bound, NOT the true minimum.
+        assert_eq!(h.quantile(0.0), Some(Duration::from_nanos(1024)));
+    }
+
+    #[test]
+    fn quantile_boundary_q1_reports_last_nonempty_bucket_upper_bound() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(3)); // bucket 1: [2, 4) ns
+        h.record(Duration::from_nanos(700)); // bucket 9
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(1024)));
+    }
+
+    #[test]
+    fn quantile_boundary_single_sample_every_q_reports_its_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(5)); // bucket 2: [4, 8) ns
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(Duration::from_nanos(8)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_boundary_sub_ns_samples_report_2ns() {
+        // Duration::ZERO clamps to 1 ns on record, landing in bucket 0
+        // which covers [1, 2) ns — its upper bound is 2 ns.
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile(0.0), Some(Duration::from_nanos(2)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(2)));
+    }
+
+    #[test]
+    fn quantile_boundary_all_in_last_bucket() {
+        // Samples beyond 2^47 ns clamp into the final bucket, whose upper
+        // bound is 2^48 ns (~78 h).
+        let mut h = LatencyHistogram::default();
+        for _ in 0..3 {
+            h.record(Duration::from_secs(60 * 60 * 24 * 365));
+        }
+        let top = Duration::from_nanos(1u64 << LATENCY_BUCKETS);
+        assert_eq!(h.quantile(0.0), Some(top));
+        assert_eq!(h.quantile(0.5), Some(top));
+        assert_eq!(h.quantile(1.0), Some(top));
+    }
+
+    #[test]
+    fn rule_profiles_window_as_deltas_and_total_as_cumulative() {
+        let hub = MetricsHub::new();
+        hub.register_task("esper");
+        let state = Arc::new(Mutex::new(RuleProfile {
+            rule: "speeding".into(),
+            engine: 0,
+            events_in: 10,
+            evals: 10,
+            firings: 4,
+            rows_out: 4,
+            eval: {
+                let mut h = LatencyHistogram::default();
+                h.record(Duration::from_micros(2));
+                h
+            },
+            path_incremental: 10,
+            path_anchor: 0,
+            path_rescan: 0,
+            window_len: 7,
+            threshold_age: Some(Duration::from_secs(30)),
+        }));
+        let src = state.clone();
+        hub.register_profile_source("esper", Arc::new(move || vec![src.lock().clone()]));
+
+        let w1 = hub.sample();
+        let r1 = &w1[0].rules[0];
+        assert_eq!((r1.events_in, r1.evals, r1.firings), (10, 10, 4));
+        assert_eq!(r1.eval.count(), 1);
+        assert_eq!(r1.window_len, 7);
+        assert_eq!(r1.threshold_age, Some(Duration::from_secs(30)));
+
+        // Advance the cumulative profile; the next window carries deltas,
+        // gauges pass through.
+        {
+            let mut p = state.lock();
+            p.events_in = 25;
+            p.evals = 25;
+            p.firings = 6;
+            p.rows_out = 6;
+            p.eval.record(Duration::from_micros(8));
+            p.path_incremental = 25;
+            p.window_len = 3;
+            p.threshold_age = Some(Duration::from_secs(70));
+        }
+        let w2 = hub.sample();
+        let r2 = &w2[0].rules[0];
+        assert_eq!((r2.events_in, r2.evals, r2.firings, r2.rows_out), (15, 15, 2, 2));
+        assert_eq!(r2.eval.count(), 1, "only the fresh eval sample");
+        assert_eq!(r2.path_incremental, 15);
+        assert_eq!(r2.window_len, 3, "gauge, not a delta");
+        assert_eq!(r2.threshold_age, Some(Duration::from_secs(70)));
+
+        // Totals stay cumulative and don't disturb the delta state.
+        let t = hub.totals();
+        assert_eq!(t[0].rules[0].events_in, 25);
+        assert_eq!(t[0].rules[0].eval.count(), 2);
+        let w3 = hub.sample();
+        assert_eq!(w3[0].rules[0].events_in, 0, "no new events since w2");
+    }
+
+    #[test]
+    fn rule_profiles_tolerate_counter_resets() {
+        let hub = MetricsHub::new();
+        hub.register_task("esper");
+        let counter = Arc::new(AtomicU64::new(100));
+        let c = counter.clone();
+        hub.register_profile_source(
+            "esper",
+            Arc::new(move || {
+                vec![RuleProfile {
+                    rule: "r".into(),
+                    engine: 0,
+                    events_in: c.load(Ordering::Relaxed),
+                    evals: 0,
+                    firings: 0,
+                    rows_out: 0,
+                    eval: LatencyHistogram::default(),
+                    path_incremental: 0,
+                    path_anchor: 0,
+                    path_rescan: 0,
+                    window_len: 0,
+                    threshold_age: None,
+                }]
+            }),
+        );
+        hub.sample();
+        counter.store(5, Ordering::Relaxed); // engine restarted, counters reset
+        let w = hub.sample();
+        assert_eq!(w[0].rules[0].events_in, 0, "saturates instead of underflowing");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_correct_histogram_semantics() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("esper");
+        c.record(Duration::from_millis(1));
+        c.record_emit();
+        c.record_completion(Duration::from_nanos(3)); // bucket 1, le = 4e-9
+        c.record_completion(Duration::from_nanos(3));
+        c.record_completion(Duration::from_nanos(700)); // bucket 9, le = 1.024e-6
+        let text = hub.render_prometheus();
+        assert!(text.contains("# TYPE tms_processed_total counter"), "{text}");
+        assert!(text.contains("tms_processed_total{component=\"esper\"} 1"), "{text}");
+        assert!(text.contains("tms_emitted_total{component=\"esper\"} 1"), "{text}");
+        // Cumulative buckets: 2 at le=4ns, 3 at le=1024ns, 3 at +Inf.
+        assert!(text.contains("tms_e2e_latency_seconds_bucket{component=\"esper\",le=\"0.000000004\"} 2"), "{text}");
+        assert!(
+            text.contains("tms_e2e_latency_seconds_bucket{component=\"esper\",le=\"0.000001024\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("tms_e2e_latency_seconds_bucket{component=\"esper\",le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("tms_e2e_latency_seconds_count{component=\"esper\"} 3"), "{text}");
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("tms_e2e_latency_seconds_sum{component=\"esper\"}"))
+            .unwrap();
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((sum - 706e-9).abs() < 1e-12, "{sum_line}");
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_rule_profiles_and_escapes_labels() {
+        let hub = MetricsHub::new();
+        hub.register_task("esper");
+        hub.register_profile_source(
+            "esper",
+            Arc::new(|| {
+                vec![RuleProfile {
+                    rule: "rule \"q\"".into(),
+                    engine: 2,
+                    events_in: 9,
+                    evals: 9,
+                    firings: 1,
+                    rows_out: 1,
+                    eval: {
+                        let mut h = LatencyHistogram::default();
+                        h.record(Duration::from_nanos(5));
+                        h
+                    },
+                    path_incremental: 9,
+                    path_anchor: 0,
+                    path_rescan: 0,
+                    window_len: 4,
+                    threshold_age: Some(Duration::from_secs(12)),
+                }]
+            }),
+        );
+        let text = hub.render_prometheus();
+        assert!(
+            text.contains(
+                "tms_rule_events_in_total{component=\"esper\",rule=\"rule \\\"q\\\"\",engine=\"2\"} 9"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("tms_rule_window_events{component=\"esper\",rule=\"rule \\\"q\\\"\",engine=\"2\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "tms_rule_threshold_age_seconds{component=\"esper\",rule=\"rule \\\"q\\\"\",engine=\"2\"} 12"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "tms_rule_eval_seconds_bucket{component=\"esper\",rule=\"rule \\\"q\\\"\",engine=\"2\",le=\"+Inf\"} 1"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let hub = MetricsHub::new();
+        let c = hub.register_task("esper");
+        c.record(Duration::from_millis(1));
+        hub.register_profile_source(
+            "esper",
+            Arc::new(|| {
+                vec![RuleProfile {
+                    rule: "a \"b\"\\c".into(),
+                    engine: 0,
+                    events_in: 1,
+                    evals: 1,
+                    firings: 0,
+                    rows_out: 0,
+                    eval: LatencyHistogram::default(),
+                    path_incremental: 0,
+                    path_anchor: 1,
+                    path_rescan: 0,
+                    window_len: 1,
+                    threshold_age: None,
+                }]
+            }),
+        );
+        let json = hub.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"components\":["), "{json}");
+        assert!(json.contains("\"rule\":\"a \\\"b\\\"\\\\c\""), "{json}");
+        assert!(json.contains("\"threshold_age_s\":null"), "{json}");
+        assert!(json.contains("\"path_anchor\":1"), "{json}");
+    }
+
+    proptest::proptest! {
+        /// Satellite: merge then delta round-trips exactly. For random
+        /// sample sets `a` and `b`: `(a ∪ b).delta(b) == a` bucket-for-
+        /// bucket and on `sum_ns`.
+        #[test]
+        fn merge_delta_round_trip(
+            // Up to 2^50 ns per sample (well past the 2^47 top-bucket
+            // clamp) × 64 samples stays clear of sum_ns overflow.
+            a_ns in proptest::collection::vec(0u64..(1u64 << 50), 0..64),
+            b_ns in proptest::collection::vec(0u64..(1u64 << 50), 0..64),
+        ) {
+            let mut a = LatencyHistogram::default();
+            for &ns in &a_ns {
+                a.record(Duration::from_nanos(ns));
+            }
+            let mut b = LatencyHistogram::default();
+            for &ns in &b_ns {
+                b.record(Duration::from_nanos(ns));
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            proptest::prop_assert_eq!(merged.count(), a.count() + b.count());
+            let recovered = merged.delta(&b);
+            proptest::prop_assert_eq!(&recovered, &a);
+            proptest::prop_assert_eq!(recovered.sum_ns(), a.sum_ns());
+            // And symmetrically for the other operand.
+            proptest::prop_assert_eq!(&merged.delta(&a), &b);
+        }
     }
 }

@@ -588,6 +588,25 @@ impl LocalCluster {
             }
         }
 
+        // ---- Scrape endpoint (opt-in) -------------------------------------
+        // Bound here (not in the monitor thread) so the caller learns the
+        // actual address — port 0 asks the OS for an ephemeral port. The
+        // listener is nonblocking and *owned* by the monitor thread, which
+        // polls it between sleep steps; dropping it there at shutdown
+        // closes the socket.
+        let scrape_listener = match config.monitor.and_then(|mc| mc.expose) {
+            Some(port) => {
+                let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+                    .map_err(|e| DspsError::ExpositionBind { port, reason: e.to_string() })?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| DspsError::ExpositionBind { port, reason: e.to_string() })?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let scrape_addr = scrape_listener.as_ref().and_then(|l| l.local_addr().ok());
+
         // ---- Monitor thread -----------------------------------------------
         let monitor_thread = config.monitor.map(|mc| {
             let metrics = metrics.clone();
@@ -606,11 +625,15 @@ impl LocalCluster {
                         if done.load(Ordering::Relaxed) {
                             break 'sampling;
                         }
+                        if let Some(listener) = &scrape_listener {
+                            serve_scrapes(listener, &metrics);
+                        }
                         let now = Instant::now();
                         if now >= deadline {
                             break;
                         }
-                        // Sleep in small steps so shutdown is prompt.
+                        // Sleep in small steps so shutdown is prompt and
+                        // scrape requests wait at most one step.
                         std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
                     }
                     metrics.sample();
@@ -619,10 +642,59 @@ impl LocalCluster {
                 // less than a full period, so per-window throughput must not
                 // be compared 1:1 against full windows.
                 metrics.flush_sample();
+                // `scrape_listener` drops here: the endpoint closes with
+                // the monitor, after the final flush.
+                drop(scrape_listener);
             })
         });
 
-        Ok(TopologyHandle { threads, monitor_thread, metrics, assignment, done })
+        Ok(TopologyHandle { threads, monitor_thread, metrics, assignment, done, scrape_addr })
+    }
+}
+
+/// Accepts and answers every scrape connection currently queued on the
+/// (nonblocking) listener. `GET /metrics` returns the Prometheus text
+/// format, `GET /json` (or `/`) the JSON snapshot; anything else is 404.
+/// One short-lived blocking read/write per connection with a hard timeout
+/// so a stalled scraper cannot wedge the monitor thread.
+fn serve_scrapes(listener: &std::net::TcpListener, metrics: &MetricsHub) {
+    use std::io::{Read, Write};
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        // Read until the end of the request head (or timeout/cap); only
+        // the request line matters.
+        let mut buf = Vec::with_capacity(512);
+        let mut chunk = [0u8; 512];
+        while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let head = String::from_utf8_lossy(&buf);
+        let path = head.split_whitespace().nth(1).unwrap_or("");
+        let (status, content_type, body) = match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", metrics.render_prometheus())
+            }
+            "/json" | "/" => ("200 OK", "application/json", metrics.render_json()),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found; try /metrics or /json\n".into()),
+        };
+        let _ = stream.write_all(
+            format!(
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
     }
 }
 
@@ -1009,12 +1081,21 @@ pub struct TopologyHandle {
     metrics: Arc<MetricsHub>,
     assignment: Assignment,
     done: Arc<AtomicBool>,
+    scrape_addr: Option<std::net::SocketAddr>,
 }
 
 impl TopologyHandle {
     /// The Nimbus-side metrics hub.
     pub fn metrics(&self) -> &Arc<MetricsHub> {
         &self.metrics
+    }
+
+    /// Where the metrics exposition endpoint is listening, when
+    /// [`MonitorConfig::expose`] asked for one — with port 0 this is the
+    /// OS-assigned ephemeral port. The endpoint serves until the topology
+    /// is joined.
+    pub fn scrape_addr(&self) -> Option<std::net::SocketAddr> {
+        self.scrape_addr
     }
 
     /// The executor placement the scheduler computed.

@@ -123,6 +123,12 @@ pub struct MonitorSpec {
     pub tracing: bool,
     /// Sampled windows retained per run before the oldest are evicted.
     pub retention: usize,
+    /// Enable per-rule CEP profiling (eval-time histograms, path
+    /// counters, threshold-staleness gauges in every sampled window).
+    pub profiling: bool,
+    /// Expose a Prometheus/JSON scrape endpoint on this loopback port
+    /// (`0` = ephemeral); `None` binds nothing.
+    pub expose: Option<u16>,
 }
 
 impl Default for MonitorSpec {
@@ -132,6 +138,8 @@ impl Default for MonitorSpec {
             window_ms: mc.window.as_millis() as u64,
             tracing: mc.tracing,
             retention: mc.retention,
+            profiling: mc.profiling,
+            expose: mc.expose,
         }
     }
 }
@@ -140,6 +148,11 @@ impl MonitorSpec {
     /// A tracing-enabled spec with the given sampling window.
     pub fn traced(window_ms: u64) -> Self {
         MonitorSpec { window_ms, tracing: true, ..MonitorSpec::default() }
+    }
+
+    /// A tracing + profiling spec with the given sampling window.
+    pub fn profiled(window_ms: u64) -> Self {
+        MonitorSpec { window_ms, tracing: true, profiling: true, ..MonitorSpec::default() }
     }
 
     /// Validates the window and retention budget.
@@ -159,6 +172,8 @@ impl MonitorSpec {
             window: Duration::from_millis(self.window_ms),
             tracing: self.tracing,
             retention: self.retention,
+            profiling: self.profiling,
+            expose: self.expose,
         }
     }
 }
@@ -219,6 +234,14 @@ mod tests {
         assert_eq!(mc.window, Duration::from_millis(500));
         assert!(mc.tracing);
         assert_eq!(mc.retention, MonitorConfig::default().retention);
+        assert!(!mc.profiling, "profiling stays opt-in under plain tracing");
+        assert_eq!(mc.expose, None, "the scrape endpoint stays opt-in");
+
+        let profiled = MonitorSpec::profiled(500);
+        profiled.validate().unwrap();
+        let mc = profiled.monitor_config();
+        assert!(mc.tracing && mc.profiling);
+        assert_eq!(mc.expose, None);
 
         let mut bad = MonitorSpec::default();
         bad.window_ms = 0;

@@ -13,4 +13,9 @@ cargo test -p tms-dsps --test reliability
 # completion histograms in both delivery modes, queue gauges under
 # backlog, and prompt monitor shutdown (see crates/dsps/tests/observability.rs).
 cargo test -p tms-dsps --test observability
+# The profiling suite is the profiler/exposition layer's acceptance bar:
+# profile sources flowing into sampled windows as deltas, and the loopback
+# scrape endpoint serving Prometheus text + JSON mid-run
+# (see crates/dsps/tests/profiling.rs).
+cargo test -p tms-dsps --test profiling
 cargo clippy --workspace -- -D warnings
