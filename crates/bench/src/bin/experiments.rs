@@ -428,6 +428,129 @@ fn bench_snapshot() {
     std::fs::write("BENCH_cep_throughput.json", json)
         .expect("writing BENCH_cep_throughput.json");
     println!("(wrote BENCH_cep_throughput.json)");
+    dsps_snapshot();
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane throughput snapshot (BENCH_dsps_throughput.json)
+// ---------------------------------------------------------------------------
+
+/// Source tuples/second through a 1-spout → 4-sink topology, one row per
+/// grouping × delivery mode × reliability setting. The all-grouping rows
+/// are the headline: broadcast amplifies every emission 4×, so per-edge
+/// buffering and `Arc`-shared fan-out pay off most there. Best-of-three
+/// wall-clock runs; results land in `BENCH_dsps_throughput.json` at the
+/// repository root.
+fn dsps_snapshot() {
+    use std::time::Duration;
+    use tms_dsps::runtime::{BatchConfig, LocalCluster, ReliabilityConfig, RuntimeConfig};
+    use tms_dsps::scheduler::ClusterSpec;
+    use tms_dsps::topology::{Parallelism, TopologyBuilder};
+    use tms_dsps::{Bolt, Emitter, Grouping, Spout};
+
+    const TUPLES: u64 = 20_000;
+
+    #[derive(Clone)]
+    struct Msg {
+        key: u64,
+        value: u64,
+    }
+    struct RangeSpout {
+        next: u64,
+        end: u64,
+    }
+    impl Spout<Msg> for RangeSpout {
+        fn next(&mut self) -> Option<Msg> {
+            if self.next >= self.end {
+                return None;
+            }
+            let v = self.next;
+            self.next += 1;
+            Some(Msg { key: v % 13, value: v })
+        }
+    }
+    struct NullSink;
+    impl Bolt<Msg> for NullSink {
+        fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+            std::hint::black_box(msg.value);
+        }
+    }
+
+    let grouping = |name: &str| -> Grouping<Msg> {
+        match name {
+            "shuffle" => Grouping::Shuffle,
+            "fields" => Grouping::fields_hashed(|m: &Msg| m.key),
+            "all" => Grouping::All,
+            other => unreachable!("unknown grouping {other}"),
+        }
+    };
+    let run = |g: &str, reliable: bool, batch: Option<BatchConfig>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = TopologyBuilder::new("bench")
+                .add_spout("src", Parallelism::of(1), |_| {
+                    Box::new(RangeSpout { next: 0, end: TUPLES })
+                })
+                .add_bolt("sink", Parallelism::of(4), vec![("src", grouping(g))], |_| {
+                    Box::new(NullSink)
+                })
+                .build()
+                .unwrap();
+            let cluster = LocalCluster::new(ClusterSpec {
+                nodes: 2,
+                slots_per_node: 2,
+                cores_per_node: 4,
+            })
+            .unwrap();
+            let cfg = RuntimeConfig {
+                batch,
+                reliability: reliable.then(ReliabilityConfig::default),
+                ..RuntimeConfig::default()
+            };
+            let t0 = std::time::Instant::now();
+            cluster.submit(t, cfg).unwrap().join().unwrap();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        TUPLES as f64 / best
+    };
+
+    println!("\n== Bench snapshot: data-plane throughput (source tuples/sec) ==");
+    let batch = BatchConfig { max_batch: 128, max_linger: Duration::from_millis(1) };
+    let mut rows = String::new();
+    let mut all_speedup = 0.0;
+    for g in ["shuffle", "fields", "all"] {
+        for (rel_name, reliable) in [("at_most_once", false), ("at_least_once", true)] {
+            let per_tuple = run(g, reliable, None);
+            let batched = run(g, reliable, Some(batch));
+            let speedup = batched / per_tuple;
+            if g == "all" && !reliable {
+                all_speedup = speedup;
+            }
+            println!(
+                "  {g:>7}/{rel_name:<13} per_tuple {:>9} t/s, batched {:>9} t/s ({speedup:.2}x)",
+                format_num(per_tuple),
+                format_num(batched)
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{ \"grouping\": \"{g}\", \"reliability\": \"{rel_name}\", \
+                 \"per_tuple_tuples_per_sec\": {per_tuple:.1}, \
+                 \"batched_tuples_per_sec\": {batched:.1}, \"speedup\": {speedup:.2} }}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"dsps_data_plane_throughput\",\n  \
+         \"workload\": \"1 spout task -> 4 sink tasks, {TUPLES} source tuples, \
+         best of 3 runs; batched = max_batch 128 / max_linger 1ms\",\n  \
+         \"rows\": [\n{rows}\n  ],\n  \
+         \"all_grouping_at_most_once_speedup\": {all_speedup:.2}\n}}\n"
+    );
+    std::fs::write("BENCH_dsps_throughput.json", json)
+        .expect("writing BENCH_dsps_throughput.json");
+    println!("(wrote BENCH_dsps_throughput.json)");
 }
 
 /// Events/sec through a bare CEP engine running one grouped avg+stddev

@@ -16,7 +16,7 @@ use crate::topology::{
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use tms_dsps::runtime::{ReliabilityConfig, RuntimeConfig};
+use tms_dsps::runtime::{BatchConfig, ReliabilityConfig, RuntimeConfig};
 use tms_dsps::scheduler::{Assignment, ClusterSpec};
 use tms_dsps::{FaultConfig, LocalCluster, MonitorConfig};
 use tms_geo::GeoPoint;
@@ -56,6 +56,9 @@ pub struct SystemConfig {
     /// Fault injection: wraps the Esper bolts in chaos wrappers and arms
     /// transport drops. `None` (the default) injects nothing.
     pub chaos: Option<FaultConfig>,
+    /// Data-plane micro-batching for the live topology. `None` (the
+    /// default) keeps per-tuple delivery.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for SystemConfig {
@@ -70,6 +73,7 @@ impl Default for SystemConfig {
             incremental: true,
             reliability: None,
             chaos: None,
+            batch: None,
         }
     }
 }
@@ -587,6 +591,7 @@ impl TrafficSystem {
                 monitor: self.config.monitor,
                 reliability: self.config.reliability,
                 fault: self.config.chaos,
+                batch: self.config.batch,
                 ..RuntimeConfig::default()
             },
         )?;
@@ -1110,6 +1115,61 @@ mod tests {
         assert_eq!(stored, report.detections.len());
         // Metrics cover the esper component.
         assert!(report.metrics.iter().any(|m| m.component == "esper" && m.throughput > 0));
+    }
+
+    #[test]
+    fn batched_run_detects_exactly_what_the_per_tuple_run_detects() {
+        use std::time::Duration;
+        // The same bootstrap artifacts, live traffic and rules, run once
+        // per delivery mode: micro-batching may only change when tuples
+        // move, so the detection sets must match exactly.
+        let (history, seeds) = small_history();
+        let cfg = FleetConfig::small(17);
+        let probe = FleetGenerator::new(cfg.clone(), 1).unwrap();
+        let center = probe.routes()[0].points[probe.routes()[0].points.len() / 2];
+        let incident = tms_traffic::Incident {
+            center,
+            radius_m: 1500.0,
+            start_ms: tms_traffic::DAY_MS + 7 * HOUR_MS,
+            end_ms: tms_traffic::DAY_MS + 9 * HOUR_MS,
+            severity: 0.03,
+        };
+        let live: Vec<BusTrace> = FleetGenerator::with_incidents(cfg, 1, vec![incident])
+            .unwrap()
+            .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
+            .collect();
+
+        // One bootstrap shared by both runs: the offline stats job merges
+        // float moments in task-completion order, so two bootstraps differ
+        // in the last ulp of the thresholds — enough to flip borderline
+        // detections regardless of delivery mode. Single-task stages keep
+        // the merge order (and hence the windowed averages) deterministic.
+        let parallelism = TopologyParallelism {
+            spout_tasks: 1,
+            preprocess_tasks: 1,
+            tracker_tasks: 1,
+            splitter_tasks: 1,
+            esper_tasks: 1,
+        };
+        let config = SystemConfig { parallelism, ..SystemConfig::default() };
+        let mut sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+        let run = |sys: &TrafficSystem| {
+            let (_, report) = sys.plan_and_run(live.clone(), &rules(), 1).unwrap();
+            let mut detections = report.detections;
+            detections.sort_by(|a, b| {
+                (&a.rule, &a.location, a.timestamp_ms)
+                    .cmp(&(&b.rule, &b.location, b.timestamp_ms))
+            });
+            detections
+        };
+        let per_tuple = run(&sys);
+        sys.config.batch = Some(tms_dsps::BatchConfig {
+            max_batch: 32,
+            max_linger: Duration::from_millis(1),
+        });
+        let batched = run(&sys);
+        assert!(!per_tuple.is_empty(), "the incident must trigger detections");
+        assert_eq!(batched, per_tuple, "batching must not change what the system detects");
     }
 
     #[test]

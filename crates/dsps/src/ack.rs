@@ -70,6 +70,36 @@ impl Acker {
         }
     }
 
+    /// Applies many (root, combined-id) pairs under a single lock
+    /// acquisition — the batched data plane's amortization of the acker.
+    /// Each pair's id may itself be the XOR of several delivery ids for
+    /// that root (XOR is associative, so folding ids before the call is
+    /// equivalent to applying them one by one; it can only *skip* transient
+    /// intermediate accumulator states, never invent a spurious zero).
+    /// Completion notifications are sent after the lock is released.
+    pub fn xor_batch(&self, pairs: &[(u64, u64)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut completed: Vec<(usize, u64)> = Vec::new();
+        {
+            let mut entries = self.entries.lock();
+            for &(root, id) in pairs {
+                if let Some(e) = entries.get_mut(&root) {
+                    e.xor ^= id;
+                    if e.xor == 0 {
+                        let e = entries.remove(&root).expect("entry just accessed");
+                        completed.push((e.spout, root));
+                    }
+                }
+            }
+        }
+        let done = Instant::now();
+        for (spout, root) in completed {
+            let _ = self.completions[spout].send((root, done));
+        }
+    }
+
     /// Completes the root if nothing was ever registered under it — the
     /// spout emitted into a topology with no matching route, so there is
     /// no tree to wait for. Also catches a tree that fully completed
@@ -147,6 +177,23 @@ mod tests {
         a.register(5, 0);
         a.seal(5); // nothing was ever sent
         assert_eq!(root_of(rx.try_recv()), Some(5));
+    }
+
+    #[test]
+    fn xor_batch_matches_sequential_application() {
+        let (a, rx) = acker();
+        a.register(1, 0);
+        a.register(2, 0);
+        // Root 1: two deliveries produced then acked as one combined value;
+        // root 2: one delivery produced, acked in the same batch call.
+        a.xor_batch(&[(1, 10 ^ 11), (2, 20)]);
+        a.seal(1);
+        a.seal(2);
+        assert!(rx.try_recv().is_err(), "both trees still pending");
+        a.xor_batch(&[(1, 10 ^ 11), (2, 20), (999, 5)]); // unknown root ignored
+        assert_eq!(root_of(rx.try_recv()), Some(1));
+        assert_eq!(root_of(rx.try_recv()), Some(2));
+        assert_eq!(a.in_flight(), 0);
     }
 
     #[test]

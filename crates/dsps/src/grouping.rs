@@ -32,6 +32,18 @@ impl<T> Grouping<T> {
     pub fn fields(key: impl Fn(&T) -> u64 + Send + Sync + 'static) -> Self {
         Grouping::Fields(Arc::new(key))
     }
+
+    /// Fields grouping that hashes the extracted key with a precomputed
+    /// [`KeyHasher`]: the hasher state is built once when the grouping is
+    /// declared and cloned per tuple, instead of re-running
+    /// `DefaultHasher::new()`'s initialization on every emission. Produces
+    /// exactly the same task assignment as `Grouping::fields(|m| hash_key(..))`.
+    pub fn fields_hashed<K: std::hash::Hash>(
+        extract: impl Fn(&T) -> K + Send + Sync + 'static,
+    ) -> Self {
+        let hasher = KeyHasher::new();
+        Grouping::Fields(Arc::new(move |msg| hasher.hash(&extract(msg))))
+    }
 }
 
 impl<T> fmt::Debug for Grouping<T> {
@@ -47,11 +59,44 @@ impl<T> fmt::Debug for Grouping<T> {
 }
 
 /// Hashes an arbitrary `Hash` key for [`Grouping::fields`].
+///
+/// Builds a fresh `DefaultHasher` per call; on per-tuple hot paths prefer
+/// [`KeyHasher`] (or [`Grouping::fields_hashed`]), which clones a
+/// precomputed hasher state and yields identical values.
 pub fn hash_key<K: std::hash::Hash>(key: &K) -> u64 {
     use std::hash::{DefaultHasher, Hasher};
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
     h.finish()
+}
+
+/// Reusable SipHash state for fields grouping: constructed once, cloned
+/// per key. An unkeyed `DefaultHasher` always starts from the same state,
+/// so a clone of this prototype hashes identically to a fresh
+/// `DefaultHasher::new()` — verified by `key_hasher_matches_hash_key`.
+#[derive(Clone, Debug)]
+pub struct KeyHasher {
+    proto: std::hash::DefaultHasher,
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyHasher {
+    pub fn new() -> Self {
+        KeyHasher { proto: std::hash::DefaultHasher::new() }
+    }
+
+    /// Hashes `key` from the precomputed prototype state; `hash_key`-compatible.
+    pub fn hash<K: std::hash::Hash>(&self, key: &K) -> u64 {
+        use std::hash::Hasher;
+        let mut h = self.proto.clone();
+        key.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -64,6 +109,27 @@ mod tests {
         let Grouping::Fields(f) = &g else { panic!() };
         assert_eq!(f(&"R1".to_string()), f(&"R1".to_string()));
         assert_ne!(f(&"R1".to_string()), f(&"R2".to_string()));
+    }
+
+    #[test]
+    fn key_hasher_matches_hash_key() {
+        let kh = KeyHasher::new();
+        for key in ["R1", "R2", "a-much-longer-route-identifier", ""] {
+            assert_eq!(kh.hash(&key), hash_key(&key));
+        }
+        for key in [0u64, 1, 7, u64::MAX] {
+            assert_eq!(kh.hash(&key), hash_key(&key));
+        }
+    }
+
+    #[test]
+    fn fields_hashed_matches_fields_with_hash_key() {
+        let fast: Grouping<String> = Grouping::fields_hashed(|s: &String| s.clone());
+        let slow: Grouping<String> = Grouping::fields(|s: &String| hash_key(s));
+        let (Grouping::Fields(f), Grouping::Fields(g)) = (&fast, &slow) else { panic!() };
+        for s in ["line-72", "line-9", "depot"] {
+            assert_eq!(f(&s.to_string()), g(&s.to_string()));
+        }
     }
 
     #[test]

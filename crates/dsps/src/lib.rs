@@ -45,11 +45,13 @@ pub mod xml;
 
 pub use error::DspsError;
 pub use fault::{chaos_wrap, ChaosBolt, FaultConfig};
-pub use grouping::Grouping;
+pub use grouping::{Grouping, KeyHasher};
 pub use metrics::{
     AtomicHistogram, ComponentWindow, LatencyHistogram, MetricsHub, MonitorConfig, ProfileSource,
     RuleProfile,
 };
-pub use runtime::{Emitter, LocalCluster, ReliabilityConfig, RuntimeConfig, TopologyHandle};
+pub use runtime::{
+    BatchConfig, Emitter, LocalCluster, ReliabilityConfig, RuntimeConfig, TopologyHandle,
+};
 pub use topology::{Bolt, BoltContext, Parallelism, Spout, Topology, TopologyBuilder};
 pub use xml::{parse_topology_xml, TopologySpec};

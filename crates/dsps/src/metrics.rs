@@ -221,6 +221,10 @@ pub struct TaskCounters {
     /// Deliveries lost in transit: sends to a closed channel (the
     /// receiving task died) plus injected fault drops.
     pub dropped: AtomicU64,
+    /// Direct emissions whose target task index was out of range for the
+    /// edge: a routing bug in the emitting bolt (the delivery is dropped
+    /// on that edge instead of aliasing onto `task % count`).
+    pub misrouted: AtomicU64,
     /// Spout roots whose whole tuple tree completed (at-least-once mode).
     pub acked: AtomicU64,
     /// Spout roots abandoned after exhausting their replay budget.
@@ -251,6 +255,11 @@ impl TaskCounters {
     /// Records one delivery lost in transit.
     pub fn record_dropped(&self) {
         self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one out-of-range direct emission.
+    pub fn record_misrouted(&self) {
+        self.misrouted.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one fully-acked spout root.
@@ -337,6 +346,8 @@ pub struct ComponentWindow {
     pub emitted: u64,
     /// Deliveries lost in transit (closed channels, injected drops).
     pub dropped: u64,
+    /// Direct emissions to an out-of-range task index (dropped, counted).
+    pub misrouted: u64,
     /// Spout roots fully acked (at-least-once mode).
     pub acked: u64,
     /// Spout roots abandoned after exhausting replays.
@@ -430,6 +441,7 @@ struct Snapshot {
     emitted: u64,
     busy_ns: u64,
     dropped: u64,
+    misrouted: u64,
     acked: u64,
     failed: u64,
     replayed: u64,
@@ -444,6 +456,7 @@ impl Snapshot {
             emitted: counters.emitted.load(Ordering::Relaxed),
             busy_ns: counters.busy_ns.load(Ordering::Relaxed),
             dropped: counters.dropped.load(Ordering::Relaxed),
+            misrouted: counters.misrouted.load(Ordering::Relaxed),
             acked: counters.acked.load(Ordering::Relaxed),
             failed: counters.failed.load(Ordering::Relaxed),
             replayed: counters.replayed.load(Ordering::Relaxed),
@@ -458,6 +471,7 @@ impl Snapshot {
             emitted: self.emitted - last.emitted,
             busy_ns: self.busy_ns - last.busy_ns,
             dropped: self.dropped - last.dropped,
+            misrouted: self.misrouted - last.misrouted,
             acked: self.acked - last.acked,
             failed: self.failed - last.failed,
             replayed: self.replayed - last.replayed,
@@ -471,6 +485,7 @@ impl Snapshot {
         self.emitted += other.emitted;
         self.busy_ns += other.busy_ns;
         self.dropped += other.dropped;
+        self.misrouted += other.misrouted;
         self.acked += other.acked;
         self.failed += other.failed;
         self.replayed += other.replayed;
@@ -494,6 +509,7 @@ impl Snapshot {
             avg_latency: self.busy_ns.checked_div(self.processed).map(Duration::from_nanos),
             emitted: self.emitted,
             dropped: self.dropped,
+            misrouted: self.misrouted,
             acked: self.acked,
             failed: self.failed,
             replayed: self.replayed,
@@ -756,10 +772,13 @@ impl MetricsHub {
         let totals = self.totals();
         let mut out = String::with_capacity(4096);
 
-        let counters: [MetricSpec<ComponentWindow>; 7] = [
+        let counters: [MetricSpec<ComponentWindow>; 8] = [
             ("tms_processed_total", "Tuples processed", |w| w.throughput),
             ("tms_emitted_total", "Tuples emitted downstream", |w| w.emitted),
             ("tms_dropped_total", "Deliveries lost in transit", |w| w.dropped),
+            ("tms_misrouted_total", "Direct emissions to an out-of-range task index", |w| {
+                w.misrouted
+            }),
             ("tms_acked_total", "Spout roots fully acked", |w| w.acked),
             ("tms_failed_total", "Spout roots abandoned after exhausting replays", |w| {
                 w.failed
@@ -907,7 +926,8 @@ impl MetricsHub {
             }
             out.push_str(&format!(
                 "{{\"component\":{},\"processed\":{},\"emitted\":{},\"avg_latency_ns\":{},\
-                 \"dropped\":{},\"acked\":{},\"failed\":{},\"replayed\":{},\"restarted\":{},\
+                 \"dropped\":{},\"misrouted\":{},\"acked\":{},\"failed\":{},\"replayed\":{},\
+                 \"restarted\":{},\
                  \"queue_depth\":{},\"queue_depth_max\":{},\"queue_capacity\":{},\
                  \"e2e\":{},\"rules\":[",
                 json_string(&w.component),
@@ -915,6 +935,7 @@ impl MetricsHub {
                 w.emitted,
                 w.avg_latency.map_or(0, |d| d.as_nanos()),
                 w.dropped,
+                w.misrouted,
                 w.acked,
                 w.failed,
                 w.replayed,

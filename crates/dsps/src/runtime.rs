@@ -63,9 +63,28 @@ fn mix_id(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A delivery's payload: owned for single-target sends, `Arc`-shared for
+/// fan-out (`All` grouping, multi-edge emits) so a broadcast to N tasks
+/// costs N refcount bumps instead of N deep clones. The consuming bolt
+/// takes ownership at its boundary via [`Payload::into_owned`]:
+/// clone-on-write, and the last receiver unwraps the `Arc` for free.
+enum Payload<T> {
+    Owned(T),
+    Shared(Arc<T>),
+}
+
+impl<T: Clone> Payload<T> {
+    fn into_owned(self) -> T {
+        match self {
+            Payload::Owned(t) => t,
+            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
 /// One delivery: the message plus its reliability lineage.
 struct Envelope<T> {
-    msg: T,
+    msg: Payload<T>,
     /// This delivery's id, registered with the acker (0 when untracked).
     tid: u64,
     /// Spout roots this delivery descends from (empty when untracked).
@@ -77,9 +96,11 @@ struct Envelope<T> {
     t0: Option<Instant>,
 }
 
-/// A message or an end-of-stream marker.
+/// A message, a micro-batch of messages, or an end-of-stream marker.
 enum Packet<T> {
     Data(Envelope<T>),
+    /// Deliveries that accumulated in one edge buffer ([`BatchConfig`]).
+    Batch(Vec<Envelope<T>>),
     Eos,
 }
 
@@ -89,10 +110,13 @@ pub trait Emitter<T> {
     fn emit(&mut self, msg: T);
 
     /// Emits on *direct*-grouped edges only, to the task with the given
-    /// index (modulo the downstream task count). Non-direct edges ignore
-    /// direct emissions — mixing disciplines on one component is an
-    /// authoring error the validator cannot see, so we keep the semantics
-    /// strict and simple.
+    /// index. An out-of-range index is a routing bug in the emitting bolt:
+    /// the delivery is counted under the `misrouted` metric and dropped on
+    /// that edge (it used to alias onto `task % count`, silently handing
+    /// the tuple to another task). Non-direct edges ignore direct
+    /// emissions — mixing disciplines on one component is an authoring
+    /// error the validator cannot see, so we keep the semantics strict
+    /// and simple.
     fn emit_direct(&mut self, task: usize, msg: T);
 }
 
@@ -125,11 +149,23 @@ struct TaskEmitter<T> {
     drop_fault: Option<(f64, StdRng)>,
     /// Scratch for resolved (route, task) targets, reused across emits.
     targets: Vec<(usize, usize)>,
+    /// Scratch for the fan-out delivery ids minted per emit.
+    tids: Vec<u64>,
+    /// Scratch for per-root combined XOR registrations per emit.
+    xor_scratch: Vec<(u64, u64)>,
     /// Per-tuple tracing enabled: stamp envelopes and bump queue gauges.
     tracing: bool,
     /// Root emit time to stamp on outgoing envelopes (tracing +
     /// at-most-once only); inherited from the input being processed.
     t0: Option<Instant>,
+    /// Micro-batching parameters; `None` = the per-tuple data plane.
+    batch: Option<BatchConfig>,
+    /// Per-(route, task) edge buffers, `buffers[ri][ti]`; allocated only
+    /// when batching is on.
+    buffers: Vec<Vec<Vec<Envelope<T>>>>,
+    /// When the oldest currently-buffered tuple entered a buffer; `None`
+    /// while every buffer is empty. Drives the `max_linger` flush clock.
+    buffered_since: Option<Instant>,
 }
 
 impl<T> TaskEmitter<T> {
@@ -141,19 +177,83 @@ impl<T> TaskEmitter<T> {
     }
 
     fn send_eos(&mut self) {
+        // No tuple may be stranded behind an EOS marker: the buffers drain
+        // before the markers go out (covers spout exhaustion, `finish`
+        // emissions and the failure-path EOS sweeps alike).
+        self.flush_all();
         for route in &mut self.routes {
             for s in &route.senders {
                 let _ = s.send(Packet::Eos);
             }
         }
     }
+
+    /// Sends one edge buffer as a [`Packet::Batch`]. Queue-depth gauges
+    /// and the dropped counter stay *tuple*-granular: a batch of n that
+    /// enters (or misses) a channel accounts for n tuples.
+    fn flush_edge(&mut self, ri: usize, ti: usize) {
+        let buf = &mut self.buffers[ri][ti];
+        if buf.is_empty() {
+            return;
+        }
+        let n = buf.len();
+        let batch = std::mem::take(buf);
+        if self.routes[ri].senders[ti].send(Packet::Batch(batch)).is_err() {
+            // The receiving task died: every tuple of the batch is lost.
+            for _ in 0..n {
+                self.counters.record_dropped();
+            }
+        } else if self.tracing {
+            self.routes[ri].depths[ti].fetch_add(n as i64, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes every edge buffer (no-op when nothing is buffered).
+    fn flush_all(&mut self) {
+        if self.buffered_since.take().is_none() {
+            return;
+        }
+        for ri in 0..self.routes.len() {
+            for ti in 0..self.routes[ri].senders.len() {
+                self.flush_edge(ri, ti);
+            }
+        }
+    }
+
+    /// Flushes all buffers once the oldest buffered tuple has lingered
+    /// past `max_linger`. Executor loop turns and spout idle ticks call
+    /// this — the flush clock needs no extra threads.
+    fn flush_if_expired(&mut self, now: Instant) {
+        if let (Some(b), Some(since)) = (self.batch, self.buffered_since) {
+            if now.saturating_duration_since(since) >= b.max_linger {
+                self.flush_all();
+            }
+        }
+    }
+
+    /// The instant by which the executor must next service the linger
+    /// clock; `None` when nothing is buffered.
+    fn next_flush_deadline(&self) -> Option<Instant> {
+        match (self.batch, self.buffered_since) {
+            (Some(b), Some(since)) => Some(since + b.max_linger),
+            _ => None,
+        }
+    }
 }
 
 impl<T: Clone> TaskEmitter<T> {
-    /// Delivers `msg` to every target resolved into `self.targets`. The
-    /// message moves into the final send; only earlier fan-out sends
-    /// clone. A single-subscriber edge — the common topology — therefore
-    /// never clones at all.
+    /// Delivers `msg` to every target resolved into `self.targets`.
+    ///
+    /// A single-subscriber edge — the common topology — moves the message
+    /// without cloning. Fan-out (`All` grouping, multiple edges) wraps it
+    /// in an `Arc` once, so every extra target is a refcount bump.
+    ///
+    /// All delivery ids are minted and registered with the acker *before*
+    /// anything is sent (or buffered): the whole fan-out folds into one
+    /// combined XOR per root applied under a single acker lock. Since
+    /// registration precedes buffering, a batched output can never trail
+    /// its input's ack, and a spout's `seal` directly after `emit` stays
+    /// correct even while its outputs sit in edge buffers.
     fn dispatch(&mut self, msg: T) {
         if self.targets.is_empty() {
             // Nothing routed (terminal bolt, or direct emit without a
@@ -163,31 +263,52 @@ impl<T: Clone> TaskEmitter<T> {
         self.counters.record_emit();
         let n = self.targets.len();
         let targets = std::mem::take(&mut self.targets);
-        let mut msg = Some(msg);
-        for (i, &(ri, ti)) in targets.iter().enumerate() {
-            let payload = if i + 1 == n {
-                msg.take().expect("message moved before final send")
-            } else {
-                msg.as_ref().expect("message moved before final send").clone()
-            };
-            self.send_one(ri, ti, payload);
+        let tracked = self.acker.is_some() && !self.anchors.is_empty();
+        self.tids.clear();
+        if tracked {
+            let mut combined = 0u64;
+            for _ in 0..n {
+                let tid = self.next_id();
+                combined ^= tid;
+                self.tids.push(tid);
+            }
+            self.xor_scratch.clear();
+            for &root in &self.anchors {
+                self.xor_scratch.push((root, combined));
+            }
+            let acker = self.acker.as_ref().expect("tracked implies acker");
+            acker.xor_batch(&self.xor_scratch);
+        } else {
+            self.tids.resize(n, 0);
+        }
+        if n == 1 {
+            let (ri, ti) = targets[0];
+            let tid = self.tids[0];
+            self.send_one(ri, ti, Payload::Owned(msg), tid);
+        } else {
+            let mut shared = Some(Arc::new(msg));
+            for (i, &(ri, ti)) in targets.iter().enumerate() {
+                let payload = if i + 1 == n {
+                    Payload::Shared(shared.take().expect("arc moved before final send"))
+                } else {
+                    Payload::Shared(shared.as_ref().expect("arc moved before final send").clone())
+                };
+                let tid = self.tids[i];
+                self.send_one(ri, ti, payload, tid);
+            }
         }
         self.targets = targets; // hand the scratch buffer back
     }
 
-    /// Sends one delivery, registering it with the acker first (so the
-    /// tree cannot complete before the receiver has seen it) and applying
-    /// transport fault injection after (so an injected loss looks exactly
-    /// like a network drop the replay machinery must heal).
-    fn send_one(&mut self, ri: usize, ti: usize, msg: T) {
-        let tracked = self.acker.is_some() && !self.anchors.is_empty();
-        let tid = if tracked { self.next_id() } else { 0 };
-        if tracked {
-            let acker = self.acker.as_ref().expect("tracked implies acker");
-            for &root in &self.anchors {
-                acker.xor(root, tid);
-            }
-        }
+    /// Sends (or buffers) one delivery whose id `dispatch` already
+    /// registered with the acker. Transport fault injection applies here,
+    /// after registration — an injected loss looks exactly like a network
+    /// drop the replay machinery must heal, and chaos drops act on
+    /// individual tuples even when batching is on.
+    fn send_one(&mut self, ri: usize, ti: usize, msg: Payload<T>, tid: u64) {
+        // `mix_id` is a bijection and raw ids start at 1, so 0 is minted
+        // exactly for untracked deliveries.
+        let tracked = tid != 0;
         if let Some((p, rng)) = &mut self.drop_fault {
             if rng.random_bool(*p) {
                 self.counters.record_dropped();
@@ -196,13 +317,29 @@ impl<T: Clone> TaskEmitter<T> {
         }
         let roots = if tracked { self.anchors.clone() } else { Vec::new() };
         let envelope = Envelope { msg, tid, roots, t0: self.t0 };
-        if self.routes[ri].senders[ti].send(Packet::Data(envelope)).is_err() {
-            // The receiving task died (its channel tore down): the
-            // delivery is lost — count it instead of vanishing silently.
-            self.counters.record_dropped();
-        } else if self.tracing {
-            // Only deliveries that actually entered the channel occupy it.
-            self.routes[ri].depths[ti].fetch_add(1, Ordering::Relaxed);
+        match self.batch {
+            None => {
+                if self.routes[ri].senders[ti].send(Packet::Data(envelope)).is_err() {
+                    // The receiving task died (its channel tore down): the
+                    // delivery is lost — count it instead of vanishing
+                    // silently.
+                    self.counters.record_dropped();
+                } else if self.tracing {
+                    // Only deliveries that actually entered the channel
+                    // occupy it.
+                    self.routes[ri].depths[ti].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Some(b) => {
+                if self.buffered_since.is_none() {
+                    self.buffered_since = Some(Instant::now());
+                }
+                let buf = &mut self.buffers[ri][ti];
+                buf.push(envelope);
+                if buf.len() >= b.max_batch.max(1) {
+                    self.flush_edge(ri, ti);
+                }
+            }
         }
     }
 }
@@ -242,10 +379,23 @@ impl<T: Clone> Emitter<T> for TaskEmitter<T> {
 
     fn emit_direct(&mut self, task: usize, msg: T) {
         self.targets.clear();
+        let mut misrouted = 0u64;
         for (ri, route) in self.routes.iter().enumerate() {
             if matches!(route.grouping, Grouping::Direct) && !route.senders.is_empty() {
-                self.targets.push((ri, task % route.senders.len()));
+                if task < route.senders.len() {
+                    self.targets.push((ri, task));
+                } else {
+                    // Out-of-range target: a routing bug in the emitting
+                    // bolt. The old `task % len` wraparound silently handed
+                    // the tuple to another task (another Esper engine's
+                    // partition in the splitter topology) — count it and
+                    // drop the delivery on this edge instead.
+                    misrouted += 1;
+                }
             }
+        }
+        for _ in 0..misrouted {
+            self.counters.record_misrouted();
         }
         self.dispatch(msg);
     }
@@ -281,6 +431,37 @@ impl Default for ReliabilityConfig {
     }
 }
 
+/// Micro-batching parameters for the data plane, opt-in via
+/// [`RuntimeConfig::batch`].
+///
+/// When set, every emitter accumulates deliveries in per-(route, task)
+/// edge buffers and ships them as one [`Packet::Batch`], amortizing the
+/// per-delivery channel send, acker lock and wakeup. A buffer flushes
+///
+/// * when it reaches `max_batch` tuples,
+/// * when its oldest buffered tuple has waited `max_linger` (the flush
+///   clock is driven by spout idle ticks and executor loop turns — no
+///   extra threads), and
+/// * unconditionally before any EOS marker (spout exhaustion, `finish`,
+///   failure paths), so no tuple is ever stranded.
+///
+/// Semantics are unchanged from the per-tuple data plane: same tuples in
+/// the same per-edge order, tuple-granular metrics, and full composition
+/// with reliability, tracing, chaos and profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Tuples per edge buffer before a size flush (≥ 1; 0 behaves as 1).
+    pub max_batch: usize,
+    /// Longest a tuple may wait in an edge buffer before a flush.
+    pub max_linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { max_batch: 128, max_linger: Duration::from_millis(1) }
+    }
+}
+
 /// Runtime configuration for [`LocalCluster::submit`].
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeConfig {
@@ -298,6 +479,9 @@ pub struct RuntimeConfig {
     /// latency injection wrap individual bolts via
     /// [`chaos_wrap`](crate::fault::chaos_wrap) instead.
     pub fault: Option<FaultConfig>,
+    /// Micro-batched data plane; `None` keeps today's per-tuple sends
+    /// byte-for-byte.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -308,6 +492,7 @@ impl Default for RuntimeConfig {
             monitor: None,
             reliability: None,
             fault: None,
+            batch: None,
         }
     }
 }
@@ -375,7 +560,7 @@ impl LocalCluster {
     }
 
     /// Submits a topology and starts executing it on real threads.
-    pub fn submit<T: Clone + Send + 'static>(
+    pub fn submit<T: Clone + Send + Sync + 'static>(
         &self,
         topology: Topology<T>,
         config: RuntimeConfig,
@@ -479,9 +664,21 @@ impl LocalCluster {
             }
             routes
         };
+        let batch = config.batch;
         let make_emitter = |source: &str, global: usize, counters: Arc<TaskCounters>| {
+            let routes = make_routes(source);
+            // Edge buffers only exist on the batched data plane; sized to
+            // the route fan-out so `buffers[ri][ti]` mirrors `senders`.
+            let buffers = if batch.is_some() {
+                routes
+                    .iter()
+                    .map(|r| (0..r.senders.len()).map(|_| Vec::new()).collect())
+                    .collect()
+            } else {
+                Vec::new()
+            };
             TaskEmitter {
-                routes: make_routes(source),
+                routes,
                 counters,
                 acker: acker.clone(),
                 id_hi: (global as u64) << ID_SEQ_BITS,
@@ -491,8 +688,13 @@ impl LocalCluster {
                     .filter(|f| f.drop_p > 0.0)
                     .map(|f| (f.drop_p, f.rng_for(global as u64 | (1 << 48)))),
                 targets: Vec::new(),
+                tids: Vec::new(),
+                xor_scratch: Vec::new(),
                 tracing,
                 t0: None,
+                batch,
+                buffers,
+                buffered_since: None,
             }
         };
 
@@ -710,7 +912,7 @@ fn next_window_deadline(elapsed: Duration, window: Duration) -> Duration {
 /// Drives one spout executor: round-robins its tasks, each pulling from
 /// its source, draining acker completions and replaying timed-out trees
 /// until the source is exhausted *and* every in-flight tuple resolved.
-fn run_spout_executor<T: Clone + Send>(
+fn run_spout_executor<T: Clone + Send + Sync>(
     mut tasks: Vec<SpoutTask<T>>,
     task_ids: Vec<usize>,
     component: String,
@@ -850,6 +1052,12 @@ fn run_spout_executor<T: Clone + Send>(
                 finished += 1;
                 progressed = true;
             }
+            // 5. Linger clock: ship batched edges whose oldest tuple has
+            //    waited out `max_linger`. Loop turns and the idle tick
+            //    below bound the flush granularity to ~1ms.
+            if !t.eos_sent {
+                t.emitter.flush_if_expired(Instant::now());
+            }
         }
         if !progressed {
             // Only waiting on acks: don't spin.
@@ -878,7 +1086,7 @@ fn run_spout_executor<T: Clone + Send>(
 /// Drives one bolt executor: consumes each task's input channel, acks
 /// processed tuples, supervises panics (restarting the task from its
 /// factory when reliability allows) and terminates on EOS quorum.
-fn run_bolt_executor<T: Clone + Send>(
+fn run_bolt_executor<T: Clone + Send + Sync>(
     mut tasks: Vec<BoltTask<T>>,
     component: String,
     expected: usize,
@@ -895,6 +1103,8 @@ fn run_bolt_executor<T: Clone + Send>(
     let single = tasks.len() == 1;
     let mut remaining = tasks.len();
     let mut failure: Option<DspsError> = None;
+    // Per-batch (root, combined-id) ack accumulation, reused across batches.
+    let mut acks: Vec<(u64, u64)> = Vec::new();
     'outer: while remaining > 0 {
         let mut progressed = false;
         for t in tasks.iter_mut() {
@@ -902,12 +1112,15 @@ fn run_bolt_executor<T: Clone + Send>(
                 continue;
             }
             // Single-task executors block on their channel (the common
-            // 1:1 configuration); shared executors poll their tasks
-            // pseudo-parallelly.
+            // 1:1 configuration); shared executors drain their tasks
+            // pseudo-parallelly and block on a select below when every
+            // channel runs dry.
             let budget = 64;
             for step in 0..budget {
                 let packet = if single && step == 0 {
-                    match t.rx.recv_timeout(Duration::from_millis(50)) {
+                    // Block, but wake in time to service the linger clock
+                    // when this task's own output buffers hold tuples.
+                    match t.rx.recv_timeout(recv_wait(t.emitter.next_flush_deadline())) {
                         Ok(p) => Some(p),
                         Err(RecvTimeoutError::Timeout) => None,
                         Err(RecvTimeoutError::Disconnected) => {
@@ -930,95 +1143,54 @@ fn run_bolt_executor<T: Clone + Send>(
                 let Some(packet) = packet else { break };
                 progressed = true;
                 match packet {
-                    Packet::Data(Envelope { msg, tid, roots, t0 }) => {
+                    Packet::Data(env) => {
                         if tracing {
                             t.depth.fetch_sub(1, Ordering::Relaxed);
                         }
-                        t.emitter.anchors = roots;
-                        // Outputs inherit the input's root emit time, so the
-                        // stamp survives multi-hop pipelines.
-                        t.emitter.t0 = t0;
-                        let start = Instant::now();
-                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            t.bolt.process(msg, &mut t.emitter)
-                        }));
-                        t.emitter.counters.record(start.elapsed());
-                        if r.is_ok() && t.emitter.routes.is_empty() {
-                            // A terminal bolt ends the tuple's path: in
-                            // at-most-once tracing mode this is where the
-                            // end-to-end latency is known (reliability mode
-                            // records it spout-side on tree completion).
-                            if let Some(t0) = t.emitter.t0 {
-                                t.emitter.counters.record_completion(t0.elapsed());
+                        if let Err(e) = process_envelope(
+                            t,
+                            env,
+                            &component,
+                            &factory,
+                            &acker,
+                            reliability,
+                            None,
+                        ) {
+                            failure = Some(e);
+                            break 'outer;
+                        }
+                    }
+                    Packet::Batch(batch) => {
+                        if tracing {
+                            // The gauge counts tuples, not batches: the
+                            // whole batch just left the queue.
+                            t.depth.fetch_sub(batch.len() as i64, Ordering::Relaxed);
+                        }
+                        acks.clear();
+                        let mut fatal = None;
+                        for env in batch {
+                            if let Err(e) = process_envelope(
+                                t,
+                                env,
+                                &component,
+                                &factory,
+                                &acker,
+                                reliability,
+                                Some(&mut acks),
+                            ) {
+                                fatal = Some(e);
+                                break;
                             }
                         }
-                        t.emitter.t0 = None;
-                        match r {
-                            Ok(()) => {
-                                // Auto-ack: outputs were registered during
-                                // process(), so acking the input now can
-                                // only complete a genuinely finished tree.
-                                if let Some(acker) = &acker {
-                                    for &root in &t.emitter.anchors {
-                                        acker.xor(root, tid);
-                                    }
-                                }
-                                t.emitter.anchors.clear();
-                            }
-                            Err(e) => {
-                                // Never ack a failed input: its tree stays
-                                // incomplete and the spout replays it.
-                                t.emitter.anchors.clear();
-                                let budget =
-                                    reliability.map_or(0, |rel| rel.max_task_restarts);
-                                if t.restarts < budget {
-                                    // Supervisor: rebuild the task from its
-                                    // factory and keep consuming. State is
-                                    // fresh; replay covers the lost tuple.
-                                    let ctx = t.ctx;
-                                    let index = t.index;
-                                    let rebuilt = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| {
-                                            let mut bolt = (*factory)(index);
-                                            bolt.prepare(ctx);
-                                            bolt
-                                        }),
-                                    );
-                                    match rebuilt {
-                                        Ok(bolt) => {
-                                            t.bolt = bolt;
-                                            t.restarts += 1;
-                                            t.emitter.counters.record_restarted();
-                                        }
-                                        Err(e2) => {
-                                            failure = Some(DspsError::TaskPanicked {
-                                                component: component.clone(),
-                                                task: t.index,
-                                                reason: format!(
-                                                    "restart failed: {}",
-                                                    panic_text(e2.as_ref())
-                                                ),
-                                            });
-                                            break 'outer;
-                                        }
-                                    }
-                                } else if reliability.is_some() {
-                                    failure = Some(DspsError::TaskRestartsExhausted {
-                                        component: component.clone(),
-                                        task: t.index,
-                                        restarts: t.restarts,
-                                        reason: panic_text(e.as_ref()),
-                                    });
-                                    break 'outer;
-                                } else {
-                                    failure = Some(DspsError::TaskPanicked {
-                                        component: component.clone(),
-                                        task: t.index,
-                                        reason: panic_text(e.as_ref()),
-                                    });
-                                    break 'outer;
-                                }
-                            }
+                        // One acker call for the whole batch, ids combined
+                        // per root. Flushed even when a later tuple was
+                        // fatal: the earlier ones really were processed.
+                        if let Some(acker) = &acker {
+                            acker.xor_batch(&acks);
+                        }
+                        if let Some(e) = fatal {
+                            failure = Some(e);
+                            break 'outer;
                         }
                     }
                     Packet::Eos => {
@@ -1043,10 +1215,30 @@ fn run_bolt_executor<T: Clone + Send>(
                     }
                 }
             }
+            // Linger clock for this task's own output buffers.
+            t.emitter.flush_if_expired(Instant::now());
         }
         if !progressed && !single {
-            // All channels empty: yield briefly.
-            std::thread::sleep(Duration::from_micros(200));
+            // Every channel ran dry: block on a select across the live
+            // tasks until a send or upstream disconnect arrives — or until
+            // the earliest output-buffer linger deadline needs service —
+            // instead of the old 200µs poll-and-yield spin.
+            let now = Instant::now();
+            let mut wait = Duration::from_millis(50);
+            let mut sel = crossbeam::channel::Select::new();
+            let mut watched = 0usize;
+            for t in tasks.iter() {
+                if !t.done {
+                    sel.recv(&t.rx);
+                    watched += 1;
+                }
+                if let Some(d) = t.emitter.next_flush_deadline() {
+                    wait = wait.min(d.saturating_duration_since(now));
+                }
+            }
+            if watched > 0 && !wait.is_zero() {
+                let _ = sel.ready_timeout(wait);
+            }
         }
     }
     // On failure, EOS every unfinished task so downstream components
@@ -1061,6 +1253,137 @@ fn run_bolt_executor<T: Clone + Send>(
     match failure {
         Some(e) => Err(e),
         None => Ok(()),
+    }
+}
+
+/// Runs one delivery through a bolt task: anchor inheritance, panic
+/// containment around `process`, latency and terminal-completion
+/// recording, auto-ack, and supervised restart on panic.
+///
+/// `deferred` selects the ack path: `Some` collects this batch's acks as
+/// per-root combined ids (the caller applies them in one
+/// [`Acker::xor_batch`] call after the batch); `None` acks directly, the
+/// unchanged per-tuple path. A fatal error is returned for the caller to
+/// surface; a supervised restart is absorbed here and processing
+/// continues with the next delivery.
+fn process_envelope<T: Clone + Send + Sync>(
+    t: &mut BoltTask<T>,
+    env: Envelope<T>,
+    component: &str,
+    factory: &crate::topology::BoltFactory<T>,
+    acker: &Option<Arc<Acker>>,
+    reliability: Option<ReliabilityConfig>,
+    deferred: Option<&mut Vec<(u64, u64)>>,
+) -> Result<(), DspsError> {
+    let Envelope { msg, tid, roots, t0 } = env;
+    t.emitter.anchors = roots;
+    // Outputs inherit the input's root emit time, so the stamp survives
+    // multi-hop pipelines.
+    t.emitter.t0 = t0;
+    let start = Instant::now();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        t.bolt.process(msg.into_owned(), &mut t.emitter)
+    }));
+    t.emitter.counters.record(start.elapsed());
+    if r.is_ok() && t.emitter.routes.is_empty() {
+        // A terminal bolt ends the tuple's path: in at-most-once tracing
+        // mode this is where the end-to-end latency is known (reliability
+        // mode records it spout-side on tree completion).
+        if let Some(t0) = t.emitter.t0 {
+            t.emitter.counters.record_completion(t0.elapsed());
+        }
+    }
+    t.emitter.t0 = None;
+    match r {
+        Ok(()) => {
+            // Auto-ack: outputs were registered during process() (and
+            // registration happens at emit time even when they sit in
+            // edge buffers), so acking the input now can only complete a
+            // genuinely finished tree.
+            if let Some(acker) = acker {
+                match deferred {
+                    Some(pairs) => {
+                        for &root in &t.emitter.anchors {
+                            push_combined(pairs, root, tid);
+                        }
+                    }
+                    None => {
+                        for &root in &t.emitter.anchors {
+                            acker.xor(root, tid);
+                        }
+                    }
+                }
+            }
+            t.emitter.anchors.clear();
+            Ok(())
+        }
+        Err(e) => {
+            // Never ack a failed input: its tree stays incomplete and the
+            // spout replays it.
+            t.emitter.anchors.clear();
+            let budget = reliability.map_or(0, |rel| rel.max_task_restarts);
+            if t.restarts < budget {
+                // Supervisor: rebuild the task from its factory and keep
+                // consuming. State is fresh; replay covers the lost tuple.
+                let ctx = t.ctx;
+                let index = t.index;
+                let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut bolt = (*factory)(index);
+                    bolt.prepare(ctx);
+                    bolt
+                }));
+                match rebuilt {
+                    Ok(bolt) => {
+                        t.bolt = bolt;
+                        t.restarts += 1;
+                        t.emitter.counters.record_restarted();
+                        Ok(())
+                    }
+                    Err(e2) => Err(DspsError::TaskPanicked {
+                        component: component.to_string(),
+                        task: t.index,
+                        reason: format!("restart failed: {}", panic_text(e2.as_ref())),
+                    }),
+                }
+            } else if reliability.is_some() {
+                Err(DspsError::TaskRestartsExhausted {
+                    component: component.to_string(),
+                    task: t.index,
+                    restarts: t.restarts,
+                    reason: panic_text(e.as_ref()),
+                })
+            } else {
+                Err(DspsError::TaskPanicked {
+                    component: component.to_string(),
+                    task: t.index,
+                    reason: panic_text(e.as_ref()),
+                })
+            }
+        }
+    }
+}
+
+/// Folds `(root, id)` into a batch's ack accumulation, XOR-combining ids
+/// that share a root so the batch resolves to one acker entry per root.
+/// XOR associativity makes the combined application equivalent to the
+/// per-tuple sequence (see [`Acker::xor_batch`]).
+fn push_combined(pairs: &mut Vec<(u64, u64)>, root: u64, id: u64) {
+    if let Some(p) = pairs.iter_mut().find(|p| p.0 == root) {
+        p.1 ^= id;
+    } else {
+        pairs.push((root, id));
+    }
+}
+
+/// How long a blocking single-task executor may sleep on its input
+/// channel before it must service the emitter's linger clock — the time
+/// to the flush deadline, capped at the 50ms heartbeat the runtime always
+/// used for shutdown responsiveness.
+fn recv_wait(flush_deadline: Option<Instant>) -> Duration {
+    const HEARTBEAT: Duration = Duration::from_millis(50);
+    match flush_deadline {
+        Some(d) => d.saturating_duration_since(Instant::now()).min(HEARTBEAT),
+        None => HEARTBEAT,
     }
 }
 
@@ -1262,8 +1585,8 @@ mod tests {
         struct Router;
         impl Bolt<Msg> for Router {
             fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
-                // Route by key directly: key k → task k % count (emitter
-                // wraps for us).
+                // Route by key directly: key k → task k (keys are 0..7 and
+                // the sink has 7 tasks, so every target is in range).
                 e.emit_direct(msg.key as usize, msg);
             }
         }
@@ -1286,6 +1609,137 @@ mod tests {
         for &(task, value) in got.iter() {
             assert_eq!(task, (value % 7) as usize, "value {value} misrouted");
         }
+    }
+
+    #[test]
+    fn out_of_range_direct_emissions_are_counted_not_wrapped() {
+        // Regression: `emit_direct(task, ..)` used to wrap out-of-range
+        // targets as `task % count`, silently aliasing the tuple onto
+        // another task. It must now be dropped and counted `misrouted`.
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        struct BuggyRouter;
+        impl Bolt<Msg> for BuggyRouter {
+            fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+                // Values ≥ 60 target a task index past the sink's range.
+                let task = if msg.value >= 60 { 7 + msg.key as usize } else { msg.key as usize };
+                e.emit_direct(task, msg);
+            }
+        }
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 70 }))
+            .add_bolt("router", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+                Box::new(BuggyRouter)
+            })
+            .add_bolt(
+                "sink",
+                Parallelism::of(7),
+                vec![("router", Grouping::Direct)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let metrics = small_cluster().submit(t, RuntimeConfig::default()).unwrap().join().unwrap();
+        let got = collected.lock();
+        assert_eq!(got.len(), 60, "out-of-range targets must not be delivered anywhere");
+        for &(task, value) in got.iter() {
+            assert!(value < 60);
+            assert_eq!(task, (value % 7) as usize, "in-range routing unchanged");
+        }
+        let totals = metrics.totals();
+        let router = totals.iter().find(|c| c.component == "router").unwrap();
+        assert_eq!(router.misrouted, 10, "each out-of-range direct emission is counted");
+        assert_eq!(router.emitted, 60, "misrouted deliveries are not emissions");
+    }
+
+    #[test]
+    fn batched_pipeline_delivers_everything_in_edge_order() {
+        // The micro-batched data plane must deliver the same tuples in the
+        // same per-edge order as the per-tuple plane (shuffle keeps a
+        // deterministic round-robin, so with one sink task the full
+        // sequence is reproducible).
+        let run = |batch: Option<BatchConfig>| {
+            let collected = Arc::new(Mutex::new(Vec::new()));
+            let t = TopologyBuilder::new("t")
+                .add_spout("src", Parallelism::of(1), |_| {
+                    Box::new(RangeSpout { next: 0, end: 500 })
+                })
+                .add_map_bolt(
+                    "double",
+                    Parallelism::of(1),
+                    vec![("src", Grouping::Shuffle)],
+                    |m: Msg| Some(Msg { key: m.key, value: m.value * 2 }),
+                )
+                .add_bolt(
+                    "sink",
+                    Parallelism::of(1),
+                    vec![("double", Grouping::Shuffle)],
+                    sink_bolt(collected.clone()),
+                )
+                .build()
+                .unwrap();
+            small_cluster()
+                .submit(t, RuntimeConfig { batch, ..RuntimeConfig::default() })
+                .unwrap()
+                .join()
+                .unwrap();
+            let got: Vec<u64> = collected.lock().iter().map(|&(_, v)| v).collect();
+            got
+        };
+        let per_tuple = run(None);
+        let batched = run(Some(BatchConfig::default()));
+        assert_eq!(per_tuple, batched, "batching must not reorder or lose tuples");
+        assert_eq!(batched.len(), 500);
+    }
+
+    #[test]
+    fn linger_flushes_partial_batches() {
+        // max_batch 1000 never fills, so only the linger clock can ship
+        // the first two tuples. max_pending = 2 throttles the spout until
+        // they are acked — acks that can only arrive after a flush — so a
+        // broken linger clock would stall the run into its 2s ack-timeout
+        // replay path and blow the timing assertion.
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let t = TopologyBuilder::new("t")
+            .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 4 }))
+            .add_bolt(
+                "sink",
+                Parallelism::of(1),
+                vec![("src", Grouping::Shuffle)],
+                sink_bolt(collected.clone()),
+            )
+            .build()
+            .unwrap();
+        let started = Instant::now();
+        let metrics = small_cluster()
+            .submit(
+                t,
+                RuntimeConfig {
+                    batch: Some(BatchConfig {
+                        max_batch: 1000,
+                        max_linger: Duration::from_millis(5),
+                    }),
+                    reliability: Some(ReliabilityConfig {
+                        ack_timeout: Duration::from_secs(2),
+                        max_pending: 2,
+                        ..ReliabilityConfig::default()
+                    }),
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap()
+            .join()
+            .unwrap();
+        let elapsed = started.elapsed();
+        let mut values: Vec<u64> = collected.lock().iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+        let src = metrics.totals().into_iter().find(|c| c.component == "src").unwrap();
+        assert_eq!(src.acked, 4);
+        assert_eq!(src.replayed, 0, "linger flush must beat the ack timeout");
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "partial batches should flush on linger, not on replay; took {elapsed:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Acceptance suite for the micro-batched data plane.
+//!
+//! The contract under test: enabling [`BatchConfig`] changes *when* tuples
+//! move, never *which* tuples move or in what per-edge order. Batching must
+//! compose with every other runtime layer — reliability/chaos recovery,
+//! tracing gauges and histograms (which stay tuple-granular), and the
+//! EOS/finish flush that makes draining unconditional.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tms_dsps::runtime::{BatchConfig, LocalCluster, ReliabilityConfig, RuntimeConfig};
+use tms_dsps::scheduler::ClusterSpec;
+use tms_dsps::topology::{Parallelism, TopologyBuilder};
+use tms_dsps::{
+    chaos_wrap, Bolt, BoltContext, Emitter, FaultConfig, Grouping, MonitorConfig, Spout,
+};
+
+#[derive(Clone)]
+struct Msg {
+    key: u64,
+    value: u64,
+}
+
+struct RangeSpout {
+    next: u64,
+    end: u64,
+}
+impl Spout<Msg> for RangeSpout {
+    fn next(&mut self) -> Option<Msg> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.next;
+        self.next += 1;
+        Some(Msg { key: v % 13, value: v })
+    }
+}
+
+fn cluster() -> LocalCluster {
+    LocalCluster::new(ClusterSpec { nodes: 2, slots_per_node: 2, cores_per_node: 4 }).unwrap()
+}
+
+/// Small batches with a long linger: size-triggered flushes dominate and
+/// the EOS flush drains the non-divisor tail.
+fn batch_small() -> BatchConfig {
+    BatchConfig { max_batch: 7, max_linger: Duration::from_millis(100) }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: batched ≡ per-tuple across every grouping
+// ---------------------------------------------------------------------------
+
+type EdgeLog = Arc<Mutex<HashMap<(&'static str, usize), Vec<u64>>>>;
+
+/// Terminal bolt that appends each value to its own (component, task) edge
+/// log, preserving arrival order.
+struct Recorder {
+    name: &'static str,
+    task: usize,
+    log: EdgeLog,
+}
+impl Bolt<Msg> for Recorder {
+    fn prepare(&mut self, _ctx: BoltContext) {}
+    fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+        self.log.lock().entry((self.name, self.task)).or_default().push(msg.value);
+    }
+}
+
+fn recorder(
+    name: &'static str,
+    log: &EdgeLog,
+) -> impl Fn(usize) -> Box<dyn Bolt<Msg>> + Send + Sync + 'static {
+    let log = log.clone();
+    move |task| Box::new(Recorder { name, task, log: log.clone() }) as Box<dyn Bolt<Msg>>
+}
+
+/// One spout fans out to a sink per grouping; a router bolt covers Direct.
+/// Every producer is a single task, so each (producer task → consumer task)
+/// edge has a deterministic tuple order and the whole edge log must be
+/// byte-identical between delivery modes.
+fn run_all_groupings(batch: Option<BatchConfig>) -> HashMap<(&'static str, usize), Vec<u64>> {
+    const TUPLES: u64 = 300;
+    struct Router;
+    impl Bolt<Msg> for Router {
+        fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+            let task = (msg.value % 4) as usize;
+            e.emit_direct(task, msg);
+        }
+    }
+
+    let log: EdgeLog = Arc::new(Mutex::new(HashMap::new()));
+    let t = TopologyBuilder::new("groupings")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: TUPLES }))
+        .add_bolt("shuf", Parallelism::of(1), vec![("src", Grouping::Shuffle)], recorder("shuf", &log))
+        .add_bolt(
+            "flds",
+            Parallelism::of(2),
+            vec![("src", Grouping::fields(|m: &Msg| m.key))],
+            recorder("flds", &log),
+        )
+        .add_bolt("all", Parallelism::of(2), vec![("src", Grouping::All)], recorder("all", &log))
+        .add_bolt("router", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+            Box::new(Router) as Box<dyn Bolt<Msg>>
+        })
+        .add_bolt("dir", Parallelism::of(4), vec![("router", Grouping::Direct)], recorder("dir", &log))
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig { batch, ..RuntimeConfig::default() };
+    cluster().submit(t, cfg).unwrap().join().unwrap();
+    Arc::try_unwrap(log).expect("all tasks joined").into_inner()
+}
+
+#[test]
+fn batched_delivery_matches_per_tuple_for_every_grouping() {
+    let per_tuple = run_all_groupings(None);
+    let batched = run_all_groupings(Some(batch_small()));
+
+    // Sanity on the per-tuple baseline before comparing against it.
+    assert_eq!(per_tuple[&("shuf", 0)].len(), 300);
+    assert_eq!(per_tuple[&("all", 0)].len(), 300, "All grouping broadcasts to task 0");
+    assert_eq!(per_tuple[&("all", 1)].len(), 300, "All grouping broadcasts to task 1");
+    let fields: usize = (0..2).map(|ti| per_tuple[&("flds", ti)].len()).sum();
+    assert_eq!(fields, 300);
+    for ti in 0..4 {
+        assert!(
+            per_tuple[&("dir", ti)].iter().all(|v| (v % 4) as usize == ti),
+            "direct routing honors the named task"
+        );
+    }
+
+    assert_eq!(
+        batched, per_tuple,
+        "batching must preserve exactly the per-edge tuple sequences"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: recovery under batching heals injected faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_run_with_batching_matches_failure_free_run_after_dedup() {
+    const TUPLES: u64 = 1000;
+    let collected: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    struct Sink {
+        collected: Arc<Mutex<Vec<u64>>>,
+    }
+    impl Bolt<Msg> for Sink {
+        fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+            self.collected.lock().push(msg.value);
+        }
+    }
+    let transform = |_: usize| -> Box<dyn Bolt<Msg>> {
+        struct Triple;
+        impl Bolt<Msg> for Triple {
+            fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+                e.emit(Msg { key: msg.key, value: msg.value * 3 });
+            }
+        }
+        Box::new(Triple)
+    };
+    let faults = FaultConfig { panic_p: 0.01, drop_p: 0.01, delay: None, seed: 0xBA7C_5EED };
+    let chaotic = chaos_wrap(transform, faults);
+
+    let sink_collected = collected.clone();
+    let half = TUPLES / 2;
+    let t = TopologyBuilder::new("chaos-batched")
+        .add_spout("src", Parallelism::of(2), move |ti| {
+            Box::new(RangeSpout { next: ti as u64 * half, end: (ti as u64 + 1) * half })
+        })
+        .add_bolt("triple", Parallelism::of(2), vec![("src", Grouping::Shuffle)], chaotic)
+        .add_bolt("sink", Parallelism::of(1), vec![("triple", Grouping::Shuffle)], move |_| {
+            Box::new(Sink { collected: sink_collected.clone() }) as Box<dyn Bolt<Msg>>
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig {
+        batch: Some(batch_small()),
+        fault: Some(faults),
+        reliability: Some(ReliabilityConfig {
+            ack_timeout: Duration::from_millis(250),
+            max_retries: 20,
+            backoff: 1.5,
+            max_pending: 256,
+            max_task_restarts: 200,
+        }),
+        ..RuntimeConfig::default()
+    };
+    let handle = cluster().submit(t, cfg).unwrap();
+    let metrics = handle.metrics().clone();
+    handle.join().expect("recovery must absorb injected faults under batching");
+
+    let deduped: BTreeSet<u64> = collected.lock().iter().copied().collect();
+    let expected: BTreeSet<u64> = (0..TUPLES).map(|v| v * 3).collect();
+    assert_eq!(deduped, expected, "after dedup, chaos + batching equals the failure-free run");
+    assert!(collected.lock().len() as u64 >= TUPLES, "at-least-once: no losses");
+
+    let totals = metrics.totals();
+    let src = totals.iter().find(|c| c.component == "src").unwrap();
+    assert_eq!(src.acked, TUPLES, "every root eventually acked");
+    assert_eq!(src.failed, 0, "no root may exhaust its replay budget");
+    assert!(src.replayed > 0, "injected faults must have forced replays");
+    let triple = totals.iter().find(|c| c.component == "triple").unwrap();
+    assert!(triple.restarted > 0, "injected panics must have forced restarts");
+}
+
+// ---------------------------------------------------------------------------
+// Observability: gauges and histograms stay tuple-granular
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tracing_under_batching_stays_tuple_granular() {
+    const TUPLES: u64 = 2000;
+    const CAPACITY: usize = 8;
+    struct SlowSink;
+    impl Bolt<Msg> for SlowSink {
+        fn process(&mut self, _msg: Msg, _e: &mut dyn Emitter<Msg>) {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    let t = TopologyBuilder::new("traced-batched")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: TUPLES }))
+        .add_bolt("sink", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+            Box::new(SlowSink)
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig {
+        channel_capacity: CAPACITY,
+        batch: Some(BatchConfig { max_batch: 16, max_linger: Duration::from_millis(1) }),
+        monitor: Some(MonitorConfig {
+            window: Duration::from_secs(3600),
+            tracing: true,
+            ..MonitorConfig::default()
+        }),
+        ..RuntimeConfig::default()
+    };
+    let handle = cluster().submit(t, cfg).unwrap();
+    let metrics = handle.metrics().clone();
+
+    // The channel holds up to CAPACITY *packets*; a full batch carries 16
+    // tuples, so a tuple-granular gauge must climb past the packet count
+    // while the slow sink backlogs.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut deepest = 0u64;
+    while Instant::now() < deadline {
+        if let Some(sink) = metrics.sample().iter().find(|w| w.component == "sink") {
+            deepest = deepest.max(sink.queue_depth);
+            if deepest > CAPACITY as u64 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let metrics = handle.join().unwrap();
+    assert!(
+        deepest > CAPACITY as u64,
+        "queue gauge counts tuples, not packets: deepest observed {deepest} <= {CAPACITY}"
+    );
+
+    let totals = metrics.totals();
+    let sink = totals.iter().find(|c| c.component == "sink").unwrap();
+    assert_eq!(sink.e2e.count(), TUPLES, "one end-to-end sample per tuple, not per batch");
+    assert_eq!(sink.throughput, TUPLES, "processed counters are per tuple");
+    let src = totals.iter().find(|c| c.component == "src").unwrap();
+    assert_eq!(src.emitted, TUPLES, "emit counters are per tuple");
+}
+
+// ---------------------------------------------------------------------------
+// EOS/finish flush: draining is unconditional
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eos_flushes_batches_that_would_otherwise_never_fill() {
+    // Neither flush trigger can fire: the batch never fills and the linger
+    // outlives the run. Only the unconditional EOS flush delivers.
+    let collected: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    struct Sink {
+        collected: Arc<Mutex<Vec<u64>>>,
+    }
+    impl Bolt<Msg> for Sink {
+        fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+            self.collected.lock().push(msg.value);
+        }
+    }
+    let sink_collected = collected.clone();
+    struct Forward;
+    impl Bolt<Msg> for Forward {
+        fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+            e.emit(msg);
+        }
+    }
+    let t = TopologyBuilder::new("eos-flush")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 50 }))
+        .add_bolt("mid", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+            Box::new(Forward) as Box<dyn Bolt<Msg>>
+        })
+        .add_bolt("sink", Parallelism::of(1), vec![("mid", Grouping::Shuffle)], move |_| {
+            Box::new(Sink { collected: sink_collected.clone() }) as Box<dyn Bolt<Msg>>
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig {
+        batch: Some(BatchConfig { max_batch: 100_000, max_linger: Duration::from_secs(3600) }),
+        ..RuntimeConfig::default()
+    };
+    let started = Instant::now();
+    cluster().submit(t, cfg).unwrap().join().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the EOS flush must not wait out the linger"
+    );
+    let mut values = collected.lock().clone();
+    values.sort_unstable();
+    assert_eq!(values, (0..50).collect::<Vec<u64>>());
+}

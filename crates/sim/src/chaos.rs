@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
-use tms_dsps::runtime::ReliabilityConfig;
+use tms_dsps::runtime::{BatchConfig, ReliabilityConfig};
 use tms_dsps::{FaultConfig, MonitorConfig};
 
 /// A declarative chaos scenario.
@@ -178,6 +178,55 @@ impl MonitorSpec {
     }
 }
 
+/// A declarative data-plane batching scenario: the serializable face of
+/// the runtime's [`BatchConfig`], so an experiment file can pin the batch
+/// size and linger the same way [`ChaosSpec`] pins the fault schedule and
+/// [`MonitorSpec`] pins the sampling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// Tuples buffered per (route, task) edge before a size flush.
+    pub max_batch: usize,
+    /// Longest a partial batch may linger before a deadline flush,
+    /// milliseconds.
+    pub max_linger_ms: u64,
+}
+
+impl Default for BatchSpec {
+    fn default() -> Self {
+        let bc = BatchConfig::default();
+        BatchSpec {
+            max_batch: bc.max_batch,
+            max_linger_ms: bc.max_linger.as_millis() as u64,
+        }
+    }
+}
+
+impl BatchSpec {
+    /// A spec with the given batch size and the default linger.
+    pub fn of(max_batch: usize) -> Self {
+        BatchSpec { max_batch, ..BatchSpec::default() }
+    }
+
+    /// Validates the batch size and linger.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        if self.max_linger_ms == 0 {
+            return Err("max_linger_ms must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Converts into the runtime's config: feed to `RuntimeConfig::batch`.
+    pub fn batch_config(&self) -> BatchConfig {
+        BatchConfig {
+            max_batch: self.max_batch,
+            max_linger: Duration::from_millis(self.max_linger_ms),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +302,30 @@ mod tests {
         let json = serde_json::to_string(&traced).unwrap();
         assert!(json.contains("\"window_ms\":500"), "{json}");
         assert!(json.contains("\"tracing\":true"), "{json}");
+    }
+
+    #[test]
+    fn batch_specs_default_match_the_runtime_and_convert() {
+        let spec = BatchSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.batch_config(), BatchConfig::default());
+
+        let sized = BatchSpec::of(32);
+        sized.validate().unwrap();
+        let bc = sized.batch_config();
+        assert_eq!(bc.max_batch, 32);
+        assert_eq!(bc.max_linger, BatchConfig::default().max_linger);
+
+        let mut bad = BatchSpec::default();
+        bad.max_batch = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = BatchSpec::default();
+        bad.max_linger_ms = 0;
+        assert!(bad.validate().is_err());
+
+        let json = serde_json::to_string(&BatchSpec { max_batch: 64, max_linger_ms: 2 }).unwrap();
+        assert!(json.contains("\"max_batch\":64"), "{json}");
+        assert!(json.contains("\"max_linger_ms\":2"), "{json}");
     }
 
     #[test]

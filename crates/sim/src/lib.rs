@@ -37,7 +37,7 @@ pub mod chaos;
 pub mod placement;
 pub mod scenario;
 
-pub use chaos::{ChaosSpec, MonitorSpec};
+pub use chaos::{BatchSpec, ChaosSpec, MonitorSpec};
 pub use placement::round_robin_nodes;
 pub use scenario::{PartitioningApproach, ScenarioBuilder};
 

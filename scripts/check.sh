@@ -18,4 +18,9 @@ cargo test -p tms-dsps --test observability
 # scrape endpoint serving Prometheus text + JSON mid-run
 # (see crates/dsps/tests/profiling.rs).
 cargo test -p tms-dsps --test profiling
+# The batching suite is the micro-batched data plane's acceptance bar:
+# batched delivery must reproduce per-tuple output exactly across every
+# grouping, compose with chaos recovery, keep tuple-granular metrics, and
+# drain unconditionally at EOS (see crates/dsps/tests/batching.rs).
+cargo test -p tms-dsps --test batching
 cargo clippy --workspace -- -D warnings

@@ -7,6 +7,7 @@
 
 pub mod channel {
     use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
@@ -21,6 +22,25 @@ pub mod channel {
         capacity: usize,
         not_empty: Condvar,
         not_full: Condvar,
+        // Select support: wakers parked on this channel. `has_wakers` lets
+        // the send fast path skip the waker lock when nobody is selecting.
+        wakers: Mutex<Vec<Arc<SelectWaker>>>,
+        has_wakers: AtomicBool,
+    }
+
+    impl<T> Inner<T> {
+        fn notify_wakers(&self) {
+            // SeqCst pairs with the SeqCst store in `register`: if a selector
+            // polled the queue before this send's push, its store to
+            // `has_wakers` is visible here and we take the slow path.
+            if !self.has_wakers.load(Ordering::SeqCst) {
+                return;
+            }
+            let wakers = self.wakers.lock().unwrap_or_else(|e| e.into_inner());
+            for w in wakers.iter() {
+                w.notify();
+            }
+        }
     }
 
     /// Creates a bounded MPMC channel with the given capacity (≥ 1).
@@ -40,6 +60,8 @@ pub mod channel {
             capacity,
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+            has_wakers: AtomicBool::new(false),
         });
         (Sender { inner: inner.clone() }, Receiver { inner })
     }
@@ -86,6 +108,8 @@ pub mod channel {
                 if state.queue.len() < self.inner.capacity {
                     state.queue.push_back(msg);
                     self.inner.not_empty.notify_one();
+                    drop(state);
+                    self.inner.notify_wakers();
                     return Ok(());
                 }
                 state = self
@@ -110,8 +134,15 @@ pub mod channel {
         fn drop(&mut self) {
             let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
             state.senders -= 1;
-            if state.senders == 0 {
+            let disconnected = state.senders == 0;
+            if disconnected {
                 self.inner.not_empty.notify_all();
+            }
+            drop(state);
+            if disconnected {
+                // A selector waiting on this channel must observe the
+                // disconnect (its `is_ready` reports true once senders hit 0).
+                self.inner.notify_wakers();
             }
         }
     }
@@ -196,6 +227,156 @@ pub mod channel {
         }
     }
 
+    /// Parked-selector handle: one per `Select` wait, registered with every
+    /// watched channel and notified on send or sender disconnect.
+    pub struct SelectWaker {
+        signaled: Mutex<bool>,
+        condvar: Condvar,
+    }
+
+    impl Default for SelectWaker {
+        fn default() -> Self {
+            SelectWaker { signaled: Mutex::new(false), condvar: Condvar::new() }
+        }
+    }
+
+    impl SelectWaker {
+        fn notify(&self) {
+            let mut signaled = self.signaled.lock().unwrap_or_else(|e| e.into_inner());
+            *signaled = true;
+            self.condvar.notify_all();
+        }
+
+        /// Blocks until notified (or the deadline passes). Returns `false`
+        /// only on deadline expiry; consumes the signal on wakeup.
+        fn wait(&self, deadline: Option<Instant>) -> bool {
+            let mut signaled = self.signaled.lock().unwrap_or_else(|e| e.into_inner());
+            while !*signaled {
+                match deadline {
+                    None => {
+                        signaled = self
+                            .condvar
+                            .wait(signaled)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return false;
+                        }
+                        let (guard, _timed_out) = self
+                            .condvar
+                            .wait_timeout(signaled, d - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        signaled = guard;
+                    }
+                }
+            }
+            *signaled = false;
+            true
+        }
+    }
+
+    /// Type-erased view of a channel endpoint a `Select` can wait on.
+    pub trait SelectHandle {
+        fn is_ready(&self) -> bool;
+        fn register(&self, waker: &Arc<SelectWaker>);
+        fn unregister(&self, waker: &Arc<SelectWaker>);
+    }
+
+    impl<T> SelectHandle for Receiver<T> {
+        fn is_ready(&self) -> bool {
+            let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            !state.queue.is_empty() || state.senders == 0
+        }
+
+        fn register(&self, waker: &Arc<SelectWaker>) {
+            let mut wakers = self.inner.wakers.lock().unwrap_or_else(|e| e.into_inner());
+            wakers.push(waker.clone());
+            self.inner.has_wakers.store(true, Ordering::SeqCst);
+        }
+
+        fn unregister(&self, waker: &Arc<SelectWaker>) {
+            let mut wakers = self.inner.wakers.lock().unwrap_or_else(|e| e.into_inner());
+            wakers.retain(|w| !Arc::ptr_eq(w, waker));
+            self.inner.has_wakers.store(!wakers.is_empty(), Ordering::SeqCst);
+        }
+    }
+
+    /// Returned by [`Select::ready_timeout`] when no operation became ready
+    /// within the timeout.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ReadyTimeoutError;
+
+    /// Blocking readiness selector over receive operations, mirroring the
+    /// subset of `crossbeam_channel::Select` the runtime uses: add receivers
+    /// with [`recv`](Select::recv), then [`ready`](Select::ready) /
+    /// [`ready_timeout`](Select::ready_timeout) to sleep until one of them
+    /// has a message or is disconnected. Like the real crate, readiness is a
+    /// hint: the caller retries with `try_recv` and may find the channel
+    /// empty again.
+    pub struct Select<'a> {
+        handles: Vec<&'a dyn SelectHandle>,
+    }
+
+    impl Default for Select<'_> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<'a> Select<'a> {
+        pub fn new() -> Self {
+            Select { handles: Vec::new() }
+        }
+
+        /// Adds a receive operation, returning its index within the select.
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.handles.push(r);
+            self.handles.len() - 1
+        }
+
+        /// Blocks until some operation is ready; returns its index.
+        pub fn ready(&mut self) -> usize {
+            assert!(!self.handles.is_empty(), "no operations have been added to `Select`");
+            self.wait(None).expect("untimed select wait cannot time out")
+        }
+
+        /// Blocks until some operation is ready or the timeout expires.
+        pub fn ready_timeout(&mut self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+            assert!(!self.handles.is_empty(), "no operations have been added to `Select`");
+            self.wait(Some(Instant::now() + timeout)).ok_or(ReadyTimeoutError)
+        }
+
+        fn poll(&self) -> Option<usize> {
+            self.handles.iter().position(|h| h.is_ready())
+        }
+
+        fn wait(&self, deadline: Option<Instant>) -> Option<usize> {
+            if let Some(i) = self.poll() {
+                return Some(i);
+            }
+            // Register-then-repoll avoids the lost wakeup: a send that lands
+            // after this second poll sees the registered waker and notifies.
+            let waker = Arc::new(SelectWaker::default());
+            for h in &self.handles {
+                h.register(&waker);
+            }
+            let found = loop {
+                if let Some(i) = self.poll() {
+                    break Some(i);
+                }
+                if !waker.wait(deadline) {
+                    break self.poll();
+                }
+            };
+            for h in &self.handles {
+                h.unregister(&waker);
+            }
+            found
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -230,6 +411,62 @@ pub mod channel {
             let t = std::thread::spawn(move || tx.send(2).unwrap());
             assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
             assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn select_reports_the_ready_receiver() {
+            let (_tx_a, rx_a) = bounded::<u32>(4);
+            let (tx_b, rx_b) = bounded::<u32>(4);
+            tx_b.send(9).unwrap();
+            let mut sel = Select::new();
+            let ia = sel.recv(&rx_a);
+            let ib = sel.recv(&rx_b);
+            assert_eq!(ia, 0);
+            assert_eq!(sel.ready(), ib);
+            assert_eq!(rx_b.try_recv(), Ok(9));
+        }
+
+        #[test]
+        fn select_times_out_when_nothing_is_ready() {
+            let (_tx, rx) = bounded::<u32>(4);
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            assert_eq!(
+                sel.ready_timeout(Duration::from_millis(20)),
+                Err(ReadyTimeoutError)
+            );
+        }
+
+        #[test]
+        fn select_wakes_on_send_from_another_thread() {
+            let (tx, rx) = bounded::<u32>(4);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                tx.send(5).unwrap();
+            });
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            // Much longer than the sender's delay: only a wakeup (not the
+            // timeout) can return this quickly.
+            let started = Instant::now();
+            assert_eq!(sel.ready_timeout(Duration::from_secs(10)), Ok(0));
+            assert!(started.elapsed() < Duration::from_secs(5));
+            assert_eq!(rx.try_recv(), Ok(5));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn select_wakes_on_disconnect() {
+            let (tx, rx) = bounded::<u32>(4);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                drop(tx);
+            });
+            let mut sel = Select::new();
+            sel.recv(&rx);
+            assert_eq!(sel.ready_timeout(Duration::from_secs(10)), Ok(0));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
             t.join().unwrap();
         }
     }
