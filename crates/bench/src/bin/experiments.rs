@@ -14,7 +14,7 @@
 
 use std::path::PathBuf;
 use tms_bench::calibrate::{
-    measure_engine_latency, measure_engine_latency_with_mode, measure_rule_latency,
+    measure_engine_latency, measure_engine_latency_in_mode, measure_rule_latency, EngineMode,
 };
 use tms_bench::report::{format_num, print_series, print_table, ExperimentResult, Series};
 use tms_core::allocation::{allocate, round_robin, Grouping};
@@ -49,6 +49,7 @@ fn main() {
         "fig14_15" => fig14_15(),
         "fig16_17" => fig16_17(),
         "bench_snapshot" | "--bench-snapshot" => bench_snapshot(),
+        "bench_guard" => bench_guard(),
         "drift" => drift(),
         "profile" => profile(),
         "all" => {
@@ -65,7 +66,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table1 table2 table6 \
-                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot drift profile all"
+                 fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot bench_guard \
+                 drift profile all"
             );
             std::process::exit(2);
         }
@@ -378,21 +380,25 @@ fn synthetic_trace(i: usize, location: &str) -> tms_traffic::EnrichedTrace {
 
 /// Headline engine throughput: one engine running ten Table 6 rules
 /// (the window grid cycled, threshold-stream retrieval) measured under
-/// both evaluation modes, plus one incremental-eligible grouped-aggregate
-/// statement isolating the delta-maintenance win. The Table 6 rules are
-/// multi-source joins and therefore stay on the rescan join pipeline in
-/// both modes — the two headline numbers bracket the mode switch's effect
-/// on the full rule workload, while the single-statement pair shows the
-/// incremental path itself. Results land in `BENCH_cep_throughput.json`
-/// at the repository root.
+/// all three evaluation modes, plus one incremental-eligible
+/// grouped-aggregate statement isolating the delta-maintenance win.
+/// `shared` runs the sharing planner (batch-installed rules collapse into
+/// one cluster served from shared accumulator banks and the keyed
+/// threshold index); `incremental` and `rescan` run each rule privately,
+/// bracketing the pre-sharing mode switch's effect. Results land in
+/// `BENCH_cep_throughput.json` at the repository root.
 fn bench_snapshot() {
     println!("\n== Bench snapshot: engine throughput (events/sec) ==");
     let windows: Vec<usize> = (0..10).map(|i| [1usize, 10, 100, 1000][i % 4]).collect();
     let t = 480;
     let tuples = 2_000;
     let mut headline = Vec::new();
-    for (name, incremental) in [("incremental", true), ("rescan", false)] {
-        let ms = measure_engine_latency_with_mode(&windows, t, tuples, incremental);
+    for (name, mode) in [
+        ("shared", EngineMode::Shared),
+        ("incremental", EngineMode::Incremental),
+        ("rescan", EngineMode::Rescan),
+    ] {
+        let ms = measure_engine_latency_in_mode(&windows, t, tuples, mode);
         let eps = 1000.0 / ms;
         println!(
             "  10 Table-6 rules, {name:>11}: {} events/s ({} ms/tuple)",
@@ -401,6 +407,8 @@ fn bench_snapshot() {
         );
         headline.push((ms, eps));
     }
+    let sharing_speedup = headline[0].1 / headline[1].1;
+    println!("  sharing speedup over incremental: {:.1}x", sharing_speedup);
     let single_inc = single_statement_events_per_sec(true);
     let single_scan = single_statement_events_per_sec(false);
     println!(
@@ -416,19 +424,59 @@ fn bench_snapshot() {
          480 thresholds, threshold-stream retrieval\",\n  \
          \"tuples_measured\": {tuples},\n  \
          \"ten_table6_rules\": {{\n    \
+         \"shared\": {{ \"ms_per_tuple\": {:.6}, \"events_per_sec\": {:.1} }},\n    \
          \"incremental\": {{ \"ms_per_tuple\": {:.6}, \"events_per_sec\": {:.1} }},\n    \
          \"rescan\": {{ \"ms_per_tuple\": {:.6}, \"events_per_sec\": {:.1} }}\n  }},\n  \
+         \"sharing_speedup_over_incremental\": {:.2},\n  \
          \"single_grouped_avg_stddev_len100\": {{\n    \
          \"incremental_events_per_sec\": {:.1},\n    \
          \"rescan_events_per_sec\": {:.1},\n    \
          \"speedup\": {:.2}\n  }}\n}}\n",
         headline[0].0, headline[0].1, headline[1].0, headline[1].1,
+        headline[2].0, headline[2].1, sharing_speedup,
         single_inc, single_scan, single_inc / single_scan,
     );
     std::fs::write("BENCH_cep_throughput.json", json)
         .expect("writing BENCH_cep_throughput.json");
     println!("(wrote BENCH_cep_throughput.json)");
     dsps_snapshot();
+}
+
+/// `bench_guard`: smoke-mode regression guard for the shared evaluation
+/// path. Re-measures the 10-rule Table 6 workload in Shared mode with a
+/// reduced tuple budget and exits non-zero if ms/tuple regresses more
+/// than 2x over the committed snapshot's shared entry.
+fn bench_guard() {
+    println!("\n== Bench guard: shared-mode smoke check ==");
+    let committed = std::fs::read_to_string("BENCH_cep_throughput.json")
+        .expect("reading committed BENCH_cep_throughput.json");
+    let baseline = extract_shared_ms(&committed)
+        .expect("committed snapshot carries ten_table6_rules.shared.ms_per_tuple");
+    let windows: Vec<usize> = (0..10).map(|i| [1usize, 10, 100, 1000][i % 4]).collect();
+    let ms = measure_engine_latency_in_mode(&windows, 480, 500, EngineMode::Shared);
+    println!(
+        "  shared mode: measured {} ms/tuple vs committed {} ms/tuple (limit 2x)",
+        format_num(ms),
+        format_num(baseline)
+    );
+    if ms > baseline * 2.0 {
+        eprintln!(
+            "bench_guard FAILED: shared-mode ms/tuple ({ms:.6}) is more than 2x the \
+             committed snapshot ({baseline:.6})"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard OK");
+}
+
+/// Pulls `ten_table6_rules.shared.ms_per_tuple` out of the committed
+/// snapshot without a JSON dependency (the file is machine-written by
+/// `bench_snapshot`, so shape drift shows up here as a hard failure).
+fn extract_shared_ms(json: &str) -> Option<f64> {
+    let shared = json.split("\"shared\"").nth(1)?;
+    let val = shared.split("\"ms_per_tuple\":").nth(1)?;
+    let end = val.find([',', '}'])?;
+    val[..end].trim().parse().ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -787,7 +835,10 @@ fn profile() {
                 r.firings.to_string(),
                 us(r.eval.mean()),
                 us(r.eval.p95()),
-                format!("{}/{}/{}", r.path_incremental, r.path_anchor, r.path_rescan),
+                format!(
+                    "{}/{}/{}/{}",
+                    r.path_shared, r.path_incremental, r.path_anchor, r.path_rescan
+                ),
                 r.window_len.to_string(),
                 r.threshold_age
                     .map(|a| format_num(a.as_secs_f64()))
@@ -796,7 +847,7 @@ fn profile() {
         })
         .collect();
     print_table(
-        "Per-rule CEP cost (inc/anchor/rescan are evaluation-path counts)",
+        "Per-rule CEP cost (shared/inc/anchor/rescan are evaluation-path counts)",
         &[
             "rule", "engine", "events in", "evals", "firings", "mean eval (µs)",
             "p95 eval (µs)", "paths", "window", "thr age (s)",

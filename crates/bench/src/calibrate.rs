@@ -93,6 +93,21 @@ fn rule(l: usize) -> RuleSpec {
     r
 }
 
+/// Which engine configuration a measurement runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Sharing planner on (clusters served from shared bank/index state),
+    /// incremental paths on — the engine's default configuration.
+    Shared,
+    /// Sharing off, per-statement incremental evaluation on — the
+    /// configuration the latency regression model (Function 1) is
+    /// calibrated against, where cost grows with window length.
+    Incremental,
+    /// Sharing and incremental off: every arrival rescans (the
+    /// pre-optimization baseline).
+    Rescan,
+}
+
 /// Measures the average per-tuple latency (ms) of one rule with window
 /// `l` joining `t` thresholds — a Function 1 sample.
 pub fn measure_rule_latency(l: usize, t: usize, tuples: usize) -> f64 {
@@ -103,11 +118,15 @@ pub fn measure_rule_latency(l: usize, t: usize, tuples: usize) -> f64 {
 /// rule per entry of `windows`, each joining `t` thresholds — Function 2
 /// samples come from calling this with two windows.
 ///
+/// Runs in [`EngineMode::Incremental`]: the regression model predicts
+/// *per-rule, window-length-dependent* cost, so calibration keeps the
+/// sharing planner (which flattens exactly that dependence) off.
+///
 /// Takes the **median of three runs**: one descheduling hiccup would
 /// otherwise poison the regression fit (and, through the sequential F2
 /// fold, everything downstream).
 pub fn measure_engine_latency(windows: &[usize], t: usize, tuples: usize) -> f64 {
-    measure_engine_latency_with_mode(windows, t, tuples, true)
+    measure_engine_latency_in_mode(windows, t, tuples, EngineMode::Incremental)
 }
 
 /// Like [`measure_engine_latency`], but selecting the engine's evaluation
@@ -119,10 +138,22 @@ pub fn measure_engine_latency_with_mode(
     tuples: usize,
     incremental: bool,
 ) -> f64 {
+    let mode = if incremental { EngineMode::Incremental } else { EngineMode::Rescan };
+    measure_engine_latency_in_mode(windows, t, tuples, mode)
+}
+
+/// Like [`measure_engine_latency`], but under an explicit [`EngineMode`]
+/// (median of three runs).
+pub fn measure_engine_latency_in_mode(
+    windows: &[usize],
+    t: usize,
+    tuples: usize,
+    mode: EngineMode,
+) -> f64 {
     let mut runs = [
-        measure_engine_latency_once(windows, t, tuples, incremental),
-        measure_engine_latency_once(windows, t, tuples, incremental),
-        measure_engine_latency_once(windows, t, tuples, incremental),
+        measure_engine_latency_once(windows, t, tuples, mode),
+        measure_engine_latency_once(windows, t, tuples, mode),
+        measure_engine_latency_once(windows, t, tuples, mode),
     ];
     runs.sort_by(f64::total_cmp);
     runs[1]
@@ -132,17 +163,39 @@ fn measure_engine_latency_once(
     windows: &[usize],
     t: usize,
     tuples: usize,
-    incremental: bool,
+    mode: EngineMode,
 ) -> f64 {
     let (store, locations) = store_with_thresholds(t);
     let mut engine = RuleEngine::new(RetrievalMethod::ThresholdStream, store, None);
-    engine.set_incremental_enabled(incremental).expect("selecting evaluation mode");
-    for (i, &l) in windows.iter().enumerate() {
-        let mut spec = rule(l);
-        spec.name = format!("cal-{i}-l{l}");
+    engine
+        .set_sharing_enabled(mode == EngineMode::Shared)
+        .expect("selecting sharing mode");
+    engine
+        .set_incremental_enabled(mode != EngineMode::Rescan)
+        .expect("selecting evaluation mode");
+    let specs: Vec<RuleSpec> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let mut spec = rule(l);
+            spec.name = format!("cal-{i}-l{l}");
+            spec
+        })
+        .collect();
+    if mode == EngineMode::Shared {
+        // Batch install: all statements stand before the first threshold
+        // event, so their windows are pristine and the planner can share.
         engine
-            .install_rule(&spec, locations.iter().cloned())
-            .expect("installing calibration rule");
+            .install_rules(&specs, locations.iter().cloned())
+            .expect("installing calibration rules");
+    } else {
+        // Sequential install — the exact conditions the committed private
+        // baselines were measured under.
+        for spec in &specs {
+            engine
+                .install_rule(spec, locations.iter().cloned())
+                .expect("installing calibration rule");
+        }
     }
     // Warm-up: fill every location's groupwin pane to its window length,
     // so the steady-state per-tuple cost is what gets measured (capped to

@@ -84,6 +84,26 @@ impl Accumulator {
         self.count
     }
 
+    /// The accumulator that would result from adding every sample `k`
+    /// times instead of once: count/sum/sum_sq scale linearly, min/max
+    /// are unchanged. The shared-join path uses this to finalize one
+    /// per-pane accumulator under a join multiplicity of `k` — for
+    /// integer-valued samples `k·sum` and `k·sum_sq` are exact, so the
+    /// result matches a rescan that visited each row `k` times
+    /// bit-for-bit (the same contract the incremental path relies on).
+    pub fn scaled(&self, k: u64) -> Accumulator {
+        if k == 1 || self.count == 0 {
+            return self.clone();
+        }
+        Accumulator {
+            count: self.count * k,
+            sum: self.sum * k as f64,
+            sum_sq: self.sum_sq * k as f64,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
     /// Finalizes the aggregate. Returns an error for value-less aggregates
     /// over an empty input (`avg`/`min`/`max`/`stddev` of nothing), which
     /// the engine treats as "group does not fire".
@@ -232,6 +252,27 @@ mod tests {
         a.add(3.0);
         assert_eq!(a.finish(AggFunc::Min).unwrap(), 3.0);
         assert_eq!(a.finish(AggFunc::Max).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn scaled_matches_k_fold_repeated_adds() {
+        // scaled(k) must equal an accumulator that saw every sample k
+        // times — the join-multiplicity contract of the shared path.
+        let base = acc(&[2.0, 4.0, 5.0, 9.0]);
+        for k in [1u64, 2, 3, 7] {
+            let mut repeated = Accumulator::new();
+            for &v in &[2.0, 4.0, 5.0, 9.0] {
+                for _ in 0..k {
+                    repeated.add(v);
+                }
+            }
+            let s = base.scaled(k);
+            for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Stddev] {
+                assert_eq!(s.finish(f).unwrap(), repeated.finish(f).unwrap(), "{f:?} k={k}");
+            }
+        }
+        // Scaling an empty accumulator stays empty.
+        assert_eq!(Accumulator::new().scaled(5).count(), 0);
     }
 
     #[test]

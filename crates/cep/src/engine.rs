@@ -11,8 +11,12 @@
 use crate::error::CepError;
 use crate::event::{Event, EventType, FieldValue};
 use crate::parser::parse_statement;
-use crate::plan::{compile, CompiledStatement, IncrementalState, JoinCache, OutputRow};
-use crate::window::{SourceWindow, WindowDelta, WindowSpec};
+use crate::plan::{compile, AggCall, CompiledStatement, IncrementalState, JoinCache, OutputRow};
+use crate::share::{
+    self, cost, AggSrc, ClusterInfo, PaneBank, SharedAnchor, SharedJoinShape, SharingReport,
+    ThresholdIndex, WindowKey,
+};
+use crate::window::{InsertOutcome, SourceWindow, WindowDelta, WindowSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -24,17 +28,74 @@ pub struct StatementId(pub u64);
 /// Listener invoked with the rows a statement fired for one event.
 pub type Listener = Box<dyn FnMut(StatementId, &[OutputRow]) + Send>;
 
+/// One window in the engine's slot arena. Statements reference slots by
+/// index; the sharing planner points several statement sources at one
+/// slot when their window fingerprints match and their contents are
+/// identical, so each arrival is inserted (and its delta computed) once
+/// per distinct window instead of once per statement.
+struct WindowSlot {
+    /// The sharing fingerprint (stream, spec, groupwin field).
+    key: WindowKey,
+    window: SourceWindow,
+    /// Referencing statement sources; 0 marks a free (tombstoned) slot.
+    refs: usize,
+    /// The visible-window change of the latest mutation (consumed by
+    /// incremental statements and the cluster banks).
+    delta: WindowDelta,
+    /// Outcome of the latest insert into this slot.
+    last_outcome: InsertOutcome,
+    /// Per-group accumulator bank over this window — the shared cluster
+    /// state when the slot serves shared-join statements as their pane.
+    pane_bank: Option<PaneBank>,
+    /// Keyed hash indexes over this window — one per distinct join-key
+    /// shape probing it as a threshold stream.
+    tindexes: Vec<ThresholdIndex>,
+}
+
+impl WindowSlot {
+    /// Frees the slot for reuse, dropping all window and cluster state.
+    fn tombstone(&mut self) {
+        self.refs = 0;
+        self.window = SourceWindow::new(WindowSpec::LastEvent, None)
+            .expect("lastevent windows are always valid");
+        self.delta = WindowDelta::new();
+        self.pane_bank = None;
+        self.tindexes.clear();
+    }
+}
+
+/// How a statement's evaluations are served.
+enum Exec {
+    /// Shared-join path: O(1) fan-out from the pane bank and threshold
+    /// index of the statement's cluster.
+    Join {
+        shape: SharedJoinShape,
+        /// Per aggregate call: which shared accumulator serves it.
+        aggs: Vec<AggSrc>,
+        /// Index into the threshold slot's `tindexes`.
+        tindex: usize,
+    },
+    /// Private delta-maintained incremental state (`Runtime::inc`).
+    Incremental,
+    /// Generic: anchor fast path or full rescan, decided per arrival.
+    Generic,
+}
+
 /// A registered statement with its runtime state.
 struct Runtime {
     id: StatementId,
     compiled: CompiledStatement,
-    windows: Vec<SourceWindow>,
+    /// Slot-arena indices, one per FROM source.
+    slots: Vec<usize>,
     cache: JoinCache,
     /// Delta-maintained aggregate state; `Some` only while the
     /// incremental path is enabled and the statement is eligible.
     inc: Option<IncrementalState>,
-    /// Reusable window-delta scratch buffer.
-    delta: WindowDelta,
+    /// The chosen evaluation path.
+    exec: Exec,
+    /// Cost-model estimates `(private, shared)` for shape-eligible
+    /// statements, whichever path was chosen.
+    cost_est: Option<(f64, f64)>,
     listener: Option<Listener>,
     fired: u64,
     /// Cumulative profiling counters; `Some` only while profiling is
@@ -56,6 +117,7 @@ fn profile_bucket(ns: u64) -> usize {
 /// Which evaluation path a statement evaluation took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvalPath {
+    Shared,
     Incremental,
     Anchor,
     Rescan,
@@ -70,6 +132,7 @@ struct ProfileState {
     rows_out: u64,
     eval_ns_sum: u64,
     eval_ns_buckets: [u64; PROFILE_BUCKETS],
+    path_shared: u64,
     path_incremental: u64,
     path_anchor: u64,
     path_rescan: u64,
@@ -84,6 +147,7 @@ impl Default for ProfileState {
             rows_out: 0,
             eval_ns_sum: 0,
             eval_ns_buckets: [0; PROFILE_BUCKETS],
+            path_shared: 0,
             path_incremental: 0,
             path_anchor: 0,
             path_rescan: 0,
@@ -97,6 +161,7 @@ impl ProfileState {
         self.eval_ns_sum += elapsed_ns;
         self.eval_ns_buckets[profile_bucket(elapsed_ns)] += 1;
         match path {
+            EvalPath::Shared => self.path_shared += 1,
             EvalPath::Incremental => self.path_incremental += 1,
             EvalPath::Anchor => self.path_anchor += 1,
             EvalPath::Rescan => self.path_rescan += 1,
@@ -124,6 +189,8 @@ pub struct StatementProfile {
     /// Log₂ eval wall-time histogram: bucket *i* counts evals in
     /// `[2^i, 2^(i+1))` ns (bucket 0 also absorbs sub-1 ns evals).
     pub eval_ns_buckets: [u64; PROFILE_BUCKETS],
+    /// Evaluations served from a shared cluster's bank/index state.
+    pub path_shared: u64,
     /// Evaluations served by the delta-maintained incremental path.
     pub path_incremental: u64,
     /// Evaluations served by the anchor fast path.
@@ -159,16 +226,28 @@ pub struct StatementHandle {
 pub struct Engine {
     types: HashMap<String, Arc<EventType>>,
     statements: Vec<Runtime>,
+    /// The window-slot arena; statements hold indices into it.
+    slots: Vec<WindowSlot>,
     /// stream name → indices into `statements` subscribed to it.
     by_stream: HashMap<String, Vec<usize>>,
+    /// stream name → live slot indices fed by it.
+    slots_by_stream: HashMap<String, Vec<usize>>,
     next_id: u64,
     stats: EngineStats,
     /// Whether eligible statements evaluate via delta-maintained
     /// aggregates / the anchor fast path instead of a window rescan.
     incremental_enabled: bool,
+    /// Whether the install-time sharing planner may merge compatible
+    /// windows and serve clusters from shared bank/index state.
+    sharing_enabled: bool,
     /// Whether per-statement profiles are collected (off by default: the
     /// hot path then takes no timestamps and touches no extra counters).
     profiling_enabled: bool,
+    /// Evaluations actually served from shared cluster state (kept even
+    /// with profiling off — feeds the sharing report's realized columns).
+    realized_shared_evals: u64,
+    /// Evaluations served by the private paths.
+    realized_private_evals: u64,
 }
 
 impl Default for Engine {
@@ -193,11 +272,16 @@ impl Engine {
         Engine {
             types: HashMap::new(),
             statements: Vec::new(),
+            slots: Vec::new(),
             by_stream: HashMap::new(),
+            slots_by_stream: HashMap::new(),
             next_id: 0,
             stats: EngineStats::default(),
             incremental_enabled: true,
+            sharing_enabled: true,
             profiling_enabled: false,
+            realized_shared_evals: 0,
+            realized_private_evals: 0,
         }
     }
 
@@ -258,53 +342,126 @@ impl Engine {
                 self.types.insert(target.clone(), Arc::new(ty));
             }
         }
-        let windows = compiled
-            .sources
-            .iter()
-            .map(|s| s.make_window())
-            .collect::<Result<Vec<_>, _>>()?;
+        // Window planning: with sharing on, attach each source to an
+        // existing fingerprint-identical slot when doing so is invisible —
+        // the slot must be pristine (never written), so both statements
+        // observe exactly the window history they would have privately.
+        // Non-pristine candidates stay private; a later
+        // `set_sharing_enabled(true)` replan merges content-equal windows.
+        let mut slot_ids = Vec::with_capacity(compiled.sources.len());
+        for src in &compiled.sources {
+            let key = WindowKey::of(src);
+            let found = if self.sharing_enabled {
+                self.slots
+                    .iter()
+                    .position(|sl| sl.refs > 0 && sl.key == key && sl.window.version() == 0)
+            } else {
+                None
+            };
+            let sid = match found {
+                Some(sid) => {
+                    self.slots[sid].refs += 1;
+                    sid
+                }
+                None => {
+                    let window = src.make_window()?;
+                    push_slot(
+                        &mut self.slots,
+                        WindowSlot {
+                            key,
+                            window,
+                            refs: 1,
+                            delta: WindowDelta::new(),
+                            last_outcome: InsertOutcome { evaluate: false },
+                            pane_bank: None,
+                            tindexes: Vec::new(),
+                        },
+                    )
+                }
+            };
+            slot_ids.push(sid);
+        }
         let id = StatementId(self.next_id);
         self.next_id += 1;
-        let idx = self.statements.len();
-        // Subscribe once per distinct stream: Listing 1 reads `bus` through
-        // two sources, but the arriving event must be delivered to the
-        // statement once (it is then inserted into every matching window).
-        let mut streams: Vec<&str> = compiled.sources.iter().map(|s| s.stream.as_str()).collect();
-        streams.sort_unstable();
-        streams.dedup();
-        for s in streams {
-            self.by_stream.entry(s.to_string()).or_default().push(idx);
-        }
         let cache = JoinCache::for_statement(&compiled);
-        let inc = if self.incremental_enabled && compiled.incremental_eligible() {
-            Some(compiled.build_incremental(&windows[0])?)
-        } else {
-            None
-        };
-        self.statements.push(Runtime {
+        let mut rt = Runtime {
             id,
             compiled,
-            windows,
+            slots: slot_ids,
             cache,
-            inc,
-            delta: WindowDelta::new(),
+            inc: None,
+            exec: Exec::Generic,
+            cost_est: None,
             listener,
             fired: 0,
             profile: self.profiling_enabled.then(ProfileState::default),
-        });
+        };
+        self.plan_statement(&mut rt)?;
+        self.statements.push(rt);
+        self.rebuild_routing();
         Ok(StatementHandle { id })
     }
 
-    /// Removes a statement (dynamic rule management). Window state and
-    /// listener are dropped.
+    /// Chooses a statement's evaluation path from the current switches
+    /// and the cost model, building whatever state the path needs.
+    fn plan_statement(&mut self, rt: &mut Runtime) -> Result<(), CepError> {
+        rt.inc = None;
+        rt.exec = Exec::Generic;
+        rt.cost_est = None;
+        if self.incremental_enabled && rt.compiled.incremental_eligible() {
+            rt.inc = Some(rt.compiled.build_incremental(&self.slots[rt.slots[0]].window)?);
+            rt.exec = Exec::Incremental;
+            return Ok(());
+        }
+        let Some(shape) = share::shared_join_shape(&rt.compiled) else { return Ok(()) };
+        // Cost decision: marginal fields are the aggregate inputs this
+        // statement would add to its cluster's existing bank/index unions.
+        let (s1, s2) = (rt.slots[1], rt.slots[2]);
+        let bank_fields: &[usize] =
+            self.slots[s1].pane_bank.as_ref().map_or(&[], |b| b.fields.as_slice());
+        let index_fields: &[usize] = self.slots[s2]
+            .tindexes
+            .iter()
+            .find(|t| t.key_fields == shape.threshold_right_fields)
+            .map_or(&[], |t| t.value_fields.as_slice());
+        let marginal = shape.pane_agg_fields.iter().filter(|f| !bank_fields.contains(f)).count()
+            + shape.threshold_agg_fields.iter().filter(|f| !index_fields.contains(f)).count();
+        let est_private = cost::private_estimate(rt.compiled.sources[1].window);
+        let est_shared = cost::shared_estimate(marginal);
+        rt.cost_est = Some((est_private, est_shared));
+        if self.sharing_enabled && est_shared < est_private {
+            let (aggs, tindex) =
+                ensure_join_state(&mut self.slots, s1, s2, &shape, &rt.compiled.agg_calls)?;
+            rt.exec = Exec::Join { shape, aggs, tindex };
+        }
+        Ok(())
+    }
+
+    /// Removes a statement (dynamic rule management). Its listener is
+    /// dropped; windows it shared live on for the remaining cluster
+    /// members, windows it owned alone are freed.
     pub fn remove_statement(&mut self, id: StatementId) -> Result<(), CepError> {
         let idx = self
             .statements
             .iter()
             .position(|r| r.id == id)
             .ok_or_else(|| CepError::Semantic { reason: format!("no statement {id:?}") })?;
-        self.statements.remove(idx);
-        // Rebuild the subscription index (statement slots shifted).
+        let rt = self.statements.remove(idx);
+        for &sid in &rt.slots {
+            let slot = &mut self.slots[sid];
+            slot.refs -= 1;
+            if slot.refs == 0 {
+                slot.tombstone();
+            }
+        }
+        self.rebuild_routing();
+        // Shared bank/index positions are allocated in statement order;
+        // replan so surviving members keep consistent unions.
+        self.replan_exec()
+    }
+
+    /// Rebuilds the stream→statement and stream→slot routing tables.
+    fn rebuild_routing(&mut self) {
         self.by_stream.clear();
         for (i, r) in self.statements.iter().enumerate() {
             let mut streams: Vec<&str> =
@@ -315,7 +472,32 @@ impl Engine {
                 self.by_stream.entry(s.to_string()).or_default().push(i);
             }
         }
-        Ok(())
+        self.slots_by_stream.clear();
+        for (sid, slot) in self.slots.iter().enumerate() {
+            if slot.refs > 0 {
+                self.slots_by_stream.entry(slot.key.stream.clone()).or_default().push(sid);
+            }
+        }
+    }
+
+    /// Re-chooses every statement's evaluation path (after a switch flip
+    /// or a removal), rebuilding shared bank/index state from the live
+    /// windows so the plan can change mid-stream.
+    fn replan_exec(&mut self) -> Result<(), CepError> {
+        for slot in &mut self.slots {
+            slot.pane_bank = None;
+            slot.tindexes.clear();
+        }
+        let mut statements = std::mem::take(&mut self.statements);
+        let mut result = Ok(());
+        for rt in &mut statements {
+            if let Err(e) = self.plan_statement(rt) {
+                result = Err(e);
+                break;
+            }
+        }
+        self.statements = statements;
+        result
     }
 
     /// Number of registered statements.
@@ -351,19 +533,155 @@ impl Engine {
     /// windows, so the switch can flip mid-stream.
     pub fn set_incremental_enabled(&mut self, enabled: bool) -> Result<(), CepError> {
         self.incremental_enabled = enabled;
-        for rt in &mut self.statements {
-            rt.inc = if enabled && rt.compiled.incremental_eligible() {
-                Some(rt.compiled.build_incremental(&rt.windows[0])?)
-            } else {
-                None
-            };
-        }
-        Ok(())
+        self.replan_exec()
     }
 
     /// Whether the incremental evaluation path is enabled.
     pub fn incremental_enabled(&self) -> bool {
         self.incremental_enabled
+    }
+
+    /// Ablation switch: enables/disables the sharing planner. Disabling
+    /// splits every shared window into per-claimant private copies (clone
+    /// of the identical contents, so behaviour is unchanged); re-enabling
+    /// merges windows that are fingerprint- *and* content-identical back
+    /// into shared slots. Either way every statement is replanned, so the
+    /// switch can flip mid-stream.
+    pub fn set_sharing_enabled(&mut self, enabled: bool) -> Result<(), CepError> {
+        if self.sharing_enabled == enabled {
+            return Ok(());
+        }
+        self.sharing_enabled = enabled;
+        if enabled {
+            self.merge_identical_slots();
+        } else {
+            self.split_shared_slots();
+        }
+        self.rebuild_routing();
+        self.replan_exec()
+    }
+
+    /// Whether the sharing planner is enabled.
+    pub fn sharing_enabled(&self) -> bool {
+        self.sharing_enabled
+    }
+
+    /// Gives every statement source past the first claimant of a shared
+    /// slot its own private window (a clone, preserving contents exactly).
+    fn split_shared_slots(&mut self) {
+        let mut claimed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for idx in 0..self.statements.len() {
+            for pos in 0..self.statements[idx].slots.len() {
+                let sid = self.statements[idx].slots[pos];
+                if claimed.insert(sid) {
+                    continue;
+                }
+                // Already claimed (by an earlier statement, or an earlier
+                // source of a self-join): clone off a private copy.
+                self.slots[sid].refs -= 1;
+                let slot = WindowSlot {
+                    key: self.slots[sid].key.clone(),
+                    window: self.slots[sid].window.clone(),
+                    refs: 1,
+                    delta: WindowDelta::new(),
+                    last_outcome: InsertOutcome { evaluate: false },
+                    pane_bank: None,
+                    tindexes: Vec::new(),
+                };
+                self.statements[idx].slots[pos] = push_slot(&mut self.slots, slot);
+            }
+        }
+    }
+
+    /// Merges fingerprint- and content-identical windows back into shared
+    /// slots (the inverse of [`Engine::split_shared_slots`]).
+    fn merge_identical_slots(&mut self) {
+        let mut canonical: Vec<usize> = Vec::new();
+        for idx in 0..self.statements.len() {
+            for pos in 0..self.statements[idx].slots.len() {
+                let sid = self.statements[idx].slots[pos];
+                let found = canonical.iter().copied().find(|&c| {
+                    c != sid
+                        && self.slots[c].key == self.slots[sid].key
+                        && self.slots[c].window.content_eq(&self.slots[sid].window)
+                });
+                match found {
+                    Some(c) => {
+                        self.slots[sid].refs -= 1;
+                        if self.slots[sid].refs == 0 {
+                            self.slots[sid].tombstone();
+                        }
+                        self.slots[c].refs += 1;
+                        self.statements[idx].slots[pos] = c;
+                    }
+                    None => {
+                        if !canonical.contains(&sid) {
+                            canonical.push(sid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chosen sharing plan plus realized counters: shared vs private
+    /// window counts, the clusters with their bank/index occupancy, and
+    /// the cost model's estimate of the plan against the all-private
+    /// alternative.
+    pub fn sharing_report(&self) -> SharingReport {
+        let shared_windows = self.slots.iter().filter(|s| s.refs > 1).count();
+        let private_windows = self.slots.iter().filter(|s| s.refs == 1).count();
+        let mut clusters: Vec<((usize, usize, usize), ClusterInfo)> = Vec::new();
+        let mut shared_statements = 0;
+        let mut cost_rejected_statements = 0;
+        let mut est_private_cost = 0.0;
+        let mut est_shared_cost = 0.0;
+        for rt in &self.statements {
+            if let Some((est_p, est_s)) = rt.cost_est {
+                est_private_cost += est_p;
+                if let Exec::Join { .. } = rt.exec {
+                    est_shared_cost += est_s;
+                } else {
+                    est_shared_cost += est_p;
+                    if self.sharing_enabled {
+                        cost_rejected_statements += 1;
+                    }
+                }
+            }
+            let Exec::Join { tindex, .. } = &rt.exec else { continue };
+            shared_statements += 1;
+            let key = (rt.slots[1], rt.slots[2], *tindex);
+            let info = match clusters.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, info)) => info,
+                None => {
+                    let bank = self.slots[rt.slots[1]].pane_bank.as_ref();
+                    let ti = &self.slots[rt.slots[2]].tindexes[*tindex];
+                    clusters.push((
+                        key,
+                        ClusterInfo {
+                            statements: Vec::new(),
+                            bank_fields: bank.map_or(0, |b| b.fields.len()),
+                            threshold_entries: ti.entry_count(),
+                            bank_groups: bank.map_or(0, |b| b.group_count()),
+                        },
+                    ));
+                    &mut clusters.last_mut().expect("just pushed").1
+                }
+            };
+            info.statements.push(rt.id);
+        }
+        SharingReport {
+            sharing_enabled: self.sharing_enabled,
+            shared_windows,
+            private_windows,
+            shared_statements,
+            cost_rejected_statements,
+            clusters: clusters.into_iter().map(|(_, info)| info).collect(),
+            est_private_cost,
+            est_shared_cost,
+            realized_shared_evals: self.realized_shared_evals,
+            realized_private_evals: self.realized_private_evals,
+        }
     }
 
     /// Enables/disables per-statement profiling. Off (the default) the
@@ -396,10 +714,11 @@ impl Engine {
                     rows_out: p.rows_out,
                     eval_ns_sum: p.eval_ns_sum,
                     eval_ns_buckets: p.eval_ns_buckets,
+                    path_shared: p.path_shared,
                     path_incremental: p.path_incremental,
                     path_anchor: p.path_anchor,
                     path_rescan: p.path_rescan,
-                    window_len: rt.windows.iter().map(|w| w.len()).sum(),
+                    window_len: rt.slots.iter().map(|&sid| self.slots[sid].window.len()).sum(),
                 })
             })
             .collect()
@@ -434,94 +753,157 @@ impl Engine {
         }
         self.stats.events_in += 1;
 
-        let Some(subscribers) = self.by_stream.get(event.event_type()).cloned() else {
+        // Phase 1: insert into every live slot fed by this stream — once
+        // per distinct window, however many statements read it — folding
+        // the change into the slot's bank/index state. The outcome and
+        // delta stay on the slot for phase 2's consumers.
+        let stream = event.event_type().to_string();
+        if let Some(slot_ids) = self.slots_by_stream.get(&stream) {
+            for &sid in slot_ids {
+                let slot = &mut self.slots[sid];
+                slot.last_outcome = slot.window.insert_with_delta(&event, &mut slot.delta);
+                if let Some(bank) = &mut slot.pane_bank {
+                    bank.apply_delta(&slot.window, &slot.delta)?;
+                }
+                for ti in &mut slot.tindexes {
+                    for e in &slot.delta.inserted {
+                        ti.insert(e)?;
+                    }
+                    debug_assert!(
+                        slot.delta.evicted.is_empty(),
+                        "threshold keepall windows never evict"
+                    );
+                }
+            }
+        }
+
+        // Phase 2: run every subscribed statement against the updated
+        // slots. Inserting all windows before any evaluation is
+        // observationally equivalent to the per-statement interleaving:
+        // statements only read their *own* slots, each of which received
+        // exactly this one arrival since the last evaluation.
+        let Some(subscribers) = self.by_stream.get(&stream).cloned() else {
             return Ok(());
         };
         let mut fed_back: Vec<Event> = Vec::new();
-        for idx in subscribers {
-            let rt = &mut self.statements[idx];
-            if let Some(p) = rt.profile.as_mut() {
-                p.events_in += 1;
-            }
-            // Insert into every source window fed by this stream; eligible
-            // statements capture the change as a delta and fold it into
-            // their incremental state instead of rescanning later.
-            let mut evaluate = false;
-            let mut batch_release = false;
-            if let Some(state) = &mut rt.inc {
-                let win = &mut rt.windows[0];
-                let outcome = win.insert_with_delta(&event, &mut rt.delta);
-                if outcome.evaluate {
-                    evaluate = true;
-                    if matches!(
-                        win.spec(),
-                        WindowSpec::LengthBatch(_) | WindowSpec::TimeBatchMs(_)
-                    ) {
-                        batch_release = true;
-                    }
+        {
+            let Engine {
+                statements,
+                slots,
+                types,
+                stats,
+                incremental_enabled,
+                realized_shared_evals,
+                realized_private_evals,
+                ..
+            } = self;
+            for idx in subscribers {
+                let rt = &mut statements[idx];
+                if let Some(p) = rt.profile.as_mut() {
+                    // Counted once per arrival, however many of the
+                    // statement's sources (or cluster siblings) the event
+                    // reached — profiles stay comparable across plans.
+                    p.events_in += 1;
                 }
-                rt.compiled.apply_delta(win, &rt.delta, state)?;
-            } else {
-                for (src, win) in rt.compiled.sources.iter().zip(rt.windows.iter_mut()) {
-                    if src.stream == event.event_type() {
-                        let outcome = win.insert(&event);
-                        if outcome.evaluate {
-                            evaluate = true;
-                            if matches!(
-                                win.spec(),
-                                WindowSpec::LengthBatch(_) | WindowSpec::TimeBatchMs(_)
-                            ) {
-                                batch_release = true;
-                            }
+                let mut evaluate = false;
+                let mut batch_release = false;
+                for (src, &sid) in rt.compiled.sources.iter().zip(&rt.slots) {
+                    if src.stream != stream {
+                        continue;
+                    }
+                    let slot = &slots[sid];
+                    if slot.last_outcome.evaluate {
+                        evaluate = true;
+                        if matches!(
+                            slot.window.spec(),
+                            WindowSpec::LengthBatch(_) | WindowSpec::TimeBatchMs(_)
+                        ) {
+                            batch_release = true;
                         }
                     }
                 }
-            }
-            if !evaluate {
-                continue;
-            }
-            let anchor = if batch_release { None } else { Some(&event) };
-            let t0 = rt.profile.is_some().then(Instant::now);
-            let (rows, path) = if let Some(state) = &rt.inc {
-                (rt.compiled.evaluate_incremental(anchor, state)?, EvalPath::Incremental)
-            } else if self.incremental_enabled
-                && rt.compiled.anchor_fast_eligible()
-                && !batch_release
-            {
-                (rt.compiled.evaluate_anchor(&event)?, EvalPath::Anchor)
-            } else {
-                (rt.compiled.evaluate(&rt.windows, anchor, &mut rt.cache)?, EvalPath::Rescan)
-            };
-            if let (Some(t0), Some(p)) = (t0, rt.profile.as_mut()) {
-                p.record_eval(t0.elapsed().as_nanos() as u64, path);
-            }
-            if rows.is_empty() {
-                continue;
-            }
-            rt.fired += 1;
-            self.stats.firings += 1;
-            self.stats.rows_out += rows.len() as u64;
-            if let Some(p) = rt.profile.as_mut() {
-                p.firings += 1;
-                p.rows_out += rows.len() as u64;
-            }
-            if let Some(listener) = &mut rt.listener {
-                listener(rt.id, &rows);
-            }
-            if let Some(target) = rt.compiled.insert_into.clone() {
-                let ty = self
-                    .types
-                    .get(&target)
-                    .ok_or_else(|| CepError::UnknownStream(target.clone()))?
-                    .clone();
-                for row in &rows {
-                    let pairs: Vec<(&str, FieldValue)> = row
-                        .columns()
-                        .iter()
-                        .map(|c| c.as_str())
-                        .zip(row.values().iter().cloned())
-                        .collect();
-                    fed_back.push(Event::from_pairs(&ty, event.timestamp_ms(), &pairs)?);
+                if let Some(state) = &mut rt.inc {
+                    // Incremental statements are single-source, so their
+                    // slot-0 delta is exactly this arrival's change.
+                    let slot = &slots[rt.slots[0]];
+                    rt.compiled.apply_delta(&slot.window, &slot.delta, state)?;
+                }
+                if !evaluate {
+                    continue;
+                }
+                let anchor = if batch_release { None } else { Some(&event) };
+                let t0 = rt.profile.is_some().then(Instant::now);
+                let (rows, path) = if let Exec::Join { shape, aggs, tindex } = &rt.exec {
+                    let s0 = &slots[rt.slots[0]];
+                    let s1 = &slots[rt.slots[1]];
+                    let s2 = &slots[rt.slots[2]];
+                    let bank = s1.pane_bank.as_ref().expect("join exec keeps a bank");
+                    let ti = &s2.tindexes[*tindex];
+                    let sa = if rt.compiled.sources[0].stream == stream {
+                        SharedAnchor::Source0(&event)
+                    } else {
+                        SharedAnchor::Threshold(&event)
+                    };
+                    (
+                        share::evaluate_shared_join(
+                            &rt.compiled,
+                            shape,
+                            aggs,
+                            &s0.window,
+                            &s1.window,
+                            bank,
+                            ti,
+                            sa,
+                        )?,
+                        EvalPath::Shared,
+                    )
+                } else if let Some(state) = &rt.inc {
+                    (rt.compiled.evaluate_incremental(anchor, state)?, EvalPath::Incremental)
+                } else if *incremental_enabled
+                    && rt.compiled.anchor_fast_eligible()
+                    && !batch_release
+                {
+                    (rt.compiled.evaluate_anchor(&event)?, EvalPath::Anchor)
+                } else {
+                    let windows: Vec<&SourceWindow> =
+                        rt.slots.iter().map(|&sid| &slots[sid].window).collect();
+                    (rt.compiled.evaluate(&windows, anchor, &mut rt.cache)?, EvalPath::Rescan)
+                };
+                if path == EvalPath::Shared {
+                    *realized_shared_evals += 1;
+                } else {
+                    *realized_private_evals += 1;
+                }
+                if let (Some(t0), Some(p)) = (t0, rt.profile.as_mut()) {
+                    p.record_eval(t0.elapsed().as_nanos() as u64, path);
+                }
+                if rows.is_empty() {
+                    continue;
+                }
+                rt.fired += 1;
+                stats.firings += 1;
+                stats.rows_out += rows.len() as u64;
+                if let Some(p) = rt.profile.as_mut() {
+                    p.firings += 1;
+                    p.rows_out += rows.len() as u64;
+                }
+                if let Some(listener) = &mut rt.listener {
+                    listener(rt.id, &rows);
+                }
+                if let Some(target) = rt.compiled.insert_into.clone() {
+                    let ty = types
+                        .get(&target)
+                        .ok_or_else(|| CepError::UnknownStream(target.clone()))?
+                        .clone();
+                    for row in &rows {
+                        let pairs: Vec<(&str, FieldValue)> = row
+                            .columns()
+                            .iter()
+                            .map(|c| c.as_str())
+                            .zip(row.values().iter().cloned())
+                            .collect();
+                        fed_back.push(Event::from_pairs(&ty, event.timestamp_ms(), &pairs)?);
+                    }
                 }
             }
         }
@@ -534,22 +916,111 @@ impl Engine {
     /// Advances event time for every time window (evicting expired events)
     /// without sending an event.
     pub fn advance_time(&mut self, now_ms: u64) {
-        for rt in &mut self.statements {
+        let Engine { statements, slots, .. } = self;
+        for slot in slots.iter_mut() {
+            if slot.refs == 0 {
+                continue;
+            }
+            // Clears the delta even for time-insensitive windows, so
+            // phase-2 consumers below never see a stale insert delta.
+            slot.window.advance_time_with_delta(now_ms, &mut slot.delta);
+            if let Some(bank) = &mut slot.pane_bank {
+                bank.apply_delta(&slot.window, &slot.delta)
+                    .expect("delta eviction cannot fail after a successful insert");
+            }
+        }
+        for rt in statements.iter_mut() {
             if let Some(state) = &mut rt.inc {
-                let win = &mut rt.windows[0];
-                win.advance_time_with_delta(now_ms, &mut rt.delta);
+                let slot = &slots[rt.slots[0]];
                 rt.compiled
-                    .apply_delta(win, &rt.delta, state)
+                    .apply_delta(&slot.window, &slot.delta, state)
                     // Removal re-evaluates only expressions that already
                     // succeeded when these events were inserted.
                     .expect("delta eviction cannot fail after a successful insert");
-            } else {
-                for w in &mut rt.windows {
-                    w.advance_time(now_ms);
-                }
             }
         }
     }
+}
+
+/// Adds a slot to the arena, reusing a tombstoned slot when one exists.
+fn push_slot(slots: &mut Vec<WindowSlot>, slot: WindowSlot) -> usize {
+    match slots.iter().position(|s| s.refs == 0) {
+        Some(sid) => {
+            slots[sid] = slot;
+            sid
+        }
+        None => {
+            slots.push(slot);
+            slots.len() - 1
+        }
+    }
+}
+
+/// Ensures the pane bank on `s1` and a threshold index on `s2` cover one
+/// statement's aggregate fields, rebuilding from window contents when the
+/// unions widen over non-empty windows. Returns the statement's resolved
+/// aggregate sources and the index position.
+fn ensure_join_state(
+    slots: &mut [WindowSlot],
+    s1: usize,
+    s2: usize,
+    shape: &SharedJoinShape,
+    agg_calls: &[AggCall],
+) -> Result<(Vec<AggSrc>, usize), CepError> {
+    let mut pane_pos: HashMap<usize, usize> = HashMap::new();
+    {
+        let WindowSlot { window, pane_bank, .. } = &mut slots[s1];
+        let bank = pane_bank.get_or_insert_with(PaneBank::default);
+        let mut widened = false;
+        for &f in &shape.pane_agg_fields {
+            let (pos, w) = bank.ensure_field(f);
+            pane_pos.insert(f, pos);
+            widened |= w;
+        }
+        // Rebuild when the union widened, or when the bank is brand new
+        // over a non-empty window (count(*)-only statements add no fields
+        // but still need the per-group row counts).
+        if !window.is_empty() && (widened || bank.group_count() == 0) {
+            bank.rebuild(window)?;
+        }
+    }
+    let mut thr_pos: HashMap<usize, usize> = HashMap::new();
+    let tindex = {
+        let WindowSlot { window, tindexes, .. } = &mut slots[s2];
+        let tpos = match tindexes.iter().position(|t| t.key_fields == shape.threshold_right_fields)
+        {
+            Some(p) => p,
+            None => {
+                tindexes.push(ThresholdIndex::new(shape.threshold_right_fields.clone()));
+                let p = tindexes.len() - 1;
+                if !window.is_empty() {
+                    tindexes[p].rebuild(window)?;
+                }
+                p
+            }
+        };
+        let ti = &mut tindexes[tpos];
+        let mut widened = false;
+        for &f in &shape.threshold_agg_fields {
+            let (pos, w) = ti.ensure_field(f);
+            thr_pos.insert(f, pos);
+            widened |= w;
+        }
+        if widened && !window.is_empty() {
+            ti.rebuild(window)?;
+        }
+        tpos
+    };
+    let aggs = agg_calls
+        .iter()
+        .map(|c| match c.arg {
+            None => AggSrc::CountStar,
+            Some((1, f)) => AggSrc::Pane(pane_pos[&f]),
+            Some((2, f)) => AggSrc::Threshold(thr_pos[&f]),
+            Some(_) => unreachable!("shape detection rejects other aggregate sources"),
+        })
+        .collect();
+    Ok((aggs, tindex))
 }
 
 #[cfg(test)]
@@ -931,7 +1402,10 @@ mod tests {
         assert_eq!(p.firings, 2);
         assert_eq!(p.rows_out, 2);
         assert_eq!(p.evals, p.eval_ns_buckets.iter().sum::<u64>());
-        assert_eq!(p.evals, p.path_incremental + p.path_anchor + p.path_rescan);
+        assert_eq!(
+            p.evals,
+            p.path_shared + p.path_incremental + p.path_anchor + p.path_rescan
+        );
         // A filter-only statement takes the anchor fast path.
         assert_eq!(p.path_anchor, 3);
 

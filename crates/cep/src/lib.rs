@@ -40,6 +40,7 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod share;
 pub mod window;
 
 pub use engine::{
@@ -50,3 +51,4 @@ pub use error::CepError;
 pub use event::{Event, EventType, FieldType, FieldValue};
 pub use parser::parse_statement;
 pub use plan::OutputRow;
+pub use share::{ClusterInfo, SharingReport};

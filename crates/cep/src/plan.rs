@@ -755,7 +755,7 @@ impl CompiledStatement {
     #[allow(clippy::type_complexity)] // the signature is the public contract
     pub fn evaluate(
         &self,
-        windows: &[SourceWindow],
+        windows: &[&SourceWindow],
         anchor: Option<&Event>,
         cache: &mut JoinCache,
     ) -> Result<Vec<OutputRow>, CepError> {
@@ -984,6 +984,45 @@ impl CompiledStatement {
             None => true,
             Some(g) => self.group_by.len() == 1 && self.group_by[0] == (0, g),
         }
+    }
+
+    /// Whether the anchor restriction's source-0 filter passes for one
+    /// event (the predicates of the WHERE clause that mention only
+    /// source 0).
+    pub fn passes_first_filter(&self, e: &Event) -> Result<bool, CepError> {
+        for f in &self.first_filter {
+            if !eval(f, std::slice::from_ref(e), None)?.as_bool()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Finalizes one joined group from externally maintained aggregate
+    /// values — the tail of [`evaluate`] (HAVING, ORDER BY, projection)
+    /// factored out so the engine's shared-join path, which computes
+    /// `agg_values` from a cluster's accumulator bank instead of a window
+    /// scan, emits through the identical code.
+    ///
+    /// [`evaluate`]: CompiledStatement::evaluate
+    pub fn emit_shared_group(
+        &self,
+        binding: &[Event],
+        agg_values: &[f64],
+    ) -> Result<Vec<OutputRow>, CepError> {
+        if let Some(h) = &self.having {
+            match eval(h, binding, Some(agg_values)) {
+                Ok(v) => {
+                    if !v.as_bool()? {
+                        return Ok(Vec::new());
+                    }
+                }
+                Err(CepError::EmptyAggregate { .. }) => return Ok(Vec::new()),
+                Err(e) => return Err(e),
+            }
+        }
+        let keys = self.order_keys(binding, Some(agg_values))?;
+        Ok(self.sorted(vec![(self.project(binding, Some(agg_values))?, keys)]))
     }
 
     /// Whether the anchor fast path applies: a single-source statement

@@ -1,0 +1,558 @@
+//! Multi-statement shared evaluation.
+//!
+//! The paper's Table-6 rule set installs many near-clone statements of
+//! the Listing-1 shape on one engine; evaluated independently, every
+//! arrival re-windows, re-groups, re-aggregates and re-probes the same
+//! bus stream per rule. This module holds the pieces the engine's
+//! sharing planner composes at statement-install time:
+//!
+//! * [`WindowKey`] — the fingerprint under which two FROM sources may
+//!   share one [`SourceWindow`] (stream, window spec, groupwin field).
+//!   Windows are merged only when their *contents* are also identical
+//!   ([`SourceWindow::content_eq`]), which makes sharing semantically
+//!   invisible: every statement observes exactly the window state it
+//!   would have owned privately.
+//! * [`SharedJoinShape`] — recognition of the threshold-join shape
+//!   (`lastevent` anchor × grouped pane × `keepall` threshold stream)
+//!   that covers the paper's generated rules.
+//! * [`PaneBank`] / [`ThresholdIndex`] — one per-group accumulator bank
+//!   over a shared pane window (a superset of the cluster's aggregate
+//!   fields) and one keyed hash index over a threshold stream, both
+//!   delta-maintained. With these, evaluating one arrival is O(groups
+//!   touched): a bank lookup, an index probe and a per-statement
+//!   HAVING/projection fan-out — instead of O(rules × window × probe).
+//! * [`cost`] — the estimator deciding, per statement, whether the
+//!   shared path beats a private rescan (small panes are cheaper to
+//!   rescan than to fan out).
+//!
+//! Exactness: the bank finalizes a pane accumulator under the join
+//! multiplicity via [`Accumulator::scaled`]; for integer-valued samples
+//! the result is bit-identical to the rescan path (the same contract the
+//! incremental path of PR 1 relies on, enforced by the differential
+//! suite).
+
+use crate::agg::Accumulator;
+use crate::error::CepError;
+use crate::event::{Event, JoinKey};
+use crate::plan::{CompiledStatement, OutputRow};
+use crate::window::{SourceWindow, WindowDelta, WindowSpec};
+use std::collections::HashMap;
+
+/// Fingerprint under which two FROM sources are window-compatible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowKey {
+    /// Stream (event type) name.
+    pub stream: String,
+    /// Data window spec.
+    pub spec: WindowSpec,
+    /// `std:groupwin` field, if grouped.
+    pub group_field: Option<usize>,
+}
+
+impl WindowKey {
+    /// The fingerprint of one compiled source.
+    pub fn of(source: &crate::plan::CompiledSource) -> WindowKey {
+        WindowKey {
+            stream: source.stream.clone(),
+            spec: source.window,
+            group_field: source.group_field,
+        }
+    }
+}
+
+/// The recognized threshold-join shape (the Listing-1 pattern):
+///
+/// ```text
+/// FROM A.std:lastevent()                    AS anchor,   -- source 0
+///      A.std:groupwin(g).<non-batch window> AS pane,     -- source 1
+///      B.win:keepall()                      AS thresholds -- source 2
+/// WHERE anchor.k0 = pane.g  AND  anchor.t* = thresholds.t*
+/// GROUP BY pane.g
+/// ```
+///
+/// For one arrival, every joined row lands in a single group (the
+/// anchor's), with multiplicity pane-rows × matching-threshold-rows —
+/// which is exactly what a bank lookup plus an index probe reconstructs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedJoinShape {
+    /// Source-0 field joined against the pane's groupwin field.
+    pub group_key_field: usize,
+    /// Groupwin field of the pane source.
+    pub pane_group_field: usize,
+    /// Source-0 fields forming the threshold probe key, in join order.
+    pub threshold_left_fields: Vec<usize>,
+    /// Source-2 fields forming the threshold index key, in join order.
+    pub threshold_right_fields: Vec<usize>,
+    /// Distinct pane (source 1) fields the statement aggregates.
+    pub pane_agg_fields: Vec<usize>,
+    /// Distinct threshold (source 2) fields the statement aggregates.
+    pub threshold_agg_fields: Vec<usize>,
+}
+
+/// Where each of a statement's aggregate calls is served from on the
+/// shared path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggSrc {
+    /// `count(*)`: pane-rows × threshold-rows, no accumulator needed.
+    CountStar,
+    /// Pane field accumulator at this position in the bank's field list.
+    Pane(usize),
+    /// Threshold field accumulator at this position in the index's
+    /// value-field list.
+    Threshold(usize),
+}
+
+/// Detects the shared-join shape. `None` means the statement falls back
+/// to the generic evaluation paths.
+pub fn shared_join_shape(stmt: &CompiledStatement) -> Option<SharedJoinShape> {
+    if stmt.sources.len() != 3 || !stmt.is_aggregated() {
+        return None;
+    }
+    let [anchor, pane, thresholds] = &stmt.sources[..] else { return None };
+    // Anchor: bare lastevent over the same stream as the pane.
+    if anchor.window != WindowSpec::LastEvent
+        || anchor.group_field.is_some()
+        || anchor.stream != pane.stream
+    {
+        return None;
+    }
+    // Pane: grouped, non-batch FIFO window (batch windows change the
+    // anchor-participation story; lastevent panes are legal but trivial).
+    let pane_group_field = pane.group_field?;
+    if !matches!(pane.window, WindowSpec::Length(_) | WindowSpec::TimeMs(_) | WindowSpec::KeepAll) {
+        return None;
+    }
+    // Thresholds: ungrouped keepall over a *different* stream (insert-only,
+    // so the index never needs eviction handling).
+    if thresholds.window != WindowSpec::KeepAll
+        || thresholds.group_field.is_some()
+        || thresholds.stream == anchor.stream
+    {
+        return None;
+    }
+    // Join step 1: the pane joined purely through its groupwin panes on a
+    // single anchor field.
+    let step1 = &stmt.join_steps[0];
+    if !step1.group_fast_path || !step1.residual.is_empty() || step1.left_keys.len() != 1 {
+        return None;
+    }
+    let (ls, group_key_field) = step1.left_keys[0];
+    if ls != 0 {
+        return None;
+    }
+    // Join step 2: pure equi keys, all probing source-0 fields.
+    let step2 = &stmt.join_steps[1];
+    if step2.right_keys.is_empty() || !step2.residual.is_empty() {
+        return None;
+    }
+    let mut threshold_left_fields = Vec::with_capacity(step2.left_keys.len());
+    for &(s, f) in &step2.left_keys {
+        if s != 0 {
+            return None;
+        }
+        threshold_left_fields.push(f);
+    }
+    // Grouping must be exactly the pane's groupwin field, so every joined
+    // row of one arrival falls in the anchor's group.
+    if stmt.group_by != [(1, pane_group_field)] {
+        return None;
+    }
+    // Aggregate arguments must live on the pane or the threshold stream.
+    let mut pane_agg_fields = Vec::new();
+    let mut threshold_agg_fields = Vec::new();
+    for call in &stmt.agg_calls {
+        match call.arg {
+            None => {}
+            Some((1, f)) if !pane_agg_fields.contains(&f) => pane_agg_fields.push(f),
+            Some((1, _)) => {}
+            Some((2, f)) if !threshold_agg_fields.contains(&f) => threshold_agg_fields.push(f),
+            Some((2, _)) => {}
+            Some(_) => return None,
+        }
+    }
+    Some(SharedJoinShape {
+        group_key_field,
+        pane_group_field,
+        threshold_left_fields,
+        threshold_right_fields: step2.right_keys.clone(),
+        pane_agg_fields,
+        threshold_agg_fields,
+    })
+}
+
+/// One group's running accumulators within a [`PaneBank`].
+#[derive(Debug, Clone)]
+pub struct BankGroup {
+    /// Accumulators parallel to [`PaneBank::fields`].
+    pub accs: Vec<Accumulator>,
+    /// Retained rows of the group (also the pane occupancy).
+    pub rows: u64,
+}
+
+/// The per-group accumulator bank of one shared pane window: a superset
+/// of every cluster member's aggregated fields, delta-maintained from
+/// the window's mutations. Unfiltered — the pane join has no residual
+/// predicates, so every retained row contributes.
+#[derive(Debug, Default)]
+pub struct PaneBank {
+    /// Aggregated field indices; append-only so member positions stay
+    /// stable when a later install widens the union.
+    pub fields: Vec<usize>,
+    groups: HashMap<JoinKey, BankGroup>,
+}
+
+impl PaneBank {
+    /// Ensures a field is tracked, returning its stable position. A new
+    /// field requires a rebuild if the window already holds events — the
+    /// caller handles that via [`PaneBank::rebuild`].
+    pub fn ensure_field(&mut self, field: usize) -> (usize, bool) {
+        match self.fields.iter().position(|&f| f == field) {
+            Some(pos) => (pos, false),
+            None => {
+                self.fields.push(field);
+                (self.fields.len() - 1, true)
+            }
+        }
+    }
+
+    /// One group's accumulators.
+    pub fn group(&self, key: &JoinKey) -> Option<&BankGroup> {
+        self.groups.get(key)
+    }
+
+    /// Number of live groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Rebuilds the bank from a window's full contents (install-time
+    /// widening and replans).
+    pub fn rebuild(&mut self, window: &SourceWindow) -> Result<(), CepError> {
+        self.groups.clear();
+        let group_field = window.group_field().expect("pane banks require grouped windows");
+        for e in window.iter() {
+            self.add(e, group_field)?;
+        }
+        Ok(())
+    }
+
+    /// Folds one window mutation into the bank (evictions first, then
+    /// insertions — mirroring [`CompiledStatement::apply_delta`]).
+    pub fn apply_delta(
+        &mut self,
+        window: &SourceWindow,
+        delta: &WindowDelta,
+    ) -> Result<(), CepError> {
+        let group_field = window.group_field().expect("pane banks require grouped windows");
+        for e in &delta.evicted {
+            self.remove(e, group_field, window)?;
+        }
+        for e in &delta.inserted {
+            self.add(e, group_field)?;
+        }
+        Ok(())
+    }
+
+    fn add(&mut self, e: &Event, group_field: usize) -> Result<(), CepError> {
+        let key = e.value_at(group_field).expect("validated index").join_key();
+        let nfields = self.fields.len();
+        let group = self.groups.entry(key).or_insert_with(|| BankGroup {
+            accs: vec![Accumulator::new(); nfields],
+            rows: 0,
+        });
+        for (acc, &f) in group.accs.iter_mut().zip(&self.fields) {
+            acc.add(e.value_at(f).expect("validated index").as_f64()?);
+        }
+        group.rows += 1;
+        Ok(())
+    }
+
+    fn remove(
+        &mut self,
+        e: &Event,
+        group_field: usize,
+        window: &SourceWindow,
+    ) -> Result<(), CepError> {
+        let key = e.value_at(group_field).expect("validated index").join_key();
+        let Some(group) = self.groups.get_mut(&key) else {
+            debug_assert!(false, "eviction for a group the bank never saw");
+            return Ok(());
+        };
+        group.rows -= 1;
+        if group.rows == 0 {
+            self.groups.remove(&key);
+            return Ok(());
+        }
+        let mut stale: Vec<usize> = Vec::new();
+        for (i, (acc, &f)) in group.accs.iter_mut().zip(&self.fields).enumerate() {
+            if acc.remove(e.value_at(f).expect("validated index").as_f64()?) {
+                stale.push(i);
+            }
+        }
+        // Lazy extrema repair from the surviving pane rows.
+        for i in stale {
+            let f = self.fields[i];
+            let mut values = Vec::new();
+            for w in window.iter_group(&key) {
+                values.push(w.value_at(f).expect("validated index").as_f64()?);
+            }
+            group.accs[i].rebuild_extrema(values.into_iter());
+        }
+        Ok(())
+    }
+}
+
+/// One keyed entry of a [`ThresholdIndex`].
+#[derive(Debug, Clone)]
+pub struct ThresholdEntry {
+    /// Accumulators parallel to [`ThresholdIndex::value_fields`].
+    pub accs: Vec<Accumulator>,
+    /// Matching threshold rows under this key.
+    pub rows: u64,
+    /// Latest inserted matching row — the binding for bare field
+    /// references (last-row semantics of the rescan path).
+    pub last: Event,
+}
+
+/// Hash index over a threshold `keepall` stream, keyed by the join key
+/// fields and carrying running accumulators over the cluster's threshold
+/// aggregate fields. Insert-only: `keepall` never evicts and ignores
+/// time advances, so maintenance is one entry update per threshold row.
+#[derive(Debug)]
+pub struct ThresholdIndex {
+    /// Key fields within the threshold event type, in join order.
+    pub key_fields: Vec<usize>,
+    /// Aggregated value fields; append-only (stable member positions).
+    pub value_fields: Vec<usize>,
+    entries: HashMap<Vec<JoinKey>, ThresholdEntry>,
+}
+
+impl ThresholdIndex {
+    /// An empty index over the given key fields.
+    pub fn new(key_fields: Vec<usize>) -> ThresholdIndex {
+        ThresholdIndex { key_fields, value_fields: Vec::new(), entries: HashMap::new() }
+    }
+
+    /// Ensures a value field is tracked, returning its stable position
+    /// and whether the index widened (caller rebuilds if non-empty).
+    pub fn ensure_field(&mut self, field: usize) -> (usize, bool) {
+        match self.value_fields.iter().position(|&f| f == field) {
+            Some(pos) => (pos, false),
+            None => {
+                self.value_fields.push(field);
+                (self.value_fields.len() - 1, true)
+            }
+        }
+    }
+
+    /// The entry under a probe key.
+    pub fn entry(&self, key: &[JoinKey]) -> Option<&ThresholdEntry> {
+        self.entries.get(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Rebuilds from a window's full contents (in insertion order, so
+    /// `last` matches the rescan path's last-row binding).
+    pub fn rebuild(&mut self, window: &SourceWindow) -> Result<(), CepError> {
+        self.entries.clear();
+        for e in window.iter() {
+            self.insert(e)?;
+        }
+        Ok(())
+    }
+
+    /// Indexes one inserted threshold row.
+    pub fn insert(&mut self, e: &Event) -> Result<(), CepError> {
+        let key: Vec<JoinKey> = self
+            .key_fields
+            .iter()
+            .map(|&f| e.value_at(f).expect("validated index").join_key())
+            .collect();
+        let nfields = self.value_fields.len();
+        let entry = self.entries.entry(key).or_insert_with(|| ThresholdEntry {
+            accs: vec![Accumulator::new(); nfields],
+            rows: 0,
+            last: e.clone(),
+        });
+        for (acc, &f) in entry.accs.iter_mut().zip(&self.value_fields) {
+            acc.add(e.value_at(f).expect("validated index").as_f64()?);
+        }
+        entry.rows += 1;
+        entry.last = e.clone();
+        Ok(())
+    }
+}
+
+/// What triggered a shared-join evaluation.
+#[derive(Debug, Clone, Copy)]
+pub enum SharedAnchor<'a> {
+    /// An arrival on the anchor/pane stream.
+    Source0(&'a Event),
+    /// An arrival on the threshold stream.
+    Threshold(&'a Event),
+}
+
+/// Evaluates one shared-join statement for one arrival in O(1): a bank
+/// lookup, an index probe and the statement's HAVING/projection fan-out.
+/// Byte-identical to [`CompiledStatement::evaluate`] for eligible
+/// statements under integer-valued samples.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_shared_join(
+    stmt: &CompiledStatement,
+    shape: &SharedJoinShape,
+    aggs: &[AggSrc],
+    source0: &SourceWindow,
+    pane: &SourceWindow,
+    bank: &PaneBank,
+    tindex: &ThresholdIndex,
+    anchor: SharedAnchor<'_>,
+) -> Result<Vec<OutputRow>, CepError> {
+    // Resolve the source-0 binding: the arriving event, or — for a
+    // threshold arrival — whatever the lastevent window holds.
+    let (a, arriving_threshold) = match anchor {
+        SharedAnchor::Source0(e) => (e, None),
+        SharedAnchor::Threshold(t) => {
+            let Some(x) = source0.iter().next() else { return Ok(Vec::new()) };
+            (x, Some(t))
+        }
+    };
+    if !stmt.passes_first_filter(a)? {
+        return Ok(Vec::new());
+    }
+    let gkey = a.value_at(shape.group_key_field).expect("validated index").join_key();
+    let n = pane.group_len(&gkey) as u64;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let tkey: Vec<JoinKey> = shape
+        .threshold_left_fields
+        .iter()
+        .map(|&f| a.value_at(f).expect("validated index").join_key())
+        .collect();
+    if let Some(t) = arriving_threshold {
+        // istream restriction: a threshold arrival only emits when it
+        // itself participates in the joined group, i.e. its key matches
+        // the probe key of the standing anchor event.
+        let participates = shape
+            .threshold_right_fields
+            .iter()
+            .zip(&tkey)
+            .all(|(&f, k)| t.value_at(f).expect("validated index").join_key() == *k);
+        if !participates {
+            return Ok(Vec::new());
+        }
+    }
+    let Some(entry) = tindex.entry(&tkey) else { return Ok(Vec::new()) };
+    let m = entry.rows;
+    let Some(bg) = bank.group(&gkey) else {
+        debug_assert!(false, "bank group missing despite non-empty pane");
+        return Ok(Vec::new());
+    };
+    let mut agg_values = Vec::with_capacity(stmt.agg_calls.len());
+    for (src, call) in aggs.iter().zip(&stmt.agg_calls) {
+        let v = match src {
+            AggSrc::CountStar => Ok((n * m) as f64),
+            AggSrc::Pane(pos) => bg.accs[*pos].scaled(m).finish(call.func),
+            AggSrc::Threshold(pos) => entry.accs[*pos].scaled(n).finish(call.func),
+        };
+        match v {
+            Ok(v) => agg_values.push(v),
+            Err(CepError::EmptyAggregate { .. }) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        }
+    }
+    // The group's last joined row: (anchor, newest pane row, latest
+    // matching threshold) — the binding bare fields resolve against.
+    let pane_last = pane.group_back(&gkey).expect("n > 0").clone();
+    let binding = [a.clone(), pane_last, entry.last.clone()];
+    stmt.emit_shared_group(&binding, &agg_values)
+}
+
+/// The cost model: per-event work estimates deciding shared vs private
+/// evaluation, in abstract row-visit units (the "To Share, or not to
+/// Share" framing: share when the superset bank plus fan-out beats the
+/// per-statement rescan).
+pub mod cost {
+    use crate::window::WindowSpec;
+
+    /// Fixed per-statement fan-out overhead of the shared path (bank
+    /// lookup + index probe + finalization).
+    pub const FANOUT: f64 = 2.0;
+    /// Marginal per-event cost of one extra accumulator field in the
+    /// shared bank (only fields this statement adds to the union count).
+    pub const FIELD: f64 = 0.25;
+    /// Pane-length estimate for time-bounded windows.
+    pub const TIME_PANE_EST: f64 = 64.0;
+    /// Pane-length estimate for unbounded windows.
+    pub const UNBOUNDED_PANE_EST: f64 = 1024.0;
+    /// Expected threshold rows matching one probe key.
+    pub const MATCHES_EST: f64 = 1.0;
+
+    /// Expected per-group row count of a pane window.
+    pub fn pane_len_estimate(spec: WindowSpec) -> f64 {
+        match spec {
+            WindowSpec::LastEvent => 1.0,
+            WindowSpec::Length(n) | WindowSpec::LengthBatch(n) => n as f64,
+            WindowSpec::TimeMs(_) | WindowSpec::TimeBatchMs(_) => TIME_PANE_EST,
+            WindowSpec::KeepAll => UNBOUNDED_PANE_EST,
+        }
+    }
+
+    /// Estimated per-event cost of the private rescan path: every pane
+    /// row re-joined against the (index-cached) threshold stream and
+    /// re-aggregated.
+    pub fn private_estimate(pane_spec: WindowSpec) -> f64 {
+        pane_len_estimate(pane_spec) * MATCHES_EST + 1.0
+    }
+
+    /// Estimated per-event cost of the shared path for a statement that
+    /// adds `marginal_fields` new fields to the cluster's bank union.
+    pub fn shared_estimate(marginal_fields: usize) -> f64 {
+        FANOUT + marginal_fields as f64 * FIELD
+    }
+}
+
+/// One shared-evaluation cluster in the chosen plan: the statements fanned
+/// out from one pane bank + threshold index pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Member statements, in registration order.
+    pub statements: Vec<crate::engine::StatementId>,
+    /// Width of the cluster's bank field union.
+    pub bank_fields: usize,
+    /// Distinct keys currently in the cluster's threshold index.
+    pub threshold_entries: usize,
+    /// Live groups in the cluster's accumulator bank.
+    pub bank_groups: usize,
+}
+
+/// The sharing plan the engine chose, plus realized counters — exposed
+/// via `Engine::sharing_report` so benchmarks and operators can compare
+/// the planner's estimate against what actually ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingReport {
+    /// Whether the sharing planner is enabled.
+    pub sharing_enabled: bool,
+    /// Window slots referenced by more than one statement source.
+    pub shared_windows: usize,
+    /// Window slots referenced by exactly one statement source.
+    pub private_windows: usize,
+    /// Statements evaluated on the shared-join path.
+    pub shared_statements: usize,
+    /// Shape-eligible statements the cost model kept on private paths.
+    pub cost_rejected_statements: usize,
+    /// The shared clusters of the chosen plan.
+    pub clusters: Vec<ClusterInfo>,
+    /// Estimated per-event cost had every statement run privately.
+    pub est_private_cost: f64,
+    /// Estimated per-event cost of the chosen plan.
+    pub est_shared_cost: f64,
+    /// Evaluations actually served from shared state.
+    pub realized_shared_evals: u64,
+    /// Evaluations served by the private paths.
+    pub realized_private_evals: u64,
+}

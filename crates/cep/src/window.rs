@@ -324,10 +324,56 @@ impl SourceWindow {
         self.grouped.get(key).into_iter().flat_map(|p| p.events.iter())
     }
 
+    /// Number of retained events in one `groupwin` pane (0 for an unseen
+    /// key). O(1) — the shared-join path reads this instead of scanning.
+    pub fn group_len(&self, key: &JoinKey) -> usize {
+        self.grouped.get(key).map_or(0, |p| p.events.len())
+    }
+
+    /// Most recently retained event of one `groupwin` pane.
+    pub fn group_back(&self, key: &JoinKey) -> Option<&Event> {
+        self.grouped.get(key).and_then(|p| p.events.back())
+    }
+
     /// The group field index, if this window is grouped.
     pub fn group_field(&self) -> Option<usize> {
         self.group_field
     }
+
+    /// Whether two windows hold the *identical* state: same spec and
+    /// grouping, same mutation count, and the very same event instances in
+    /// the same pane structure (including batch-pending events). Two
+    /// windows that satisfy this are interchangeable — the sharing planner
+    /// merges them without any observable semantic change, because every
+    /// future mutation applied to both would keep them identical.
+    pub fn content_eq(&self, other: &SourceWindow) -> bool {
+        if self.spec != other.spec
+            || self.group_field != other.group_field
+            || self.version != other.version
+            || self.len != other.len
+            || self.pane_order != other.pane_order
+        {
+            return false;
+        }
+        if !pane_eq(&self.ungrouped, &other.ungrouped) {
+            return false;
+        }
+        self.pane_order.iter().all(|k| match (self.grouped.get(k), other.grouped.get(k)) {
+            (Some(a), Some(b)) => pane_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        })
+    }
+}
+
+/// Instance-identity equality of two panes (events are `Arc`-backed, so
+/// "the same event" means the same allocation, not merely equal fields).
+fn pane_eq(a: &Pane, b: &Pane) -> bool {
+    a.batch_start == b.batch_start
+        && a.events.len() == b.events.len()
+        && a.pending.len() == b.pending.len()
+        && a.events.iter().zip(b.events.iter()).all(|(x, y)| x.same_instance(y))
+        && a.pending.iter().zip(b.pending.iter()).all(|(x, y)| x.same_instance(y))
 }
 
 /// Pops expired events off a pane's front, recording them in `delta`.

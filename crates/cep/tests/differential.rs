@@ -142,6 +142,239 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared-evaluation differential: shared ≡ unshared ≡ rescan on randomized
+// multi-rule Listing-1 join workloads
+// ---------------------------------------------------------------------------
+
+/// Pane views for the grouped source of a Listing-1 join. `length(1)` is
+/// deliberate: the cost model keeps it on private paths, so random rule
+/// sets mix shared clusters with cost-rejected private statements.
+const JOIN_VIEWS: [&str; 5] =
+    ["win:length(1)", "win:length(3)", "win:length(5)", "win:time(2)", "win:keepall()"];
+
+const DAYS: [&str; 2] = ["weekday", "weekend"];
+
+/// One randomized Listing-1 rule: pane view × group key × select list ×
+/// HAVING shape. Same (view, group) pairs cluster; different pairs keep
+/// private panes but still share the lastevent and keepall slots.
+#[derive(Debug, Clone)]
+struct JoinRule {
+    view: usize,
+    group: usize,
+    sel: usize,
+    having: usize,
+}
+
+fn join_rule_strategy() -> impl Strategy<Value = JoinRule> {
+    (0usize..JOIN_VIEWS.len(), 0usize..2, 0usize..4, 0usize..3)
+        .prop_map(|(view, group, sel, having)| JoinRule { view, group, sel, having })
+}
+
+fn join_epl(r: &JoinRule) -> String {
+    let g = ["location", "day"][r.group];
+    let view = JOIN_VIEWS[r.view];
+    let sel = match r.sel {
+        0 => "avg(bd2.delay) AS m",
+        1 => "avg(bd2.delay) AS m, count(*) AS n",
+        2 => "avg(bd2.delay) AS m, sum(bd2.delay) AS s, min(bd2.delay) AS lo",
+        _ => "avg(bd2.delay) AS m, max(bd2.delay) AS hi, stddev(bd2.delay) AS sd",
+    };
+    let having = match r.having {
+        0 => "",
+        1 => " HAVING avg(bd2.delay) > avg(thresholds.attribute)",
+        _ => " HAVING avg(bd2.delay) > min(thresholds.attribute)",
+    };
+    // Both variants keep every step-2 key on the anchor source and a
+    // single anchor↔pane key, matching the shared-join shape. The two
+    // group keys produce *different* threshold-index key sets over the
+    // same keepall slot.
+    let keys = if r.group == 0 {
+        "bd.hour = thresholds.hour AND bd.day = thresholds.day \
+         AND bd.location = thresholds.location AND bd.location = bd2.location"
+    } else {
+        "bd.hour = thresholds.hour AND bd.day = thresholds.day AND bd.day = bd2.day"
+    };
+    format!(
+        "SELECT bd2.{g} AS k, {sel} \
+         FROM bus.std:lastevent() AS bd, \
+              bus.std:groupwin({g}).{view} AS bd2, \
+              thresholdLocation.win:keepall() AS thresholds \
+         WHERE {keys} GROUP BY bd2.{g}{having}"
+    )
+}
+
+/// A join-workload step: a bus arrival, a mid-stream threshold arrival,
+/// or a time advance (drains `win:time` panes).
+#[derive(Debug, Clone)]
+enum JoinStep {
+    Bus { loc: usize, day: usize, delay: i64, dt_ms: u64 },
+    Threshold { loc: usize, day: usize, attr: i64, dt_ms: u64 },
+    Advance { jump_ms: u64 },
+}
+
+fn join_step_strategy() -> impl Strategy<Value = JoinStep> {
+    (0usize..6, 0usize..3, 0usize..2, 0i64..12, 0u64..900).prop_map(
+        |(kind, loc, day, val, dt)| match kind {
+            0..=2 => JoinStep::Bus { loc, day, delay: val, dt_ms: dt },
+            3 | 4 => JoinStep::Threshold { loc, day, attr: val, dt_ms: dt },
+            _ => JoinStep::Advance { jump_ms: 500 + dt * 4 },
+        },
+    )
+}
+
+fn join_bus_type() -> EventType {
+    EventType::with_fields(
+        "bus",
+        &[
+            ("vehicle", FieldType::Int),
+            ("location", FieldType::Str),
+            ("delay", FieldType::Float),
+            ("hour", FieldType::Int),
+            ("day", FieldType::Str),
+        ],
+    )
+    .unwrap()
+}
+
+fn threshold_type() -> EventType {
+    EventType::with_fields(
+        "thresholdLocation",
+        &[
+            ("location", FieldType::Str),
+            ("hour", FieldType::Int),
+            ("day", FieldType::Str),
+            ("attribute", FieldType::Float),
+        ],
+    )
+    .unwrap()
+}
+
+fn build_joins(
+    rules: &[JoinRule],
+    sharing: bool,
+    incremental: bool,
+) -> (Engine, Vec<Arc<Mutex<Vec<OutputRow>>>>) {
+    let mut e = Engine::new();
+    e.register_type(join_bus_type()).unwrap();
+    e.register_type(threshold_type()).unwrap();
+    e.set_sharing_enabled(sharing).unwrap();
+    e.set_incremental_enabled(incremental).unwrap();
+    let mut sinks = Vec::new();
+    for r in rules {
+        let (sink, l) = capture();
+        e.create_statement(&join_epl(r), l).unwrap();
+        sinks.push(sink);
+    }
+    (e, sinks)
+}
+
+fn run_join_script(rules: &[JoinRule], steps: &[JoinStep]) {
+    let mut engines = [
+        build_joins(rules, true, true),   // shared
+        build_joins(rules, false, true),  // unshared, incremental paths on
+        build_joins(rules, false, false), // rescan
+    ];
+    let mut now = 0u64;
+    let mut vehicle = 0i64;
+    for step in steps {
+        match step {
+            JoinStep::Bus { loc, day, delay, dt_ms } => {
+                now += dt_ms;
+                vehicle += 1;
+                for (eng, _) in engines.iter_mut() {
+                    let ev = eng
+                        .make_event(
+                            "bus",
+                            now,
+                            &[
+                                ("vehicle", vehicle.into()),
+                                ("location", LOCATIONS[*loc].into()),
+                                ("delay", (*delay as f64).into()),
+                                ("hour", 8i64.into()),
+                                ("day", DAYS[*day].into()),
+                            ],
+                        )
+                        .unwrap();
+                    eng.send_event(ev).unwrap();
+                }
+            }
+            JoinStep::Threshold { loc, day, attr, dt_ms } => {
+                now += dt_ms;
+                for (eng, _) in engines.iter_mut() {
+                    let ev = eng
+                        .make_event(
+                            "thresholdLocation",
+                            now,
+                            &[
+                                ("location", LOCATIONS[*loc].into()),
+                                ("hour", 8i64.into()),
+                                ("day", DAYS[*day].into()),
+                                ("attribute", (*attr as f64).into()),
+                            ],
+                        )
+                        .unwrap();
+                    eng.send_event(ev).unwrap();
+                }
+            }
+            JoinStep::Advance { jump_ms } => {
+                now += jump_ms;
+                for (eng, _) in engines.iter_mut() {
+                    eng.advance_time(now);
+                }
+            }
+        }
+    }
+    let (_, shared_sinks) = &engines[0];
+    for (mode, (_, sinks)) in [(1usize, &engines[1]), (2, &engines[2])] {
+        let name = ["shared", "unshared", "rescan"][mode];
+        for (i, (a, b)) in shared_sinks.iter().zip(sinks.iter()).enumerate() {
+            assert_eq!(
+                *a.lock(),
+                *b.lock(),
+                "rule {i} ({:?}) diverged between shared and {name}",
+                rules[i]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn shared_matches_unshared_and_rescan(
+        rules in proptest::collection::vec(join_rule_strategy(), 1..5),
+        steps in proptest::collection::vec(join_step_strategy(), 0..60),
+    ) {
+        run_join_script(&rules, &steps);
+    }
+}
+
+#[test]
+fn overlapping_and_disjoint_rules_agree_across_modes() {
+    // Two rules share (view, group) exactly, one overlaps on the group key
+    // only, one is fully disjoint — a fixed regression script on top of
+    // the randomized property.
+    let rules = [
+        JoinRule { view: 1, group: 0, sel: 0, having: 1 },
+        JoinRule { view: 1, group: 0, sel: 2, having: 0 },
+        JoinRule { view: 2, group: 0, sel: 1, having: 2 },
+        JoinRule { view: 4, group: 1, sel: 3, having: 1 },
+    ];
+    let steps = [
+        JoinStep::Threshold { loc: 0, day: 0, attr: 3, dt_ms: 5 },
+        JoinStep::Bus { loc: 0, day: 0, delay: 7, dt_ms: 5 },
+        JoinStep::Bus { loc: 0, day: 0, delay: 2, dt_ms: 5 },
+        JoinStep::Threshold { loc: 0, day: 0, attr: 9, dt_ms: 5 },
+        JoinStep::Bus { loc: 1, day: 1, delay: 5, dt_ms: 5 },
+        JoinStep::Bus { loc: 0, day: 0, delay: 11, dt_ms: 5 },
+        JoinStep::Advance { jump_ms: 5_000 },
+        JoinStep::Bus { loc: 0, day: 0, delay: 4, dt_ms: 5 },
+    ];
+    run_join_script(&rules, &steps);
+}
+
 #[test]
 fn empty_stream_produces_nothing_on_both_paths() {
     run_script("win:length(4)", &[]);

@@ -1,0 +1,270 @@
+//! Acceptance tests for the sharing planner: cluster formation, dynamic
+//! rule churn against shared state, cost-model rejections, per-statement
+//! profile accounting, and mid-stream enable/disable toggles.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tms_cep::engine::Listener;
+use tms_cep::{Engine, EventType, FieldType, OutputRow};
+
+fn bus_type() -> EventType {
+    EventType::with_fields(
+        "bus",
+        &[
+            ("vehicle", FieldType::Int),
+            ("location", FieldType::Str),
+            ("delay", FieldType::Float),
+            ("hour", FieldType::Int),
+            ("day", FieldType::Str),
+        ],
+    )
+    .unwrap()
+}
+
+fn threshold_type() -> EventType {
+    EventType::with_fields(
+        "thresholdLocation",
+        &[
+            ("location", FieldType::Str),
+            ("hour", FieldType::Int),
+            ("day", FieldType::Str),
+            ("attribute", FieldType::Float),
+        ],
+    )
+    .unwrap()
+}
+
+fn engine(sharing: bool) -> Engine {
+    let mut e = Engine::new();
+    e.register_type(bus_type()).unwrap();
+    e.register_type(threshold_type()).unwrap();
+    e.set_sharing_enabled(sharing).unwrap();
+    e.set_profiling_enabled(true);
+    e
+}
+
+fn capture() -> (Arc<Mutex<Vec<OutputRow>>>, Listener) {
+    let sink: Arc<Mutex<Vec<OutputRow>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = sink.clone();
+    let listener: Listener = Box::new(move |_, rows| s2.lock().extend(rows.iter().cloned()));
+    (sink, listener)
+}
+
+/// A Listing-1 rule over `win:length(l)`, location-grouped.
+fn epl(l: usize) -> String {
+    format!(
+        "SELECT bd2.location AS loc, avg(bd2.delay) AS m \
+         FROM bus.std:lastevent() AS bd, \
+              bus.std:groupwin(location).win:length({l}) AS bd2, \
+              thresholdLocation.win:keepall() AS thresholds \
+         WHERE bd.hour = thresholds.hour AND bd.day = thresholds.day \
+           AND bd.location = thresholds.location AND bd.location = bd2.location \
+         GROUP BY bd2.location \
+         HAVING avg(bd2.delay) > avg(thresholds.attribute)"
+    )
+}
+
+fn send_bus(e: &mut Engine, ts: u64, loc: &str, delay: f64) {
+    let ev = e
+        .make_event(
+            "bus",
+            ts,
+            &[
+                ("vehicle", 1i64.into()),
+                ("location", loc.into()),
+                ("delay", delay.into()),
+                ("hour", 8i64.into()),
+                ("day", "weekday".into()),
+            ],
+        )
+        .unwrap();
+    e.send_event(ev).unwrap();
+}
+
+fn send_threshold(e: &mut Engine, ts: u64, loc: &str, attr: f64) {
+    let ev = e
+        .make_event(
+            "thresholdLocation",
+            ts,
+            &[
+                ("location", loc.into()),
+                ("hour", 8i64.into()),
+                ("day", "weekday".into()),
+                ("attribute", attr.into()),
+            ],
+        )
+        .unwrap();
+    e.send_event(ev).unwrap();
+}
+
+#[test]
+fn batch_installed_same_shape_rules_form_one_cluster() {
+    let mut e = engine(true);
+    let (sink_a, la) = capture();
+    let (sink_b, lb) = capture();
+    let a = e.create_statement(&epl(3), la).unwrap();
+    let b = e.create_statement(&epl(3), lb).unwrap();
+
+    let report = e.sharing_report();
+    assert!(report.sharing_enabled);
+    assert_eq!(report.shared_statements, 2, "both rules join the cluster");
+    assert_eq!(report.clusters.len(), 1);
+    assert_eq!(report.clusters[0].statements, vec![a.id, b.id]);
+    // lastevent + pane + keepall, each referenced by both statements.
+    assert_eq!(report.shared_windows, 3);
+    assert_eq!(report.private_windows, 0);
+    assert!(
+        report.est_shared_cost < report.est_private_cost,
+        "the planner must only share when the model predicts a win"
+    );
+
+    send_threshold(&mut e, 0, "R1", 3.0);
+    send_bus(&mut e, 10, "R1", 5.0);
+    send_bus(&mut e, 20, "R1", 7.0);
+    assert_eq!(sink_a.lock().len(), 2, "avg {{5}}, then avg {{5,7}}, both > 3");
+    assert_eq!(*sink_a.lock(), *sink_b.lock(), "cluster members see identical rows");
+
+    let report = e.sharing_report();
+    assert!(report.realized_shared_evals > 0, "evals must actually run shared");
+    assert_eq!(report.realized_private_evals, 0);
+    assert_eq!(report.clusters[0].threshold_entries, 1);
+    assert_eq!(report.clusters[0].bank_groups, 1);
+}
+
+#[test]
+fn rule_churn_leaves_sibling_cluster_state_intact() {
+    // Reference: rule A alone over the full script.
+    let mut reference = engine(true);
+    let (ref_sink, rl) = capture();
+    reference.create_statement(&epl(3), rl).unwrap();
+
+    // Under test: A and B clustered, B removed mid-stream, C added after.
+    let mut e = engine(true);
+    let (sink_a, la) = capture();
+    let (sink_b, lb) = capture();
+    let a = e.create_statement(&epl(3), la).unwrap();
+    let b = e.create_statement(&epl(3), lb).unwrap();
+
+    for eng in [&mut reference, &mut e] {
+        send_threshold(eng, 0, "R1", 3.0);
+        send_bus(eng, 10, "R1", 5.0);
+        send_bus(eng, 20, "R1", 7.0);
+    }
+    let fired_before = sink_b.lock().len();
+    assert_eq!(fired_before, 2);
+
+    e.remove_statement(b.id).unwrap();
+    // A's windows must be untouched by the removal: lastevent (1) +
+    // pane group R1 (2) + keepall (1 threshold).
+    let profile = e.profile();
+    let pa = profile.iter().find(|p| p.id == a.id).unwrap();
+    assert_eq!(pa.window_len, 4, "sibling occupancy survives the removal");
+
+    for eng in [&mut reference, &mut e] {
+        send_bus(eng, 30, "R1", 9.0);
+    }
+    assert_eq!(sink_b.lock().len(), fired_before, "removed rules stay silent");
+
+    // A late joiner gets fresh (private) windows — it must fire once its
+    // own threshold window is fed, without disturbing A.
+    let (sink_c, lc) = capture();
+    let c = e.create_statement(&epl(3), lc).unwrap();
+    for eng in [&mut reference, &mut e] {
+        send_threshold(eng, 40, "R1", 3.0);
+        send_bus(eng, 50, "R1", 11.0);
+    }
+    assert_eq!(
+        *ref_sink.lock(),
+        *sink_a.lock(),
+        "A's output must be byte-identical to running alone"
+    );
+    assert_eq!(sink_c.lock().len(), 1, "the late joiner fires on its own state");
+    let profile = e.profile();
+    let pc = profile.iter().find(|p| p.id == c.id).unwrap();
+    assert_eq!(pc.window_len, 3, "late joiner: lastevent 1 + pane 1 + keepall 1");
+}
+
+#[test]
+fn cluster_members_count_events_in_once() {
+    let mut e = engine(true);
+    let (_, la) = capture();
+    let (_, lb) = capture();
+    e.create_statement(&epl(10), la).unwrap();
+    e.create_statement(&epl(10), lb).unwrap();
+
+    send_threshold(&mut e, 0, "R1", 100.0);
+    for i in 0..5 {
+        send_bus(&mut e, 10 + i, "R1", 1.0);
+    }
+    for p in e.profile() {
+        assert_eq!(
+            p.events_in, 6,
+            "each member sees 1 threshold + 5 bus events exactly once"
+        );
+        assert_eq!(p.evals, 6);
+        assert_eq!(p.path_shared, 6, "all evals served from cluster state");
+        assert_eq!(p.path_rescan, 0);
+    }
+}
+
+#[test]
+fn cost_model_keeps_length_one_panes_private() {
+    let mut e = engine(true);
+    let (sink, l) = capture();
+    e.create_statement(&epl(1), l).unwrap();
+
+    let report = e.sharing_report();
+    assert_eq!(report.shared_statements, 0);
+    assert_eq!(report.cost_rejected_statements, 1, "length(1) predicts no win");
+
+    send_threshold(&mut e, 0, "R1", 3.0);
+    send_bus(&mut e, 10, "R1", 5.0);
+    assert_eq!(sink.lock().len(), 1);
+    let p = &e.profile()[0];
+    assert_eq!(p.path_shared, 0, "rejected statements stay on private paths");
+    assert!(p.path_rescan > 0);
+}
+
+#[test]
+fn mid_stream_toggles_preserve_outputs_exactly() {
+    // Three engines over the same script: always-off, on→off at the
+    // midpoint, off→on at the midpoint (exercising the split and merge
+    // paths on live window state).
+    let mut always_off = engine(false);
+    let mut on_then_off = engine(true);
+    let mut off_then_on = engine(false);
+    let mut sinks = Vec::new();
+    for e in [&mut always_off, &mut on_then_off, &mut off_then_on] {
+        let (s1, l1) = capture();
+        let (s2, l2) = capture();
+        e.create_statement(&epl(3), l1).unwrap();
+        e.create_statement(&epl(5), l2).unwrap();
+        sinks.push((s1, s2));
+    }
+    let feed = |e: &mut Engine, base: u64| {
+        send_threshold(e, base, "R1", 2.0);
+        send_bus(e, base + 10, "R1", 5.0);
+        send_bus(e, base + 20, "R2", 7.0);
+        send_threshold(e, base + 30, "R2", 4.0);
+        send_bus(e, base + 40, "R1", 3.0);
+        send_bus(e, base + 50, "R1", 8.0);
+    };
+    for e in [&mut always_off, &mut on_then_off, &mut off_then_on] {
+        feed(e, 0);
+    }
+    on_then_off.set_sharing_enabled(false).unwrap();
+    off_then_on.set_sharing_enabled(true).unwrap();
+    for e in [&mut always_off, &mut on_then_off, &mut off_then_on] {
+        feed(e, 100);
+    }
+    for (name, (s1, s2)) in
+        [("on-then-off", &sinks[1]), ("off-then-on", &sinks[2])]
+    {
+        assert_eq!(*sinks[0].0.lock(), *s1.lock(), "{name}: rule 1 diverged");
+        assert_eq!(*sinks[0].1.lock(), *s2.lock(), "{name}: rule 2 diverged");
+    }
+    // The re-enable merged identical keepall/lastevent slots back together.
+    let report = off_then_on.sharing_report();
+    assert!(report.sharing_enabled);
+    assert!(report.shared_windows > 0, "identical live windows re-merge");
+}

@@ -50,6 +50,11 @@ pub struct SystemConfig {
     /// Whether the Esper engines use the incremental evaluation path
     /// (delta-maintained aggregates); `false` forces full-window rescans.
     pub incremental: bool,
+    /// Whether the Esper engines run the cost-based sharing planner:
+    /// same-shape rules collapse into clusters served from one shared
+    /// window, accumulator bank, and keyed threshold index. `false`
+    /// keeps every statement on private state (the pre-sharing layout).
+    pub sharing: bool,
     /// At-least-once delivery (acker + replay + supervised restarts).
     /// `None` keeps the default fail-fast, at-most-once runtime.
     pub reliability: Option<ReliabilityConfig>,
@@ -71,6 +76,7 @@ impl Default for SystemConfig {
             monitor: None,
             parallelism: TopologyParallelism::default(),
             incremental: true,
+            sharing: true,
             reliability: None,
             chaos: None,
             batch: None,
@@ -581,6 +587,7 @@ impl TrafficSystem {
             detections.clone(),
             parallelism,
             self.config.incremental,
+            self.config.sharing,
             self.config.chaos,
             registry.clone(),
         )?;

@@ -173,6 +173,7 @@ impl RuleEngine {
                     firings: 0,
                     rows_out: 0,
                     eval: tms_dsps::LatencyHistogram::default(),
+                    path_shared: 0,
                     path_incremental: 0,
                     path_anchor: 0,
                     path_rescan: 0,
@@ -189,6 +190,7 @@ impl RuleEngine {
                         p.eval_ns_buckets,
                         p.eval_ns_sum,
                     ));
+                    out.path_shared += p.path_shared;
                     out.path_incremental += p.path_incremental;
                     out.path_anchor += p.path_anchor;
                     out.path_rescan += p.path_rescan;
@@ -227,6 +229,59 @@ impl RuleEngine {
             thresholds_at,
         });
         Ok(())
+    }
+
+    /// Installs a set of rules together, creating **all** statements
+    /// before feeding any threshold stream. Ordering matters for the
+    /// engine's sharing planner: it only merges windows that are still
+    /// pristine at install time, so statements must stand before the
+    /// first threshold event arrives. Per-rule [`RuleEngine::install_rule`]
+    /// feeds eagerly and therefore keeps later same-shape rules on
+    /// private windows.
+    pub fn install_rules(
+        &mut self,
+        specs: &[RuleSpec],
+        monitored: impl IntoIterator<Item = String>,
+    ) -> Result<(), CoreError> {
+        let monitored: HashSet<String> = monitored.into_iter().collect();
+        let start = self.rules.len();
+        for spec in specs {
+            spec.validate()?;
+            self.ensure_bus_stream(spec)?;
+            let statements = self.create_statements_inner(spec, &monitored, false)?;
+            self.rules.push(InstalledRule {
+                spec: spec.clone(),
+                monitored: monitored.clone(),
+                statements,
+                thresholds_at: None,
+            });
+        }
+        for i in start..self.rules.len() {
+            let spec = self.rules[i].spec.clone();
+            let monitored = self.rules[i].monitored.clone();
+            if matches!(self.method, RetrievalMethod::ThresholdStream) {
+                self.feed_threshold_stream(&spec, &monitored)?;
+            }
+            self.rules[i].thresholds_at = self.threshold_stamp();
+        }
+        Ok(())
+    }
+
+    /// Ablation switch for the underlying engine's sharing planner (see
+    /// [`tms_cep::Engine::set_sharing_enabled`]). On by default.
+    pub fn set_sharing_enabled(&mut self, enabled: bool) -> Result<(), CoreError> {
+        self.engine.set_sharing_enabled(enabled)?;
+        Ok(())
+    }
+
+    /// Whether the sharing planner is currently enabled.
+    pub fn sharing_enabled(&self) -> bool {
+        self.engine.sharing_enabled()
+    }
+
+    /// The underlying engine's chosen sharing plan and realized counters.
+    pub fn sharing_report(&self) -> tms_cep::SharingReport {
+        self.engine.sharing_report()
     }
 
     fn ensure_bus_stream(&mut self, spec: &RuleSpec) -> Result<(), CoreError> {
@@ -278,6 +333,19 @@ impl RuleEngine {
         spec: &RuleSpec,
         monitored: &HashSet<String>,
     ) -> Result<Vec<StatementId>, CoreError> {
+        self.create_statements_inner(spec, monitored, true)
+    }
+
+    /// Creates a rule's statements; `feed` controls whether the
+    /// Threshold-Stream snapshot is sent immediately (per-rule installs)
+    /// or deferred by the caller (batch installs, keeping windows
+    /// pristine for the sharing planner).
+    fn create_statements_inner(
+        &mut self,
+        spec: &RuleSpec,
+        monitored: &HashSet<String>,
+        feed: bool,
+    ) -> Result<Vec<StatementId>, CoreError> {
         let clock = self.clock();
         let mut ids = Vec::new();
         match self.method.clone() {
@@ -300,7 +368,9 @@ impl RuleEngine {
                     Self::make_listener(&self.detections, spec.name.clone(), clock);
                 let h = self.engine.create_statement(&spec.to_epl(), listener)?;
                 ids.push(h.id);
-                self.feed_threshold_stream(spec, monitored)?;
+                if feed {
+                    self.feed_threshold_stream(spec, monitored)?;
+                }
             }
             RetrievalMethod::MultipleRules => {
                 // One snapshot query, then a statement per cell.
@@ -394,16 +464,30 @@ impl RuleEngine {
             .collect();
         // Tear down and re-create: our keepall windows cannot delete, so
         // a fresh statement (fresh windows) picks up the new snapshot.
+        // Recreated as a batch (all statements, then all feeds) so the
+        // engine's sharing planner can re-merge the fresh windows.
         for r in &self.rules {
             for &id in &r.statements {
                 self.engine.remove_statement(id)?;
             }
         }
         self.rules.clear();
-        for (spec, monitored) in rules {
-            let statements = self.create_statements(&spec, &monitored)?;
-            let thresholds_at = self.threshold_stamp();
-            self.rules.push(InstalledRule { spec, monitored, statements, thresholds_at });
+        for (spec, monitored) in &rules {
+            let statements = self.create_statements_inner(spec, monitored, false)?;
+            self.rules.push(InstalledRule {
+                spec: spec.clone(),
+                monitored: monitored.clone(),
+                statements,
+                thresholds_at: None,
+            });
+        }
+        for i in 0..self.rules.len() {
+            let spec = self.rules[i].spec.clone();
+            let monitored = self.rules[i].monitored.clone();
+            if matches!(self.method, RetrievalMethod::ThresholdStream) {
+                self.feed_threshold_stream(&spec, &monitored)?;
+            }
+            self.rules[i].thresholds_at = self.threshold_stamp();
         }
         Ok(())
     }

@@ -307,6 +307,10 @@ pub struct EsperBolt {
     db: Option<RemoteDb>,
     /// Whether the engine's incremental evaluation path is enabled.
     incremental: bool,
+    /// Whether the engine's sharing planner is enabled (shared windows,
+    /// accumulator banks, and keyed threshold indexes across same-shape
+    /// rules).
+    sharing: bool,
     /// When set, the engine profiles every statement and publishes
     /// per-rule profiles here after each processed tuple.
     profiles: Option<Arc<EsperProfileRegistry>>,
@@ -332,6 +336,7 @@ impl EsperBolt {
             store,
             db,
             incremental: true,
+            sharing: true,
             profiles: None,
             task_index: 0,
             engine: None,
@@ -343,6 +348,14 @@ impl EsperBolt {
     /// `false` forces full-window rescans — the ablation baseline).
     pub fn with_incremental(mut self, enabled: bool) -> Self {
         self.incremental = enabled;
+        self
+    }
+
+    /// Selects whether the sharing planner may serve same-shape rules
+    /// from shared cluster state (on by default; `false` keeps every
+    /// statement on private windows).
+    pub fn with_sharing(mut self, enabled: bool) -> Self {
+        self.sharing = enabled;
         self
     }
 
@@ -359,13 +372,27 @@ impl Bolt<TrafficMessage> for EsperBolt {
         if let Err(e) = engine.set_incremental_enabled(self.incremental) {
             self.install_error = Some(e.to_string());
         }
+        if let Err(e) = engine.set_sharing_enabled(self.sharing) {
+            self.install_error = Some(e.to_string());
+        }
         if self.profiles.is_some() {
             engine.set_profiling_enabled(true);
         }
         self.task_index = ctx.task_index;
         if let Some(rules) = self.plan.per_engine.get(ctx.task_index) {
+            // Batch rules per monitored-location set: all statements of a
+            // batch stand before its first threshold snapshot is fed, so
+            // the sharing planner sees pristine windows and can cluster
+            // same-shape rules.
+            let mut batches: Vec<(&Vec<String>, Vec<RuleSpec>)> = Vec::new();
             for (spec, monitored) in rules {
-                if let Err(e) = engine.install_rule(spec, monitored.iter().cloned()) {
+                match batches.iter_mut().find(|(m, _)| *m == monitored) {
+                    Some((_, specs)) => specs.push(spec.clone()),
+                    None => batches.push((monitored, vec![spec.clone()])),
+                }
+            }
+            for (monitored, specs) in batches {
+                if let Err(e) = engine.install_rules(&specs, monitored.iter().cloned()) {
                     self.install_error = Some(e.to_string());
                 }
             }
@@ -500,6 +527,7 @@ pub fn build_traffic_topology(
     detections: Arc<Mutex<Vec<Detection>>>,
     parallelism: TopologyParallelism,
     incremental: bool,
+    sharing: bool,
     chaos: Option<FaultConfig>,
     profiling: Option<Arc<EsperProfileRegistry>>,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
@@ -512,7 +540,8 @@ pub fn build_traffic_topology(
             threshold_store.clone(),
             db.clone(),
         )
-        .with_incremental(incremental);
+        .with_incremental(incremental)
+        .with_sharing(sharing);
         if let Some(registry) = &profiling {
             bolt = bolt.with_profiling(registry.clone());
         }

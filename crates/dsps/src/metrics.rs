@@ -394,6 +394,8 @@ pub struct RuleProfile {
     pub rows_out: u64,
     /// Eval wall-time distribution (same 48-bucket log₂ shape as `e2e`).
     pub eval: LatencyHistogram,
+    /// Evaluations served from a shared cluster's bank/index state.
+    pub path_shared: u64,
     /// Evaluations served by the delta-maintained incremental path.
     pub path_incremental: u64,
     /// Evaluations served by the anchor fast path.
@@ -420,6 +422,7 @@ impl RuleProfile {
             firings: self.firings.saturating_sub(last.firings),
             rows_out: self.rows_out.saturating_sub(last.rows_out),
             eval: self.eval.delta(&last.eval),
+            path_shared: self.path_shared.saturating_sub(last.path_shared),
             path_incremental: self.path_incremental.saturating_sub(last.path_incremental),
             path_anchor: self.path_anchor.saturating_sub(last.path_anchor),
             path_rescan: self.path_rescan.saturating_sub(last.path_rescan),
@@ -831,13 +834,16 @@ impl MetricsHub {
             }
         }
 
-        let rule_counters: [MetricSpec<RuleProfile>; 7] = [
+        let rule_counters: [MetricSpec<RuleProfile>; 8] = [
             ("tms_rule_events_in_total", "Events routed into the rule's windows", |r| {
                 r.events_in
             }),
             ("tms_rule_evals_total", "Condition evaluations performed", |r| r.evals),
             ("tms_rule_firings_total", "Evaluations that produced output rows", |r| r.firings),
             ("tms_rule_rows_out_total", "Output rows produced", |r| r.rows_out),
+            ("tms_rule_path_shared_total", "Evals served from shared cluster state", |r| {
+                r.path_shared
+            }),
             ("tms_rule_path_incremental_total", "Evals on the incremental path", |r| {
                 r.path_incremental
             }),
@@ -951,7 +957,7 @@ impl MetricsHub {
                 }
                 out.push_str(&format!(
                     "{{\"rule\":{},\"engine\":{},\"events_in\":{},\"evals\":{},\
-                     \"firings\":{},\"rows_out\":{},\"path_incremental\":{},\
+                     \"firings\":{},\"rows_out\":{},\"path_shared\":{},\"path_incremental\":{},\
                      \"path_anchor\":{},\"path_rescan\":{},\"window_events\":{},\
                      \"threshold_age_s\":{},\"eval\":{}}}",
                     json_string(&r.rule),
@@ -960,6 +966,7 @@ impl MetricsHub {
                     r.evals,
                     r.firings,
                     r.rows_out,
+                    r.path_shared,
                     r.path_incremental,
                     r.path_anchor,
                     r.path_rescan,
@@ -1346,6 +1353,7 @@ mod tests {
                 h.record(Duration::from_micros(2));
                 h
             },
+            path_shared: 0,
             path_incremental: 10,
             path_anchor: 0,
             path_rescan: 0,
@@ -1408,6 +1416,7 @@ mod tests {
                     firings: 0,
                     rows_out: 0,
                     eval: LatencyHistogram::default(),
+                    path_shared: 0,
                     path_incremental: 0,
                     path_anchor: 0,
                     path_rescan: 0,
@@ -1470,6 +1479,7 @@ mod tests {
                         h.record(Duration::from_nanos(5));
                         h
                     },
+                    path_shared: 0,
                     path_incremental: 9,
                     path_anchor: 0,
                     path_rescan: 0,
@@ -1519,6 +1529,7 @@ mod tests {
                     firings: 0,
                     rows_out: 0,
                     eval: LatencyHistogram::default(),
+                    path_shared: 0,
                     path_incremental: 0,
                     path_anchor: 1,
                     path_rescan: 0,

@@ -74,6 +74,7 @@ fn cumulative_profile(n: u64) -> Vec<RuleProfile> {
         firings: n / 10,
         rows_out: n / 10,
         eval: LatencyHistogram::from_parts(buckets, n * 1024),
+        path_shared: 0,
         path_incremental: n,
         path_anchor: 0,
         path_rescan: 0,

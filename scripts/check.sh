@@ -23,4 +23,12 @@ cargo test -p tms-dsps --test profiling
 # grouping, compose with chaos recovery, keep tuple-granular metrics, and
 # drain unconditionally at EOS (see crates/dsps/tests/batching.rs).
 cargo test -p tms-dsps --test batching
+# The sharing suite is the shared-evaluation planner's acceptance bar:
+# cluster formation, rule churn against shared state, cost rejections,
+# profile accounting, and mid-stream toggles (see crates/cep/tests/sharing.rs),
+# plus the differential property that shared ≡ unshared ≡ rescan.
+cargo test -p tms-cep --test sharing --test differential
+# Smoke-mode perf guard: the 10-rule Table 6 workload in shared mode must
+# stay within 2x of the committed snapshot's ms/tuple.
+cargo run --release -p tms-bench --bin experiments -- bench_guard
 cargo clippy --workspace -- -D warnings
