@@ -50,6 +50,8 @@ fn main() {
         "fig16_17" => fig16_17(),
         "bench_snapshot" | "--bench-snapshot" => bench_snapshot(),
         "bench_guard" => bench_guard(),
+        "rebalance" => rebalance(),
+        "rebalance_guard" => rebalance_guard(),
         "drift" => drift(),
         "profile" => profile(),
         "all" => {
@@ -67,7 +69,7 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table1 table2 table6 \
                  fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot bench_guard \
-                 drift profile all"
+                 rebalance rebalance_guard drift profile all"
             );
             std::process::exit(2);
         }
@@ -651,6 +653,239 @@ fn single_statement_events_per_sec(incremental: bool) -> f64 {
         send(&mut engine, warmup + i);
     }
     n as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
+// Elastic rebalance acceptance (BENCH_rebalance.json)
+// ---------------------------------------------------------------------------
+
+/// One elastic hotspot run's headline numbers.
+struct RebalanceOutcome {
+    stats: tms_dsps::MigrationStats,
+    /// Theoretical imbalance the hotspot induces under the start-up table.
+    pre_imbalance: f64,
+    bound: f64,
+    detections: usize,
+}
+
+/// The elastic acceptance scenario: a start-up plan balanced against a
+/// uniform history, then a live stream concentrating 80% of the traffic
+/// on regions the plan routed to engine 0. The rebalancer must migrate
+/// partitions between the two live engines and plan the load back under
+/// `bound` (see `crates/dsps/tests/elastic.rs` for the test twin).
+fn hotspot_rebalance_run(bound: f64) -> RebalanceOutcome {
+    use tms_core::topology::TopologyParallelism;
+    let gen = FleetGenerator::new(FleetConfig::small(17), 0).expect("fleet config is valid");
+    let seeds = gen.route_seed_points();
+    let history: Vec<tms_traffic::BusTrace> =
+        gen.take_while(|t| t.timestamp_ms < 9 * tms_traffic::HOUR_MS).collect();
+    let config = SystemConfig {
+        parallelism: TopologyParallelism {
+            spout_tasks: 1,
+            preprocess_tasks: 1,
+            tracker_tasks: 1,
+            splitter_tasks: 1,
+            esper_tasks: 1,
+        },
+        elastic: Some(tms_core::ElasticConfig {
+            // A tight cadence relative to the replay speed: the stream
+            // drains in a few hundred ms under the release build, and
+            // convergence is only recorded by a post-migration cycle that
+            // still sees live traffic.
+            imbalance_bound: bound,
+            check_interval: std::time::Duration::from_millis(15),
+            cooldown: std::time::Duration::from_millis(45),
+            drain_timeout: std::time::Duration::from_secs(2),
+            max_moves_per_cycle: 8,
+            min_observed: 100,
+        }),
+        ..SystemConfig::default()
+    };
+    let sys = TrafficSystem::bootstrap(tms_geo::DUBLIN_BBOX, &seeds, &history, config)
+        .expect("bootstrap");
+    let mut rule = RuleSpec::new(
+        "rebalance-leaves",
+        Attribute::Delay,
+        LocationSelector::QuadtreeLeaves,
+        10,
+    );
+    rule.s = 0.5;
+    let plan = sys.startup_plan(std::slice::from_ref(&rule), 2).expect("start-up plan");
+
+    // The hotspot: up to four regions the plan routed to engine 0, hit
+    // through a GPS point at each region's bbox center.
+    let quadtree = &sys.artifacts.spatial.quadtree;
+    let route = &plan.split_plan.routes[0];
+    let mut hot: Vec<String> =
+        route.table.iter().filter(|(_, &e)| e == 0).map(|(r, _)| r.clone()).collect();
+    hot.sort();
+    hot.truncate(4);
+    let targets: Vec<tms_geo::GeoPoint> = hot
+        .iter()
+        .filter_map(|r| {
+            let id: u32 = r.strip_prefix('R')?.parse().ok()?;
+            Some(quadtree.region(tms_geo::RegionId(id))?.bbox.center())
+        })
+        .collect();
+    assert!(targets.len() >= 2, "need at least two movable hot regions");
+    let spec = tms_sim::HotspotSpec {
+        hot_share: 0.8,
+        hot_regions: targets.len(),
+        total_rate: 1000.0,
+    };
+
+    // Theoretical pre-migration imbalance: the skewed per-region rates
+    // summed per engine under the original routing table.
+    let mut ordered: Vec<String> = hot.clone();
+    for r in route.table.keys() {
+        if !hot.contains(r) {
+            ordered.push(r.clone());
+        }
+    }
+    let mut per_engine = vec![0.0f64; 2];
+    for rr in spec.region_rates(&ordered) {
+        if let Some(&e) = route.table.get(&rr.region) {
+            per_engine[e] += rr.rate;
+        }
+    }
+    let pre_imbalance = tms_core::partitioning::Partition {
+        assignments: vec![Vec::new(); 2],
+        rates: per_engine,
+    }
+    .imbalance();
+
+    let slots = targets.len() + 1; // the extra slot keeps the original position
+    let live: Vec<tms_traffic::BusTrace> = FleetGenerator::new(FleetConfig::small(17), 1)
+        .expect("fleet config is valid")
+        .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * tms_traffic::HOUR_MS)
+        .enumerate()
+        .map(|(i, mut t)| {
+            let slot = spec.pick(i, slots);
+            if slot < targets.len() {
+                t.position = targets[slot];
+            }
+            t
+        })
+        .collect();
+    let report = sys.run(live, &plan, None).expect("elastic run");
+    RebalanceOutcome {
+        stats: report.elastic.expect("elastic runs report migration stats"),
+        pre_imbalance,
+        bound,
+        detections: report.detections.len(),
+    }
+}
+
+/// `rebalance`: the elastic acceptance run, written to
+/// `BENCH_rebalance.json` at the repository root. Exits non-zero when no
+/// migration completes or the re-planned imbalance stays above the bound.
+fn rebalance() {
+    println!("\n== Rebalance: elastic hotspot acceptance ==");
+    let out = hotspot_rebalance_run(1.5);
+    let s = &out.stats;
+    let cycles = s
+        .cycles_to_converge
+        .map(|c| c.to_string())
+        .unwrap_or_else(|| "null".into());
+    print_table(
+        "Elastic rebalance outcome",
+        &["metric", "value"],
+        &[
+            vec!["rebalance decisions".into(), s.decisions.to_string()],
+            vec!["migrations completed".into(), s.completed.to_string()],
+            vec!["migrations aborted".into(), s.aborted.to_string()],
+            vec!["pause last (ms)".into(), format_num(s.last_pause_ms)],
+            vec!["pause max (ms)".into(), format_num(s.max_pause_ms)],
+            vec!["pre imbalance (theoretical)".into(), format_num(out.pre_imbalance)],
+            vec!["post imbalance (planned)".into(), format_num(s.post_imbalance)],
+            vec!["observed imbalance (final)".into(), format_num(s.observed_imbalance)],
+            vec!["cycles to converge".into(), cycles.clone()],
+            vec!["detections".into(), out.detections.to_string()],
+        ],
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"elastic_rebalance\",\n  \
+         \"workload\": \"small fleet, 1 QuadtreeLeaves rule on 2 engines, 80% of the live \
+         stream on up to 4 engine-0 regions; rebalancer at 15ms cadence\",\n  \
+         \"imbalance_bound\": {:.2},\n  \
+         \"pre_imbalance\": {:.4},\n  \
+         \"post_imbalance\": {:.4},\n  \
+         \"observed_imbalance\": {:.4},\n  \
+         \"rebalance_decisions\": {},\n  \
+         \"migrations_completed\": {},\n  \
+         \"migrations_aborted\": {},\n  \
+         \"pause_last_ms\": {:.3},\n  \
+         \"pause_max_ms\": {:.3},\n  \
+         \"windows_to_convergence\": {cycles}\n}}\n",
+        out.bound,
+        out.pre_imbalance,
+        s.post_imbalance,
+        s.observed_imbalance,
+        s.decisions,
+        s.completed,
+        s.aborted,
+        s.last_pause_ms,
+        s.max_pause_ms,
+    );
+    std::fs::write("BENCH_rebalance.json", json).expect("writing BENCH_rebalance.json");
+    println!("(wrote BENCH_rebalance.json)");
+    if s.completed == 0 {
+        eprintln!("rebalance FAILED: no migration completed");
+        std::process::exit(1);
+    }
+    if s.post_imbalance.is_nan() || s.post_imbalance > out.bound {
+        eprintln!(
+            "rebalance FAILED: post imbalance {:.4} above the bound {:.2}",
+            s.post_imbalance, out.bound
+        );
+        std::process::exit(1);
+    }
+    println!("rebalance OK");
+}
+
+/// `rebalance_guard`: regression guard over the committed
+/// `BENCH_rebalance.json`, then a live re-run of the acceptance scenario.
+/// Fails when the committed snapshot records no migration or an
+/// over-bound post imbalance, or when the re-run does.
+fn rebalance_guard() {
+    println!("\n== Rebalance guard: elastic acceptance check ==");
+    let committed = std::fs::read_to_string("BENCH_rebalance.json")
+        .expect("reading committed BENCH_rebalance.json");
+    let bound = extract_json_number(&committed, "imbalance_bound")
+        .expect("committed snapshot carries imbalance_bound");
+    let post = extract_json_number(&committed, "post_imbalance")
+        .expect("committed snapshot carries post_imbalance");
+    let completed = extract_json_number(&committed, "migrations_completed")
+        .expect("committed snapshot carries migrations_completed");
+    println!(
+        "  committed: {completed} migrations, post imbalance {} (bound {})",
+        format_num(post),
+        format_num(bound)
+    );
+    if completed < 1.0 || post.is_nan() || post > bound {
+        eprintln!("rebalance_guard FAILED: committed snapshot violates the acceptance bar");
+        std::process::exit(1);
+    }
+    let out = hotspot_rebalance_run(bound);
+    println!(
+        "  re-run: {} migrations, post imbalance {} (bound {})",
+        out.stats.completed,
+        format_num(out.stats.post_imbalance),
+        format_num(bound)
+    );
+    if out.stats.completed == 0 || out.stats.post_imbalance.is_nan() || out.stats.post_imbalance > bound {
+        eprintln!("rebalance_guard FAILED: live re-run violates the acceptance bar");
+        std::process::exit(1);
+    }
+    println!("rebalance_guard OK");
+}
+
+/// Pulls a top-level numeric field out of a machine-written snapshot
+/// without a JSON dependency (shape drift shows up as a hard failure).
+fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let val = json.split(&format!("\"{key}\":")).nth(1)?;
+    let end = val.find([',', '}'])?;
+    val[..end].trim().parse().ok()
 }
 
 // ---------------------------------------------------------------------------

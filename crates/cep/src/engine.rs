@@ -222,6 +222,33 @@ pub struct StatementHandle {
     pub id: StatementId,
 }
 
+/// A migrated slice of one stream's window state: the rows (timestamp +
+/// schema-ordered field values) of every event whose partition field
+/// matched the migrating key set. Plain data by construction — no window
+/// or engine internals — so a handoff can cross thread, process or wire
+/// boundaries; the receiving engine revalidates each row against its own
+/// registered schema on [`Engine::absorb_partition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionState {
+    /// The stream the rows belong to.
+    pub stream: String,
+    /// `(timestamp_ms, field values in schema order)` per shipped event,
+    /// in timestamp order.
+    pub rows: Vec<(u64, Vec<FieldValue>)>,
+}
+
+impl PartitionState {
+    /// Number of shipped events.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing matched at collection time.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 /// The CEP engine.
 pub struct Engine {
     types: HashMap<String, Arc<EventType>>,
@@ -913,6 +940,141 @@ impl Engine {
         Ok(())
     }
 
+    /// Collects the migratable state of one stream's partition — every
+    /// retained event (including batch-pending ones) whose `field` value
+    /// is in `values` — without touching the engine. Non-destructive: the
+    /// companion [`Engine::evict_partition`] removes the same events once
+    /// the handoff is safely deposited, so an aborted migration leaves the
+    /// source intact.
+    ///
+    /// Several slots on one stream hold *suffixes* of the same arrival
+    /// sequence (a shorter window retains a subset of a longer one), so
+    /// per matching key the longest per-slot sequence is shipped; the
+    /// destination re-inserts under each of its own windows' specs, which
+    /// re-derive their own suffixes. Rows come back merged across keys in
+    /// timestamp order.
+    pub fn collect_partition(
+        &self,
+        stream: &str,
+        field: &str,
+        values: &[FieldValue],
+    ) -> Result<PartitionState, CepError> {
+        let ty = self
+            .types
+            .get(stream)
+            .ok_or_else(|| CepError::UnknownStream(stream.to_string()))?;
+        let fidx = ty.index_of(field).ok_or_else(|| CepError::UnknownField {
+            field: field.to_string(),
+            context: format!("event type {stream}"),
+        })?;
+        let keys: std::collections::HashSet<crate::event::JoinKey> =
+            values.iter().map(FieldValue::join_key).collect();
+        let mut best: HashMap<crate::event::JoinKey, Vec<&Event>> = HashMap::new();
+        for &sid in self.slots_by_stream.get(stream).map_or(&[][..], Vec::as_slice) {
+            let mut per_key: HashMap<crate::event::JoinKey, Vec<&Event>> = HashMap::new();
+            for e in self.slots[sid].window.iter_all() {
+                let Some(v) = e.value_at(fidx) else { continue };
+                let k = v.join_key();
+                if keys.contains(&k) {
+                    per_key.entry(k).or_default().push(e);
+                }
+            }
+            for (k, seq) in per_key {
+                let entry = best.entry(k).or_default();
+                if seq.len() > entry.len() {
+                    *entry = seq;
+                }
+            }
+        }
+        // Deterministic key order (the caller's `values` order), then a
+        // stable timestamp sort to approximate global arrival order —
+        // exact within each key, which is all grouped windows and
+        // order-insensitive aggregates observe.
+        let mut rows: Vec<(u64, Vec<FieldValue>)> = Vec::new();
+        let mut seen: std::collections::HashSet<crate::event::JoinKey> =
+            std::collections::HashSet::new();
+        for v in values {
+            let k = v.join_key();
+            if !seen.insert(k.clone()) {
+                continue;
+            }
+            if let Some(seq) = best.get(&k) {
+                rows.extend(seq.iter().map(|e| (e.timestamp_ms(), e.values().to_vec())));
+            }
+        }
+        rows.sort_by_key(|(ts, _)| *ts);
+        Ok(PartitionState { stream: stream.to_string(), rows })
+    }
+
+    /// Destructively removes a stream partition's events from every
+    /// window (the post-deposit half of a migration; call
+    /// [`Engine::collect_partition`] first). Returns how many events were
+    /// removed. Shared bank/index state and incremental aggregates are
+    /// rebuilt from the surviving window contents, so remaining partitions
+    /// evaluate exactly as before.
+    pub fn evict_partition(
+        &mut self,
+        stream: &str,
+        field: &str,
+        values: &[FieldValue],
+    ) -> Result<usize, CepError> {
+        let ty = self
+            .types
+            .get(stream)
+            .ok_or_else(|| CepError::UnknownStream(stream.to_string()))?;
+        let fidx = ty.index_of(field).ok_or_else(|| CepError::UnknownField {
+            field: field.to_string(),
+            context: format!("event type {stream}"),
+        })?;
+        let keys: std::collections::HashSet<crate::event::JoinKey> =
+            values.iter().map(FieldValue::join_key).collect();
+        let sids = self.slots_by_stream.get(stream).cloned().unwrap_or_default();
+        let mut removed = 0usize;
+        for sid in sids {
+            removed += self.slots[sid].window.remove_matching(|e| {
+                e.value_at(fidx).is_some_and(|v| keys.contains(&v.join_key()))
+            });
+        }
+        if removed > 0 {
+            self.replan_exec()?;
+        }
+        Ok(removed)
+    }
+
+    /// Installs a shipped partition into every window of its stream —
+    /// the destination half of a migration. Each row is revalidated
+    /// against the local schema and inserted *without* statement
+    /// evaluation (the migrated history already fired at the source);
+    /// shared bank/index state and incremental aggregates are then
+    /// rebuilt so the next genuine arrival evaluates over the merged
+    /// windows. Returns how many events were absorbed.
+    pub fn absorb_partition(&mut self, state: &PartitionState) -> Result<usize, CepError> {
+        let ty = self
+            .types
+            .get(&state.stream)
+            .ok_or_else(|| CepError::UnknownStream(state.stream.clone()))?
+            .clone();
+        // One instance per row, shared by every slot it lands in, so
+        // instance-identity window comparisons (sharing merges) keep
+        // working at the destination.
+        let events: Vec<Event> = state
+            .rows
+            .iter()
+            .map(|(ts, values)| Event::new(&ty, *ts, values.clone()))
+            .collect::<Result<_, _>>()?;
+        let sids = self.slots_by_stream.get(&state.stream).cloned().unwrap_or_default();
+        if sids.is_empty() || events.is_empty() {
+            return Ok(0);
+        }
+        for &sid in &sids {
+            for e in &events {
+                self.slots[sid].window.insert(e);
+            }
+        }
+        self.replan_exec()?;
+        Ok(events.len())
+    }
+
     /// Advances event time for every time window (evicting expired events)
     /// without sending an event.
     pub fn advance_time(&mut self, now_ms: u64) {
@@ -1448,6 +1610,150 @@ mod tests {
         assert_eq!(profile_bucket(3), 1);
         assert_eq!(profile_bucket(4), 2);
         assert_eq!(profile_bucket(u64::MAX), PROFILE_BUCKETS - 1);
+    }
+
+    const LISTING1_EPL: &str = "SELECT bd2.location AS loc, avg(bd2.delay) AS mean_delay \
+         FROM bus.std:lastevent() AS bd, \
+              bus.std:groupwin(location).win:length(3) AS bd2, \
+              thresholdLocation.win:keepall() AS thresholds \
+         WHERE bd.hour = thresholds.hour AND bd.day = thresholds.day \
+           AND bd.location = thresholds.location AND bd.location = bd2.location \
+         GROUP BY bd2.location \
+         HAVING avg(bd2.delay) > avg(thresholds.attribute)";
+
+    fn threshold_event(ty: &EventType, loc: &str, thr: f64) -> Event {
+        Event::from_pairs(
+            ty,
+            0,
+            &[
+                ("location", loc.into()),
+                ("hour", 8i64.into()),
+                ("day", "weekday".into()),
+                ("attribute", thr.into()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_migration_matches_never_migrated_run() {
+        // Source serves R1+R2; R2 migrates mid-stream to a fresh engine.
+        // A reference engine that saw the whole R2 history in place must
+        // fire identically to the migrated destination.
+        let mut source = engine();
+        let mut dest = engine();
+        let mut reference = engine();
+        let (ssink, sl) = capture();
+        let (dsink, dl) = capture();
+        let (rsink, rl) = capture();
+        source.create_statement(LISTING1_EPL, sl).unwrap();
+        dest.create_statement(LISTING1_EPL, dl).unwrap();
+        reference.create_statement(LISTING1_EPL, rl).unwrap();
+        let tty = threshold_type();
+        for (loc, thr) in [("R1", 50.0), ("R2", 30.0)] {
+            source.send_event(threshold_event(&tty, loc, thr)).unwrap();
+            if loc == "R2" {
+                reference.send_event(threshold_event(&tty, loc, thr)).unwrap();
+            }
+        }
+        // Pre-migration traffic; R2 stays at/below its threshold so far.
+        for (ts, d) in [(1u64, 20.0), (2, 40.0)] {
+            source.send_event(bus_event(&source, ts, 9, "R2", d, 8)).unwrap();
+            reference.send_event(bus_event(&reference, ts, 9, "R2", d, 8)).unwrap();
+        }
+        source.send_event(bus_event(&source, 3, 1, "R1", 60.0, 8)).unwrap();
+        assert_eq!(ssink.lock().len(), 1, "R1 fired at the source");
+        assert_eq!(rsink.lock().len(), 0);
+
+        // Migrate R2: ship window + threshold state, evict, absorb.
+        let vals = [FieldValue::from("R2")];
+        let bus_state = source.collect_partition("bus", "location", &vals).unwrap();
+        let thr_state =
+            source.collect_partition("thresholdLocation", "location", &vals).unwrap();
+        assert_eq!(bus_state.len(), 2, "both retained R2 bus events ship");
+        assert_eq!(thr_state.len(), 1, "R2's threshold row ships");
+        assert!(source.evict_partition("bus", "location", &vals).unwrap() >= 2);
+        source.evict_partition("thresholdLocation", "location", &vals).unwrap();
+        assert!(
+            source.collect_partition("bus", "location", &vals).unwrap().is_empty(),
+            "source state gone after eviction"
+        );
+        dest.absorb_partition(&bus_state).unwrap();
+        dest.absorb_partition(&thr_state).unwrap();
+        assert_eq!(dsink.lock().len(), 0, "absorption must not fire listeners");
+
+        // Post-migration R2 traffic runs at the destination; firings must
+        // match the engine that never migrated, row for row.
+        for (ts, d) in [(4u64, 40.0), (5, 45.0)] {
+            dest.send_event(bus_event(&dest, ts, 9, "R2", d, 8)).unwrap();
+            reference.send_event(bus_event(&reference, ts, 9, "R2", d, 8)).unwrap();
+        }
+        assert_eq!(*dsink.lock(), *rsink.lock());
+        assert!(!dsink.lock().is_empty(), "the scenario must actually fire");
+
+        // The source keeps serving R1 undisturbed.
+        source.send_event(bus_event(&source, 6, 1, "R1", 70.0, 8)).unwrap();
+        assert_eq!(ssink.lock().len(), 2);
+    }
+
+    #[test]
+    fn evict_partition_keeps_sibling_statements_consistent() {
+        // Two same-shape statements share windows; evicting one location
+        // must leave the survivors evaluating exactly like an engine that
+        // never held the evicted location at all.
+        let epl_lo = "SELECT w.location AS loc, avg(w.delay) AS m \
+                      FROM bus.std:groupwin(location).win:length(3) AS w \
+                      GROUP BY w.location HAVING avg(w.delay) > 20";
+        let epl_hi = "SELECT w.location AS loc, avg(w.delay) AS m \
+                      FROM bus.std:groupwin(location).win:length(3) AS w \
+                      GROUP BY w.location HAVING avg(w.delay) > 40";
+        let mut e = engine();
+        let mut fresh = engine();
+        let (sink_lo, l_lo) = capture();
+        let (sink_hi, l_hi) = capture();
+        let (fsink_lo, fl_lo) = capture();
+        let (fsink_hi, fl_hi) = capture();
+        e.create_statement(epl_lo, l_lo).unwrap();
+        e.create_statement(epl_hi, l_hi).unwrap();
+        fresh.create_statement(epl_lo, fl_lo).unwrap();
+        fresh.create_statement(epl_hi, fl_hi).unwrap();
+        for (ts, loc, d) in [(1u64, "R1", 100.0), (2, "R2", 30.0), (3, "R1", 100.0)] {
+            e.send_event(bus_event(&e, ts, 1, loc, d, 8)).unwrap();
+            if loc == "R2" {
+                fresh.send_event(bus_event(&fresh, ts, 1, loc, d, 8)).unwrap();
+            }
+        }
+        let pre_lo = sink_lo.lock().len();
+        let pre_hi = sink_hi.lock().len();
+        let fresh_pre_lo = fsink_lo.lock().len();
+        let fresh_pre_hi = fsink_hi.lock().len();
+        assert!(pre_lo >= 1, "R1 and R2 fired the low-threshold rule");
+        let removed = e.evict_partition("bus", "location", &[FieldValue::from("R1")]).unwrap();
+        assert_eq!(removed, 2, "both retained R1 events leave every shared window");
+        // Post-eviction traffic must match the fresh engine exactly.
+        for (ts, d) in [(4u64, 35.0), (5, 60.0)] {
+            e.send_event(bus_event(&e, ts, 1, "R2", d, 8)).unwrap();
+            fresh.send_event(bus_event(&fresh, ts, 1, "R2", d, 8)).unwrap();
+        }
+        assert_eq!(sink_lo.lock()[pre_lo..], fsink_lo.lock()[fresh_pre_lo..]);
+        assert_eq!(sink_hi.lock()[pre_hi..], fsink_hi.lock()[fresh_pre_hi..]);
+        assert!(!fsink_hi.lock().is_empty(), "the high rule must fire post-eviction");
+    }
+
+    #[test]
+    fn collect_partition_validates_stream_and_field() {
+        let e = engine();
+        assert!(matches!(
+            e.collect_partition("nope", "location", &[]),
+            Err(CepError::UnknownStream(_))
+        ));
+        assert!(matches!(
+            e.collect_partition("bus", "nope", &[]),
+            Err(CepError::UnknownField { .. })
+        ));
+        // No statements installed: empty but well-formed state.
+        let s = e.collect_partition("bus", "location", &[FieldValue::from("R1")]).unwrap();
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub mod share;
 pub mod window;
 
 pub use engine::{
-    Engine, EngineStats, Listener, StatementHandle, StatementId, StatementProfile,
-    PROFILE_BUCKETS,
+    Engine, EngineStats, Listener, PartitionState, StatementHandle, StatementId,
+    StatementProfile, PROFILE_BUCKETS,
 };
 pub use error::CepError;
 pub use event::{Event, EventType, FieldType, FieldValue};

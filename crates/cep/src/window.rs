@@ -318,6 +318,59 @@ impl SourceWindow {
         )
     }
 
+    /// Iterates *everything* the window holds: visible events plus the
+    /// pending accumulation of batch windows, pane by pane (ungrouped
+    /// first, then first-seen key order). Within one pane the visible
+    /// events precede the pending ones, which is arrival order — batch
+    /// windows accumulate strictly after their last release. This is the
+    /// migration view: a state handoff must ship events a batch window
+    /// has absorbed but not yet released.
+    pub fn iter_all(&self) -> impl Iterator<Item = &Event> {
+        let panes = std::iter::once(&self.ungrouped)
+            .chain(self.pane_order.iter().filter_map(|k| self.grouped.get(k)));
+        panes.flat_map(|p| p.events.iter().chain(p.pending.iter()))
+    }
+
+    /// Removes every event matching `pred` from the window — visible and
+    /// batch-pending alike — returning how many were removed. Emptied
+    /// `groupwin` panes are dropped entirely. Any removal bumps the
+    /// version, invalidating cached indexes over this window. This is the
+    /// destructive half of a partition migration; the engine rebuilds
+    /// bank/index/incremental state afterwards.
+    pub fn remove_matching(&mut self, pred: impl Fn(&Event) -> bool) -> usize {
+        let mut removed = 0usize;
+        let len = &mut self.len;
+        let mut filter_pane = |pane: &mut Pane| {
+            let before = pane.events.len();
+            pane.events.retain(|e| !pred(e));
+            *len -= before - pane.events.len();
+            removed += before - pane.events.len();
+            let before = pane.pending.len();
+            pane.pending.retain(|e| !pred(e));
+            removed += before - pane.pending.len();
+        };
+        filter_pane(&mut self.ungrouped);
+        for key in &self.pane_order {
+            if let Some(pane) = self.grouped.get_mut(key) {
+                filter_pane(pane);
+            }
+        }
+        self.pane_order.retain(|k| {
+            let keep = self
+                .grouped
+                .get(k)
+                .is_some_and(|p| !p.events.is_empty() || !p.pending.is_empty());
+            if !keep {
+                self.grouped.remove(k);
+            }
+            keep
+        });
+        if removed > 0 {
+            self.version += 1;
+        }
+        removed
+    }
+
     /// Fast path: retained events of one `groupwin` pane. Only valid when
     /// the window is grouped and `key` is the group key.
     pub fn iter_group(&self, key: &JoinKey) -> impl Iterator<Item = &Event> {
@@ -581,6 +634,41 @@ mod tests {
         // No further evictions: delta comes back empty.
         w.advance_time_with_delta(4000, &mut d);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn remove_matching_filters_panes_and_updates_len() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::Length(3), Some(0)).unwrap();
+        for i in 0..3 {
+            w.insert(&ev(&t, i, "R1", i as f64));
+            w.insert(&ev(&t, i, "R2", 100.0 + i as f64));
+        }
+        let v0 = w.version();
+        let is_r1 = |e: &Event| e.value_at(0).unwrap() == &FieldValue::from("R1");
+        assert_eq!(w.remove_matching(is_r1), 3);
+        assert_eq!(w.len(), 3, "R2's pane is untouched");
+        assert!(w.version() > v0, "removal bumps the version");
+        assert!(w.iter().all(|e| !is_r1(e)));
+        // The emptied pane is gone: re-removal finds nothing.
+        assert_eq!(w.remove_matching(is_r1), 0);
+        let k1 = FieldValue::from("R1").join_key();
+        assert_eq!(w.group_len(&k1), 0);
+    }
+
+    #[test]
+    fn iter_all_and_remove_matching_cover_batch_pending() {
+        let t = ty();
+        let mut w = SourceWindow::new(WindowSpec::LengthBatch(3), None).unwrap();
+        w.insert(&ev(&t, 0, "R1", 0.0));
+        w.insert(&ev(&t, 1, "R2", 1.0));
+        assert_eq!(w.iter().count(), 0, "nothing released yet");
+        assert_eq!(w.iter_all().count(), 2, "pending events are migration state");
+        let removed =
+            w.remove_matching(|e| e.value_at(0).unwrap() == &FieldValue::from("R2"));
+        assert_eq!(removed, 1);
+        assert_eq!(w.len(), 0, "pending events never counted in len");
+        assert_eq!(w.iter_all().count(), 1);
     }
 
     #[test]

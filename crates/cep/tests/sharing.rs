@@ -5,7 +5,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tms_cep::engine::Listener;
-use tms_cep::{Engine, EventType, FieldType, OutputRow};
+use tms_cep::{Engine, EventType, FieldType, FieldValue, OutputRow};
 
 fn bus_type() -> EventType {
     EventType::with_fields(
@@ -267,4 +267,77 @@ fn mid_stream_toggles_preserve_outputs_exactly() {
     let report = off_then_on.sharing_report();
     assert!(report.sharing_enabled);
     assert!(report.shared_windows > 0, "identical live windows re-merge");
+}
+
+#[test]
+fn rule_removal_mid_migration_keeps_sibling_shared_state_intact() {
+    // Elastic migration is collect → (drain) → evict; a dynamic rule
+    // removal can land in that gap. The removal must neither invalidate
+    // the collected partition nor let the later eviction corrupt the
+    // surviving sibling's shared slots.
+
+    // Reference: rule A alone, same script including the R2 eviction.
+    let mut reference = engine(true);
+    let (ref_sink, rl) = capture();
+    reference.create_statement(&epl(3), rl).unwrap();
+
+    // Under test: A and B share one cluster.
+    let mut e = engine(true);
+    let (sink_a, la) = capture();
+    let (sink_b, lb) = capture();
+    let a = e.create_statement(&epl(3), la).unwrap();
+    let b = e.create_statement(&epl(3), lb).unwrap();
+    assert_eq!(e.sharing_report().clusters.len(), 1, "A and B must cluster");
+
+    for eng in [&mut reference, &mut e] {
+        send_threshold(eng, 0, "R1", 3.0);
+        send_threshold(eng, 1, "R2", 3.0);
+        send_bus(eng, 10, "R1", 5.0);
+        send_bus(eng, 20, "R2", 6.0);
+        send_bus(eng, 30, "R2", 8.0);
+    }
+    assert_eq!(*sink_a.lock(), *sink_b.lock(), "cluster members agree pre-migration");
+
+    // Migration of R2 begins: collect from the live shared windows...
+    let vals = [FieldValue::from("R2")];
+    let bus_state = e.collect_partition("bus", "location", &vals).unwrap();
+    let thr_state = e.collect_partition("thresholdLocation", "location", &vals).unwrap();
+    assert_eq!(bus_state.len(), 2, "both retained R2 bus events ship");
+    assert_eq!(thr_state.len(), 1, "R2's threshold row ships");
+
+    // ...then B is removed in the collect→evict gap...
+    e.remove_statement(b.id).unwrap();
+
+    // ...and the eviction completes against the post-removal engine.
+    assert!(e.evict_partition("bus", "location", &vals).unwrap() >= 2);
+    e.evict_partition("thresholdLocation", "location", &vals).unwrap();
+    reference.evict_partition("bus", "location", &vals).unwrap();
+    reference.evict_partition("thresholdLocation", "location", &vals).unwrap();
+
+    // A's R1 occupancy survives both the removal and the eviction: pane
+    // R1 (1) + R1 threshold (1). The lastevent slot empties — it held the
+    // most recent event, an R2 bus trace, which the eviction removed.
+    let profile = e.profile();
+    let pa = profile.iter().find(|p| p.id == a.id).unwrap();
+    assert_eq!(pa.window_len, 2, "sibling keeps exactly its R1 state");
+
+    // The collected payload is still installable — the removal must not
+    // have invalidated it. A fresh destination absorbs and fires on R2.
+    let mut dest = engine(true);
+    let (sink_d, ld) = capture();
+    dest.create_statement(&epl(3), ld).unwrap();
+    dest.absorb_partition(&bus_state).unwrap();
+    dest.absorb_partition(&thr_state).unwrap();
+    assert!(sink_d.lock().is_empty(), "absorption must not fire listeners");
+    send_bus(&mut dest, 40, "R2", 9.0);
+    assert!(!sink_d.lock().is_empty(), "migrated R2 state keeps detecting");
+
+    // A continues on R1 byte-identically to running alone.
+    let fired_b = sink_b.lock().len();
+    for eng in [&mut reference, &mut e] {
+        send_bus(eng, 50, "R1", 9.0);
+        send_bus(eng, 60, "R1", 11.0);
+    }
+    assert_eq!(*ref_sink.lock(), *sink_a.lock(), "sibling output diverged");
+    assert_eq!(sink_b.lock().len(), fired_b, "removed rules stay silent");
 }

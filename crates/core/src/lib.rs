@@ -51,5 +51,6 @@ pub use offline::{OfflineArtifacts, OfflineConfig};
 pub use partitioning::{partition_rule, Partition, RegionRate};
 pub use rules::{LocationSelector, RuleSpec, SpatialContext};
 pub use system::{
-    CalibrationReport, EngineDrift, PlannerDriftReport, RuleObservedLoad, TrafficSystem,
+    CalibrationReport, ElasticConfig, EngineDrift, PlannerDriftReport, RuleObservedLoad,
+    SystemConfig, TrafficSystem,
 };

@@ -15,6 +15,12 @@
 
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
+use tms_dsps::KeyHasher;
+
+/// The fixed-key hasher routing regions that are absent from the table:
+/// the same pinned SipHash state the groupings use, so an unknown region
+/// lands on the same engine in every task, process and Rust release.
+const UNKNOWN_REGION_HASHER: KeyHasher = KeyHasher::new();
 
 /// A spatial location with its expected input rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,17 +41,26 @@ pub struct Partition {
 }
 
 impl Partition {
-    /// Largest / smallest engine rate (1.0 = perfectly balanced). Engines
-    /// with zero rate count when the partition is degenerate.
+    /// Largest / smallest *loaded* engine rate (1.0 = perfectly balanced).
+    ///
+    /// Engines with zero (or NaN) rate are ignored: a partition with more
+    /// engines than regions necessarily leaves engines empty, and a
+    /// `max / 0` ratio would pin the value at `+inf` — any threshold
+    /// comparison against it (the elastic rebalancer's trigger) would then
+    /// fire unconditionally. With fewer than two loaded engines there is
+    /// nothing to compare, so the partition reports as balanced. The
+    /// result is always finite and ≥ 1.0.
     pub fn imbalance(&self) -> f64 {
-        let max = self.rates.iter().copied().fold(f64::MIN, f64::max);
-        let min = self.rates.iter().copied().fold(f64::MAX, f64::min);
-        if min <= 0.0 {
-            if max <= 0.0 {
-                1.0
-            } else {
-                f64::INFINITY
-            }
+        let mut min = f64::MAX;
+        let mut max = 0.0f64;
+        let mut loaded = 0usize;
+        for r in self.rates.iter().copied().filter(|r| *r > 0.0) {
+            min = min.min(r);
+            max = max.max(r);
+            loaded += 1;
+        }
+        if loaded < 2 {
+            1.0
         } else {
             max / min
         }
@@ -127,15 +142,15 @@ impl RoutingTable {
 
     /// Engine for a region; unknown regions hash deterministically onto an
     /// engine so fresh regions (never seen in historical data) still route
-    /// stably.
+    /// stably — including across processes and Rust releases, which is why
+    /// the hash goes through the fixed-key [`KeyHasher`] the groupings use
+    /// rather than `std`'s `DefaultHasher` (whose output carries no
+    /// cross-release stability guarantee).
     pub fn route(&self, region: &str) -> usize {
         if let Some(&e) = self.entries.get(region) {
             return e;
         }
-        use std::hash::{DefaultHasher, Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        region.hash(&mut h);
-        (h.finish() % self.engines.max(1) as u64) as usize
+        (UNKNOWN_REGION_HASHER.hash(&region) % self.engines.max(1) as u64) as usize
     }
 
     /// Number of explicitly routed regions.
@@ -212,7 +227,31 @@ mod tests {
     fn more_engines_than_regions_leaves_empties() {
         let p = partition_rule(&regions(&[5.0, 2.0]), 4).unwrap();
         assert_eq!(p.assignments.iter().filter(|a| !a.is_empty()).count(), 2);
-        assert!(p.imbalance().is_infinite());
+        // Empty engines are ignored: the ratio covers the loaded pair
+        // (5.0 / 2.0), not max/0 = inf.
+        assert_eq!(p.imbalance(), 2.5);
+    }
+
+    #[test]
+    fn imbalance_is_finite_for_degenerate_partitions() {
+        // Regression: zero-rate engines used to drive the ratio to +inf
+        // (and an empty rate list to NaN-adjacent territory), so any
+        // `imbalance() > bound` rebalancer trigger fired unconditionally.
+        let all_idle = Partition { assignments: vec![Vec::new(); 3], rates: vec![0.0; 3] };
+        assert_eq!(all_idle.imbalance(), 1.0);
+        let one_loaded =
+            Partition { assignments: vec![vec!["R0".into()], Vec::new()], rates: vec![7.0, 0.0] };
+        assert_eq!(one_loaded.imbalance(), 1.0);
+        let none = Partition { assignments: Vec::new(), rates: Vec::new() };
+        assert_eq!(none.imbalance(), 1.0);
+        // NaN rates count as unloaded instead of poisoning the fold.
+        let with_nan = Partition {
+            assignments: vec![Vec::new(); 3],
+            rates: vec![f64::NAN, 4.0, 2.0],
+        };
+        assert_eq!(with_nan.imbalance(), 2.0);
+        let loaded = Partition { assignments: vec![Vec::new(); 2], rates: vec![6.0, 3.0] };
+        assert_eq!(loaded.imbalance(), 2.0);
     }
 
     #[test]
@@ -258,6 +297,23 @@ mod tests {
         let u2 = table.route("brand-new");
         assert_eq!(u1, u2);
         assert!(u1 < 4);
+    }
+
+    #[test]
+    fn unknown_region_routing_is_pinned() {
+        // Cross-process/cross-release contract: unknown regions go through
+        // the fixed-key SipHash (`tms_dsps::KeyHasher`), never `std`'s
+        // unstable `DefaultHasher`. hash("R1") = 0xbcd27e2ffc423144 is
+        // pinned in tms-dsps; its mod-4 assignment may never change.
+        let mut table = RoutingTable::new(4);
+        assert_eq!(table.route("R1"), (0xbcd2_7e2f_fc42_3144u64 % 4) as usize);
+        assert_eq!(table.route("brand-new"), table.route("brand-new"));
+        let brand_new = table.route("brand-new");
+        // A known region uses its table entry, not the hash.
+        let p = Partition { assignments: vec![vec!["R1".into()]], rates: vec![1.0] };
+        table.add_partition(&p, 3);
+        assert_eq!(table.route("R1"), 3);
+        assert_eq!(table.route("brand-new"), brand_new, "unknowns unaffected");
     }
 
     #[test]

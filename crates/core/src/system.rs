@@ -6,16 +6,18 @@ use crate::error::CoreError;
 use crate::latency::{EstimationModel, RuleLoad};
 use crate::latency::PolyModel;
 use crate::offline::{run_offline, OfflineArtifacts, OfflineConfig};
-use crate::partitioning::{partition_rule, Partition};
+use crate::partitioning::{partition_rule, Partition, RegionRate};
 use crate::rules::{LocationSelector, RuleSpec, SpatialContext};
 use crate::thresholds::{Detection, RetrievalMethod};
 use crate::topology::{
-    build_traffic_topology, EnginePlan, EsperProfileRegistry, GroupingKind, GroupingRoute,
-    SplitPlan, TopologyParallelism,
+    build_traffic_topology, ElasticHandle, EnginePlan, EsperProfileRegistry, GroupingKind,
+    GroupingRoute, MigrationMeta, SplitPlan, TopologyParallelism,
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tms_dsps::runtime::{BatchConfig, ReliabilityConfig, RuntimeConfig};
 use tms_dsps::scheduler::{Assignment, ClusterSpec};
 use tms_dsps::{FaultConfig, LocalCluster, MonitorConfig};
@@ -64,6 +66,74 @@ pub struct SystemConfig {
     /// Data-plane micro-batching for the live topology. `None` (the
     /// default) keeps per-tuple delivery.
     pub batch: Option<BatchConfig>,
+    /// Elastic rule re-partitioning: a rebalancer watches the splitter's
+    /// observed per-region load and migrates rule partitions between live
+    /// engines when the imbalance crosses the bound. `None` (the default)
+    /// keeps the start-up assignment for the whole run.
+    pub elastic: Option<ElasticConfig>,
+}
+
+/// Configuration of the elastic rebalancer (the closed control loop over
+/// the planner-drift observation: re-run Algorithm 1 on observed rates
+/// and migrate state, no topology restart).
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Trigger threshold on the observed imbalance (max engine load over
+    /// mean engine load, ≥ 1). Must exceed 1.
+    pub imbalance_bound: f64,
+    /// How often the rebalancer samples the observed per-region load.
+    pub check_interval: Duration,
+    /// Minimum time between rebalance decisions (lets a previous round's
+    /// effect show in the observations before acting again).
+    pub cooldown: Duration,
+    /// How long the splitter waits for a drain barrier's deposit before
+    /// aborting a migration.
+    pub drain_timeout: Duration,
+    /// Most region moves issued per rebalance decision (highest observed
+    /// rate first).
+    pub max_moves_per_cycle: usize,
+    /// Minimum tuples observed in a grouping during a check interval
+    /// before its imbalance is acted on (guards against deciding on
+    /// start-up or tail noise).
+    pub min_observed: u64,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            imbalance_bound: 2.0,
+            check_interval: Duration::from_millis(200),
+            cooldown: Duration::from_millis(400),
+            drain_timeout: Duration::from_secs(5),
+            max_moves_per_cycle: 4,
+            min_observed: 200,
+        }
+    }
+}
+
+impl ElasticConfig {
+    /// Validates the knobs.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !self.imbalance_bound.is_finite() || self.imbalance_bound <= 1.0 {
+            return Err(CoreError::Config {
+                reason: format!(
+                    "elastic imbalance_bound must be a finite value above 1, got {}",
+                    self.imbalance_bound
+                ),
+            });
+        }
+        if self.check_interval.is_zero() {
+            return Err(CoreError::Config {
+                reason: "elastic check_interval must be non-zero".into(),
+            });
+        }
+        if self.max_moves_per_cycle == 0 {
+            return Err(CoreError::Config {
+                reason: "elastic max_moves_per_cycle must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemConfig {
@@ -80,6 +150,7 @@ impl Default for SystemConfig {
             reliability: None,
             chaos: None,
             batch: None,
+            elastic: None,
         }
     }
 }
@@ -318,6 +389,10 @@ pub struct RunReport {
     /// Planner drift and online-recalibration report (only populated when
     /// the monitor ran with profiling enabled and sampled rule profiles).
     pub planner: Option<PlannerDriftReport>,
+    /// Elastic rebalancer outcome (only populated when
+    /// [`SystemConfig::elastic`] was set): migration counts, routing pause
+    /// durations, and pre/post imbalance.
+    pub elastic: Option<tms_dsps::MigrationStats>,
 }
 
 impl RunReport {
@@ -330,6 +405,143 @@ impl RunReport {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Per-grouping facts the rebalancer needs, precomputed before the
+/// control thread starts (resolving locations needs the spatial index,
+/// which stays on the caller's side).
+struct ElasticGroupingInfo {
+    /// Global engine index of the grouping's first engine.
+    offset: usize,
+    /// Engines allocated to the grouping.
+    engines: usize,
+    /// Every routing key of the grouping, in planning order.
+    regions: Vec<String>,
+    /// Routing key → monitored location keys under it (union over the
+    /// grouping's rules); the state a move of that key ships.
+    locations: HashMap<String, Vec<String>>,
+}
+
+/// The rebalancer control loop: every `check_interval` it drains the
+/// splitter's observed per-region counts, computes each grouping's
+/// observed engine imbalance, and — when it crosses the bound with the
+/// cooldown elapsed — re-runs Algorithm 1 on the observed rates and posts
+/// the highest-rate route diffs as migration tickets. The splitter
+/// executes them; this thread never touches engine state itself.
+fn run_rebalancer(
+    h: Arc<ElasticHandle>,
+    cfg: ElasticConfig,
+    infos: Vec<ElasticGroupingInfo>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut last_decision: Option<Instant> = None;
+    let mut triggered_at: Option<u64> = None;
+    let mut cycle: u64 = 0;
+    loop {
+        // Sleep in short slices so shutdown is prompt.
+        let mut slept = Duration::ZERO;
+        while slept < cfg.check_interval {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let slice = Duration::from_millis(10).min(cfg.check_interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        cycle += 1;
+        if h.coordinator.in_flight() > 0 {
+            continue; // let the current round finish before measuring again
+        }
+        let observed = h.take_observed();
+        let mut worst = f64::NAN;
+        for (gi, info) in infos.iter().enumerate() {
+            let counts: HashMap<&str, u64> = observed
+                .iter()
+                .filter(|((g, _), _)| *g == gi)
+                .map(|((_, region), count)| (region.as_str(), *count))
+                .collect();
+            let total: u64 = counts.values().sum();
+            if total < cfg.min_observed {
+                continue;
+            }
+            let table = {
+                let plan = h.split_plan.read();
+                match plan.routes.get(gi) {
+                    Some(route) => route.table.clone(),
+                    None => continue,
+                }
+            };
+            let mut engine_rates = vec![0.0f64; info.engines];
+            for (region, count) in &counts {
+                if let Some(engine) = table.get(*region) {
+                    if let Some(slot) = engine_rates.get_mut(engine - info.offset) {
+                        *slot += *count as f64;
+                    }
+                }
+            }
+            let imbalance = Partition {
+                assignments: vec![Vec::new(); info.engines],
+                rates: engine_rates,
+            }
+            .imbalance();
+            if imbalance.is_finite() && (worst.is_nan() || imbalance > worst) {
+                worst = imbalance;
+            }
+            if imbalance <= cfg.imbalance_bound {
+                continue;
+            }
+            if last_decision.is_some_and(|at| at.elapsed() < cfg.cooldown) {
+                continue;
+            }
+            // Re-run Algorithm 1 over the observed rates (unobserved
+            // regions keep rate zero so they stay assigned somewhere).
+            let rates: Vec<RegionRate> = info
+                .regions
+                .iter()
+                .map(|r| RegionRate {
+                    region: r.clone(),
+                    rate: counts.get(r.as_str()).copied().unwrap_or(0) as f64,
+                })
+                .collect();
+            let Ok(partition) = partition_rule(&rates, info.engines) else {
+                continue;
+            };
+            h.coordinator.note_decision(partition.imbalance());
+            last_decision = Some(Instant::now());
+            let mut moves: Vec<(String, usize, usize, f64)> = Vec::new();
+            for (e, regions) in partition.assignments.iter().enumerate() {
+                let to = info.offset + e;
+                for region in regions {
+                    let Some(&from) = table.get(region) else { continue };
+                    if from != to {
+                        let rate = counts.get(region.as_str()).copied().unwrap_or(0) as f64;
+                        moves.push((region.clone(), from, to, rate));
+                    }
+                }
+            }
+            moves.sort_by(|a, b| b.3.total_cmp(&a.3));
+            moves.truncate(cfg.max_moves_per_cycle);
+            for (region, from, to, _) in moves {
+                let locations = info.locations.get(&region).cloned().unwrap_or_default();
+                h.coordinator.request(
+                    from,
+                    to,
+                    MigrationMeta { grouping: gi, region, locations },
+                );
+            }
+        }
+        if !worst.is_nan() {
+            h.coordinator.note_observed_imbalance(worst);
+            match triggered_at {
+                None if worst > cfg.imbalance_bound => triggered_at = Some(cycle),
+                Some(since) if worst <= cfg.imbalance_bound => {
+                    h.coordinator.note_converged(cycle - since);
+                    triggered_at = None;
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -570,6 +782,27 @@ impl TrafficSystem {
         let detections = Arc::new(Mutex::new(Vec::new()));
         let mut parallelism = self.config.parallelism;
         parallelism.esper_tasks = plan.engine_plan.engines().max(1);
+        let elastic = match &self.config.elastic {
+            Some(cfg) => {
+                cfg.validate()?;
+                if matches!(self.config.method, RetrievalMethod::MultipleRules) {
+                    return Err(CoreError::Config {
+                        reason: "elastic migration is unsupported for the Multiple-Rules \
+                                 method: locations are baked into per-cell statements"
+                            .into(),
+                    });
+                }
+                // The drain barrier's ordering argument needs exactly one
+                // routing task (per-sender FIFO to each engine).
+                parallelism.splitter_tasks = 1;
+                Some(Arc::new(ElasticHandle::new(
+                    plan.split_plan.clone(),
+                    plan.engine_plan.clone(),
+                    cfg.drain_timeout,
+                )))
+            }
+            None => None,
+        };
         let registry = self
             .config
             .monitor
@@ -590,6 +823,7 @@ impl TrafficSystem {
             self.config.sharing,
             self.config.chaos,
             registry.clone(),
+            elastic.clone(),
         )?;
         let cluster = LocalCluster::new(self.config.cluster)?;
         let handle = cluster.submit(
@@ -608,8 +842,37 @@ impl TrafficSystem {
                 .metrics()
                 .register_profile_source("esper", Arc::new(move || registry.collect()));
         }
+        let stop = Arc::new(AtomicBool::new(false));
+        let rebalancer = elastic.as_ref().map(|h| {
+            let cfg = self.config.elastic.clone().expect("elastic handle implies config");
+            let gauges = h.clone();
+            handle.metrics().register_gauges(
+                "splitter",
+                Arc::new(move || {
+                    let s = gauges.coordinator.stats();
+                    vec![
+                        ("rebalances_total".to_string(), s.decisions as f64),
+                        ("migrations_total".to_string(), s.completed as f64),
+                        ("migrations_aborted_total".to_string(), s.aborted as f64),
+                        ("migration_last_pause_ms".to_string(), s.last_pause_ms),
+                        ("migration_max_pause_ms".to_string(), s.max_pause_ms),
+                        ("rebalance_post_imbalance".to_string(), s.post_imbalance),
+                        ("rebalance_observed_imbalance".to_string(), s.observed_imbalance),
+                    ]
+                }),
+            );
+            let infos = self.elastic_grouping_infos(plan);
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || run_rebalancer(h, cfg, infos, stop))
+        });
         let assignment = handle.assignment().clone();
-        let metrics = handle.join()?;
+        let metrics = handle.join();
+        stop.store(true, Ordering::Relaxed);
+        if let Some(t) = rebalancer {
+            let _ = t.join();
+        }
+        let metrics = metrics?;
         let history = metrics.history();
         let drift = self.drift_samples(plan, &assignment, &history);
         let planner = registry
@@ -622,8 +885,47 @@ impl TrafficSystem {
             history,
             drift,
             planner,
+            elastic: elastic.map(|h| h.coordinator.stats()),
         };
         Ok(report)
+    }
+
+    /// Precomputes the per-grouping facts the rebalancer thread needs
+    /// (engine offsets and each routing key's monitored-location union).
+    fn elastic_grouping_infos(&self, plan: &StartupPlan) -> Vec<ElasticGroupingInfo> {
+        let stops_layer = self.artifacts.spatial.quadtree.max_layer() + 1;
+        let offsets = plan.allocation.offsets();
+        plan.groupings
+            .iter()
+            .enumerate()
+            .map(|(gi, grouping)| {
+                let partition_layer =
+                    *grouping.layers.iter().min().expect("grouping has layers");
+                let mut regions = Vec::new();
+                let mut locations = HashMap::new();
+                for r in &grouping.regions {
+                    regions.push(r.region.clone());
+                    let owned = std::slice::from_ref(&r.region);
+                    let mut union: Vec<String> = Vec::new();
+                    for rule in &grouping.rules {
+                        for l in
+                            self.rule_locations_under(rule, owned, partition_layer, stops_layer)
+                        {
+                            if !union.contains(&l) {
+                                union.push(l);
+                            }
+                        }
+                    }
+                    locations.insert(r.region.clone(), union);
+                }
+                ElasticGroupingInfo {
+                    offset: offsets.get(gi).copied().unwrap_or(0),
+                    engines: plan.allocation.engines[gi],
+                    regions,
+                    locations,
+                }
+            })
+            .collect()
     }
 
     /// The Figure 7 prediction for the Esper component as planned and

@@ -60,6 +60,35 @@ pub struct Detection {
 /// Shared sink collecting detections from an engine.
 pub type DetectionSink = Arc<Mutex<Vec<Detection>>>;
 
+/// A rule engine's migratable share of some locations: which locations
+/// each rule gives up, plus the per-stream window/threshold state shipped
+/// to the destination engine. Built by [`RuleEngine::collect_migration`],
+/// installed by [`RuleEngine::absorb_migration`]. Plain data throughout
+/// (see [`tms_cep::PartitionState`]), so the handoff can cross process
+/// boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleMigration {
+    /// Per rule: `(rule name, locations moving for that rule)`. Rules
+    /// whose monitored set does not intersect the migrating locations are
+    /// omitted.
+    pub rules: Vec<(String, Vec<String>)>,
+    /// Shipped window state, one entry per involved stream (attribute
+    /// streams and, for the Threshold-Stream method, threshold streams).
+    pub partitions: Vec<tms_cep::PartitionState>,
+}
+
+impl RuleMigration {
+    /// Whether no rule had any of the migrating locations.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total shipped events across all streams.
+    pub fn event_count(&self) -> usize {
+        self.partitions.iter().map(tms_cep::PartitionState::len).sum()
+    }
+}
+
 struct InstalledRule {
     spec: RuleSpec,
     /// Locations this engine monitors for the rule (its partition share).
@@ -339,15 +368,35 @@ impl RuleEngine {
     /// Creates a rule's statements; `feed` controls whether the
     /// Threshold-Stream snapshot is sent immediately (per-rule installs)
     /// or deferred by the caller (batch installs, keeping windows
-    /// pristine for the sharing planner).
+    /// pristine for the sharing planner). All-or-nothing: a failure
+    /// midway (Multiple-Rules creates one statement per cell) removes
+    /// the statements already created before the error surfaces.
     fn create_statements_inner(
         &mut self,
         spec: &RuleSpec,
         monitored: &HashSet<String>,
         feed: bool,
     ) -> Result<Vec<StatementId>, CoreError> {
-        let clock = self.clock();
         let mut ids = Vec::new();
+        match self.create_statements_raw(spec, monitored, feed, &mut ids) {
+            Ok(()) => Ok(ids),
+            Err(e) => {
+                for id in ids {
+                    let _ = self.engine.remove_statement(id);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn create_statements_raw(
+        &mut self,
+        spec: &RuleSpec,
+        monitored: &HashSet<String>,
+        feed: bool,
+        ids: &mut Vec<StatementId>,
+    ) -> Result<(), CoreError> {
+        let clock = self.clock();
         match self.method.clone() {
             RetrievalMethod::ThresholdStream => {
                 // Register the threshold stream and feed the snapshot.
@@ -406,7 +455,7 @@ impl RuleEngine {
                 );
             }
         }
-        Ok(ids)
+        Ok(())
     }
 
     fn snapshot(&self, spec: &RuleSpec) -> Result<Vec<tms_storage::ThresholdRow>, CoreError> {
@@ -424,6 +473,20 @@ impl RuleEngine {
         monitored: &HashSet<String>,
     ) -> Result<(), CoreError> {
         let rows = self.snapshot(spec)?;
+        self.feed_threshold_rows(spec, monitored, rows)
+    }
+
+    /// Feeds pre-fetched snapshot rows into the rule's threshold stream,
+    /// filtered to the monitored locations. Split from
+    /// [`Self::feed_threshold_stream`] so callers that must not fail
+    /// mid-mutation (the atomic refresh) can front-load the fallible
+    /// store round trip.
+    fn feed_threshold_rows(
+        &mut self,
+        spec: &RuleSpec,
+        monitored: &HashSet<String>,
+        rows: Vec<tms_storage::ThresholdRow>,
+    ) -> Result<(), CoreError> {
         let ty = self
             .engine
             .event_type(&spec.threshold_stream())
@@ -456,40 +519,208 @@ impl RuleEngine {
 
     /// Re-reads the statistics snapshot and swaps every rule's threshold
     /// state — the dynamic-rules path fed by the periodic Hadoop job.
+    ///
+    /// The swap is atomic with respect to failure: every fallible step
+    /// (the store round trips, building the replacement statements) runs
+    /// *before* the first installed statement is removed, so an error —
+    /// a dropped statistics table, a failed remote query, a statement
+    /// that no longer compiles — leaves the engine exactly as it was,
+    /// old rules and thresholds still standing. The previous
+    /// tear-down-then-recreate order could fail midway and leave the
+    /// engine with no rules at all.
     pub fn refresh_thresholds(&mut self) -> Result<(), CoreError> {
         let rules: Vec<(RuleSpec, HashSet<String>)> = self
             .rules
             .iter()
             .map(|r| (r.spec.clone(), r.monitored.clone()))
             .collect();
-        // Tear down and re-create: our keepall windows cannot delete, so
-        // a fresh statement (fresh windows) picks up the new snapshot.
-        // Recreated as a batch (all statements, then all feeds) so the
-        // engine's sharing planner can re-merge the fresh windows.
-        for r in &self.rules {
-            for &id in &r.statements {
-                self.engine.remove_statement(id)?;
+        // Front-load the fallible store round trips: one snapshot per
+        // rule, fetched while the engine is untouched.
+        let snapshots: Vec<Option<Vec<tms_storage::ThresholdRow>>> = rules
+            .iter()
+            .map(|(spec, _)| match self.method {
+                RetrievalMethod::ThresholdStream => self.snapshot(spec).map(Some),
+                _ => Ok(None),
+            })
+            .collect::<Result<_, _>>()?;
+        // Build the replacement statements while the old ones still
+        // stand: our keepall windows cannot delete, so fresh statements
+        // (fresh windows) pick up the new snapshot. A failure here
+        // unwinds the partial build and leaves the engine untouched.
+        let mut fresh: Vec<Vec<StatementId>> = Vec::new();
+        for (spec, monitored) in &rules {
+            match self.create_statements_inner(spec, monitored, false) {
+                Ok(ids) => fresh.push(ids),
+                Err(e) => {
+                    for id in fresh.into_iter().flatten() {
+                        let _ = self.engine.remove_statement(id);
+                    }
+                    return Err(e);
+                }
             }
         }
-        self.rules.clear();
-        for (spec, monitored) in &rules {
-            let statements = self.create_statements_inner(spec, monitored, false)?;
-            self.rules.push(InstalledRule {
-                spec: spec.clone(),
-                monitored: monitored.clone(),
-                statements,
-                thresholds_at: None,
-            });
+        // Full success: retire the old statements and swap in the new
+        // ones. Recreated as a batch (all statements, then all feeds) so
+        // the engine's sharing planner can re-merge the fresh windows.
+        let old: Vec<StatementId> =
+            self.rules.iter().flat_map(|r| r.statements.iter().copied()).collect();
+        for (r, ids) in self.rules.iter_mut().zip(fresh) {
+            r.statements = ids;
+            r.thresholds_at = None;
         }
-        for i in 0..self.rules.len() {
+        for id in old {
+            self.engine.remove_statement(id)?;
+        }
+        for (i, snapshot) in snapshots.iter().enumerate() {
             let spec = self.rules[i].spec.clone();
             let monitored = self.rules[i].monitored.clone();
-            if matches!(self.method, RetrievalMethod::ThresholdStream) {
-                self.feed_threshold_stream(&spec, &monitored)?;
+            if let Some(rows) = snapshot.clone() {
+                self.feed_threshold_rows(&spec, &monitored, rows)?;
             }
             self.rules[i].thresholds_at = self.threshold_stamp();
         }
         Ok(())
+    }
+
+    /// Elastic migrations move per-location window state between engines;
+    /// that only works when statements are location-agnostic (membership
+    /// lives in the monitored sets). Multiple-Rules bakes each location
+    /// into its own per-cell statement, so it cannot migrate state.
+    fn ensure_elastic_supported(&self) -> Result<(), CoreError> {
+        if matches!(self.method, RetrievalMethod::MultipleRules) {
+            return Err(CoreError::Config {
+                reason: "elastic migration is unsupported for the Multiple-Rules method: \
+                         locations are baked into per-cell statements"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The streams a migration of `moved` rules ships state on: each
+    /// rule's attribute stream plus, under the Threshold-Stream method,
+    /// its threshold stream.
+    fn migration_streams(&self, moved: &[(String, Vec<String>)]) -> Vec<String> {
+        let mut streams: Vec<String> = Vec::new();
+        for r in &self.rules {
+            if !moved.iter().any(|(name, _)| *name == r.spec.name) {
+                continue;
+            }
+            for s in [r.spec.bus_stream(), r.spec.threshold_stream()] {
+                if self.streams_registered.contains(&s) && !streams.contains(&s) {
+                    streams.push(s);
+                }
+            }
+        }
+        streams
+    }
+
+    /// Collects this engine's share of `locations` for migration —
+    /// non-destructively, so an aborted handoff changes nothing here.
+    /// Ship the result, then call [`Self::evict_migration`] once the
+    /// destination has it safely deposited.
+    pub fn collect_migration(&self, locations: &[String]) -> Result<RuleMigration, CoreError> {
+        self.ensure_elastic_supported()?;
+        let mut rules: Vec<(String, Vec<String>)> = Vec::new();
+        let mut union: Vec<String> = Vec::new();
+        for r in &self.rules {
+            let moved: Vec<String> =
+                locations.iter().filter(|l| r.monitored.contains(*l)).cloned().collect();
+            if moved.is_empty() {
+                continue;
+            }
+            for l in &moved {
+                if !union.contains(l) {
+                    union.push(l.clone());
+                }
+            }
+            rules.push((r.spec.name.clone(), moved));
+        }
+        let mut partitions = Vec::new();
+        if !rules.is_empty() {
+            let values: Vec<tms_cep::FieldValue> =
+                union.iter().map(|l| tms_cep::FieldValue::from(l.as_str())).collect();
+            for stream in self.migration_streams(&rules) {
+                let p = self.engine.collect_partition(&stream, "location", &values)?;
+                if !p.is_empty() {
+                    partitions.push(p);
+                }
+            }
+        }
+        Ok(RuleMigration { rules, partitions })
+    }
+
+    /// Destructively drops a collected migration's locations from this
+    /// engine: their window/threshold state leaves every statement and
+    /// the rules stop monitoring them, so replayed or late tuples for
+    /// those locations no longer produce events here. Returns how many
+    /// retained events were removed.
+    pub fn evict_migration(&mut self, migration: &RuleMigration) -> Result<usize, CoreError> {
+        self.ensure_elastic_supported()?;
+        let mut union: Vec<String> = Vec::new();
+        for (_, locs) in &migration.rules {
+            for l in locs {
+                if !union.contains(l) {
+                    union.push(l.clone());
+                }
+            }
+        }
+        if union.is_empty() {
+            return Ok(0);
+        }
+        let values: Vec<tms_cep::FieldValue> =
+            union.iter().map(|l| tms_cep::FieldValue::from(l.as_str())).collect();
+        let mut removed = 0usize;
+        for stream in self.migration_streams(&migration.rules) {
+            removed += self.engine.evict_partition(&stream, "location", &values)?;
+        }
+        for (name, locs) in &migration.rules {
+            if let Some(r) = self.rules.iter_mut().find(|r| r.spec.name == *name) {
+                for l in locs {
+                    r.monitored.remove(l);
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Installs a shipped migration: each migrating rule starts (or
+    /// extends) its monitored set here, missing rules are installed from
+    /// `specs`, and the shipped window/threshold state merges into the
+    /// local statements without re-firing (the history already fired at
+    /// the source).
+    pub fn absorb_migration(
+        &mut self,
+        specs: &[RuleSpec],
+        migration: &RuleMigration,
+    ) -> Result<(), CoreError> {
+        self.ensure_elastic_supported()?;
+        for (name, locs) in &migration.rules {
+            if !self.rules.iter().any(|r| r.spec.name == *name) {
+                let spec = specs.iter().find(|s| s.name == *name).ok_or_else(|| {
+                    CoreError::Rule {
+                        reason: format!("migration references unknown rule {name:?}"),
+                    }
+                })?;
+                self.install_rule(spec, std::iter::empty())?;
+            }
+            let r = self
+                .rules
+                .iter_mut()
+                .find(|r| r.spec.name == *name)
+                .expect("installed just above");
+            r.monitored.extend(locs.iter().cloned());
+        }
+        for p in &migration.partitions {
+            self.engine.absorb_partition(p)?;
+        }
+        Ok(())
+    }
+
+    /// The locations a rule currently monitors on this engine, when it is
+    /// installed.
+    pub fn monitored(&self, rule: &str) -> Option<&HashSet<String>> {
+        self.rules.iter().find(|r| r.spec.name == rule).map(|r| &r.monitored)
     }
 
     /// Feeds one enriched trace to the engine: for every installed rule,
@@ -782,6 +1013,47 @@ mod tests {
     }
 
     #[test]
+    fn failed_refresh_leaves_the_old_rules_standing() {
+        // The statistics table vanishing mid-operation (a batch-layer
+        // republish gone wrong) must fail the refresh *without* tearing
+        // down the rules that were serving detections.
+        for method in [RetrievalMethod::ThresholdStream, RetrievalMethod::MultipleRules] {
+            let store = store_with_stats();
+            let mut re = RuleEngine::new(method.clone(), store.clone(), None);
+            re.install_rule(&rule(1), monitored()).unwrap();
+            let sink = re.detections();
+            re.send_trace(&trace(1000, "R1", 150.0)).unwrap();
+            assert_eq!(sink.lock().len(), 1, "{method:?}: rule fires before");
+            let statements_before = re.statement_count();
+
+            store
+                .store()
+                .drop_table(&tms_storage::thresholds::statistics_table_name("delay"))
+                .unwrap();
+            let err = re.refresh_thresholds();
+            assert!(
+                matches!(
+                    err,
+                    Err(CoreError::Storage(tms_storage::StorageError::TableNotFound(_)))
+                ),
+                "{method:?}: refresh must surface the missing table"
+            );
+            assert_eq!(
+                re.statement_count(),
+                statements_before,
+                "{method:?}: failed refresh must not add or remove statements"
+            );
+            // The old rules (and their threshold state) still detect.
+            re.send_trace(&trace(60_000, "R1", 150.0)).unwrap();
+            assert_eq!(
+                sink.lock().len(),
+                2,
+                "{method:?}: rule still fires after the failed refresh"
+            );
+        }
+    }
+
+    #[test]
     fn first_reports_without_derived_attributes_are_skipped() {
         let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
         let mut speed_rule = RuleSpec::new(
@@ -851,6 +1123,63 @@ mod tests {
         re.install_rule(&rule(1), monitored()).unwrap();
         re.set_profiling_enabled(true);
         assert_eq!(re.rule_profiles(0)[0].threshold_age, None);
+    }
+
+    #[test]
+    fn migration_hands_off_rule_state_between_engines() {
+        // R2 migrates from `source` to `dest` mid-stream; a reference
+        // engine that served R2 the whole time must detect identically.
+        let store = store_with_stats();
+        let mut source = RuleEngine::new(RetrievalMethod::ThresholdStream, store.clone(), None);
+        let mut dest = RuleEngine::new(RetrievalMethod::ThresholdStream, store.clone(), None);
+        let mut reference = RuleEngine::new(RetrievalMethod::ThresholdStream, store, None);
+        let spec = rule(3);
+        source.install_rule(&spec, monitored()).unwrap();
+        reference.install_rule(&spec, vec!["R2".to_string()]).unwrap();
+        let ssink = source.detections();
+        let dsink = dest.detections();
+        let rsink = reference.detections();
+        // Pre-migration: R2 builds window state below its threshold
+        // (1000); R1 fires at the source.
+        for (ts, d) in [(1000u64, 800.0), (2000, 900.0)] {
+            source.send_trace(&trace(ts, "R2", d)).unwrap();
+            reference.send_trace(&trace(ts, "R2", d)).unwrap();
+        }
+        source.send_trace(&trace(3000, "R1", 150.0)).unwrap();
+        assert_eq!(ssink.lock().len(), 1);
+        assert!(rsink.lock().is_empty());
+
+        // Hand off R2 (dest has no rules installed at all yet).
+        let migration = source.collect_migration(&["R2".to_string()]).unwrap();
+        assert_eq!(migration.rules, vec![("delay-rule".to_string(), vec!["R2".to_string()])]);
+        assert!(migration.event_count() >= 3, "2 window events + 1 threshold row ship");
+        assert!(source.evict_migration(&migration).unwrap() >= 2);
+        assert!(!source.monitored("delay-rule").unwrap().contains("R2"));
+        dest.absorb_migration(std::slice::from_ref(&spec), &migration).unwrap();
+        assert!(dest.monitored("delay-rule").unwrap().contains("R2"));
+        assert!(dsink.lock().is_empty(), "absorbed history must not re-fire");
+
+        // Post-migration R2 traffic: window avg crosses 1000 using the
+        // migrated events; dest must match the never-migrated reference.
+        for (ts, d) in [(4000u64, 1600.0), (5000, 1700.0)] {
+            dest.send_trace(&trace(ts, "R2", d)).unwrap();
+            reference.send_trace(&trace(ts, "R2", d)).unwrap();
+        }
+        assert_eq!(*dsink.lock(), *rsink.lock());
+        assert!(!dsink.lock().is_empty(), "the scenario must actually fire");
+        // Replayed R2 traffic at the source is ignored, not double-counted.
+        assert_eq!(source.send_trace(&trace(4000, "R2", 1600.0)).unwrap(), 0);
+        assert_eq!(ssink.lock().len(), 1, "source only ever fired for R1");
+    }
+
+    #[test]
+    fn migration_is_rejected_for_multiple_rules() {
+        let mut re = RuleEngine::new(RetrievalMethod::MultipleRules, store_with_stats(), None);
+        re.install_rule(&rule(2), monitored()).unwrap();
+        assert!(matches!(
+            re.collect_migration(&["R1".to_string()]),
+            Err(CoreError::Config { .. })
+        ));
     }
 
     #[test]

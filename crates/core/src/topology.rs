@@ -3,14 +3,15 @@
 //! EventsStorer, expressed over the DSPS substrate.
 
 use crate::rules::{RuleSpec, SpatialContext};
-use crate::thresholds::{Detection, RetrievalMethod, RuleEngine};
-use parking_lot::Mutex;
+use crate::thresholds::{Detection, RetrievalMethod, RuleEngine, RuleMigration};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tms_cep::CepError;
 use tms_dsps::{
-    chaos_wrap, Bolt, BoltContext, Emitter, FaultConfig, Grouping, Parallelism, RuleProfile,
-    Spout, Topology, TopologyBuilder,
+    chaos_wrap, Bolt, BoltContext, Emitter, FaultConfig, Grouping, MigrationCoordinator,
+    Parallelism, RuleProfile, Spout, Topology, TopologyBuilder,
 };
 use tms_geo::{BusStopIndex, RegionQuadtree};
 use tms_storage::{RemoteDb, TableStore, ThresholdStore};
@@ -25,6 +26,21 @@ pub enum TrafficMessage {
     Enriched(Arc<EnrichedTrace>),
     /// A detection fired by an Esper bolt.
     Detection(Detection),
+    /// Elastic drain barrier: per-sender FIFO guarantees the source engine
+    /// sees it after every tuple routed under the old table, so the state
+    /// it extracts for migration ticket `id` is complete.
+    Barrier {
+        /// The migration ticket this barrier drains for.
+        id: u64,
+    },
+    /// Elastic install trigger: tells the destination engine to absorb
+    /// ticket `id`'s payload from its coordinator mailbox now. Purely an
+    /// accelerator — engines also poll their mailbox on every tuple, so a
+    /// lost trigger delays absorption rather than losing state.
+    Install {
+        /// The migration ticket to absorb.
+        id: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -201,25 +217,193 @@ impl SplitPlan {
         }
         out
     }
+
+    /// Like [`Self::engines_for`], but per grouping and without
+    /// deduplication: `(grouping index, matched routing key, engine)`.
+    /// The elastic splitter uses this to account observed per-region load
+    /// while routing.
+    pub fn routes_for(&self, e: &EnrichedTrace) -> Vec<(usize, String, usize)> {
+        let mut out = Vec::new();
+        for (g, route) in self.routes.iter().enumerate() {
+            let hit = match &route.kind {
+                GroupingKind::QuadtreeLayer(layer) => {
+                    if e.areas.is_empty() {
+                        None
+                    } else {
+                        let idx = (*layer as usize).min(e.areas.len() - 1);
+                        e.areas[..=idx]
+                            .iter()
+                            .rev()
+                            .find_map(|a| route.table.get(a).map(|t| (a.clone(), *t)))
+                    }
+                }
+                GroupingKind::BusStops => e
+                    .bus_stop
+                    .as_ref()
+                    .and_then(|s| route.table.get(s).map(|t| (s.clone(), *t))),
+            };
+            if let Some((key, target)) = hit {
+                out.push((g, key, target));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic re-partitioning plumbing
+// ---------------------------------------------------------------------------
+
+/// What one migration ticket moves: a routing-table region of one grouping
+/// and the monitored location keys under it.
+#[derive(Debug, Clone)]
+pub struct MigrationMeta {
+    /// Index into [`SplitPlan::routes`] / the allocation's groupings.
+    pub grouping: usize,
+    /// The routing-table key whose ownership moves.
+    pub region: String,
+    /// Monitored location keys under `region` (union over the grouping's
+    /// rules) whose engine state ships with the move.
+    pub locations: Vec<String>,
+}
+
+/// The state deposited by a source engine: the moved window/accumulator/
+/// threshold partitions plus the rule specs the destination needs to
+/// install any rule it does not run yet.
+#[derive(Debug, Clone)]
+pub struct MigrationPayload {
+    /// Specs for every rule named in `migration`, in source order.
+    pub specs: Vec<RuleSpec>,
+    /// The extracted per-rule locations and shipped partition state.
+    pub migration: RuleMigration,
+}
+
+/// The topology's migration coordinator specialization.
+pub type TrafficCoordinator = MigrationCoordinator<MigrationMeta, MigrationPayload>;
+
+/// Shared state of the elastic control loop: the coordinator, the *live*
+/// routing and engine plans (swapped atomically under their locks as
+/// migrations commit — restarted engine tasks rebuild from the live plan,
+/// so supervised recovery and elasticity compose), and the splitter's
+/// observed per-region tuple counts that the rebalancer drains.
+pub struct ElasticHandle {
+    /// Ticket rendezvous between rebalancer, splitter, and engines.
+    pub coordinator: TrafficCoordinator,
+    /// The live routing plan; the splitter routes from this on every tuple.
+    pub split_plan: RwLock<SplitPlan>,
+    /// The live rule assignment; engine tasks prepare from this.
+    pub engine_plan: RwLock<EnginePlan>,
+    /// `(grouping, region)` → tuples routed since the last drain.
+    observed: Mutex<HashMap<(usize, String), u64>>,
+    /// How long the splitter waits for a drain barrier's deposit before
+    /// aborting the migration.
+    pub drain_timeout: Duration,
+}
+
+impl ElasticHandle {
+    /// Creates the handle with the start-up plans as the live state.
+    pub fn new(split_plan: SplitPlan, engine_plan: EnginePlan, drain_timeout: Duration) -> Self {
+        ElasticHandle {
+            coordinator: TrafficCoordinator::new(),
+            split_plan: RwLock::new(split_plan),
+            engine_plan: RwLock::new(engine_plan),
+            observed: Mutex::new(HashMap::new()),
+            drain_timeout,
+        }
+    }
+
+    /// Drains the observed per-region counts accumulated since the last
+    /// call (the rebalancer's measurement window).
+    pub fn take_observed(&self) -> HashMap<(usize, String), u64> {
+        std::mem::take(&mut self.observed.lock())
+    }
+}
+
+impl std::fmt::Debug for ElasticHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticHandle")
+            .field("coordinator", &self.coordinator)
+            .field("drain_timeout", &self.drain_timeout)
+            .finish_non_exhaustive()
+    }
 }
 
 /// The Splitter bolt: routes each tuple to the engines that own its
-/// locations, via direct grouping.
+/// locations, via direct grouping. With an [`ElasticHandle`] attached it
+/// also executes migrations: before each tuple it runs any pending
+/// ticket's pause–drain–handoff sequence and routes from the live plan,
+/// counting per-region load for the rebalancer.
 pub struct SplitterBolt {
     plan: Arc<SplitPlan>,
+    elastic: Option<Arc<ElasticHandle>>,
 }
 
 impl SplitterBolt {
     /// Creates a splitter task sharing the routing plan.
     pub fn new(plan: Arc<SplitPlan>) -> Self {
-        SplitterBolt { plan }
+        SplitterBolt { plan, elastic: None }
+    }
+
+    /// Attaches the elastic control loop (single-splitter topologies only:
+    /// the drain barrier's FIFO argument needs one routing task).
+    pub fn with_elastic(mut self, handle: Arc<ElasticHandle>) -> Self {
+        self.elastic = Some(handle);
+        self
+    }
+
+    /// Executes every pending migration ticket, pausing routing while each
+    /// drains: emit the barrier to the source, await the deposit, then
+    /// hand the payload to the destination's mailbox, swap the live plans,
+    /// and trigger the install. A timed-out drain aborts the ticket (the
+    /// source keeps its state; the rebalancer may retry later).
+    fn run_migrations(&self, h: &ElasticHandle, emitter: &mut dyn Emitter<TrafficMessage>) {
+        while let Some(req) = h.coordinator.begin_next() {
+            let started = Instant::now();
+            emitter.emit_direct(req.from, TrafficMessage::Barrier { id: req.id });
+            let Some(payload) = h.coordinator.await_deposit(req.id, h.drain_timeout) else {
+                continue; // aborted; the coordinator counted it
+            };
+            // Deposit-to-mailbox *before* the route swap: once tuples flow
+            // to the destination, the state they extend is already there
+            // (or arrives with the install trigger queued ahead of them).
+            h.coordinator.post_install(req.to, req.id, payload.clone());
+            {
+                let mut plan = h.split_plan.write();
+                if let Some(route) = plan.routes.get_mut(req.meta.grouping) {
+                    route.table.insert(req.meta.region.clone(), req.to);
+                }
+            }
+            h.engine_plan.write().apply_migration(req.from, req.to, &payload);
+            emitter.emit_direct(req.to, TrafficMessage::Install { id: req.id });
+            h.coordinator.note_completed(started.elapsed());
+        }
     }
 }
 
 impl Bolt<TrafficMessage> for SplitterBolt {
     fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        let Some(h) = self.elastic.clone() else {
+            if let TrafficMessage::Enriched(e) = msg {
+                for engine in self.plan.engines_for(&e) {
+                    emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
+                }
+            }
+            return;
+        };
+        self.run_migrations(&h, emitter);
         if let TrafficMessage::Enriched(e) = msg {
-            for engine in self.plan.engines_for(&e) {
+            let routes = h.split_plan.read().routes_for(&e);
+            let mut engines: Vec<usize> = Vec::new();
+            {
+                let mut observed = h.observed.lock();
+                for (g, key, engine) in &routes {
+                    *observed.entry((*g, key.clone())).or_insert(0) += 1;
+                    if !engines.contains(engine) {
+                        engines.push(*engine);
+                    }
+                }
+            }
+            for engine in engines {
                 emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
             }
         }
@@ -265,6 +449,40 @@ impl EnginePlan {
     /// Number of engines planned.
     pub fn engines(&self) -> usize {
         self.per_engine.len()
+    }
+
+    /// Applies a committed migration to the live assignment: the moved
+    /// locations leave engine `from`'s rule entries (entries emptied of
+    /// locations are dropped) and join engine `to`'s, installing the
+    /// shipped spec for any rule `to` did not run yet. Restarted engine
+    /// tasks preparing from this plan then match the live routing table.
+    pub fn apply_migration(&mut self, from: usize, to: usize, payload: &MigrationPayload) {
+        for (rule, locs) in &payload.migration.rules {
+            if let Some(entries) = self.per_engine.get_mut(from) {
+                if let Some(pos) = entries.iter().position(|(s, _)| s.name == *rule) {
+                    entries[pos].1.retain(|l| !locs.contains(l));
+                    if entries[pos].1.is_empty() {
+                        entries.remove(pos);
+                    }
+                }
+            }
+            if let Some(entries) = self.per_engine.get_mut(to) {
+                match entries.iter_mut().find(|(s, _)| s.name == *rule) {
+                    Some((_, existing)) => {
+                        for l in locs {
+                            if !existing.contains(l) {
+                                existing.push(l.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        if let Some(spec) = payload.specs.iter().find(|s| s.name == *rule) {
+                            entries.push((spec.clone(), locs.clone()));
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -314,6 +532,9 @@ pub struct EsperBolt {
     /// When set, the engine profiles every statement and publishes
     /// per-rule profiles here after each processed tuple.
     profiles: Option<Arc<EsperProfileRegistry>>,
+    /// When set, the task prepares from the handle's *live* engine plan
+    /// and takes part in the migration protocol.
+    elastic: Option<Arc<ElasticHandle>>,
     task_index: usize,
     engine: Option<RuleEngine>,
     /// Install errors surface on the first processed tuple (prepare()
@@ -338,6 +559,7 @@ impl EsperBolt {
             incremental: true,
             sharing: true,
             profiles: None,
+            elastic: None,
             task_index: 0,
             engine: None,
             install_error: None,
@@ -364,6 +586,59 @@ impl EsperBolt {
         self.profiles = Some(registry);
         self
     }
+
+    /// Attaches the elastic control loop: prepare from the live plan,
+    /// honor drain barriers and install triggers.
+    pub fn with_elastic(mut self, handle: Arc<ElasticHandle>) -> Self {
+        self.elastic = Some(handle);
+        self
+    }
+
+    /// Absorbs every payload waiting in this task's install mailbox.
+    /// Called on install triggers and polled before every tuple, so a
+    /// dropped trigger only delays absorption.
+    fn absorb_installs(engine: &mut RuleEngine, h: &ElasticHandle, task: usize) {
+        for (id, payload) in h.coordinator.take_installs(task) {
+            if let Err(e) = engine.absorb_migration(&payload.specs, &payload.migration) {
+                panic!("engine {task} failed to absorb migration ticket {id}: {e}");
+            }
+        }
+    }
+
+    /// Handles a drain barrier: extract the ticket's state, deposit it,
+    /// and evict the source copy only if the deposit committed (a late
+    /// deposit after the splitter gave up is refused, and the state
+    /// stays). Extraction and eviction happen inside one `process()`
+    /// call, so injected faults (which strike at process entry) cannot
+    /// split them.
+    fn drain_for_ticket(&mut self, h: &ElasticHandle, id: u64) {
+        let Some(req) = h.coordinator.ticket(id) else {
+            return; // unknown ticket: stale barrier after a restart
+        };
+        let engine = self.engine.as_mut().expect("prepare() ran");
+        let migration = match engine.collect_migration(&req.meta.locations) {
+            Ok(m) => m,
+            Err(e) => panic!("engine {} failed to collect migration state: {e}", self.task_index),
+        };
+        let specs: Vec<RuleSpec> = {
+            let plan = h.engine_plan.read();
+            migration
+                .rules
+                .iter()
+                .filter_map(|(rule, _)| {
+                    plan.per_engine
+                        .get(self.task_index)
+                        .and_then(|entries| entries.iter().find(|(s, _)| s.name == *rule))
+                        .map(|(s, _)| s.clone())
+                })
+                .collect()
+        };
+        if h.coordinator.deposit(id, MigrationPayload { specs, migration: migration.clone() }) {
+            if let Err(e) = engine.evict_migration(&migration) {
+                panic!("engine {} failed to evict migrated state: {e}", self.task_index);
+            }
+        }
+    }
 }
 
 impl Bolt<TrafficMessage> for EsperBolt {
@@ -379,7 +654,18 @@ impl Bolt<TrafficMessage> for EsperBolt {
             engine.set_profiling_enabled(true);
         }
         self.task_index = ctx.task_index;
-        if let Some(rules) = self.plan.per_engine.get(ctx.task_index) {
+        // Elastic tasks prepare from the *live* plan so a supervised
+        // restart after migrations rebuilds the current assignment, not
+        // the start-up one.
+        let live;
+        let rules = match &self.elastic {
+            Some(h) => {
+                live = h.engine_plan.read().per_engine.get(ctx.task_index).cloned();
+                live.as_ref()
+            }
+            None => self.plan.per_engine.get(ctx.task_index),
+        };
+        if let Some(rules) = rules {
             // Batch rules per monitored-location set: all statements of a
             // batch stand before its first threshold snapshot is fed, so
             // the sharing planner sees pristine windows and can cluster
@@ -404,9 +690,28 @@ impl Bolt<TrafficMessage> for EsperBolt {
         if let Some(err) = &self.install_error {
             panic!("esper bolt failed to install rules: {err}");
         }
-        let Some(engine) = self.engine.as_mut() else {
+        if self.engine.is_none() {
             panic!("esper bolt used before prepare()");
         };
+        if let Some(h) = self.elastic.clone() {
+            // Absorb any waiting payload *before* touching the tuple: the
+            // splitter swaps routes only after posting the payload, so a
+            // rerouted tuple never outruns its state past this point.
+            Self::absorb_installs(
+                self.engine.as_mut().expect("checked above"),
+                &h,
+                self.task_index,
+            );
+            match msg {
+                TrafficMessage::Barrier { id } => {
+                    self.drain_for_ticket(&h, id);
+                    return;
+                }
+                TrafficMessage::Install { .. } => return, // absorbed above
+                _ => {}
+            }
+        }
+        let engine = self.engine.as_mut().expect("checked above");
         if let TrafficMessage::Enriched(e) = msg {
             let sink = engine.detections();
             let before = sink.lock().len();
@@ -530,9 +835,11 @@ pub fn build_traffic_topology(
     sharing: bool,
     chaos: Option<FaultConfig>,
     profiling: Option<Arc<EsperProfileRegistry>>,
+    elastic: Option<Arc<ElasticHandle>>,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
     let threshold_store = ThresholdStore::new(store.clone());
     let spout_tasks = parallelism.spout_tasks.max(1);
+    let esper_elastic = elastic.clone();
     let esper_factory = move |_: usize| -> Box<dyn Bolt<TrafficMessage>> {
         let mut bolt = EsperBolt::new(
             engine_plan.clone(),
@@ -544,6 +851,9 @@ pub fn build_traffic_topology(
         .with_sharing(sharing);
         if let Some(registry) = &profiling {
             bolt = bolt.with_profiling(registry.clone());
+        }
+        if let Some(handle) = &esper_elastic {
+            bolt = bolt.with_elastic(handle.clone());
         }
         Box::new(bolt)
     };
@@ -584,7 +894,14 @@ pub fn build_traffic_topology(
             "splitter",
             Parallelism::of(parallelism.splitter_tasks.max(1)),
             vec![("busStopsTracker", Grouping::Shuffle)],
-            move |_| Box::new(SplitterBolt::new(split_plan.clone())),
+            move |_| {
+                let bolt = SplitterBolt::new(split_plan.clone());
+                let bolt = match &elastic {
+                    Some(handle) => bolt.with_elastic(handle.clone()),
+                    None => bolt,
+                };
+                Box::new(bolt)
+            },
         )
         .add_bolt(
             "esper",

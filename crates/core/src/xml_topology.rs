@@ -55,12 +55,12 @@ fn resolve_grouping(spec: &GroupingSpec, component: &str) -> Result<Grouping<Tra
             "vehicle" => Grouping::fields(|m: &TrafficMessage| match m {
                 TrafficMessage::Raw(t) => u64::from(t.vehicle_id),
                 TrafficMessage::Enriched(e) => u64::from(e.trace.vehicle_id),
-                TrafficMessage::Detection(_) => 0,
+                _ => 0,
             }),
             "line" => Grouping::fields(|m: &TrafficMessage| match m {
                 TrafficMessage::Raw(t) => u64::from(t.line_id),
                 TrafficMessage::Enriched(e) => u64::from(e.trace.line_id),
-                TrafficMessage::Detection(_) => 0,
+                _ => 0,
             }),
             other => {
                 return Err(CoreError::Config {

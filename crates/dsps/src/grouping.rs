@@ -60,23 +60,135 @@ impl<T> fmt::Debug for Grouping<T> {
 
 /// Hashes an arbitrary `Hash` key for [`Grouping::fields`].
 ///
-/// Builds a fresh `DefaultHasher` per call; on per-tuple hot paths prefer
-/// [`KeyHasher`] (or [`Grouping::fields_hashed`]), which clones a
+/// Builds a fresh [`StableSipHasher13`] per call; on per-tuple hot paths
+/// prefer [`KeyHasher`] (or [`Grouping::fields_hashed`]), which clones a
 /// precomputed hasher state and yields identical values.
 pub fn hash_key<K: std::hash::Hash>(key: &K) -> u64 {
-    use std::hash::{DefaultHasher, Hasher};
-    let mut h = DefaultHasher::new();
+    use std::hash::Hasher;
+    let mut h = StableSipHasher13::new();
     key.hash(&mut h);
     h.finish()
 }
 
-/// Reusable SipHash state for fields grouping: constructed once, cloned
-/// per key. An unkeyed `DefaultHasher` always starts from the same state,
-/// so a clone of this prototype hashes identically to a fresh
-/// `DefaultHasher::new()` — verified by `key_hasher_matches_hash_key`.
+/// A self-contained SipHash-1-3 with pinned zero keys, implementing
+/// `std::hash::Hasher`.
+///
+/// `std`'s `DefaultHasher` happens to be the same algorithm today, but its
+/// documentation explicitly reserves the right to change between releases —
+/// useless for anything that must hash identically across processes or
+/// binary versions (stable routing of unknown regions, the multi-process
+/// workers of ROADMAP item 2). This implementation is pinned by the
+/// `stable_sip_hash_values_are_pinned` test: the bytes-to-u64 mapping is
+/// part of the crate's public contract and may never change.
+#[derive(Clone, Debug)]
+pub struct StableSipHasher13 {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Pending input bytes, little-endian packed into the low `nbuf` bytes.
+    buf: u64,
+    nbuf: usize,
+    /// Total bytes written, feeding the length byte of the final word.
+    len: u64,
+}
+
+impl Default for StableSipHasher13 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+const fn sipround(mut v: (u64, u64, u64, u64)) -> (u64, u64, u64, u64) {
+    v.0 = v.0.wrapping_add(v.1);
+    v.1 = v.1.rotate_left(13) ^ v.0;
+    v.0 = v.0.rotate_left(32);
+    v.2 = v.2.wrapping_add(v.3);
+    v.3 = v.3.rotate_left(16) ^ v.2;
+    v.0 = v.0.wrapping_add(v.3);
+    v.3 = v.3.rotate_left(21) ^ v.0;
+    v.2 = v.2.wrapping_add(v.1);
+    v.1 = v.1.rotate_left(17) ^ v.2;
+    v.2 = v.2.rotate_left(32);
+    v
+}
+
+impl StableSipHasher13 {
+    /// The initial state for the pinned zero keys (`k0 = k1 = 0`).
+    pub const fn new() -> Self {
+        // v_n = k ^ SipHash's "somepseudorandomlygeneratedbytes" constants.
+        StableSipHasher13 {
+            v0: 0x736f_6d65_7073_6575,
+            v1: 0x646f_7261_6e64_6f6d,
+            v2: 0x6c79_6765_6e65_7261,
+            v3: 0x7465_6462_7974_6573,
+            buf: 0,
+            nbuf: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn compress(&mut self, m: u64) {
+        self.v3 ^= m;
+        let v = sipround((self.v0, self.v1, self.v2, self.v3));
+        (self.v0, self.v1, self.v2, self.v3) = v;
+        self.v0 ^= m;
+    }
+}
+
+impl std::hash::Hasher for StableSipHasher13 {
+    fn write(&mut self, mut bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        // Top up a partially filled word first.
+        if self.nbuf > 0 {
+            let take = (8 - self.nbuf).min(bytes.len());
+            for &b in &bytes[..take] {
+                self.buf |= (b as u64) << (8 * self.nbuf);
+                self.nbuf += 1;
+            }
+            bytes = &bytes[take..];
+            if self.nbuf == 8 {
+                let m = self.buf;
+                self.buf = 0;
+                self.nbuf = 0;
+                self.compress(m);
+            }
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.compress(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        for &b in chunks.remainder() {
+            self.buf |= (b as u64) << (8 * self.nbuf);
+            self.nbuf += 1;
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        // Final word: low bytes = pending input, top byte = total length.
+        let m = self.buf | (self.len << 56);
+        let mut v = (self.v0, self.v1, self.v2, self.v3);
+        v.3 ^= m;
+        v = sipround(v);
+        v.0 ^= m;
+        v.2 ^= 0xff;
+        v = sipround(v);
+        v = sipround(v);
+        v = sipround(v);
+        v.0 ^ v.1 ^ v.2 ^ v.3
+    }
+}
+
+/// Reusable fixed-key SipHash state for fields grouping: constructed once,
+/// cloned per key. Every instance starts from the same pinned
+/// [`StableSipHasher13`] state, so the mapping from key to hash is
+/// deterministic across tasks, processes and Rust releases — the property
+/// stable routing relies on.
 #[derive(Clone, Debug)]
 pub struct KeyHasher {
-    proto: std::hash::DefaultHasher,
+    proto: StableSipHasher13,
 }
 
 impl Default for KeyHasher {
@@ -86,8 +198,10 @@ impl Default for KeyHasher {
 }
 
 impl KeyHasher {
-    pub fn new() -> Self {
-        KeyHasher { proto: std::hash::DefaultHasher::new() }
+    /// A hasher over the pinned initial state (`const`, so prototypes can
+    /// live in statics).
+    pub const fn new() -> Self {
+        KeyHasher { proto: StableSipHasher13::new() }
     }
 
     /// Hashes `key` from the precomputed prototype state; `hash_key`-compatible.
@@ -109,6 +223,39 @@ mod tests {
         let Grouping::Fields(f) = &g else { panic!() };
         assert_eq!(f(&"R1".to_string()), f(&"R1".to_string()));
         assert_ne!(f(&"R1".to_string()), f(&"R2".to_string()));
+    }
+
+    #[test]
+    fn stable_sip_hash_values_are_pinned() {
+        // The bytes-to-u64 mapping is a cross-process/cross-release
+        // contract: unknown-region routing and fields grouping both
+        // depend on it. These constants may never change.
+        for (key, expected) in [
+            ("", 0x3040_6ea5_23c5_3defu64),
+            ("R1", 0xbcd2_7e2f_fc42_3144u64),
+            ("a-much-longer-route-identifier", 0x3f9e_d68b_0375_4c16u64),
+        ] {
+            assert_eq!(hash_key(&key), expected, "str key {key:?}");
+        }
+        for (key, expected) in [(0u64, 0xbd60_acb6_58c7_9e45u64), (u64::MAX, 0x2f20_5be2_fec8_e38du64)] {
+            assert_eq!(hash_key(&key), expected, "u64 key {key}");
+        }
+    }
+
+    #[test]
+    fn stable_sip_hash_streams_like_one_shot() {
+        use std::hash::Hasher;
+        // Split writes at every boundary must agree with one big write.
+        let data: Vec<u8> = (0u8..64).collect();
+        let mut whole = StableSipHasher13::new();
+        whole.write(&data);
+        let expected = whole.finish();
+        for split in 0..data.len() {
+            let mut h = StableSipHasher13::new();
+            h.write(&data[..split]);
+            h.write(&data[split..]);
+            assert_eq!(h.finish(), expected, "split at {split}");
+        }
     }
 
     #[test]

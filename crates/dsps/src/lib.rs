@@ -34,6 +34,7 @@
 //! the paper adds on top of Storm's Java builder API.
 
 mod ack;
+pub mod elastic;
 pub mod error;
 pub mod fault;
 pub mod grouping;
@@ -43,9 +44,10 @@ pub mod scheduler;
 pub mod topology;
 pub mod xml;
 
+pub use elastic::{MigrationCoordinator, MigrationRequest, MigrationStats};
 pub use error::DspsError;
 pub use fault::{chaos_wrap, ChaosBolt, FaultConfig};
-pub use grouping::{Grouping, KeyHasher};
+pub use grouping::{hash_key, Grouping, KeyHasher, StableSipHasher13};
 pub use metrics::{
     AtomicHistogram, ComponentWindow, LatencyHistogram, MetricsHub, MonitorConfig, ProfileSource,
     RuleProfile,

@@ -561,6 +561,25 @@ impl std::fmt::Debug for ProfileEntry {
     }
 }
 
+/// A callback polled at render time for a component's current gauge
+/// values, as `(metric name, value)` pairs. Names are suffixes: a pair
+/// `("rebalances_total", 3.0)` renders as `tms_rebalances_total`.
+pub type GaugeSource = Arc<dyn Fn() -> Vec<(String, f64)> + Send + Sync>;
+
+/// One registered [`GaugeSource`] under its component name.
+struct GaugeEntry {
+    component: String,
+    source: GaugeSource,
+}
+
+impl std::fmt::Debug for GaugeEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaugeEntry")
+            .field("component", &self.component)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The Nimbus-side collector.
 #[derive(Debug)]
 pub struct MetricsHub {
@@ -568,6 +587,7 @@ pub struct MetricsHub {
     tasks: Mutex<Vec<TaskEntry>>,
     queues: Mutex<Vec<QueueGauge>>,
     profiles: Mutex<Vec<ProfileEntry>>,
+    gauges: Mutex<Vec<GaugeEntry>>,
     history: Mutex<VecDeque<ComponentWindow>>,
     retention: usize,
     /// End of the previous sample — the next window's start.
@@ -596,6 +616,7 @@ impl MetricsHub {
             tasks: Mutex::new(Vec::new()),
             queues: Mutex::new(Vec::new()),
             profiles: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
             history: Mutex::new(VecDeque::new()),
             retention: retention.max(1),
             last_end: Mutex::new(Duration::ZERO),
@@ -635,6 +656,27 @@ impl MetricsHub {
             source,
             last: BTreeMap::new(),
         });
+    }
+
+    /// Registers a custom gauge source under a component name. The source
+    /// is polled at every exposition render; each `(name, value)` pair it
+    /// returns becomes a `tms_<name>{component="..."}` gauge sample. Used
+    /// by subsystems with state the task counters cannot express (e.g. the
+    /// elastic rebalancer's migration counters).
+    pub fn register_gauges(&self, component: &str, source: GaugeSource) {
+        self.gauges.lock().push(GaugeEntry { component: component.to_string(), source });
+    }
+
+    /// Polls every gauge source: `metric name → [(component, value)]`,
+    /// deterministically ordered.
+    fn custom_gauges(&self) -> BTreeMap<String, Vec<(String, f64)>> {
+        let mut out: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+        for entry in self.gauges.lock().iter() {
+            for (name, value) in (entry.source)() {
+                out.entry(name).or_default().push((entry.component.clone(), value));
+            }
+        }
+        out
     }
 
     /// Polls every profile source and returns per-component rule profiles.
@@ -915,6 +957,18 @@ impl MetricsHub {
                 }
             }
         }
+
+        for (name, samples) in self.custom_gauges() {
+            out.push_str(&format!(
+                "# HELP tms_{name} Custom gauge\n# TYPE tms_{name} gauge\n"
+            ));
+            for (component, value) in samples {
+                out.push_str(&format!(
+                    "tms_{name}{{component=\"{}\"}} {value}\n",
+                    escape_label(&component)
+                ));
+            }
+        }
         out
     }
 
@@ -976,6 +1030,22 @@ impl MetricsHub {
                 ));
             }
             out.push_str("]}");
+        }
+        out.push_str("],\"gauges\":[");
+        let mut first = true;
+        for (name, samples) in self.custom_gauges() {
+            for (component, value) in samples {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"component\":{},\"name\":{},\"value\":{}}}",
+                    json_string(&component),
+                    json_string(&name),
+                    if value.is_finite() { format!("{value}") } else { "null".to_string() }
+                ));
+            }
         }
         out.push_str("]}");
         out
@@ -1544,6 +1614,42 @@ mod tests {
         assert!(json.contains("\"rule\":\"a \\\"b\\\"\\\\c\""), "{json}");
         assert!(json.contains("\"threshold_age_s\":null"), "{json}");
         assert!(json.contains("\"path_anchor\":1"), "{json}");
+        assert!(json.contains("\"gauges\":[]"), "{json}");
+    }
+
+    #[test]
+    fn custom_gauges_render_in_both_formats() {
+        let hub = MetricsHub::new();
+        hub.register_gauges(
+            "splitter",
+            Arc::new(|| {
+                vec![
+                    ("rebalances_total".to_string(), 3.0),
+                    ("rebalance_post_imbalance".to_string(), 1.25),
+                    ("rebalance_observed_imbalance".to_string(), f64::NAN),
+                ]
+            }),
+        );
+        let text = hub.render_prometheus();
+        assert!(text.contains("# TYPE tms_rebalances_total gauge"), "{text}");
+        assert!(text.contains("tms_rebalances_total{component=\"splitter\"} 3"), "{text}");
+        assert!(
+            text.contains("tms_rebalance_post_imbalance{component=\"splitter\"} 1.25"),
+            "{text}"
+        );
+        let json = hub.render_json();
+        assert!(
+            json.contains(
+                "{\"component\":\"splitter\",\"name\":\"rebalances_total\",\"value\":3}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "{\"component\":\"splitter\",\"name\":\"rebalance_observed_imbalance\",\"value\":null}"
+            ),
+            "{json}"
+        );
     }
 
     proptest::proptest! {

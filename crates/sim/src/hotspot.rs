@@ -1,0 +1,189 @@
+//! Hotspot scenarios: spatially skewed load for elastic re-partitioning
+//! experiments.
+//!
+//! The start-up optimizer balances engines against *historical* rates; a
+//! hotspot scenario makes the live stream contradict that plan by
+//! concentrating most traffic on a few regions. A [`HotspotSpec`] is the
+//! declarative description: how much of the stream hits how many regions.
+//! Like the fluid simulator, everything is deterministic — the spec maps
+//! tuple indexes to region indexes arithmetically ([`HotspotSpec::pick`])
+//! instead of sampling, so a hotspot run is exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+use tms_core::partitioning::RegionRate;
+
+/// A declarative hotspot scenario: `hot_share` of the traffic falls on
+/// the first `hot_regions` regions; the rest spreads uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotspotSpec {
+    /// Fraction of all tuples hitting the hot regions, in `(0, 1]`.
+    pub hot_share: f64,
+    /// How many regions are hot (the first `hot_regions` by index).
+    pub hot_regions: usize,
+    /// Total stream rate, tuples/s (spread per [`Self::region_rates`]).
+    pub total_rate: f64,
+}
+
+impl Default for HotspotSpec {
+    fn default() -> Self {
+        HotspotSpec::acceptance()
+    }
+}
+
+impl HotspotSpec {
+    /// The acceptance scenario: 80% of the stream on one region.
+    pub fn acceptance() -> Self {
+        HotspotSpec { hot_share: 0.8, hot_regions: 1, total_rate: 1000.0 }
+    }
+
+    /// Validates shares and counts.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.hot_share > 0.0) || self.hot_share > 1.0 || !self.hot_share.is_finite() {
+            return Err(format!("hot_share must be in (0, 1], got {}", self.hot_share));
+        }
+        if self.hot_regions == 0 {
+            return Err("hot_regions must be at least 1".to_string());
+        }
+        if !(self.total_rate > 0.0) || !self.total_rate.is_finite() {
+            return Err(format!("total_rate must be positive, got {}", self.total_rate));
+        }
+        Ok(())
+    }
+
+    /// The skewed per-region rates over `regions` (hot regions are the
+    /// first `hot_regions` entries). With fewer regions than hot slots,
+    /// everything is hot and the rate spreads evenly.
+    pub fn region_rates(&self, regions: &[String]) -> Vec<RegionRate> {
+        let n = regions.len();
+        let hot = self.hot_regions.min(n);
+        let cold = n - hot;
+        let hot_rate = if hot == 0 {
+            0.0
+        } else if cold == 0 {
+            self.total_rate / hot as f64
+        } else {
+            self.total_rate * self.hot_share / hot as f64
+        };
+        let cold_rate =
+            if cold == 0 { 0.0 } else { self.total_rate * (1.0 - self.hot_share) / cold as f64 };
+        regions
+            .iter()
+            .enumerate()
+            .map(|(i, region)| RegionRate {
+                region: region.clone(),
+                rate: if i < hot { hot_rate } else { cold_rate },
+            })
+            .collect()
+    }
+
+    /// Deterministically maps sequential tuple index `i` to a region
+    /// index in `0..n_regions`: over any window of [`Self::RESOLUTION`]
+    /// consecutive indexes, `hot_share` of them land on the hot regions
+    /// (round-robin within) and the rest round-robin over the cold ones.
+    /// No RNG, so generated streams replay identically.
+    pub fn pick(&self, i: usize, n_regions: usize) -> usize {
+        if n_regions == 0 {
+            return 0;
+        }
+        let hot = self.hot_regions.min(n_regions);
+        let cold = n_regions - hot;
+        if cold == 0 {
+            return i % n_regions;
+        }
+        let hot_slots =
+            ((self.hot_share * Self::RESOLUTION as f64).round() as usize).min(Self::RESOLUTION);
+        let phase = i % Self::RESOLUTION;
+        if phase < hot_slots {
+            i % hot
+        } else {
+            hot + i % cold
+        }
+    }
+
+    /// Granularity of [`Self::pick`]'s index interleave.
+    pub const RESOLUTION: usize = 100;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("R{i}")).collect()
+    }
+
+    #[test]
+    fn acceptance_preset_validates() {
+        HotspotSpec::acceptance().validate().expect("preset is valid");
+        assert_eq!(HotspotSpec::default(), HotspotSpec::acceptance());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        for spec in [
+            HotspotSpec { hot_share: 0.0, ..HotspotSpec::acceptance() },
+            HotspotSpec { hot_share: 1.5, ..HotspotSpec::acceptance() },
+            HotspotSpec { hot_share: f64::NAN, ..HotspotSpec::acceptance() },
+            HotspotSpec { hot_regions: 0, ..HotspotSpec::acceptance() },
+            HotspotSpec { total_rate: 0.0, ..HotspotSpec::acceptance() },
+        ] {
+            assert!(spec.validate().is_err(), "{spec:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn region_rates_sum_to_total_and_skew() {
+        let spec = HotspotSpec::acceptance();
+        let rates = spec.region_rates(&names(5));
+        let total: f64 = rates.iter().map(|r| r.rate).sum();
+        assert!((total - spec.total_rate).abs() < 1e-9, "total {total}");
+        assert!((rates[0].rate - 800.0).abs() < 1e-9, "hot region takes the share");
+        for r in &rates[1..] {
+            assert!((r.rate - 50.0).abs() < 1e-9, "cold regions split the rest");
+        }
+    }
+
+    #[test]
+    fn region_rates_with_all_hot_spread_evenly() {
+        let spec = HotspotSpec { hot_regions: 8, ..HotspotSpec::acceptance() };
+        let rates = spec.region_rates(&names(3));
+        for r in &rates {
+            assert!((r.rate - spec.total_rate / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pick_matches_the_declared_share() {
+        let spec = HotspotSpec::acceptance();
+        let n = 6;
+        let total = 10_000;
+        let mut hot_hits = 0usize;
+        for i in 0..total {
+            let r = spec.pick(i, n);
+            assert!(r < n);
+            if r < spec.hot_regions {
+                hot_hits += 1;
+            }
+        }
+        let share = hot_hits as f64 / total as f64;
+        assert!((share - spec.hot_share).abs() < 0.02, "observed hot share {share}");
+    }
+
+    #[test]
+    fn pick_covers_cold_regions() {
+        let spec = HotspotSpec::acceptance();
+        let n = 4;
+        let mut seen = vec![false; n];
+        for i in 0..1000 {
+            seen[spec.pick(i, n)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every region receives traffic: {seen:?}");
+    }
+
+    #[test]
+    fn spec_serializes_declaratively() {
+        let json = serde_json::to_string(&HotspotSpec::acceptance()).expect("serializes");
+        assert!(json.contains("\"hot_share\":0.8"), "{json}");
+        assert!(json.contains("\"hot_regions\":1"), "{json}");
+    }
+}

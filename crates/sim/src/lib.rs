@@ -34,10 +34,12 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod chaos;
+pub mod hotspot;
 pub mod placement;
 pub mod scenario;
 
 pub use chaos::{BatchSpec, ChaosSpec, MonitorSpec};
+pub use hotspot::HotspotSpec;
 pub use placement::round_robin_nodes;
 pub use scenario::{PartitioningApproach, ScenarioBuilder};
 

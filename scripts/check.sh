@@ -28,7 +28,16 @@ cargo test -p tms-dsps --test batching
 # profile accounting, and mid-stream toggles (see crates/cep/tests/sharing.rs),
 # plus the differential property that shared ≡ unshared ≡ rescan.
 cargo test -p tms-cep --test sharing --test differential
+# The elastic suite is the re-partitioning control loop's acceptance bar:
+# a hotspot stream must trigger live migrations without a restart, a
+# migrated run must equal a never-migrated one exactly, and chaos-mode
+# migrations must recover under at-least-once (see crates/dsps/tests/elastic.rs).
+cargo test -p tms-dsps --test elastic
 # Smoke-mode perf guard: the 10-rule Table 6 workload in shared mode must
 # stay within 2x of the committed snapshot's ms/tuple.
 cargo run --release -p tms-bench --bin experiments -- bench_guard
+# Elastic acceptance guard: the committed BENCH_rebalance.json must record
+# >=1 completed migration with post-rebalance imbalance under the bound,
+# and a live re-run must reproduce both.
+cargo run --release -p tms-bench --bin experiments -- rebalance_guard
 cargo clippy --workspace -- -D warnings
