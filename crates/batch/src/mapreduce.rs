@@ -98,6 +98,14 @@ pub type JobOutput<K, V> = Vec<Vec<(K, V)>>;
 /// A finished job: its outputs plus execution statistics.
 pub type JobResult<K, V> = (JobOutput<K, V>, JobStats);
 
+/// One partition's intermediate pairs, each tagged with the map task
+/// that produced it (the canonical-merge-order tag).
+type TaggedPairs<K, V> = Vec<(usize, K, V)>;
+
+/// One partition's shuffled groups, values still carrying their map-task
+/// tag so they can be sorted into canonical order before reduction.
+type TaggedGroups<K, V> = BTreeMap<K, Vec<(usize, V)>>;
+
 /// Runs a MapReduce job over the given DFS input files.
 ///
 /// Returns the output pairs of every reduce partition (partition index →
@@ -139,8 +147,14 @@ where
     }
     drop(split_tx);
 
+    // Each intermediate pair is tagged with the map task that produced it,
+    // so the shuffle can merge partials in canonical task order no matter
+    // which worker ran which split, or in what order workers finished.
+    // Float reduction is order-sensitive; without the tag, multi-worker
+    // runs would sum partial moments in scheduling order and produce
+    // run-to-run different low bits.
     struct MapOut<K, V> {
-        partitions: Vec<Vec<(K, V)>>,
+        partitions: Vec<TaggedPairs<K, V>>,
         records: u64,
         pairs: u64,
     }
@@ -150,7 +164,7 @@ where
         for worker in 0..config.workers.min(map_tasks.max(1)) {
             let split_rx = split_rx.clone();
             handles.push(scope.spawn(move || -> Result<MapOut<M::Key, M::Value>, BatchError> {
-                let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
+                let mut partitions: Vec<TaggedPairs<M::Key, M::Value>> =
                     (0..config.reducers).map(|_| Vec::new()).collect();
                 let mut records = 0u64;
                 let mut pairs = 0u64;
@@ -173,7 +187,7 @@ where
                     pairs += local.len() as u64;
                     for (k, v) in local {
                         let p = partition_of(&k, config.reducers);
-                        partitions[p].push((k, v));
+                        partitions[p].push((task_id, k, v));
                     }
                 }
                 Ok(MapOut { partitions, records, pairs })
@@ -192,18 +206,32 @@ where
     };
 
     // ---- Shuffle ---------------------------------------------------------
-    // Merge every mapper's partition p into one sorted multimap per p.
-    let mut shuffled: Vec<BTreeMap<M::Key, Vec<M::Value>>> =
+    // Merge every mapper's partition p into one sorted multimap per p,
+    // then canonicalize each key's value list into map-task order (stable,
+    // so the in-task emission order survives). After this, reducers see
+    // exactly the same value sequence on every run of the same input.
+    let mut tagged: Vec<TaggedGroups<M::Key, M::Value>> =
         (0..config.reducers).map(|_| BTreeMap::new()).collect();
     for out in map_results {
         stats.input_records += out.records;
         stats.intermediate_pairs += out.pairs;
         for (p, pairs) in out.partitions.into_iter().enumerate() {
-            for (k, v) in pairs {
-                shuffled[p].entry(k).or_default().push(v);
+            for (task_id, k, v) in pairs {
+                tagged[p].entry(k).or_default().push((task_id, v));
             }
         }
     }
+    let shuffled: Vec<BTreeMap<M::Key, Vec<M::Value>>> = tagged
+        .into_iter()
+        .map(|m| {
+            m.into_iter()
+                .map(|(k, mut vs)| {
+                    vs.sort_by_key(|(task_id, _)| *task_id);
+                    (k, vs.into_iter().map(|(_, v)| v).collect())
+                })
+                .collect()
+        })
+        .collect();
 
     // ---- Reduce phase ----------------------------------------------------
     let (task_tx, task_rx) =
@@ -467,6 +495,72 @@ mod tests {
                 assert!(reason.contains("bad record"));
             }
             other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    /// Float-summing reducer whose output exposes merge order: summing the
+    /// same multiset of doubles in different orders flips low bits.
+    struct FloatMapper;
+    impl Mapper for FloatMapper {
+        type Key = String;
+        type Value = f64;
+        fn map(&self, record: &str, emit: &mut dyn FnMut(String, f64)) {
+            for (i, w) in record.split_whitespace().enumerate() {
+                if let Ok(v) = w.parse::<f64>() {
+                    emit(format!("k{}", i % 3), v);
+                }
+            }
+        }
+    }
+    struct FloatSumReducer;
+    impl Reducer<String, f64> for FloatSumReducer {
+        type OutKey = String;
+        type OutValue = f64;
+        fn reduce(&self, key: &String, values: &[f64], emit: &mut dyn FnMut(String, f64)) {
+            emit(key.clone(), values.iter().sum());
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_byte_identical_across_runs() {
+        // Many small splits + more workers than splits maximizes scheduling
+        // freedom; irrational-ish values make the sum order-sensitive in the
+        // low mantissa bits. The task-ordered shuffle must erase all of it.
+        let mut text = String::new();
+        for i in 0..200 {
+            text.push_str(&format!("{} {} {}\n", (i as f64).sqrt(), 1.0 / (i + 1) as f64, i));
+        }
+        let dfs = dfs_with(&text);
+        let cfg = JobConfig { reducers: 3, workers: 8 };
+        let reference: Vec<Vec<(String, u64)>> = {
+            let (out, _) = run_job(
+                &dfs,
+                &["/in"],
+                &FloatMapper,
+                &FloatSumReducer,
+                None::<&NoCombiner>,
+                cfg,
+            )
+            .unwrap();
+            out.into_iter()
+                .map(|p| p.into_iter().map(|(k, v)| (k, v.to_bits())).collect())
+                .collect()
+        };
+        for _ in 0..10 {
+            let (out, _) = run_job(
+                &dfs,
+                &["/in"],
+                &FloatMapper,
+                &FloatSumReducer,
+                None::<&NoCombiner>,
+                cfg,
+            )
+            .unwrap();
+            let bits: Vec<Vec<(String, u64)>> = out
+                .into_iter()
+                .map(|p| p.into_iter().map(|(k, v)| (k, v.to_bits())).collect())
+                .collect();
+            assert_eq!(bits, reference, "shuffle order leaked into float sums");
         }
     }
 

@@ -7,7 +7,7 @@ use crate::ast::AggFunc;
 use crate::error::CepError;
 
 /// Incremental accumulator for one aggregate call.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Accumulator {
     count: u64,
     sum: f64,
@@ -82,6 +82,19 @@ impl Accumulator {
     /// Number of samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The raw `(count, sum, sum_sq, min, max)` moments, for serializing
+    /// accumulator state into a durability snapshot. Paired with
+    /// [`from_raw_parts`](Accumulator::from_raw_parts) the round trip is
+    /// bit-exact, so restored state finalizes identically.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.sum, self.sum_sq, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`raw_parts`](Accumulator::raw_parts).
+    pub fn from_raw_parts(count: u64, sum: f64, sum_sq: f64, min: f64, max: f64) -> Self {
+        Accumulator { count, sum, sum_sq, min, max }
     }
 
     /// The accumulator that would result from adding every sample `k`

@@ -31,11 +31,16 @@
 //! * [`topology`] — the Figure 8 topology (BusReader spout → PreProcess →
 //!   AreaTracker → BusStopsTracker → Splitter → Esper bolts → EventsStorer)
 //!   wired onto the DSPS, plus the XML front end;
+//! * [`kappa`] — the in-stream statistics path: a StatsBolt that folds
+//!   the batch job's per-cell moments into the stream and refreshes the
+//!   engines' thresholds without a database round trip, plus the binary
+//!   codec for the Esper bolts' durable snapshots;
 //! * [`system`] — the end-to-end facade tying the three components
 //!   together.
 
 pub mod allocation;
 pub mod error;
+pub mod kappa;
 pub mod latency;
 pub mod offline;
 pub mod partitioning;
@@ -46,6 +51,7 @@ pub mod topology;
 pub mod xml_topology;
 
 pub use error::CoreError;
+pub use kappa::{KappaConfig, StatsBolt};
 pub use latency::{EstimationModel, PolyModel};
 pub use offline::{OfflineArtifacts, OfflineConfig};
 pub use partitioning::{partition_rule, Partition, RegionRate};

@@ -13,6 +13,8 @@ use crate::error::CoreError;
 use crate::partitioning::RegionRate;
 use crate::rules::{LocationSelector, SpatialContext};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tms_batch::{run_job, Combiner, Dfs, JobConfig, Mapper, Reducer};
 use tms_geo::{
     busstops::SubclusterConfig, BusStopIndex, DenclueConfig, GeoPoint, QuadtreeConfig,
@@ -58,20 +60,53 @@ pub struct OfflineArtifacts {
     pub region_rates: HashMap<String, f64>,
     /// The threshold store fed by the statistics job.
     pub thresholds: ThresholdStore,
+    /// How many times [`Self::rates_for`] defaulted a location to rate 0
+    /// because the history never saw it. Used to default silently for a
+    /// long time; the counter makes that visible (metrics gauge
+    /// `unseen_locations`) — a high value means the partitioner planned
+    /// on guesses. Shared across clones, so the system's gauge sees
+    /// counts from planning done before the run started.
+    unseen_locations: Arc<AtomicU64>,
 }
 
 impl OfflineArtifacts {
+    /// Assembles the artifacts with a fresh unseen-location counter.
+    pub fn new(
+        spatial: SpatialContext,
+        region_rates: HashMap<String, f64>,
+        thresholds: ThresholdStore,
+    ) -> Self {
+        OfflineArtifacts {
+            spatial,
+            region_rates,
+            thresholds,
+            unseen_locations: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// Rates for the locations of a selector, defaulting unseen locations
-    /// to 0 (they still get routed, just assumed quiet).
+    /// to 0 (they still get routed, just assumed quiet). Each default is
+    /// counted in [`Self::unseen_location_count`].
     pub fn rates_for(&self, selector: &LocationSelector) -> Vec<RegionRate> {
         self.spatial
             .resolve(selector)
             .into_iter()
-            .map(|region| RegionRate {
-                rate: self.region_rates.get(&region).copied().unwrap_or(0.0),
-                region,
+            .map(|region| {
+                let rate = match self.region_rates.get(&region) {
+                    Some(r) => *r,
+                    None => {
+                        self.unseen_locations.fetch_add(1, Ordering::Relaxed);
+                        0.0
+                    }
+                };
+                RegionRate { rate, region }
             })
             .collect()
+    }
+
+    /// Total locations defaulted to rate 0 so far (across clones).
+    pub fn unseen_location_count(&self) -> u64 {
+        self.unseen_locations.load(Ordering::Relaxed)
     }
 }
 
@@ -359,11 +394,7 @@ pub fn run_offline(
     enrich_and_store(traces, &spatial, &dfs, "/history/day0.csv")?;
     run_statistics_job(&dfs, &["/history/day0.csv"], store, config)?;
     let region_rates = region_rates(traces, &spatial);
-    Ok(OfflineArtifacts {
-        spatial,
-        region_rates,
-        thresholds: ThresholdStore::new(store.clone()),
-    })
+    Ok(OfflineArtifacts::new(spatial, region_rates, ThresholdStore::new(store.clone())))
 }
 
 #[cfg(test)]
@@ -414,6 +445,28 @@ mod tests {
         let leaf_rates =
             artifacts.rates_for(&LocationSelector::QuadtreeLeaves);
         assert_eq!(leaf_rates.len(), artifacts.spatial.quadtree.leaves().len());
+    }
+
+    #[test]
+    fn unseen_locations_are_counted_not_silently_zeroed() {
+        let (traces, seeds) = day_of_traces();
+        let store = TableStore::new();
+        let artifacts =
+            run_offline(DUBLIN_BBOX, &seeds, &traces, &store, &OfflineConfig::default())
+                .unwrap();
+        let before = artifacts.unseen_location_count();
+        // Bus stops the history never produced traffic for default to 0
+        // and each default increments the counter; a second resolve of
+        // the same selector counts again (the gauge measures defaulting
+        // *events*, not distinct locations).
+        let stop_rates = artifacts.rates_for(&LocationSelector::BusStops);
+        let zeroed = stop_rates.iter().filter(|r| r.rate == 0.0).count() as u64;
+        assert_eq!(artifacts.unseen_location_count() - before, zeroed);
+        // Clones share the counter, so the system's gauge observes
+        // planning done through any copy.
+        let clone = artifacts.clone();
+        clone.rates_for(&LocationSelector::BusStops);
+        assert_eq!(artifacts.unseen_location_count(), before + 2 * zeroed);
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub struct SystemConfig {
     /// engines when the imbalance crosses the bound. `None` (the default)
     /// keeps the start-up assignment for the whole run.
     pub elastic: Option<ElasticConfig>,
+    /// In-stream incremental statistics (the kappa path): a StatsBolt
+    /// maintains the per-cell moments in the stream and refreshes engine
+    /// thresholds without the batch round trip. `None` (the default)
+    /// leaves thresholds to the offline bootstrap / batch layer.
+    pub kappa: Option<crate::kappa::KappaConfig>,
+    /// Durable bolt state (periodic snapshot + changelog per task);
+    /// restarted tasks resume from disk instead of cold. `None` keeps
+    /// all bolt state in memory.
+    pub durability: Option<tms_dsps::DurabilityConfig>,
 }
 
 /// Configuration of the elastic rebalancer (the closed control loop over
@@ -151,6 +160,8 @@ impl Default for SystemConfig {
             chaos: None,
             batch: None,
             elastic: None,
+            kappa: None,
+            durability: None,
         }
     }
 }
@@ -803,6 +814,9 @@ impl TrafficSystem {
             }
             None => None,
         };
+        if let Some(kappa) = &self.config.kappa {
+            kappa.validate()?;
+        }
         let registry = self
             .config
             .monitor
@@ -824,6 +838,7 @@ impl TrafficSystem {
             self.config.chaos,
             registry.clone(),
             elastic.clone(),
+            self.config.kappa,
         )?;
         let cluster = LocalCluster::new(self.config.cluster)?;
         let handle = cluster.submit(
@@ -833,6 +848,7 @@ impl TrafficSystem {
                 reliability: self.config.reliability,
                 fault: self.config.chaos,
                 batch: self.config.batch,
+                durability: self.config.durability.clone(),
                 ..RuntimeConfig::default()
             },
         )?;
@@ -841,6 +857,18 @@ impl TrafficSystem {
             handle
                 .metrics()
                 .register_profile_source("esper", Arc::new(move || registry.collect()));
+        }
+        {
+            // The offline artifacts' data-quality gauge: traces observed
+            // at run time in locations the historical statistics never
+            // saw (those default to rate 0 in the partitioner).
+            let unseen = self.artifacts.clone();
+            handle.metrics().register_gauges(
+                "offline",
+                Arc::new(move || {
+                    vec![("unseen_locations".to_string(), unseen.unseen_location_count() as f64)]
+                }),
+            );
         }
         let stop = Arc::new(AtomicBool::new(false));
         let rebalancer = elastic.as_ref().map(|h| {
@@ -1448,19 +1476,12 @@ mod tests {
             .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
             .collect();
 
-        // One bootstrap shared by both runs: the offline stats job merges
-        // float moments in task-completion order, so two bootstraps differ
-        // in the last ulp of the thresholds — enough to flip borderline
-        // detections regardless of delivery mode. Single-task stages keep
-        // the merge order (and hence the windowed averages) deterministic.
-        let parallelism = TopologyParallelism {
-            spout_tasks: 1,
-            preprocess_tasks: 1,
-            tracker_tasks: 1,
-            splitter_tasks: 1,
-            esper_tasks: 1,
-        };
-        let config = SystemConfig { parallelism, ..SystemConfig::default() };
+        // One bootstrap shared by both runs, at the default multi-task
+        // parallelism: the offline stats job now reduces per-cell partials
+        // in canonical partition order, so thresholds are byte-identical
+        // regardless of how many tasks computed them (this used to need
+        // an all-single-task workaround).
+        let config = SystemConfig::default();
         let mut sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
         let run = |sys: &TrafficSystem| {
             let (_, report) = sys.plan_and_run(live.clone(), &rules(), 1).unwrap();
@@ -1528,6 +1549,140 @@ mod tests {
             .expect("spout metrics present");
         assert!(reader.acked > 0, "reliability was on: roots must be acked");
         assert_eq!(reader.failed, 0, "no root may exhaust its replay budget");
+    }
+
+    /// Incident stream for the end-to-end scenarios: day 1 with a severe
+    /// incident in the city centre, so runs produce detections.
+    fn incident_stream() -> Vec<BusTrace> {
+        let cfg = FleetConfig::small(17);
+        let probe = FleetGenerator::new(cfg.clone(), 1).unwrap();
+        let center = probe.routes()[0].points[probe.routes()[0].points.len() / 2];
+        let incident = tms_traffic::Incident {
+            center,
+            radius_m: 1500.0,
+            start_ms: tms_traffic::DAY_MS + 7 * HOUR_MS,
+            end_ms: tms_traffic::DAY_MS + 9 * HOUR_MS,
+            severity: 0.03,
+        };
+        FleetGenerator::with_incidents(cfg, 1, vec![incident])
+            .unwrap()
+            .take_while(|t| t.timestamp_ms < tms_traffic::DAY_MS + 9 * HOUR_MS)
+            .collect()
+    }
+
+    #[test]
+    fn kappa_run_updates_statistics_in_stream() {
+        // With the kappa branch on, the StatsBolt folds the live stream
+        // into the per-cell statistics and republishes them mid-run — the
+        // tables end the run richer than the offline bootstrap left them,
+        // without any batch recompute.
+        let (history, seeds) = small_history();
+        let config = SystemConfig {
+            kappa: Some(crate::kappa::KappaConfig { refresh_every: 256, min_samples: 5 }),
+            ..SystemConfig::default()
+        };
+        let sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+        let tstore = tms_storage::ThresholdStore::new(sys.store.clone());
+        let samples = |records: &[tms_storage::StatRecord]| -> u64 {
+            records.iter().map(|r| r.count).sum()
+        };
+        let before = samples(&tstore.statistics("delay").unwrap());
+        assert!(before > 0, "the offline job published bootstrap statistics");
+
+        let (_, report) = sys.plan_and_run(incident_stream(), &rules(), 2).unwrap();
+        assert!(!report.detections.is_empty(), "the incident must trigger detections");
+        let stats = report
+            .metrics
+            .iter()
+            .find(|m| m.component == "stats")
+            .expect("the kappa branch wires a stats bolt into the topology");
+        assert!(stats.throughput > 0, "the stats bolt must see the stream");
+        let after = samples(&tstore.statistics("delay").unwrap());
+        assert!(
+            after > before,
+            "in-stream publication must absorb the live samples ({after} <= {before})"
+        );
+    }
+
+    #[test]
+    fn durable_restarts_keep_threshold_ages_running() {
+        use std::time::Duration;
+        // S2 regression: a supervised esper restart restores thresholds
+        // *with their original stamps* from the durable snapshot. If the
+        // restart silently re-fed thresholds, their age would snap back to
+        // zero — so across the profiled windows, per-rule threshold ages
+        // must never move materially backwards, restarts or not.
+        let dir = std::env::temp_dir().join(format!(
+            "tms-s2-ages-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (history, seeds) = small_history();
+        let config = SystemConfig {
+            reliability: Some(tms_dsps::ReliabilityConfig {
+                ack_timeout: Duration::from_millis(500),
+                max_retries: 20,
+                backoff: 1.5,
+                max_pending: 256,
+                max_task_restarts: 200,
+            }),
+            chaos: Some(tms_dsps::FaultConfig {
+                panic_p: 0.002,
+                drop_p: 0.0,
+                delay: None,
+                seed: 0x5EED_A6E5,
+            }),
+            durability: Some(tms_dsps::DurabilityConfig {
+                dir: dir.clone(),
+                snapshot_every: 512,
+                fsync: false,
+            }),
+            monitor: Some(MonitorConfig {
+                window: Duration::from_millis(250),
+                tracing: true,
+                profiling: true,
+                ..MonitorConfig::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
+        let (_, report) = sys.plan_and_run(incident_stream(), &rules(), 2).unwrap();
+        let esper = report
+            .metrics
+            .iter()
+            .find(|m| m.component == "esper")
+            .expect("esper metrics present");
+        assert!(esper.restarted > 0, "chaos must force at least one esper restart");
+        assert!(!report.detections.is_empty(), "detections must survive the restarts");
+
+        // Per (engine, rule) series of sampled threshold ages, in window
+        // order. The age clock may pause (snapshot staleness) but a
+        // restore must never hand back thresholds younger than a prior
+        // sample by more than the snapshot cadence allows.
+        let mut series: HashMap<(usize, String), Vec<(Duration, Duration)>> = HashMap::new();
+        for w in report.history.iter().filter(|w| w.component == "esper") {
+            for r in &w.rules {
+                if let Some(age) = r.threshold_age {
+                    series.entry((r.engine, r.rule.clone())).or_default().push((w.at, age));
+                }
+            }
+        }
+        assert!(!series.is_empty(), "profiled windows must sample threshold ages");
+        let tolerance = Duration::from_secs(1);
+        for ((engine, rule), mut samples) in series {
+            samples.sort_by_key(|(at, _)| *at);
+            for pair in samples.windows(2) {
+                let (_, prev) = pair[0];
+                let (_, next) = pair[1];
+                assert!(
+                    next + tolerance >= prev,
+                    "threshold age for {rule} on engine {engine} moved backwards \
+                     across a restart: {prev:?} -> {next:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

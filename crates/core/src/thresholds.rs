@@ -24,7 +24,7 @@ use crate::rules::RuleSpec;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tms_cep::{Engine, Event, EventType, FieldType, FieldValue, StatementId};
 use tms_storage::{DayType, RemoteDb, ThresholdQuery, ThresholdStore};
 use tms_traffic::EnrichedTrace;
@@ -723,6 +723,39 @@ impl RuleEngine {
         self.rules.iter().find(|r| r.spec.name == rule).map(|r| &r.monitored)
     }
 
+    /// The union of every installed rule's monitored locations, sorted
+    /// and deduplicated. This is the location set a full-engine snapshot
+    /// must capture ([`Self::collect_migration`] with this set extracts
+    /// every rule's state).
+    pub fn monitored_union(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.rules.iter().flat_map(|r| r.monitored.iter().cloned()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Per installed rule: how old its threshold state is (`None` when
+    /// the rule never retrieved thresholds — e.g. a static literal).
+    /// Rules appear in installation order.
+    pub fn threshold_ages(&self) -> Vec<(String, Option<Duration>)> {
+        self.rules
+            .iter()
+            .map(|r| (r.spec.name.clone(), r.thresholds_at.map(|t| t.elapsed())))
+            .collect()
+    }
+
+    /// Re-stamps a rule's threshold clock to read `age` old right now —
+    /// used when restoring a durable snapshot, where the thresholds'
+    /// *real* age spans the downtime and must not reset to zero. Ages
+    /// beyond what a monotonic clock can represent saturate at the
+    /// process epoch. No-op for rules not installed here.
+    pub fn backdate_thresholds(&mut self, rule: &str, age: Duration) {
+        if let Some(r) = self.rules.iter_mut().find(|r| r.spec.name == rule) {
+            r.thresholds_at = Instant::now().checked_sub(age).or(r.thresholds_at);
+        }
+    }
+
     /// Feeds one enriched trace to the engine: for every installed rule,
     /// every monitored location the trace belongs to becomes one event on
     /// the rule's attribute stream. Returns how many events entered the
@@ -1170,6 +1203,36 @@ mod tests {
         // Replayed R2 traffic at the source is ignored, not double-counted.
         assert_eq!(source.send_trace(&trace(4000, "R2", 1600.0)).unwrap(), 0);
         assert_eq!(ssink.lock().len(), 1, "source only ever fired for R1");
+    }
+
+    #[test]
+    fn monitored_union_and_threshold_ages_cover_all_rules() {
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        re.install_rule(&rule(3), monitored()).unwrap();
+        let union = re.monitored_union();
+        let mut expected: Vec<String> = monitored().into_iter().collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(union, expected);
+        let ages = re.threshold_ages();
+        assert_eq!(ages.len(), 1);
+        assert_eq!(ages[0].0, "delay-rule");
+        assert!(ages[0].1.is_some(), "threshold stream stamps at install");
+    }
+
+    #[test]
+    fn backdate_thresholds_sets_the_age_and_survives_refresh_stamp_semantics() {
+        let mut re = RuleEngine::new(RetrievalMethod::ThresholdStream, store_with_stats(), None);
+        re.install_rule(&rule(3), monitored()).unwrap();
+        re.backdate_thresholds("delay-rule", Duration::from_secs(90));
+        let age = re.threshold_ages()[0].1.expect("still stamped");
+        assert!(age >= Duration::from_secs(90), "backdated age reads old: {age:?}");
+        assert!(age < Duration::from_secs(91), "but not older than asked");
+        // Unknown rules are a no-op, not a panic.
+        re.backdate_thresholds("no-such-rule", Duration::from_secs(1));
+        // A refresh re-stamps to fresh, exactly like the live path.
+        re.refresh_thresholds().unwrap();
+        assert!(re.threshold_ages()[0].1.unwrap() < Duration::from_secs(1));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::rules::{RuleSpec, SpatialContext};
 use crate::thresholds::{Detection, RetrievalMethod, RuleEngine, RuleMigration};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tms_cep::CepError;
@@ -15,15 +15,32 @@ use tms_dsps::{
 };
 use tms_geo::{BusStopIndex, RegionQuadtree};
 use tms_storage::{RemoteDb, TableStore, ThresholdStore};
-use tms_traffic::{BusTrace, EnrichedTrace, Preprocessor};
+use tms_traffic::{Attribute, BusTrace, EnrichedTrace, Preprocessor};
 
 /// The message flowing through the topology.
+///
+/// Data tuples carry `seq`, the trace's global replay position assigned
+/// by the spout. Every stage up to the Splitter is one-in/one-out, so the
+/// sequence survives intact and the Splitter can restore the canonical
+/// replay order no matter how the multi-task stages interleave — the
+/// engines' windowed evaluation is order-sensitive, and without the
+/// resequencer two runs of the same input could detect different events.
 #[derive(Debug, Clone)]
 pub enum TrafficMessage {
     /// A raw bus report from the spout.
-    Raw(BusTrace),
+    Raw {
+        /// Global replay position of this trace.
+        seq: u64,
+        /// The raw report.
+        trace: BusTrace,
+    },
     /// An enriched trace (kinematics and/or spatial ids attached).
-    Enriched(Arc<EnrichedTrace>),
+    Enriched {
+        /// Global replay position, propagated from [`TrafficMessage::Raw`].
+        seq: u64,
+        /// The enriched report.
+        trace: Arc<EnrichedTrace>,
+    },
     /// A detection fired by an Esper bolt.
     Detection(Detection),
     /// Elastic drain barrier: per-sender FIFO guarantees the source engine
@@ -41,6 +58,15 @@ pub enum TrafficMessage {
         /// The migration ticket to absorb.
         id: u64,
     },
+    /// In-stream statistics publication notice: the StatsBolt republished
+    /// the statistics tables; engines with an older `version` re-read
+    /// their thresholds from the store. Broadcast (all-grouped) to every
+    /// Esper task.
+    StatsRefresh {
+        /// Monotonic publication version; engines ignore versions they
+        /// have already applied (duplicates under at-least-once replay).
+        version: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -48,26 +74,43 @@ pub enum TrafficMessage {
 // ---------------------------------------------------------------------------
 
 /// The BusReader spout: replays a shared slice of traces. Tasks stripe
-/// the input (task `i` reads trace `i, i+n, …`) so multiple reader tasks
-/// divide the file, like the paper's two-task spout.
+/// the input *by vehicle* (task `i` reads the vehicles with
+/// `vehicle_id % n == i`) so multiple reader tasks divide the file, like
+/// the paper's two-task spout, while each vehicle's whole history still
+/// flows from a single reader. The vehicle-keyed PreProcess stage then
+/// receives every vehicle's reports in timestamp order over one FIFO
+/// channel pair — its per-vehicle kinematics stay deterministic no matter
+/// how the reader threads interleave. Each emitted tuple carries its
+/// global position in the replay as `seq` for the Splitter's resequencer.
 pub struct BusReaderSpout {
     traces: Arc<Vec<BusTrace>>,
     cursor: usize,
-    stride: usize,
+    lane: u64,
+    stride: u64,
 }
 
 impl BusReaderSpout {
     /// Creates the spout task reading stripe `task_index` of `task_count`.
     pub fn new(traces: Arc<Vec<BusTrace>>, task_index: usize, task_count: usize) -> Self {
-        BusReaderSpout { traces, cursor: task_index, stride: task_count.max(1) }
+        BusReaderSpout {
+            traces,
+            cursor: 0,
+            lane: task_index as u64,
+            stride: task_count.max(1) as u64,
+        }
     }
 }
 
 impl Spout<TrafficMessage> for BusReaderSpout {
     fn next(&mut self) -> Option<TrafficMessage> {
-        let t = self.traces.get(self.cursor)?;
-        self.cursor += self.stride;
-        Some(TrafficMessage::Raw(*t))
+        loop {
+            let t = self.traces.get(self.cursor)?;
+            let seq = self.cursor as u64;
+            self.cursor += 1;
+            if u64::from(t.vehicle_id) % self.stride == self.lane {
+                return Some(TrafficMessage::Raw { seq, trace: *t });
+            }
+        }
     }
 }
 
@@ -93,9 +136,9 @@ impl Default for PreProcessBolt {
 
 impl Bolt<TrafficMessage> for PreProcessBolt {
     fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
-        if let TrafficMessage::Raw(trace) = msg {
+        if let TrafficMessage::Raw { seq, trace } = msg {
             let enriched = self.pre.enrich(trace);
-            emitter.emit(TrafficMessage::Enriched(Arc::new(enriched)));
+            emitter.emit(TrafficMessage::Enriched { seq, trace: Arc::new(enriched) });
         }
     }
 }
@@ -115,7 +158,7 @@ impl AreaTrackerBolt {
 
 impl Bolt<TrafficMessage> for AreaTrackerBolt {
     fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
-        if let TrafficMessage::Enriched(e) = msg {
+        if let TrafficMessage::Enriched { seq, trace: e } = msg {
             let mut enriched = (*e).clone();
             enriched.areas = self
                 .quadtree
@@ -123,7 +166,7 @@ impl Bolt<TrafficMessage> for AreaTrackerBolt {
                 .iter()
                 .map(|r| SpatialContext::region_id(r.id))
                 .collect();
-            emitter.emit(TrafficMessage::Enriched(Arc::new(enriched)));
+            emitter.emit(TrafficMessage::Enriched { seq, trace: Arc::new(enriched) });
         }
     }
 }
@@ -142,13 +185,13 @@ impl BusStopsTrackerBolt {
 
 impl Bolt<TrafficMessage> for BusStopsTrackerBolt {
     fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
-        if let TrafficMessage::Enriched(e) = msg {
+        if let TrafficMessage::Enriched { seq, trace: e } = msg {
             let mut enriched = (*e).clone();
             enriched.bus_stop = self
                 .stops
                 .closest_stop(enriched.trace.line_id, enriched.trace.direction, &enriched.trace.position)
                 .map(|s| SpatialContext::stop_id(s.id));
-            emitter.emit(TrafficMessage::Enriched(Arc::new(enriched)));
+            emitter.emit(TrafficMessage::Enriched { seq, trace: Arc::new(enriched) });
         }
     }
 }
@@ -328,7 +371,68 @@ impl std::fmt::Debug for ElasticHandle {
     }
 }
 
-/// The Splitter bolt: routes each tuple to the engines that own its
+/// Restores the spout's global emission order at the topology's merge
+/// point. The shuffled multi-task stages between the spout and the
+/// Splitter preserve each tuple's `seq` but interleave tuples from
+/// different tasks in thread-scheduling order; the resequencer buffers
+/// out-of-order arrivals and releases them in `seq` order, so a single
+/// splitter task feeds the engines a canonical, reproducible stream.
+///
+/// Replayed tuples (at-least-once retries) whose sequence was already
+/// released pass straight through — holding them back could lose a tuple
+/// the engines never saw. If a sequence number never arrives (a tuple
+/// dropped upstream by fault injection), the buffer caps at
+/// [`Resequencer::MAX_PENDING`] and skips the gap rather than deadlock.
+struct Resequencer {
+    next_seq: u64,
+    pending: BTreeMap<u64, Arc<EnrichedTrace>>,
+}
+
+impl Resequencer {
+    /// Largest number of buffered out-of-order tuples before the
+    /// resequencer gives up on a gap and releases what it has.
+    const MAX_PENDING: usize = 1 << 16;
+
+    fn new() -> Self {
+        Resequencer { next_seq: 0, pending: BTreeMap::new() }
+    }
+
+    /// Accepts one arrival and returns every tuple now ready, in order.
+    fn push(&mut self, seq: u64, trace: Arc<EnrichedTrace>) -> Vec<(u64, Arc<EnrichedTrace>)> {
+        if seq < self.next_seq {
+            return vec![(seq, trace)]; // replay of an already-released sequence
+        }
+        self.pending.insert(seq, trace);
+        let mut ready = Vec::new();
+        loop {
+            let over_capacity = self.pending.len() > Self::MAX_PENDING;
+            match self.pending.first_entry() {
+                // In order — or a gap outlived the whole in-flight window
+                // (the tuple was lost upstream): skip to the oldest
+                // survivor rather than wait forever.
+                Some(entry) if *entry.key() == self.next_seq || over_capacity => {
+                    let head = *entry.key();
+                    self.next_seq = head + 1;
+                    ready.push((head, entry.remove()));
+                }
+                _ => break,
+            }
+        }
+        ready
+    }
+
+    /// Releases everything still buffered (end of stream), in order.
+    fn drain(&mut self) -> Vec<(u64, Arc<EnrichedTrace>)> {
+        let pending = std::mem::take(&mut self.pending);
+        pending
+            .into_iter()
+            .inspect(|(seq, _)| self.next_seq = seq + 1)
+            .collect()
+    }
+}
+
+/// The Splitter bolt: restores the canonical replay order via its
+/// [`Resequencer`], then routes each tuple to the engines that own its
 /// locations, via direct grouping. With an [`ElasticHandle`] attached it
 /// also executes migrations: before each tuple it runs any pending
 /// ticket's pause–drain–handoff sequence and routes from the live plan,
@@ -336,12 +440,13 @@ impl std::fmt::Debug for ElasticHandle {
 pub struct SplitterBolt {
     plan: Arc<SplitPlan>,
     elastic: Option<Arc<ElasticHandle>>,
+    reseq: Resequencer,
 }
 
 impl SplitterBolt {
     /// Creates a splitter task sharing the routing plan.
     pub fn new(plan: Arc<SplitPlan>) -> Self {
-        SplitterBolt { plan, elastic: None }
+        SplitterBolt { plan, elastic: None, reseq: Resequencer::new() }
     }
 
     /// Attaches the elastic control loop (single-splitter topologies only:
@@ -380,32 +485,52 @@ impl SplitterBolt {
     }
 }
 
-impl Bolt<TrafficMessage> for SplitterBolt {
-    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
-        let Some(h) = self.elastic.clone() else {
-            if let TrafficMessage::Enriched(e) = msg {
+impl SplitterBolt {
+    /// Routes one in-order tuple to the engines owning its locations.
+    fn route(&self, seq: u64, e: Arc<EnrichedTrace>, emitter: &mut dyn Emitter<TrafficMessage>) {
+        match &self.elastic {
+            None => {
                 for engine in self.plan.engines_for(&e) {
-                    emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
+                    emitter
+                        .emit_direct(engine, TrafficMessage::Enriched { seq, trace: e.clone() });
                 }
             }
-            return;
-        };
-        self.run_migrations(&h, emitter);
-        if let TrafficMessage::Enriched(e) = msg {
-            let routes = h.split_plan.read().routes_for(&e);
-            let mut engines: Vec<usize> = Vec::new();
-            {
-                let mut observed = h.observed.lock();
-                for (g, key, engine) in &routes {
-                    *observed.entry((*g, key.clone())).or_insert(0) += 1;
-                    if !engines.contains(engine) {
-                        engines.push(*engine);
+            Some(h) => {
+                let routes = h.split_plan.read().routes_for(&e);
+                let mut engines: Vec<usize> = Vec::new();
+                {
+                    let mut observed = h.observed.lock();
+                    for (g, key, engine) in &routes {
+                        *observed.entry((*g, key.clone())).or_insert(0) += 1;
+                        if !engines.contains(engine) {
+                            engines.push(*engine);
+                        }
                     }
                 }
+                for engine in engines {
+                    emitter
+                        .emit_direct(engine, TrafficMessage::Enriched { seq, trace: e.clone() });
+                }
             }
-            for engine in engines {
-                emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
+        }
+    }
+}
+
+impl Bolt<TrafficMessage> for SplitterBolt {
+    fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
+        if let Some(h) = self.elastic.clone() {
+            self.run_migrations(&h, emitter);
+        }
+        if let TrafficMessage::Enriched { seq, trace } = msg {
+            for (seq, e) in self.reseq.push(seq, trace) {
+                self.route(seq, e, emitter);
             }
+        }
+    }
+
+    fn finish(&mut self, emitter: &mut dyn Emitter<TrafficMessage>) {
+        for (seq, e) in self.reseq.drain() {
+            self.route(seq, e, emitter);
         }
     }
 }
@@ -425,9 +550,10 @@ impl BroadcastSplitterBolt {
 
 impl Bolt<TrafficMessage> for BroadcastSplitterBolt {
     fn process(&mut self, msg: TrafficMessage, emitter: &mut dyn Emitter<TrafficMessage>) {
-        if let TrafficMessage::Enriched(e) = msg {
+        if let TrafficMessage::Enriched { seq, trace } = msg {
             for engine in 0..self.engines {
-                emitter.emit_direct(engine, TrafficMessage::Enriched(e.clone()));
+                emitter
+                    .emit_direct(engine, TrafficMessage::Enriched { seq, trace: trace.clone() });
             }
         }
     }
@@ -540,6 +666,9 @@ pub struct EsperBolt {
     /// Install errors surface on the first processed tuple (prepare()
     /// cannot fail in the Bolt contract).
     install_error: Option<String>,
+    /// Highest [`TrafficMessage::StatsRefresh`] version applied, so
+    /// replayed or duplicated refresh notices are idempotent.
+    stats_version: u64,
 }
 
 impl EsperBolt {
@@ -563,6 +692,7 @@ impl EsperBolt {
             task_index: 0,
             engine: None,
             install_error: None,
+            stats_version: 0,
         }
     }
 
@@ -639,6 +769,17 @@ impl EsperBolt {
             }
         }
     }
+
+    /// The rule entries this task currently runs: the handle's *live*
+    /// plan when elastic is attached, the start-up plan otherwise.
+    fn planned_rules(&self) -> Vec<(RuleSpec, Vec<String>)> {
+        match &self.elastic {
+            Some(h) => {
+                h.engine_plan.read().per_engine.get(self.task_index).cloned().unwrap_or_default()
+            }
+            None => self.plan.per_engine.get(self.task_index).cloned().unwrap_or_default(),
+        }
+    }
 }
 
 impl Bolt<TrafficMessage> for EsperBolt {
@@ -657,30 +798,21 @@ impl Bolt<TrafficMessage> for EsperBolt {
         // Elastic tasks prepare from the *live* plan so a supervised
         // restart after migrations rebuilds the current assignment, not
         // the start-up one.
-        let live;
-        let rules = match &self.elastic {
-            Some(h) => {
-                live = h.engine_plan.read().per_engine.get(ctx.task_index).cloned();
-                live.as_ref()
+        let rules = self.planned_rules();
+        // Batch rules per monitored-location set: all statements of a
+        // batch stand before its first threshold snapshot is fed, so
+        // the sharing planner sees pristine windows and can cluster
+        // same-shape rules.
+        let mut batches: Vec<(&Vec<String>, Vec<RuleSpec>)> = Vec::new();
+        for (spec, monitored) in &rules {
+            match batches.iter_mut().find(|(m, _)| *m == monitored) {
+                Some((_, specs)) => specs.push(spec.clone()),
+                None => batches.push((monitored, vec![spec.clone()])),
             }
-            None => self.plan.per_engine.get(ctx.task_index),
-        };
-        if let Some(rules) = rules {
-            // Batch rules per monitored-location set: all statements of a
-            // batch stand before its first threshold snapshot is fed, so
-            // the sharing planner sees pristine windows and can cluster
-            // same-shape rules.
-            let mut batches: Vec<(&Vec<String>, Vec<RuleSpec>)> = Vec::new();
-            for (spec, monitored) in rules {
-                match batches.iter_mut().find(|(m, _)| *m == monitored) {
-                    Some((_, specs)) => specs.push(spec.clone()),
-                    None => batches.push((monitored, vec![spec.clone()])),
-                }
-            }
-            for (monitored, specs) in batches {
-                if let Err(e) = engine.install_rules(&specs, monitored.iter().cloned()) {
-                    self.install_error = Some(e.to_string());
-                }
+        }
+        for (monitored, specs) in batches {
+            if let Err(e) = engine.install_rules(&specs, monitored.iter().cloned()) {
+                self.install_error = Some(e.to_string());
             }
         }
         self.engine = Some(engine);
@@ -712,7 +844,17 @@ impl Bolt<TrafficMessage> for EsperBolt {
             }
         }
         let engine = self.engine.as_mut().expect("checked above");
-        if let TrafficMessage::Enriched(e) = msg {
+        if let TrafficMessage::StatsRefresh { version } = msg {
+            if version > self.stats_version {
+                self.stats_version = version;
+                // The refresh is atomic: on failure the engine keeps the
+                // previous thresholds — the same degradation as a failed
+                // batch publication.
+                let _ = engine.refresh_thresholds();
+            }
+            return;
+        }
+        if let TrafficMessage::Enriched { trace: e, .. } = msg {
             let sink = engine.detections();
             let before = sink.lock().len();
             if let Err(err) = engine.send_trace(&e) {
@@ -730,6 +872,64 @@ impl Bolt<TrafficMessage> for EsperBolt {
                 registry.publish(self.task_index, engine.rule_profiles(self.task_index));
             }
         }
+    }
+
+    fn snapshot_state(&mut self) -> Option<Vec<u8>> {
+        let engine = self.engine.as_ref()?;
+        let union = engine.monitored_union();
+        // Multiple-Rules has no migratable representation (locations are
+        // baked into statements); such engines stay memory-only and
+        // rebuild cold on restart.
+        let migration = engine.collect_migration(&union).ok()?;
+        let rule_ages = engine
+            .threshold_ages()
+            .into_iter()
+            .map(|(rule, age)| (rule, age.map(|d| d.as_millis() as u64)))
+            .collect();
+        Some(crate::kappa::encode_esper_state(&crate::kappa::EsperState {
+            migration,
+            rule_ages,
+            snapshot_unix_ms: crate::kappa::unix_ms_now(),
+        }))
+    }
+
+    fn restore_state(&mut self, snapshot: Option<&[u8]>, _changelog: &[Vec<u8>]) {
+        let Some(bytes) = snapshot else { return };
+        let Some(state) = crate::kappa::decode_esper_state(bytes) else {
+            return; // corrupt snapshot: keep the cold engine prepare() built
+        };
+        // prepare() already installed the plan's rules *and fed fresh
+        // thresholds*; absorbing the snapshot on top of that would
+        // duplicate threshold rows. Rebuild pristine instead: install the
+        // same specs with an empty monitored set (no threshold feed,
+        // windows untouched for the sharing planner), then absorb the
+        // snapshot's state — the exact path an elastic handoff takes,
+        // which reproduces a never-restarted engine.
+        let mut engine = RuleEngine::new(self.method.clone(), self.store.clone(), self.db.clone());
+        if engine.set_incremental_enabled(self.incremental).is_err()
+            || engine.set_sharing_enabled(self.sharing).is_err()
+        {
+            return;
+        }
+        if self.profiles.is_some() {
+            engine.set_profiling_enabled(true);
+        }
+        let specs: Vec<RuleSpec> =
+            self.planned_rules().into_iter().map(|(spec, _)| spec).collect();
+        if engine.install_rules(&specs, std::iter::empty()).is_err()
+            || engine.absorb_migration(&specs, &state.migration).is_err()
+        {
+            return; // plan/snapshot mismatch: fall back to the cold engine
+        }
+        // The thresholds' real age spans the downtime; backdating keeps
+        // the staleness gauge honest across the restart.
+        let downtime_ms = crate::kappa::unix_ms_now().saturating_sub(state.snapshot_unix_ms);
+        for (rule, age_ms) in &state.rule_ages {
+            if let Some(ms) = age_ms {
+                engine.backdate_thresholds(rule, Duration::from_millis(ms.saturating_add(downtime_ms)));
+            }
+        }
+        self.engine = Some(engine);
     }
 }
 
@@ -819,6 +1019,12 @@ impl Default for TopologyParallelism {
 /// (`tms_dsps::fault`): the engine is the stateful heart of the topology
 /// and rebuilds itself from the shared [`EnginePlan`] in `prepare`, so a
 /// supervised restart after an injected panic recovers it completely.
+///
+/// `kappa` adds the in-stream statistics side branch: a single-task
+/// [`StatsBolt`](crate::kappa::StatsBolt) fed from the BusStopsTracker,
+/// whose [`TrafficMessage::StatsRefresh`] notices reach every Esper task
+/// over an all-grouped edge — thresholds then track the stream instead of
+/// the batch period.
 #[allow(clippy::too_many_arguments)]
 pub fn build_traffic_topology(
     traces: Arc<Vec<BusTrace>>,
@@ -836,10 +1042,21 @@ pub fn build_traffic_topology(
     chaos: Option<FaultConfig>,
     profiling: Option<Arc<EsperProfileRegistry>>,
     elastic: Option<Arc<ElasticHandle>>,
+    kappa: Option<crate::kappa::KappaConfig>,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
     let threshold_store = ThresholdStore::new(store.clone());
+    // The attributes the planned rules monitor, in `Attribute::ALL` order
+    // — the statistics cells the kappa branch must maintain.
+    let stats_attributes: Vec<Attribute> = Attribute::ALL
+        .iter()
+        .filter(|a| {
+            engine_plan.per_engine.iter().flatten().any(|(spec, _)| spec.attribute == **a)
+        })
+        .copied()
+        .collect();
     let spout_tasks = parallelism.spout_tasks.max(1);
     let esper_elastic = elastic.clone();
+    let stats_store = threshold_store.clone();
     let esper_factory = move |_: usize| -> Box<dyn Bolt<TrafficMessage>> {
         let mut bolt = EsperBolt::new(
             engine_plan.clone(),
@@ -862,7 +1079,7 @@ pub fn build_traffic_topology(
             Some(f) => Box::new(chaos_wrap(esper_factory, f)),
             None => Box::new(esper_factory),
         };
-    TopologyBuilder::new("traffic")
+    let mut builder = TopologyBuilder::new("traffic")
         .add_spout("busReader", Parallelism::of(spout_tasks), move |ti| {
             Box::new(BusReaderSpout::new(traces.clone(), ti, spout_tasks))
         })
@@ -872,7 +1089,7 @@ pub fn build_traffic_topology(
             vec![(
                 "busReader",
                 Grouping::fields(|m: &TrafficMessage| match m {
-                    TrafficMessage::Raw(t) => u64::from(t.vehicle_id),
+                    TrafficMessage::Raw { trace, .. } => u64::from(trace.vehicle_id),
                     _ => 0,
                 }),
             )],
@@ -902,11 +1119,33 @@ pub fn build_traffic_topology(
                 };
                 Box::new(bolt)
             },
-        )
+        );
+    // The kappa side branch: single-task (its BTreeMap of cells is the
+    // global statistics state; one task keeps publication deterministic),
+    // fed the same enriched stream the splitter sees. Its refresh notices
+    // must reach *every* engine, hence the all-grouped esper edge.
+    let mut esper_inputs: Vec<(&str, Grouping<TrafficMessage>)> =
+        vec![("splitter", Grouping::Direct)];
+    if let Some(config) = kappa {
+        builder = builder.add_bolt(
+            "stats",
+            Parallelism::of(1),
+            vec![("busStopsTracker", Grouping::Shuffle)],
+            move |_| {
+                Box::new(crate::kappa::StatsBolt::new(
+                    config,
+                    stats_store.clone(),
+                    stats_attributes.clone(),
+                ))
+            },
+        );
+        esper_inputs.push(("stats", Grouping::All));
+    }
+    builder
         .add_bolt(
             "esper",
             Parallelism::of(parallelism.esper_tasks.max(1)),
-            vec![("splitter", Grouping::Direct)],
+            esper_inputs,
             move |ti| esper_factory(ti),
         )
         .add_bolt(
@@ -921,6 +1160,8 @@ pub fn build_traffic_topology(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::LocationSelector;
+    use tms_storage::{DayType, StatRecord};
 
     fn enriched(areas: Vec<&str>, stop: Option<&str>) -> EnrichedTrace {
         EnrichedTrace {
@@ -998,5 +1239,185 @@ mod tests {
         };
         let e = enriched(vec!["R0", "R1"], None);
         assert_eq!(plan.engines_for(&e), vec![3], "same engine listed once");
+    }
+
+    #[test]
+    fn resequencer_restores_global_order_across_interleavings() {
+        let mk = |_: u64| Arc::new(enriched(vec!["R0"], None));
+        let released = |out: Vec<(u64, Arc<EnrichedTrace>)>| -> Vec<u64> {
+            out.into_iter().map(|(seq, _)| seq).collect()
+        };
+        // Two upstream tasks interleave 0,2,4 and 1,3,5 arbitrarily.
+        let mut r = Resequencer::new();
+        assert_eq!(released(r.push(1, mk(1))), Vec::<u64>::new(), "gap at 0 buffers");
+        assert_eq!(released(r.push(0, mk(0))), vec![0, 1], "filling the gap releases the run");
+        assert_eq!(released(r.push(4, mk(4))), Vec::<u64>::new());
+        assert_eq!(released(r.push(3, mk(3))), Vec::<u64>::new());
+        assert_eq!(released(r.push(2, mk(2))), vec![2, 3, 4]);
+        // An at-least-once replay of a released sequence passes through.
+        assert_eq!(released(r.push(2, mk(2))), vec![2], "replay is not withheld");
+        // End of stream flushes what is left, still in order.
+        assert_eq!(released(r.push(7, mk(7))), Vec::<u64>::new());
+        assert_eq!(released(r.push(6, mk(6))), Vec::<u64>::new());
+        assert_eq!(released(r.drain()), vec![6, 7]);
+        assert_eq!(released(r.push(8, mk(8))), vec![8], "drain advanced the cursor");
+    }
+
+    /// Collects emitted detections for bolt-level tests.
+    #[derive(Default)]
+    struct CaptureEmitter(Vec<Detection>);
+
+    impl Emitter<TrafficMessage> for CaptureEmitter {
+        fn emit(&mut self, msg: TrafficMessage) {
+            if let TrafficMessage::Detection(d) = msg {
+                self.0.push(d);
+            }
+        }
+        fn emit_direct(&mut self, _task: usize, msg: TrafficMessage) {
+            self.emit(msg);
+        }
+    }
+
+    fn delay_trace(ts: u64, area: &str, delay: f64) -> TrafficMessage {
+        let mut e = enriched(vec![area], None);
+        // Hour 8 of day 0 (a Monday): the statistics cell below.
+        e.trace.timestamp_ms = ts + 8 * tms_traffic::HOUR_MS;
+        e.trace.delay_s = delay;
+        TrafficMessage::Enriched { seq: ts / 1000, trace: Arc::new(e) }
+    }
+
+    #[test]
+    fn esper_snapshot_restore_keeps_state_and_threshold_age() {
+        // An engine snapshots mid-window, "restarts" (fresh bolt, prepare,
+        // restore), and must (a) resume with its window state — detections
+        // after the restart match a never-restarted reference — and (b)
+        // keep the threshold staleness clock running across the downtime
+        // instead of resetting it to zero.
+        let store = TableStore::new();
+        let tstore = ThresholdStore::new(store.clone());
+        tstore
+            .publish(
+                "delay",
+                &[StatRecord {
+                    area_id: "R1".into(),
+                    hour: 8,
+                    day_type: DayType::Weekday,
+                    mean: 100.0,
+                    stdv: 0.0,
+                    count: 10,
+                }],
+            )
+            .unwrap();
+        let mut spec =
+            RuleSpec::new("delay-rule", Attribute::Delay, LocationSelector::QuadtreeLeaves, 3);
+        spec.s = 0.0;
+        let plan = Arc::new(EnginePlan {
+            per_engine: vec![vec![(spec, vec!["R1".to_string()])]],
+        });
+        let mk = || {
+            EsperBolt::new(
+                plan.clone(),
+                RetrievalMethod::ThresholdStream,
+                tstore.clone(),
+                None,
+            )
+        };
+        let ctx = BoltContext { task_index: 0, task_count: 1 };
+
+        let mut original = mk();
+        original.prepare(ctx);
+        let mut reference = mk();
+        reference.prepare(ctx);
+        let mut sink = CaptureEmitter::default();
+        // Two below-threshold samples build window state (avg 55 < 100).
+        for (ts, d) in [(1000u64, 50.0), (2000, 60.0)] {
+            original.process(delay_trace(ts, "R1", d), &mut sink);
+            reference.process(delay_trace(ts, "R1", d), &mut sink);
+        }
+        assert!(sink.0.is_empty(), "below threshold: nothing fires yet");
+
+        std::thread::sleep(Duration::from_millis(150));
+        let snapshot = original.snapshot_state().expect("threshold-stream engines snapshot");
+
+        let mut restored = mk();
+        restored.prepare(ctx);
+        restored.restore_state(Some(&snapshot), &[]);
+        let age = restored.engine.as_ref().unwrap().threshold_ages()[0]
+            .1
+            .expect("restored rule keeps its stamp");
+        assert!(
+            age >= Duration::from_millis(150),
+            "staleness clock spans the downtime, got {age:?}"
+        );
+        // A fresh install stamps its thresholds *now*; the restore must
+        // keep the snapshot's older stamp instead.
+        let mut fresh = mk();
+        fresh.prepare(ctx);
+        let fresh_age = fresh.engine.as_ref().unwrap().threshold_ages()[0].1.unwrap();
+        assert!(fresh_age < age, "a restore is not a refresh");
+
+        // Post-restart: 250 pushes the window average to 120 > 100; the
+        // restored engine must fire exactly like the reference (the third
+        // sample only crosses when the pre-snapshot window survived).
+        let mut rsink = CaptureEmitter::default();
+        let mut refsink = CaptureEmitter::default();
+        restored.process(delay_trace(3000, "R1", 250.0), &mut rsink);
+        reference.process(delay_trace(3000, "R1", 250.0), &mut refsink);
+        assert_eq!(rsink.0, refsink.0);
+        assert!(!rsink.0.is_empty(), "the scenario must actually fire");
+
+        // Corrupt snapshots fall back to the cold prepare()d engine.
+        let mut cold = mk();
+        cold.prepare(ctx);
+        cold.restore_state(Some(&[0xFF, 0x01]), &[]);
+        assert!(cold.engine.as_ref().unwrap().threshold_ages()[0].1.unwrap() < age);
+    }
+
+    #[test]
+    fn stats_refresh_is_versioned_and_idempotent() {
+        // A StatsRefresh with a newer version re-reads thresholds from
+        // the store; replays of the same version do nothing.
+        let store = TableStore::new();
+        let tstore = ThresholdStore::new(store.clone());
+        let publish = |mean: f64| {
+            tstore
+                .publish(
+                    "delay",
+                    &[StatRecord {
+                        area_id: "R1".into(),
+                        hour: 8,
+                        day_type: DayType::Weekday,
+                        mean,
+                        stdv: 0.0,
+                        count: 10,
+                    }],
+                )
+                .unwrap()
+        };
+        publish(1_000_000.0); // nothing fires under this threshold
+        let mut spec =
+            RuleSpec::new("delay-rule", Attribute::Delay, LocationSelector::QuadtreeLeaves, 1);
+        spec.s = 0.0;
+        let plan = Arc::new(EnginePlan {
+            per_engine: vec![vec![(spec, vec!["R1".to_string()])]],
+        });
+        let mut bolt =
+            EsperBolt::new(plan, RetrievalMethod::ThresholdStream, tstore.clone(), None);
+        bolt.prepare(BoltContext { task_index: 0, task_count: 1 });
+        let mut sink = CaptureEmitter::default();
+        bolt.process(delay_trace(1000, "R1", 50.0), &mut sink);
+        assert!(sink.0.is_empty(), "50 < 1e6");
+        // The in-stream stage publishes a realistic snapshot and notifies.
+        publish(10.0);
+        bolt.process(delay_trace(2000, "R1", 50.0), &mut sink);
+        assert!(sink.0.is_empty(), "no refresh notice yet: old threshold holds");
+        bolt.process(TrafficMessage::StatsRefresh { version: 1 }, &mut sink);
+        bolt.process(delay_trace(3000, "R1", 50.0), &mut sink);
+        assert_eq!(sink.0.len(), 1, "refreshed threshold 10 < 50 fires");
+        // A replayed (duplicate) notice is a no-op even after republish.
+        publish(1_000_000.0);
+        bolt.process(TrafficMessage::StatsRefresh { version: 1 }, &mut sink);
+        bolt.process(delay_trace(4000, "R1", 50.0), &mut sink);
+        assert_eq!(sink.0.len(), 2, "stale version ignored: threshold still 10");
     }
 }

@@ -53,13 +53,13 @@ fn resolve_grouping(spec: &GroupingSpec, component: &str) -> Result<Grouping<Tra
         GroupingSpec::Direct => Grouping::Direct,
         GroupingSpec::Fields(key) => match key.as_str() {
             "vehicle" => Grouping::fields(|m: &TrafficMessage| match m {
-                TrafficMessage::Raw(t) => u64::from(t.vehicle_id),
-                TrafficMessage::Enriched(e) => u64::from(e.trace.vehicle_id),
+                TrafficMessage::Raw { trace, .. } => u64::from(trace.vehicle_id),
+                TrafficMessage::Enriched { trace, .. } => u64::from(trace.trace.vehicle_id),
                 _ => 0,
             }),
             "line" => Grouping::fields(|m: &TrafficMessage| match m {
-                TrafficMessage::Raw(t) => u64::from(t.line_id),
-                TrafficMessage::Enriched(e) => u64::from(e.trace.line_id),
+                TrafficMessage::Raw { trace, .. } => u64::from(trace.line_id),
+                TrafficMessage::Enriched { trace, .. } => u64::from(trace.trace.line_id),
                 _ => 0,
             }),
             other => {

@@ -59,6 +59,14 @@ pub enum DspsError {
         /// The final panic message.
         reason: String,
     },
+    /// A durable state store failed an I/O operation
+    /// ([`durability`](crate::durability)).
+    Durability {
+        /// The file or directory involved.
+        path: String,
+        /// Operation and OS error text.
+        reason: String,
+    },
     /// The metrics exposition endpoint could not bind its socket
     /// ([`MonitorConfig::expose`](crate::metrics::MonitorConfig)).
     ExpositionBind {
@@ -105,6 +113,9 @@ impl fmt::Display for DspsError {
                     f,
                     "task {component}[{task}] still panicking after {restarts} restarts: {reason}"
                 )
+            }
+            DspsError::Durability { path, reason } => {
+                write!(f, "durable state store failed at {path}: {reason}")
             }
             DspsError::ExpositionBind { port, reason } => {
                 write!(f, "failed to bind metrics endpoint on 127.0.0.1:{port}: {reason}")

@@ -72,6 +72,20 @@ impl<T: Send> Bolt<T> for ChaosBolt<T> {
     fn finish(&mut self, emitter: &mut dyn crate::runtime::Emitter<T>) {
         self.inner.finish(emitter);
     }
+
+    // Durability passes through to the wrapped bolt: fault injection must
+    // not cost a task its persisted state.
+    fn snapshot_state(&mut self) -> Option<Vec<u8>> {
+        self.inner.snapshot_state()
+    }
+
+    fn drain_changelog(&mut self, out: &mut Vec<Vec<u8>>) {
+        self.inner.drain_changelog(out);
+    }
+
+    fn restore_state(&mut self, snapshot: Option<&[u8]>, changelog: &[Vec<u8>]) {
+        self.inner.restore_state(snapshot, changelog);
+    }
 }
 
 /// Wraps a bolt factory so every produced task is a [`ChaosBolt`].

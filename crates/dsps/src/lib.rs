@@ -34,6 +34,7 @@
 //! the paper adds on top of Storm's Java builder API.
 
 mod ack;
+pub mod durability;
 pub mod elastic;
 pub mod error;
 pub mod fault;
@@ -44,6 +45,7 @@ pub mod scheduler;
 pub mod topology;
 pub mod xml;
 
+pub use durability::{DurabilityConfig, StateStore};
 pub use elastic::{MigrationCoordinator, MigrationRequest, MigrationStats};
 pub use error::DspsError;
 pub use fault::{chaos_wrap, ChaosBolt, FaultConfig};

@@ -33,6 +33,7 @@
 //! job (dedup on a message key), as in Storm 0.8 without Trident.
 
 use crate::ack::Acker;
+use crate::durability::{DurabilityConfig, StateStore};
 use crate::error::DspsError;
 use crate::fault::FaultConfig;
 use crate::grouping::Grouping;
@@ -463,7 +464,7 @@ impl Default for BatchConfig {
 }
 
 /// Runtime configuration for [`LocalCluster::submit`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Capacity of each task's input channel.
     pub channel_capacity: usize,
@@ -482,6 +483,10 @@ pub struct RuntimeConfig {
     /// Micro-batched data plane; `None` keeps today's per-tuple sends
     /// byte-for-byte.
     pub batch: Option<BatchConfig>,
+    /// Durable bolt state (snapshot + changelog per task, see
+    /// [`durability`](crate::durability)); `None` keeps tasks ephemeral —
+    /// a restarted task (supervised or resubmitted) starts empty.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -493,6 +498,7 @@ impl Default for RuntimeConfig {
             reliability: None,
             fault: None,
             batch: None,
+            durability: None,
         }
     }
 }
@@ -537,6 +543,13 @@ struct BoltTask<T> {
     ctx: BoltContext,
     /// This task's input-channel occupancy gauge (tracing mode).
     depth: Arc<AtomicI64>,
+    /// Durable snapshot+changelog state store; `None` = ephemeral task.
+    store: Option<StateStore>,
+    /// Scratch for changelog records drained per tuple.
+    log_scratch: Vec<Vec<u8>>,
+    /// Tuples processed since the last snapshot — drives the snapshot
+    /// cadence for bolts that snapshot without writing changelog records.
+    since_snapshot: u64,
     eos_seen: usize,
     restarts: u32,
     done: bool,
@@ -586,6 +599,7 @@ impl LocalCluster {
         let done = Arc::new(AtomicBool::new(false));
         let reliability = config.reliability;
         let fault = config.fault;
+        let durability = config.durability.clone();
         let tracing = config.monitor.is_some_and(|mc| mc.tracing);
 
         // ---- Global task ids ----------------------------------------------
@@ -760,6 +774,10 @@ impl LocalCluster {
                     let rx = receivers_by_bolt[bi][ti]
                         .take()
                         .expect("each task receiver is claimed exactly once");
+                    let store = match &durability {
+                        Some(d) => Some(StateStore::open(d, &b.name, ti)?),
+                        None => None,
+                    };
                     tasks.push(BoltTask {
                         bolt: (*b.factory)(ti),
                         emitter: make_emitter(&b.name, global, counters),
@@ -767,6 +785,9 @@ impl LocalCluster {
                         index: ti,
                         ctx: BoltContext { task_index: ti, task_count },
                         depth: depths_by_bolt[bi][ti].clone(),
+                        store,
+                        log_scratch: Vec::new(),
+                        since_snapshot: 0,
                         eos_seen: 0,
                         restarts: 0,
                         done: false,
@@ -1096,9 +1117,17 @@ fn run_bolt_executor<T: Clone + Send + Sync>(
     tracing: bool,
 ) -> Result<(), DspsError> {
     // Storm calls prepare() on the worker, not the submitting client;
-    // per-task state must live on the executor thread.
+    // per-task state must live on the executor thread. With durability
+    // on, state found on disk (a prior run's snapshot + changelog) is
+    // restored before the first tuple — stateful recovery rather than a
+    // cold start.
     for t in tasks.iter_mut() {
         t.bolt.prepare(t.ctx);
+        if let Some(store) = t.store.as_mut() {
+            if let Some((snapshot, changelog)) = store.take_recovered() {
+                t.bolt.restore_state(snapshot.as_deref(), &changelog);
+            }
+        }
     }
     let single = tasks.len() == 1;
     let mut remaining = tasks.len();
@@ -1199,6 +1228,14 @@ fn run_bolt_executor<T: Clone + Send + Sync>(
                             let r = std::panic::catch_unwind(
                                 std::panic::AssertUnwindSafe(|| t.bolt.finish(&mut t.emitter)),
                             );
+                            // Final snapshot: a cleanly drained task leaves
+                            // its complete end-of-stream state on disk, so
+                            // a resubmitted topology resumes from it.
+                            if r.is_ok() {
+                                if let Err(e) = persist_bolt_state(t, true) {
+                                    failure = Some(e);
+                                }
+                            }
                             t.emitter.send_eos();
                             t.done = true;
                             remaining -= 1;
@@ -1208,6 +1245,9 @@ fn run_bolt_executor<T: Clone + Send + Sync>(
                                     task: t.index,
                                     reason: panic_text(e.as_ref()),
                                 });
+                                break 'outer;
+                            }
+                            if failure.is_some() {
                                 break 'outer;
                             }
                             break;
@@ -1315,7 +1355,7 @@ fn process_envelope<T: Clone + Send + Sync>(
                 }
             }
             t.emitter.anchors.clear();
-            Ok(())
+            persist_bolt_state(t, false)
         }
         Err(e) => {
             // Never ack a failed input: its tree stays incomplete and the
@@ -1324,12 +1364,26 @@ fn process_envelope<T: Clone + Send + Sync>(
             let budget = reliability.map_or(0, |rel| rel.max_task_restarts);
             if t.restarts < budget {
                 // Supervisor: rebuild the task from its factory and keep
-                // consuming. State is fresh; replay covers the lost tuple.
+                // consuming. Replay covers the lost tuple. With durability
+                // on, the rebuilt task restores its last persisted state
+                // (snapshot + changelog since) instead of starting empty —
+                // the poisoned tuple's own changes were never drained, so
+                // the restored state is exactly as of the last good tuple.
                 let ctx = t.ctx;
                 let index = t.index;
+                let recovered = match t.store.as_mut() {
+                    Some(store) => match store.read_current() {
+                        Ok(r) => Some(r),
+                        Err(e) => return Err(e),
+                    },
+                    None => None,
+                };
                 let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut bolt = (*factory)(index);
                     bolt.prepare(ctx);
+                    if let Some((snapshot, changelog)) = &recovered {
+                        bolt.restore_state(snapshot.as_deref(), changelog);
+                    }
                     bolt
                 }));
                 match rebuilt {
@@ -1361,6 +1415,29 @@ fn process_envelope<T: Clone + Send + Sync>(
             }
         }
     }
+}
+
+/// Persists a bolt task's state changes: drains the bolt's changelog
+/// records into the store, then snapshots (and compacts) when the cadence
+/// is due — counted both in changelog records and in processed tuples, so
+/// snapshot-only bolts (empty changelogs) still checkpoint periodically.
+/// `force_snapshot` is the end-of-stream path: always leave a complete
+/// final snapshot behind. No-op without a store.
+fn persist_bolt_state<T>(t: &mut BoltTask<T>, force_snapshot: bool) -> Result<(), DspsError> {
+    let Some(store) = t.store.as_mut() else { return Ok(()) };
+    t.log_scratch.clear();
+    t.bolt.drain_changelog(&mut t.log_scratch);
+    for record in &t.log_scratch {
+        store.append(record)?;
+    }
+    t.since_snapshot += 1;
+    if force_snapshot || store.snapshot_due() || t.since_snapshot >= store.snapshot_every() {
+        if let Some(state) = t.bolt.snapshot_state() {
+            store.snapshot(&state)?;
+        }
+        t.since_snapshot = 0;
+    }
+    Ok(())
 }
 
 /// Folds `(root, id)` into a batch's ack accumulation, XOR-combining ids

@@ -72,6 +72,29 @@ pub trait Bolt<T>: Send {
     /// Called once when every upstream task has finished; a last chance to
     /// flush buffered state downstream.
     fn finish(&mut self, _emitter: &mut dyn crate::runtime::Emitter<T>) {}
+
+    /// Serializes this bolt's full state for a durability snapshot
+    /// ([`durability`](crate::durability)); `None` (the default) marks the
+    /// bolt stateless, so no snapshot is ever written for it.
+    ///
+    /// The bytes are opaque to the runtime — the bolt alone defines the
+    /// format, and [`restore_state`](Bolt::restore_state) must accept it.
+    fn snapshot_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Appends the changelog records describing the state changes since
+    /// the previous drain (typically: since the last processed tuple).
+    /// The runtime calls this after every `process` when durability is on
+    /// and persists the records in order. The default appends nothing.
+    fn drain_changelog(&mut self, _out: &mut Vec<Vec<u8>>) {}
+
+    /// Restores state recovered from disk: the last snapshot (if any)
+    /// followed by the changelog records appended after it, in order.
+    /// Called after [`prepare`](Bolt::prepare) — on a fresh submit that
+    /// found prior state, and after a supervised post-panic restart.
+    /// The default ignores recovery (stateless bolts restart empty).
+    fn restore_state(&mut self, _snapshot: Option<&[u8]>, _changelog: &[Vec<u8>]) {}
 }
 
 /// Blanket impl: any `FnMut(T) -> Option<T>`-style closure can serve as a

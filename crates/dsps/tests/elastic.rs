@@ -32,16 +32,19 @@ fn aggressive_elastic() -> ElasticConfig {
     }
 }
 
-fn single_task_parallelism() -> TopologyParallelism {
-    // Single-task stages keep the offline float-merge order and the
-    // splitter's barrier ordering deterministic (esper_tasks is overridden
-    // by the engine count at run time).
+fn multi_task_parallelism() -> TopologyParallelism {
+    // Multi-task stages are safe for the differential scenarios: the
+    // offline job reduces partial aggregates in canonical partition order
+    // (byte-identical thresholds at any task count) and the splitter
+    // resequences tuples into the spout's global order before the engines.
+    // The splitter itself stays single-task — the elastic drain barrier's
+    // FIFO argument needs one routing task.
     TopologyParallelism {
-        spout_tasks: 1,
-        preprocess_tasks: 1,
-        tracker_tasks: 1,
+        spout_tasks: 2,
+        preprocess_tasks: 2,
+        tracker_tasks: 2,
         splitter_tasks: 1,
-        esper_tasks: 1,
+        esper_tasks: 1, // overridden by the engine count at run time
     }
 }
 
@@ -133,7 +136,7 @@ fn sorted_detections(report: &tms_core::system::RunReport) -> Vec<(String, Strin
 fn hotspot_skew_triggers_rebalance_without_restart() {
     let (history, seeds) = small_history();
     let config = tms_core::system::SystemConfig {
-        parallelism: single_task_parallelism(),
+        parallelism: multi_task_parallelism(),
         elastic: Some(aggressive_elastic()),
         ..Default::default()
     };
@@ -170,7 +173,7 @@ fn hotspot_skew_triggers_rebalance_without_restart() {
 fn forced_migration_matches_never_migrated_run() {
     let (history, seeds) = small_history();
     let config = tms_core::system::SystemConfig {
-        parallelism: single_task_parallelism(),
+        parallelism: multi_task_parallelism(),
         ..Default::default()
     };
     let mut sys = TrafficSystem::bootstrap(DUBLIN_BBOX, &seeds, &history, config).unwrap();
@@ -203,7 +206,7 @@ fn forced_migration_matches_never_migrated_run() {
 fn chaos_migration_run_recovers_and_matches_after_dedup() {
     let (history, seeds) = small_history();
     let config = tms_core::system::SystemConfig {
-        parallelism: single_task_parallelism(),
+        parallelism: multi_task_parallelism(),
         elastic: Some(aggressive_elastic()),
         ..Default::default()
     };

@@ -227,6 +227,85 @@ impl BatchSpec {
     }
 }
 
+/// A declarative kappa scenario: the serializable face of the in-stream
+/// statistics branch ([`tms_core::KappaConfig`]) and the engines' durable
+/// state ([`tms_dsps::DurabilityConfig`]), so an experiment file can pin
+/// the refresh cadence and snapshot policy the same way [`ChaosSpec`]
+/// pins the fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KappaSpec {
+    /// Samples the StatsBolt folds in between republications.
+    pub refresh_every: u64,
+    /// Cells thinner than this stay unpublished (the offline bootstrap
+    /// value, if any, keeps serving).
+    pub min_samples: u64,
+    /// Durable-state root directory; `None` runs the engines in-memory.
+    pub durability_dir: Option<String>,
+    /// Changelog records between runtime snapshots (replay bound).
+    pub snapshot_every: u64,
+    /// Fsync snapshot data (appends are CRC-framed either way).
+    pub fsync: bool,
+}
+
+impl Default for KappaSpec {
+    fn default() -> Self {
+        let kc = tms_core::kappa::KappaConfig::default();
+        KappaSpec {
+            refresh_every: kc.refresh_every,
+            min_samples: kc.min_samples,
+            durability_dir: None,
+            snapshot_every: 1024,
+            fsync: false,
+        }
+    }
+}
+
+impl KappaSpec {
+    /// An aggressive-refresh spec for staleness experiments.
+    pub fn fast_refresh(refresh_every: u64) -> Self {
+        KappaSpec { refresh_every, ..KappaSpec::default() }
+    }
+
+    /// A spec persisting engine state under `dir`.
+    pub fn durable(dir: impl Into<String>) -> Self {
+        KappaSpec { durability_dir: Some(dir.into()), ..KappaSpec::default() }
+    }
+
+    /// Validates the refresh cadence and snapshot policy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.refresh_every == 0 {
+            return Err("refresh_every must be at least 1".into());
+        }
+        if let Some(dir) = &self.durability_dir {
+            if dir.is_empty() {
+                return Err("durability_dir must not be empty when set".into());
+            }
+            if self.snapshot_every == 0 {
+                return Err("snapshot_every must be at least 1".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The in-stream half: feed to `SystemConfig::kappa`.
+    pub fn kappa_config(&self) -> tms_core::kappa::KappaConfig {
+        tms_core::kappa::KappaConfig {
+            refresh_every: self.refresh_every,
+            min_samples: self.min_samples,
+        }
+    }
+
+    /// The durable half: feed to `SystemConfig::durability` /
+    /// `RuntimeConfig::durability`. `None` when the spec is in-memory.
+    pub fn durability_config(&self) -> Option<tms_dsps::DurabilityConfig> {
+        self.durability_dir.as_ref().map(|dir| tms_dsps::DurabilityConfig {
+            dir: dir.into(),
+            snapshot_every: self.snapshot_every,
+            fsync: self.fsync,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +405,49 @@ mod tests {
         let json = serde_json::to_string(&BatchSpec { max_batch: 64, max_linger_ms: 2 }).unwrap();
         assert!(json.contains("\"max_batch\":64"), "{json}");
         assert!(json.contains("\"max_linger_ms\":2"), "{json}");
+    }
+
+    #[test]
+    fn kappa_specs_default_match_the_runtime_and_convert() {
+        let spec = KappaSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.kappa_config(), tms_core::kappa::KappaConfig::default());
+        assert_eq!(spec.durability_config(), None, "durability stays opt-in");
+
+        let fast = KappaSpec::fast_refresh(64);
+        fast.validate().unwrap();
+        assert_eq!(fast.kappa_config().refresh_every, 64);
+        assert_eq!(
+            fast.kappa_config().min_samples,
+            tms_core::kappa::KappaConfig::default().min_samples
+        );
+
+        let durable = KappaSpec::durable("/tmp/tms-state");
+        durable.validate().unwrap();
+        let dc = durable.durability_config().expect("durable spec converts");
+        assert_eq!(dc.dir, std::path::PathBuf::from("/tmp/tms-state"));
+        assert_eq!(dc.snapshot_every, 1024);
+        assert!(!dc.fsync, "fsync stays opt-in");
+
+        let mut bad = KappaSpec::default();
+        bad.refresh_every = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = KappaSpec::durable("");
+        assert!(bad.validate().is_err());
+        bad = KappaSpec::durable("/tmp/x");
+        bad.snapshot_every = 0;
+        assert!(bad.validate().is_err());
+
+        let json = serde_json::to_string(&durable).unwrap();
+        for field in [
+            "\"refresh_every\":",
+            "\"min_samples\":",
+            "\"durability_dir\":\"/tmp/tms-state\"",
+            "\"snapshot_every\":1024",
+            "\"fsync\":false",
+        ] {
+            assert!(json.contains(field), "{field} missing from {json}");
+        }
     }
 
     #[test]

@@ -153,6 +153,59 @@ impl ThresholdStore {
         Ok(())
     }
 
+    /// Reads back an attribute's raw statistics records, sorted by
+    /// `(area, hour, dayType)` so callers observe a deterministic order.
+    /// The in-stream statistics stage uses this to seed its accumulators
+    /// from the offline bootstrap's snapshot. Returns an empty vec when
+    /// the attribute has no table yet (nothing published).
+    pub fn statistics(&self, attribute: &str) -> Result<Vec<StatRecord>, StorageError> {
+        let name = statistics_table_name(attribute);
+        if !self.store.has_table(&name) {
+            return Ok(Vec::new());
+        }
+        let mut out = self.store.with_table(&name, |t| -> Result<_, StorageError> {
+            let mut recs = Vec::with_capacity(t.len());
+            for row in t.scan() {
+                recs.push(StatRecord {
+                    area_id: row[0].as_str()?.to_string(),
+                    hour: row[1].as_int()? as u8,
+                    day_type: DayType::parse(row[2].as_str()?)?,
+                    mean: row[3].as_float()?,
+                    stdv: row[4].as_float()?,
+                    count: row[5].as_int()? as u64,
+                });
+            }
+            Ok(recs)
+        })??;
+        out.sort_by(|a, b| (&a.area_id, a.hour, a.day_type).cmp(&(&b.area_id, b.hour, b.day_type)));
+        Ok(out)
+    }
+
+    /// As [`Self::publish`] but through a [`RemoteDb`], paying one round
+    /// trip for the whole snapshot — the cost the batch layer's refresh
+    /// actually incurs (the kappa path publishes locally instead).
+    pub fn publish_remote(
+        db: &RemoteDb,
+        attribute: &str,
+        records: &[StatRecord],
+    ) -> Result<(), StorageError> {
+        let name = statistics_table_name(attribute);
+        let mut fresh = Table::new(name.clone(), statistics_schema());
+        for r in records {
+            fresh.insert(vec![
+                Value::from(r.area_id.clone()),
+                Value::Int(i64::from(r.hour)),
+                Value::from(r.day_type.as_str()),
+                Value::Float(r.mean),
+                Value::Float(r.stdv),
+                Value::Int(r.count as i64),
+            ])?;
+        }
+        db.local().create_table_if_missing(&name, statistics_schema())?;
+        db.execute(&name, |t| *t = fresh)?;
+        Ok(())
+    }
+
     /// Runs the threshold query (Listing 2) against a table store,
     /// returning every `(area, hour, dayType)` threshold.
     pub fn thresholds(&self, query: &ThresholdQuery) -> Result<Vec<ThresholdRow>, StorageError> {
@@ -403,6 +456,31 @@ mod tests {
             let q = ThresholdQuery { attribute: "delay".into(), s };
             assert_eq!(ts.thresholds(&q).unwrap(), ts.thresholds_sql(&q).unwrap());
         }
+    }
+
+    #[test]
+    fn statistics_round_trips_published_records() {
+        let ts = ThresholdStore::new(TableStore::new());
+        assert_eq!(ts.statistics("delay").unwrap(), vec![], "missing table reads empty");
+        ts.publish("delay", &records()).unwrap();
+        let back = ts.statistics("delay").unwrap();
+        let mut expected = records();
+        expected
+            .sort_by(|a, b| (&a.area_id, a.hour, a.day_type).cmp(&(&b.area_id, b.hour, b.day_type)));
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn publish_remote_charges_one_round_trip_and_replaces() {
+        let ts = ThresholdStore::new(TableStore::new());
+        let db = RemoteDb::new(ts.store().clone(), std::time::Duration::ZERO);
+        ThresholdStore::publish_remote(&db, "delay", &records()).unwrap();
+        assert_eq!(db.query_count(), 1, "whole snapshot costs one round trip");
+        assert_eq!(ts.statistics("delay").unwrap().len(), 3);
+        // Republish replaces, exactly like the local path.
+        ThresholdStore::publish_remote(&db, "delay", &records()[..1]).unwrap();
+        assert_eq!(ts.statistics("delay").unwrap().len(), 1);
+        assert_eq!(db.query_count(), 2);
     }
 
     #[test]

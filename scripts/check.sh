@@ -33,9 +33,23 @@ cargo test -p tms-cep --test sharing --test differential
 # migrated run must equal a never-migrated one exactly, and chaos-mode
 # migrations must recover under at-least-once (see crates/dsps/tests/elastic.rs).
 cargo test -p tms-dsps --test elastic
+# The recovery suite is the durability layer's acceptance bar: CRC-framed
+# snapshot+changelog round-trips, torn-tail truncation, compaction at
+# snapshot, and a killed-and-restarted topology resuming byte-identical
+# to an uninterrupted run (see crates/dsps/tests/recovery.rs).
+cargo test -p tms-dsps --test recovery
+# The kappa/determinism bar lives in tms-core: in-stream statistics
+# matching the batch job, batched == per-tuple detection parity under
+# multi-task parallelism, resequencer ordering, and threshold ages
+# surviving supervised restarts under chaos.
+cargo test -p tms-core -- kappa resequencer batched_run_detects durable_restarts
 # Smoke-mode perf guard: the 10-rule Table 6 workload in shared mode must
 # stay within 2x of the committed snapshot's ms/tuple.
 cargo run --release -p tms-bench --bin experiments -- bench_guard
+# Staleness guard: the committed BENCH_staleness.json must show kappa-path
+# threshold staleness <=100ms p99 against batch-period minutes on the
+# ablation, and a live kappa re-run must stay refresh-bounded.
+cargo run --release -p tms-bench --bin experiments -- staleness_guard
 # Elastic acceptance guard: the committed BENCH_rebalance.json must record
 # >=1 completed migration with post-rebalance imbalance under the bound,
 # and a live re-run must reproduce both.
