@@ -50,6 +50,8 @@ fn main() {
         "fig16_17" => fig16_17(),
         "bench_snapshot" | "--bench-snapshot" => bench_snapshot(),
         "bench_guard" => bench_guard(),
+        "lineage" => lineage(),
+        "lineage_guard" => lineage_guard(),
         "rebalance" => rebalance(),
         "rebalance_guard" => rebalance_guard(),
         "drift" => drift(),
@@ -71,7 +73,8 @@ fn main() {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: table1 table2 table6 \
                  fig9 fig10 fig11 fig12_13 fig14_15 fig16_17 bench_snapshot bench_guard \
-                 rebalance rebalance_guard drift profile staleness staleness_guard all"
+                 lineage lineage_guard rebalance rebalance_guard drift profile staleness \
+                 staleness_guard all"
             );
             std::process::exit(2);
         }
@@ -603,6 +606,198 @@ fn dsps_snapshot() {
     std::fs::write("BENCH_dsps_throughput.json", json)
         .expect("writing BENCH_dsps_throughput.json");
     println!("(wrote BENCH_dsps_throughput.json)");
+}
+
+// ---------------------------------------------------------------------------
+// Lineage tracing overhead snapshot (BENCH_trace_overhead.json)
+// ---------------------------------------------------------------------------
+
+/// Source tuples/second through the `dsps_snapshot` shuffle workload with
+/// the monitor off entirely (the PR-8-era configuration), or on with
+/// lineage tracing off, sampled at `sample_rate`, or capturing every tree.
+fn lineage_run(
+    tuples: u64,
+    monitor: bool,
+    lineage: Option<tms_dsps::LineageConfig>,
+    runs: usize,
+) -> f64 {
+    use std::time::Duration;
+    use tms_dsps::runtime::{LocalCluster, RuntimeConfig};
+    use tms_dsps::scheduler::ClusterSpec;
+    use tms_dsps::topology::{Parallelism, TopologyBuilder};
+    use tms_dsps::{Bolt, Emitter, Grouping as DspsGrouping, MonitorConfig, Spout};
+
+    #[derive(Clone)]
+    struct Msg {
+        value: u64,
+    }
+    struct RangeSpout {
+        next: u64,
+        end: u64,
+    }
+    impl Spout<Msg> for RangeSpout {
+        fn next(&mut self) -> Option<Msg> {
+            if self.next >= self.end {
+                return None;
+            }
+            let v = self.next;
+            self.next += 1;
+            Some(Msg { value: v })
+        }
+    }
+    struct NullSink;
+    impl Bolt<Msg> for NullSink {
+        fn process(&mut self, msg: Msg, _e: &mut dyn Emitter<Msg>) {
+            std::hint::black_box(msg.value);
+        }
+    }
+
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = TopologyBuilder::new("lineage-bench")
+            .add_spout("src", Parallelism::of(1), move |_| {
+                Box::new(RangeSpout { next: 0, end: tuples })
+            })
+            .add_bolt("sink", Parallelism::of(4), vec![("src", DspsGrouping::Shuffle)], |_| {
+                Box::new(NullSink)
+            })
+            .build()
+            .unwrap();
+        let cluster = LocalCluster::new(ClusterSpec {
+            nodes: 2,
+            slots_per_node: 2,
+            cores_per_node: 4,
+        })
+        .unwrap();
+        let cfg = RuntimeConfig {
+            monitor: monitor.then(|| MonitorConfig {
+                // A window far longer than the run: the monitor thread is
+                // alive (draining span rings) but never samples mid-run.
+                window: Duration::from_secs(3600),
+                lineage,
+                ..MonitorConfig::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        cluster.submit(t, cfg).unwrap().join().unwrap();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    tuples as f64 / best
+}
+
+/// `lineage`: measures the tuple-lineage tracing tax on the data plane and
+/// writes `BENCH_trace_overhead.json`. Four modes over the same workload:
+/// the monitor off entirely (the exact pre-lineage configuration — the
+/// baseline), the monitor on with lineage off (must sit within noise of
+/// the baseline: the feature is free unless enabled), the default 1%
+/// sample, and sample-everything.
+fn lineage() {
+    use tms_dsps::LineageConfig;
+    // Large enough that the monitor thread's shutdown quantum (≤20 ms) is
+    // amortized into noise: the lineage-off run takes over half a second.
+    const TUPLES: u64 = 1_000_000;
+
+    println!("\n== Bench snapshot: lineage tracing overhead (source tuples/sec) ==");
+    // Interleave the modes round-robin and keep each mode's best round:
+    // scheduler noise (this often runs on a heavily shared box) then hits
+    // every mode alike instead of biasing whichever ran during a spike.
+    let (mut bare, mut off, mut sampled, mut full) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..5 {
+        bare = bare.max(lineage_run(TUPLES, false, None, 1));
+        off = off.max(lineage_run(TUPLES, true, None, 1));
+        sampled = sampled.max(lineage_run(TUPLES, true, Some(LineageConfig::default()), 1));
+        full = full.max(lineage_run(
+            TUPLES,
+            true,
+            // Big rings: sample-everything at full throughput outruns the
+            // monitor's drain cadence with the default 4096 slots.
+            Some(LineageConfig { ring_capacity: 1 << 16, ..LineageConfig::full() }),
+            1,
+        ));
+    }
+    let overhead = |with: f64| (off / with - 1.0) * 100.0;
+    let (sampled_pct, full_pct) = (overhead(sampled), overhead(full));
+    let off_vs_baseline = (off / bare - 1.0) * 100.0;
+    println!("  no monitor        : {:>9} t/s (pre-lineage baseline)", format_num(bare));
+    println!("  lineage off       : {:>9} t/s ({off_vs_baseline:+.1}% vs baseline)", format_num(off));
+    println!("  sampled (1%)      : {:>9} t/s ({sampled_pct:+.1}% overhead)", format_num(sampled));
+    println!("  full (100%)       : {:>9} t/s ({full_pct:+.1}% overhead)", format_num(full));
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"dsps_trace_overhead\",\n  \
+         \"workload\": \"1 spout task -> 4 sink tasks, shuffle, at-most-once, {TUPLES} source \
+         tuples, best of 5 interleaved rounds; baseline = monitor off, other modes run the \
+         monitor thread\",\n  \
+         \"baseline_tuples_per_sec\": {bare:.1},\n  \
+         \"off_tuples_per_sec\": {off:.1},\n  \
+         \"sampled_1pct_tuples_per_sec\": {sampled:.1},\n  \
+         \"full_tuples_per_sec\": {full:.1},\n  \
+         \"off_vs_baseline_pct\": {off_vs_baseline:.1},\n  \
+         \"sampled_overhead_pct\": {sampled_pct:.1},\n  \
+         \"full_overhead_pct\": {full_pct:.1}\n}}\n"
+    );
+    std::fs::write("BENCH_trace_overhead.json", json)
+        .expect("writing BENCH_trace_overhead.json");
+    println!("(wrote BENCH_trace_overhead.json)");
+}
+
+/// `lineage_guard`: CI gate over the committed lineage-overhead snapshot
+/// plus a reduced live smoke run. Fails (exit 1) if the committed numbers
+/// claim more than a 10% sampled tax or a lineage-off data plane outside
+/// noise of the pre-lineage baseline, or if a live re-measure shows the
+/// default sample rate costing more than half the lineage-off throughput.
+fn lineage_guard() {
+    use tms_dsps::LineageConfig;
+    println!("\n== Bench guard: lineage overhead check ==");
+    let committed = std::fs::read_to_string("BENCH_trace_overhead.json")
+        .expect("reading committed BENCH_trace_overhead.json");
+    let committed_off = extract_json_number(&committed, "off_tuples_per_sec")
+        .expect("committed snapshot carries off_tuples_per_sec");
+    let committed_sampled_pct = extract_json_number(&committed, "sampled_overhead_pct")
+        .expect("committed snapshot carries sampled_overhead_pct");
+    if committed_sampled_pct > 10.0 {
+        eprintln!(
+            "lineage_guard FAILED: committed sampled overhead {committed_sampled_pct:.1}% \
+             exceeds the 10% budget"
+        );
+        std::process::exit(1);
+    }
+    if let Some(delta) = extract_json_number(&committed, "off_vs_baseline_pct") {
+        if delta.abs() > 10.0 {
+            eprintln!(
+                "lineage_guard FAILED: committed lineage-off throughput is {delta:+.1}% off \
+                 the pre-lineage baseline (|noise| budget 10%)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Live smoke with a reduced budget: catch a hot-path regression that
+    // makes the default sample rate expensive, with generous slack for CI.
+    let off = lineage_run(100_000, true, None, 2);
+    let sampled = lineage_run(100_000, true, Some(LineageConfig::default()), 2);
+    println!(
+        "  live smoke: off {} t/s, sampled {} t/s (committed off {} t/s)",
+        format_num(off),
+        format_num(sampled),
+        format_num(committed_off)
+    );
+    if sampled < off * 0.5 {
+        eprintln!(
+            "lineage_guard FAILED: live sampled throughput ({sampled:.0} t/s) is less than \
+             half the live lineage-off throughput ({off:.0} t/s)"
+        );
+        std::process::exit(1);
+    }
+    if off * 2.0 < committed_off {
+        eprintln!(
+            "lineage_guard FAILED: live lineage-off throughput ({off:.0} t/s) regressed more \
+             than 2x against the committed snapshot ({committed_off:.0} t/s)"
+        );
+        std::process::exit(1);
+    }
+    println!("lineage_guard OK");
 }
 
 /// Events/sec through a bare CEP engine running one grouped avg+stddev

@@ -36,10 +36,11 @@
 use crate::thresholds::RuleMigration;
 use crate::topology::TrafficMessage;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 use tms_cep::agg::Accumulator;
 use tms_cep::{FieldValue, PartitionState};
-use tms_dsps::{Bolt, BoltContext, Emitter};
+use tms_dsps::{Bolt, BoltContext, Emitter, FlightKind, FlightRecorder};
 use tms_storage::{DayType, StatRecord, ThresholdStore};
 use tms_traffic::Attribute;
 
@@ -129,6 +130,9 @@ pub struct StatsBolt {
     since_publish: u64,
     /// Whether any cell changed since the last publication.
     dirty: bool,
+    /// Optional control-plane event log: every publication becomes a
+    /// [`FlightKind::StatsRefresh`] event.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl StatsBolt {
@@ -142,7 +146,14 @@ impl StatsBolt {
             version: 0,
             since_publish: 0,
             dirty: false,
+            flight: None,
         }
+    }
+
+    /// Attaches the control-plane flight recorder.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
     }
 
     /// Seeds the accumulators from an attribute's published statistics
@@ -197,6 +208,19 @@ impl StatsBolt {
         self.version += 1;
         self.since_publish = 0;
         self.dirty = false;
+        if let Some(flight) = &self.flight {
+            let published: usize = per_attr.iter().map(Vec::len).sum();
+            flight.record(
+                FlightKind::StatsRefresh,
+                "stats",
+                -1,
+                format!(
+                    "snapshot v{} published: {published} records over {} attributes",
+                    self.version,
+                    self.attributes.len()
+                ),
+            );
+        }
         Some(self.version)
     }
 }

@@ -20,7 +20,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tms_dsps::runtime::{BatchConfig, ReliabilityConfig, RuntimeConfig};
 use tms_dsps::scheduler::{Assignment, ClusterSpec};
-use tms_dsps::{FaultConfig, LocalCluster, MonitorConfig};
+use tms_dsps::{
+    CriticalPathReport, FaultConfig, FlightEvent, FlightKind, FlightRecorder, LocalCluster,
+    MonitorConfig,
+};
 use tms_geo::GeoPoint;
 use tms_storage::TableStore;
 use tms_traffic::BusTrace;
@@ -404,6 +407,21 @@ pub struct RunReport {
     /// [`SystemConfig::elastic`] was set): migration counts, routing pause
     /// durations, and pre/post imbalance.
     pub elastic: Option<tms_dsps::MigrationStats>,
+    /// The control-plane flight recorder's event log: restarts,
+    /// snapshots, migrations, rebalance cycles, statistics refreshes —
+    /// always populated (the recorder is always on).
+    pub events: Vec<FlightEvent>,
+    /// Critical-path attribution over the sampled tuple trees (only
+    /// populated when [`MonitorConfig::lineage`] was set).
+    pub critical_path: Option<CriticalPathReport>,
+    /// The sampled lineage spans themselves (only populated when
+    /// [`MonitorConfig::lineage`] was set with `export: true`); feed to
+    /// [`tms_dsps::lineage::summarize`] for connectivity checks.
+    pub traces: Vec<tms_dsps::Span>,
+    /// Task → component names for [`RunReport::traces`], so the spans can
+    /// be rendered via [`tms_dsps::lineage::render_chrome_trace`] after
+    /// the run.
+    pub trace_components: std::collections::HashMap<u32, String>,
 }
 
 impl RunReport {
@@ -445,6 +463,7 @@ fn run_rebalancer(
     cfg: ElasticConfig,
     infos: Vec<ElasticGroupingInfo>,
     stop: Arc<AtomicBool>,
+    flight: Arc<FlightRecorder>,
 ) {
     let mut last_decision: Option<Instant> = None;
     let mut triggered_at: Option<u64> = None;
@@ -519,6 +538,17 @@ fn run_rebalancer(
                 continue;
             };
             h.coordinator.note_decision(partition.imbalance());
+            flight.record(
+                FlightKind::RebalanceDecision,
+                "rebalancer",
+                gi as i64,
+                format!(
+                    "grouping {gi}: observed imbalance {imbalance:.3} > bound {:.3}, \
+                     re-partitioned to target {:.3}",
+                    cfg.imbalance_bound,
+                    partition.imbalance()
+                ),
+            );
             last_decision = Some(Instant::now());
             let mut moves: Vec<(String, usize, usize, f64)> = Vec::new();
             for (e, regions) in partition.assignments.iter().enumerate() {
@@ -544,6 +574,12 @@ fn run_rebalancer(
         }
         if !worst.is_nan() {
             h.coordinator.note_observed_imbalance(worst);
+            flight.record(
+                FlightKind::RebalanceCycle,
+                "rebalancer",
+                -1,
+                format!("cycle {cycle}: worst observed imbalance {worst:.3}"),
+            );
             match triggered_at {
                 None if worst > cfg.imbalance_bound => triggered_at = Some(cycle),
                 Some(since) if worst <= cfg.imbalance_bound => {
@@ -791,6 +827,10 @@ impl TrafficSystem {
         db: Option<tms_storage::RemoteDb>,
     ) -> Result<RunReport, CoreError> {
         let detections = Arc::new(Mutex::new(Vec::new()));
+        // The control-plane flight recorder is created here (not by the
+        // runtime) so the coordinator, the StatsBolt and the rebalancer
+        // all share one event log with the runtime's own events.
+        let flight = Arc::new(FlightRecorder::default());
         let mut parallelism = self.config.parallelism;
         parallelism.esper_tasks = plan.engine_plan.engines().max(1);
         let elastic = match &self.config.elastic {
@@ -806,11 +846,13 @@ impl TrafficSystem {
                 // The drain barrier's ordering argument needs exactly one
                 // routing task (per-sender FIFO to each engine).
                 parallelism.splitter_tasks = 1;
-                Some(Arc::new(ElasticHandle::new(
+                let h = Arc::new(ElasticHandle::new(
                     plan.split_plan.clone(),
                     plan.engine_plan.clone(),
                     cfg.drain_timeout,
-                )))
+                ));
+                h.coordinator.set_recorder(flight.clone());
+                Some(h)
             }
             None => None,
         };
@@ -839,6 +881,7 @@ impl TrafficSystem {
             registry.clone(),
             elastic.clone(),
             self.config.kappa,
+            Some(flight.clone()),
         )?;
         let cluster = LocalCluster::new(self.config.cluster)?;
         let handle = cluster.submit(
@@ -849,6 +892,7 @@ impl TrafficSystem {
                 fault: self.config.chaos,
                 batch: self.config.batch,
                 durability: self.config.durability.clone(),
+                flight: Some(flight.clone()),
                 ..RuntimeConfig::default()
             },
         )?;
@@ -892,9 +936,11 @@ impl TrafficSystem {
             let infos = self.elastic_grouping_infos(plan);
             let h = h.clone();
             let stop = stop.clone();
-            std::thread::spawn(move || run_rebalancer(h, cfg, infos, stop))
+            let flight = flight.clone();
+            std::thread::spawn(move || run_rebalancer(h, cfg, infos, stop, flight))
         });
         let assignment = handle.assignment().clone();
+        let collector = handle.trace_collector().cloned();
         let metrics = handle.join();
         stop.store(true, Ordering::Relaxed);
         if let Some(t) = rebalancer {
@@ -914,6 +960,10 @@ impl TrafficSystem {
             drift,
             planner,
             elastic: elastic.map(|h| h.coordinator.stats()),
+            events: flight.events(),
+            critical_path: collector.as_ref().map(|c| c.critical_path()),
+            traces: collector.as_ref().map(|c| c.take_spans()).unwrap_or_default(),
+            trace_components: collector.as_ref().map(|c| c.components()).unwrap_or_default(),
         };
         Ok(report)
     }

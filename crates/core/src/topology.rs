@@ -1043,6 +1043,7 @@ pub fn build_traffic_topology(
     profiling: Option<Arc<EsperProfileRegistry>>,
     elastic: Option<Arc<ElasticHandle>>,
     kappa: Option<crate::kappa::KappaConfig>,
+    flight: Option<Arc<tms_dsps::FlightRecorder>>,
 ) -> Result<Topology<TrafficMessage>, tms_dsps::DspsError> {
     let threshold_store = ThresholdStore::new(store.clone());
     // The attributes the planned rules monitor, in `Attribute::ALL` order
@@ -1132,11 +1133,16 @@ pub fn build_traffic_topology(
             Parallelism::of(1),
             vec![("busStopsTracker", Grouping::Shuffle)],
             move |_| {
-                Box::new(crate::kappa::StatsBolt::new(
+                let bolt = crate::kappa::StatsBolt::new(
                     config,
                     stats_store.clone(),
                     stats_attributes.clone(),
-                ))
+                );
+                let bolt = match &flight {
+                    Some(recorder) => bolt.with_flight(recorder.clone()),
+                    None => bolt,
+                };
+                Box::new(bolt)
             },
         );
         esper_inputs.push(("stats", Grouping::All));

@@ -127,6 +127,9 @@ pub struct StateStore {
     snapshot_every: u64,
     fsync: bool,
     records_since_snapshot: u64,
+    /// Torn-tail bytes truncated away at open (0 on a clean log); the
+    /// runtime reports them to the flight recorder.
+    truncated_bytes: u64,
     /// State found on disk at open, consumed once by [`take_recovered`].
     ///
     /// [`take_recovered`]: StateStore::take_recovered
@@ -167,6 +170,7 @@ impl StateStore {
         let mut bytes = Vec::new();
         changelog.read_to_end(&mut bytes).map_err(|e| io_err(&log_path, "read", e))?;
         let (replayed, valid_len) = read_frames(&bytes);
+        let truncated_bytes = (bytes.len() - valid_len) as u64;
         if valid_len < bytes.len() {
             // Torn tail from an interrupted append: drop it.
             changelog.set_len(valid_len as u64).map_err(|e| io_err(&log_path, "truncate", e))?;
@@ -187,8 +191,15 @@ impl StateStore {
             snapshot_every: config.snapshot_every.max(1),
             fsync: config.fsync,
             records_since_snapshot,
+            truncated_bytes,
             recovered,
         })
+    }
+
+    /// Torn-tail bytes truncated from the changelog at open (0 when the
+    /// log was clean).
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
     }
 
     /// The state found on disk at open — `(snapshot, changelog records)`

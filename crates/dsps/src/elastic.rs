@@ -27,6 +27,7 @@
 //! `false`: the source keeps its state and nothing moved. The rebalancer
 //! simply retries on a later cycle.
 
+use crate::flight::{FlightKind, FlightRecorder};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +119,9 @@ pub struct MigrationCoordinator<M, P> {
     post_imbalance_bits: AtomicU64,
     observed_imbalance_bits: AtomicU64,
     cycles_to_converge: AtomicU64,
+    /// Optional flight recorder: when attached, every ticket transition
+    /// lands in the control-plane event log.
+    recorder: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl<M, P> Default for MigrationCoordinator<M, P> {
@@ -146,6 +150,23 @@ impl<M, P> MigrationCoordinator<M, P> {
             post_imbalance_bits: AtomicU64::new(f64::NAN.to_bits()),
             observed_imbalance_bits: AtomicU64::new(f64::NAN.to_bits()),
             cycles_to_converge: AtomicU64::new(UNSET),
+            recorder: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a flight recorder: every ticket lifecycle transition
+    /// (requested, draining, deposited, aborted, completed) becomes a
+    /// control-plane event.
+    pub fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.lock() = Some(recorder);
+    }
+
+    fn flight(&self, kind: FlightKind, task: i64, detail: String) {
+        // Clone the Arc out so the event is recorded without holding our
+        // lock (the recorder takes its own).
+        let recorder = self.recorder.lock().clone();
+        if let Some(r) = recorder {
+            r.record(kind, "elastic", task, detail);
         }
     }
 
@@ -159,6 +180,12 @@ impl<M, P> MigrationCoordinator<M, P> {
             TicketEntry { request, state: TicketState::Pending, payload: None },
         );
         inner.queue.push_back(id);
+        drop(inner);
+        self.flight(
+            FlightKind::MigrationRequested,
+            from as i64,
+            format!("ticket {id}: task {from} -> task {to}"),
+        );
         id
     }
 
@@ -169,7 +196,14 @@ impl<M, P> MigrationCoordinator<M, P> {
         let id = inner.queue.pop_front()?;
         let entry = inner.tickets.get_mut(&id).expect("queued ticket exists");
         entry.state = TicketState::Draining;
-        Some(entry.request.clone())
+        let request = entry.request.clone();
+        drop(inner);
+        self.flight(
+            FlightKind::MigrationDraining,
+            request.from as i64,
+            format!("ticket {id}: drain barrier to task {}", request.from),
+        );
+        Some(request)
     }
 
     /// Looks a ticket's request up by id (the source task resolves what
@@ -190,7 +224,14 @@ impl<M, P> MigrationCoordinator<M, P> {
         }
         entry.state = TicketState::Deposited;
         entry.payload = Some(payload);
+        let (from, to) = (entry.request.from, entry.request.to);
         self.deposited.notify_all();
+        drop(inner);
+        self.flight(
+            FlightKind::MigrationDeposited,
+            from as i64,
+            format!("ticket {id}: state extracted from task {from} for task {to}"),
+        );
         true
     }
 
@@ -211,7 +252,14 @@ impl<M, P> MigrationCoordinator<M, P> {
                     let now = Instant::now();
                     if now >= deadline {
                         entry.state = TicketState::Aborted;
+                        let from = entry.request.from;
                         self.aborted.fetch_add(1, Ordering::Relaxed);
+                        drop(inner);
+                        self.flight(
+                            FlightKind::MigrationAborted,
+                            from as i64,
+                            format!("ticket {id}: drain timed out after {timeout:?}"),
+                        );
                         return None;
                     }
                     let (guard, _) = self
@@ -229,6 +277,12 @@ impl<M, P> MigrationCoordinator<M, P> {
         let mut inner = self.inner.lock();
         inner.mailboxes.entry(to).or_default().push((id, payload));
         self.pending_installs.fetch_add(1, Ordering::Release);
+        drop(inner);
+        self.flight(
+            FlightKind::MigrationCompleted,
+            to as i64,
+            format!("ticket {id}: payload posted to task {to}'s install mailbox"),
+        );
     }
 
     /// Drains destination `to`'s install mailbox. Cheap when idle: one
@@ -373,6 +427,42 @@ mod tests {
         assert!(!c.deposit(id, "late".into()), "late deposit is refused");
         assert_eq!(c.in_flight(), 0, "aborted tickets are not in flight");
         assert!(c.take_installs(3).is_empty());
+    }
+
+    #[test]
+    fn ticket_lifecycle_lands_in_the_flight_recorder() {
+        let recorder = Arc::new(FlightRecorder::default());
+        let c = Coord::new();
+        c.set_recorder(recorder.clone());
+
+        let id = c.request(0, 1, vec!["R1".to_string()]);
+        let _ = c.begin_next().unwrap();
+        assert!(c.deposit(id, "state".into()));
+        let payload = c.await_deposit(id, Duration::from_secs(5)).unwrap();
+        c.post_install(1, id, payload);
+
+        // A second ticket that drains into a timeout.
+        let id2 = c.request(2, 3, vec![]);
+        let _ = c.begin_next().unwrap();
+        assert!(c.await_deposit(id2, Duration::from_millis(10)).is_none());
+
+        for kind in [
+            FlightKind::MigrationRequested,
+            FlightKind::MigrationDraining,
+            FlightKind::MigrationDeposited,
+            FlightKind::MigrationCompleted,
+            FlightKind::MigrationAborted,
+        ] {
+            assert!(
+                !recorder.events_of(kind).is_empty(),
+                "expected at least one {} event",
+                kind.name()
+            );
+        }
+        let requested = recorder.events_of(FlightKind::MigrationRequested);
+        assert_eq!(requested.len(), 2);
+        assert!(requested[0].detail.contains("task 0 -> task 1"), "{:?}", requested[0]);
+        assert_eq!(requested[0].component, "elastic");
     }
 
     #[test]

@@ -17,8 +17,24 @@
 use crate::topology::{Bolt, BoltContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+thread_local! {
+    // Injections fired on this executor thread since the last drain. A
+    // ChaosBolt cannot reach the runtime's per-task counters (it only sees
+    // the Bolt trait), so it tallies here and the runtime drains the cells
+    // into the processing task's counters after every process() call.
+    static INJECTED_PANICS: Cell<u64> = const { Cell::new(0) };
+    static INJECTED_LATENCY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Takes (and resets) this thread's `(injected panics, injected latency
+/// sleeps)` tallies.
+pub(crate) fn take_injections() -> (u64, u64) {
+    (INJECTED_PANICS.take(), INJECTED_LATENCY.take())
+}
 
 /// Fault injection parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,9 +77,11 @@ impl<T: Send> Bolt<T> for ChaosBolt<T> {
 
     fn process(&mut self, msg: T, emitter: &mut dyn crate::runtime::Emitter<T>) {
         if let Some(d) = self.config.delay {
+            INJECTED_LATENCY.set(INJECTED_LATENCY.get() + 1);
             std::thread::sleep(d);
         }
         if self.config.panic_p > 0.0 && self.rng.random_bool(self.config.panic_p) {
+            INJECTED_PANICS.set(INJECTED_PANICS.get() + 1);
             panic!("chaos: injected panic");
         }
         self.inner.process(msg, emitter);

@@ -38,7 +38,9 @@ pub mod durability;
 pub mod elastic;
 pub mod error;
 pub mod fault;
+pub mod flight;
 pub mod grouping;
+pub mod lineage;
 pub mod metrics;
 pub mod runtime;
 pub mod scheduler;
@@ -49,7 +51,11 @@ pub use durability::{DurabilityConfig, StateStore};
 pub use elastic::{MigrationCoordinator, MigrationRequest, MigrationStats};
 pub use error::DspsError;
 pub use fault::{chaos_wrap, ChaosBolt, FaultConfig};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use grouping::{hash_key, Grouping, KeyHasher, StableSipHasher13};
+pub use lineage::{
+    CriticalPathReport, LineageConfig, Span, SpanKind, TraceCollector, TraceContext, TraceSummary,
+};
 pub use metrics::{
     AtomicHistogram, ComponentWindow, LatencyHistogram, MetricsHub, MonitorConfig, ProfileSource,
     RuleProfile,

@@ -19,6 +19,7 @@
 //! **queue-occupancy gauges** over the tasks' input channels so a hot
 //! executor is visible before it saturates.
 
+use crate::lineage::LineageConfig;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -233,6 +234,12 @@ pub struct TaskCounters {
     pub replayed: AtomicU64,
     /// Supervised restarts of this task after a panic.
     pub restarted: AtomicU64,
+    /// Fault-injection panics that fired in this task ([`fault`](crate::fault)).
+    pub injected_panics: AtomicU64,
+    /// Fault-injection latency sleeps that fired in this task.
+    pub injected_latency: AtomicU64,
+    /// Fault-injection deliveries dropped on this task's outbound edges.
+    pub injected_drops: AtomicU64,
     /// End-to-end completion latency: spout emit → tuple-tree completion
     /// (recorded by the spout in reliability mode) or spout emit → sink
     /// processing (recorded by terminal bolts in at-most-once mode).
@@ -282,6 +289,21 @@ impl TaskCounters {
         self.restarted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` fault-injected panics observed in this task.
+    pub fn record_injected_panics(&self, n: u64) {
+        self.injected_panics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` fault-injected latency sleeps observed in this task.
+    pub fn record_injected_latency(&self, n: u64) {
+        self.injected_latency.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one fault-injected outbound drop.
+    pub fn record_injected_drop(&self) {
+        self.injected_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one end-to-end completion latency sample (tracing mode).
     pub fn record_completion(&self, latency: Duration) {
         self.e2e.record(latency);
@@ -289,7 +311,7 @@ impl TaskCounters {
 }
 
 /// Monitor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorConfig {
     /// Sampling window. The paper uses 40 s.
     pub window: Duration,
@@ -310,6 +332,13 @@ pub struct MonitorConfig {
     /// serving the Prometheus text format on `/metrics` and a JSON
     /// snapshot on `/json`. `None` (the default) binds nothing.
     pub expose: Option<u16>,
+    /// Opt-in causal tuple-lineage tracing ([`lineage`](crate::lineage)):
+    /// a deterministic spout-side sampler stamps a fraction of tuple trees
+    /// and every hop records a span, exported on `/trace` and through
+    /// [`TopologyHandle::take_traces`](crate::runtime::TopologyHandle::take_traces).
+    /// `None` (the default) records nothing and adds nothing to the hot
+    /// path.
+    pub lineage: Option<LineageConfig>,
 }
 
 impl Default for MonitorConfig {
@@ -320,6 +349,7 @@ impl Default for MonitorConfig {
             retention: DEFAULT_RETENTION,
             profiling: false,
             expose: None,
+            lineage: None,
         }
     }
 }
@@ -356,6 +386,12 @@ pub struct ComponentWindow {
     pub replayed: u64,
     /// Supervised task restarts after panics.
     pub restarted: u64,
+    /// Fault-injection panics that fired in the component's tasks.
+    pub injected_panics: u64,
+    /// Fault-injection latency sleeps that fired in the component's tasks.
+    pub injected_latency: u64,
+    /// Fault-injection drops on the component's outbound edges.
+    pub injected_drops: u64,
     /// End-to-end completion latencies recorded during the window
     /// (tracing mode only; empty otherwise).
     pub e2e: LatencyHistogram,
@@ -449,6 +485,9 @@ struct Snapshot {
     failed: u64,
     replayed: u64,
     restarted: u64,
+    injected_panics: u64,
+    injected_latency: u64,
+    injected_drops: u64,
     e2e: LatencyHistogram,
 }
 
@@ -464,6 +503,9 @@ impl Snapshot {
             failed: counters.failed.load(Ordering::Relaxed),
             replayed: counters.replayed.load(Ordering::Relaxed),
             restarted: counters.restarted.load(Ordering::Relaxed),
+            injected_panics: counters.injected_panics.load(Ordering::Relaxed),
+            injected_latency: counters.injected_latency.load(Ordering::Relaxed),
+            injected_drops: counters.injected_drops.load(Ordering::Relaxed),
             e2e: counters.e2e.snapshot(),
         }
     }
@@ -479,6 +521,9 @@ impl Snapshot {
             failed: self.failed - last.failed,
             replayed: self.replayed - last.replayed,
             restarted: self.restarted - last.restarted,
+            injected_panics: self.injected_panics - last.injected_panics,
+            injected_latency: self.injected_latency - last.injected_latency,
+            injected_drops: self.injected_drops - last.injected_drops,
             e2e: self.e2e.delta(&last.e2e),
         }
     }
@@ -493,6 +538,9 @@ impl Snapshot {
         self.failed += other.failed;
         self.replayed += other.replayed;
         self.restarted += other.restarted;
+        self.injected_panics += other.injected_panics;
+        self.injected_latency += other.injected_latency;
+        self.injected_drops += other.injected_drops;
         self.e2e.merge(&other.e2e);
     }
 
@@ -517,6 +565,9 @@ impl Snapshot {
             failed: self.failed,
             replayed: self.replayed,
             restarted: self.restarted,
+            injected_panics: self.injected_panics,
+            injected_latency: self.injected_latency,
+            injected_drops: self.injected_drops,
             e2e: self.e2e,
             queue_depth: 0,
             queue_depth_max: 0,
@@ -817,7 +868,7 @@ impl MetricsHub {
         let totals = self.totals();
         let mut out = String::with_capacity(4096);
 
-        let counters: [MetricSpec<ComponentWindow>; 8] = [
+        let counters: [MetricSpec<ComponentWindow>; 11] = [
             ("tms_processed_total", "Tuples processed", |w| w.throughput),
             ("tms_emitted_total", "Tuples emitted downstream", |w| w.emitted),
             ("tms_dropped_total", "Deliveries lost in transit", |w| w.dropped),
@@ -830,6 +881,15 @@ impl MetricsHub {
             }),
             ("tms_replayed_total", "Replays emitted after ack timeouts", |w| w.replayed),
             ("tms_restarted_total", "Supervised task restarts after panics", |w| w.restarted),
+            ("tms_injected_panics_total", "Fault-injection panics fired", |w| {
+                w.injected_panics
+            }),
+            ("tms_injected_latency_total", "Fault-injection latency sleeps fired", |w| {
+                w.injected_latency
+            }),
+            ("tms_injected_drops_total", "Fault-injection deliveries dropped", |w| {
+                w.injected_drops
+            }),
         ];
         for (name, help, read) in counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -988,6 +1048,7 @@ impl MetricsHub {
                 "{{\"component\":{},\"processed\":{},\"emitted\":{},\"avg_latency_ns\":{},\
                  \"dropped\":{},\"misrouted\":{},\"acked\":{},\"failed\":{},\"replayed\":{},\
                  \"restarted\":{},\
+                 \"injected_panics\":{},\"injected_latency\":{},\"injected_drops\":{},\
                  \"queue_depth\":{},\"queue_depth_max\":{},\"queue_capacity\":{},\
                  \"e2e\":{},\"rules\":[",
                 json_string(&w.component),
@@ -1000,6 +1061,9 @@ impl MetricsHub {
                 w.failed,
                 w.replayed,
                 w.restarted,
+                w.injected_panics,
+                w.injected_latency,
+                w.injected_drops,
                 w.queue_depth,
                 w.queue_depth_max,
                 w.queue_capacity,

@@ -36,7 +36,9 @@ use crate::ack::Acker;
 use crate::durability::{DurabilityConfig, StateStore};
 use crate::error::DspsError;
 use crate::fault::FaultConfig;
+use crate::flight::{FlightKind, FlightRecorder};
 use crate::grouping::Grouping;
+use crate::lineage::{SpanKind, TraceCollector};
 use crate::metrics::{MetricsHub, MonitorConfig, TaskCounters};
 use crate::scheduler::{assign, Assignment, ClusterSpec};
 use crate::topology::{Bolt, BoltContext, Spout, Topology};
@@ -83,6 +85,22 @@ impl<T: Clone> Payload<T> {
     }
 }
 
+/// The lineage hop a sampled delivery carries: which trace it belongs to,
+/// which span emitted it, and when it was sent (for queue-wait spans).
+/// Boxed on the envelope so unsampled (and lineage-off) deliveries pay one
+/// `None` pointer, not the full struct.
+#[derive(Clone, Copy)]
+struct TraceHop {
+    /// Tuple-tree id (the sampled root delivery id).
+    trace: u64,
+    /// The span that emitted this delivery.
+    parent: u64,
+    /// Global task that sent it.
+    src: u32,
+    /// Send time, nanoseconds since the collector epoch.
+    sent_ns: u64,
+}
+
 /// One delivery: the message plus its reliability lineage.
 struct Envelope<T> {
     msg: Payload<T>,
@@ -95,6 +113,8 @@ struct Envelope<T> {
     /// latency is recorded at the terminal bolt (reliability mode records
     /// it spout-side from the acker's completion instant instead).
     t0: Option<Instant>,
+    /// Lineage context when this delivery belongs to a sampled trace.
+    hop: Option<Box<TraceHop>>,
 }
 
 /// A message, a micro-batch of messages, or an end-of-stream marker.
@@ -128,8 +148,21 @@ struct Route<T> {
     senders: Vec<Sender<Packet<T>>>,
     /// Occupancy gauges parallel to `senders` (bumped only when tracing).
     depths: Vec<Arc<AtomicI64>>,
+    /// Global task ids parallel to `senders` (lineage span attribution).
+    globals: Vec<u32>,
     /// Round-robin cursor for shuffle grouping.
     rr: usize,
+}
+
+/// Per-task lineage recording state ([`MonitorConfig::lineage`]); absent
+/// entirely when lineage is off, so the hot path only ever checks `None`.
+struct LineageState {
+    /// This task's span producer (ring handle + id minting + sampler).
+    sink: crate::lineage::SpanSink,
+    /// `(trace, parent span)` of the tuple currently being processed or
+    /// emitted; outgoing envelopes are stamped from it. `None` while
+    /// handling an unsampled tuple.
+    active: Option<(u64, u64)>,
 }
 
 /// The per-task emitter: owns this task's copy of each outgoing edge.
@@ -167,6 +200,15 @@ struct TaskEmitter<T> {
     /// When the oldest currently-buffered tuple entered a buffer; `None`
     /// while every buffer is empty. Drives the `max_linger` flush clock.
     buffered_since: Option<Instant>,
+    /// Sampled-lineage recording; `None` = lineage off.
+    lineage: Option<LineageState>,
+    /// This task's global index (identifies span producers and flight
+    /// events).
+    global: u32,
+    /// The always-on control-plane flight recorder.
+    flight: Arc<FlightRecorder>,
+    /// Component name, for flight events recorded from executor context.
+    component: Arc<str>,
 }
 
 impl<T> TaskEmitter<T> {
@@ -198,7 +240,28 @@ impl<T> TaskEmitter<T> {
             return;
         }
         let n = buf.len();
-        let batch = std::mem::take(buf);
+        let mut batch = std::mem::take(buf);
+        if let Some(l) = &mut self.lineage {
+            // Buffer residency becomes a `BatchFlush` span per sampled
+            // tuple, and the hop re-parents onto it so the downstream
+            // queue span measures channel wait only.
+            let now = l.sink.now_ns();
+            let dest = self.routes[ri].globals[ti];
+            for env in &mut batch {
+                if let Some(hop) = env.hop.as_deref_mut() {
+                    let sid = l.sink.record(
+                        hop.trace,
+                        hop.parent,
+                        SpanKind::BatchFlush,
+                        dest,
+                        hop.sent_ns,
+                        now.saturating_sub(hop.sent_ns),
+                    );
+                    hop.parent = sid;
+                    hop.sent_ns = now;
+                }
+            }
+        }
         if self.routes[ri].senders[ti].send(Packet::Batch(batch)).is_err() {
             // The receiving task died: every tuple of the batch is lost.
             for _ in 0..n {
@@ -313,11 +376,23 @@ impl<T: Clone> TaskEmitter<T> {
         if let Some((p, rng)) = &mut self.drop_fault {
             if rng.random_bool(*p) {
                 self.counters.record_dropped();
+                self.counters.record_injected_drop();
                 return;
             }
         }
         let roots = if tracked { self.anchors.clone() } else { Vec::new() };
-        let envelope = Envelope { msg, tid, roots, t0: self.t0 };
+        let hop = match &self.lineage {
+            Some(l) => l.active.map(|(trace, parent)| {
+                Box::new(TraceHop {
+                    trace,
+                    parent,
+                    src: self.global,
+                    sent_ns: l.sink.now_ns(),
+                })
+            }),
+            None => None,
+        };
+        let envelope = Envelope { msg, tid, roots, t0: self.t0, hop };
         match self.batch {
             None => {
                 if self.routes[ri].senders[ti].send(Packet::Data(envelope)).is_err() {
@@ -487,6 +562,11 @@ pub struct RuntimeConfig {
     /// [`durability`](crate::durability)); `None` keeps tasks ephemeral —
     /// a restarted task (supervised or resubmitted) starts empty.
     pub durability: Option<DurabilityConfig>,
+    /// Control-plane flight recorder to use. `None` (the default) creates
+    /// one — the recorder is always on. Provide your own to share its
+    /// timeline with components outside the runtime (e.g. a rebalancer
+    /// control thread or domain bolts recording custom events).
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for RuntimeConfig {
@@ -499,6 +579,7 @@ impl Default for RuntimeConfig {
             fault: None,
             batch: None,
             durability: None,
+            flight: None,
         }
     }
 }
@@ -511,6 +592,10 @@ struct PendingRoot<T> {
     /// When the tuple was first emitted; preserved across replays so
     /// end-to-end latency covers the full retry history.
     first_emit: Instant,
+    /// `(trace id, emit span id)` when the tree is lineage-sampled;
+    /// preserved across replays so replay and completion spans attach to
+    /// the original tree instead of forming orphans.
+    trace: Option<(u64, u64)>,
 }
 
 /// One spout task's state inside its executor thread.
@@ -602,6 +687,19 @@ impl LocalCluster {
         let durability = config.durability.clone();
         let tracing = config.monitor.is_some_and(|mc| mc.tracing);
 
+        // ---- Shared observability clock -----------------------------------
+        // The flight recorder is always on; the lineage collector is opt-in.
+        // Both time against one epoch (the recorder's), so control-plane
+        // events and tuple spans line up in a single view.
+        let flight = config
+            .flight
+            .clone()
+            .unwrap_or_else(|| Arc::new(FlightRecorder::default()));
+        let collector: Option<Arc<TraceCollector>> = config
+            .monitor
+            .and_then(|mc| mc.lineage)
+            .map(|lc| Arc::new(TraceCollector::new(lc, flight.epoch())));
+
         // ---- Global task ids ----------------------------------------------
         // Components in declaration order (spouts first), tasks within a
         // component contiguous. They give every task a disjoint tuple-id
@@ -671,6 +769,9 @@ impl LocalCluster {
                             grouping: sub.grouping.clone(),
                             senders: senders_by_bolt[bi].clone(),
                             depths: depths_by_bolt[bi].clone(),
+                            globals: (0..b.parallelism.tasks)
+                                .map(|ti| (global_base[b.name.as_str()] + ti) as u32)
+                                .collect(),
                             rr: 0,
                         });
                     }
@@ -709,6 +810,13 @@ impl LocalCluster {
                 batch,
                 buffers,
                 buffered_since: None,
+                lineage: collector.as_ref().map(|c| LineageState {
+                    sink: c.register_task(global as u32, source),
+                    active: None,
+                }),
+                global: global as u32,
+                flight: flight.clone(),
+                component: Arc::from(source),
             }
         };
 
@@ -775,7 +883,21 @@ impl LocalCluster {
                         .take()
                         .expect("each task receiver is claimed exactly once");
                     let store = match &durability {
-                        Some(d) => Some(StateStore::open(d, &b.name, ti)?),
+                        Some(d) => {
+                            let store = StateStore::open(d, &b.name, ti)?;
+                            if store.truncated_bytes() > 0 {
+                                flight.record(
+                                    FlightKind::ChangelogTruncated,
+                                    &b.name,
+                                    global as i64,
+                                    format!(
+                                        "{} torn-tail bytes dropped at open",
+                                        store.truncated_bytes()
+                                    ),
+                                );
+                            }
+                            Some(store)
+                        }
                         None => None,
                     };
                     tasks.push(BoltTask {
@@ -834,6 +956,8 @@ impl LocalCluster {
         let monitor_thread = config.monitor.map(|mc| {
             let metrics = metrics.clone();
             let done = done.clone();
+            let scrape_collector = collector.clone();
+            let scrape_flight = flight.clone();
             std::thread::spawn(move || {
                 let window = mc.window.max(Duration::from_millis(1));
                 let start = Instant::now();
@@ -849,7 +973,19 @@ impl LocalCluster {
                             break 'sampling;
                         }
                         if let Some(listener) = &scrape_listener {
-                            serve_scrapes(listener, &metrics);
+                            serve_scrapes(
+                                listener,
+                                &metrics,
+                                scrape_collector.as_deref(),
+                                &scrape_flight,
+                            );
+                        }
+                        // Keep the per-task span rings shallow: drain them
+                        // into the central store on the monitor's cadence
+                        // so long runs don't overflow the rings between
+                        // scrapes.
+                        if let Some(c) = scrape_collector.as_deref() {
+                            c.drain();
                         }
                         let now = Instant::now();
                         if now >= deadline {
@@ -871,16 +1007,33 @@ impl LocalCluster {
             })
         });
 
-        Ok(TopologyHandle { threads, monitor_thread, metrics, assignment, done, scrape_addr })
+        Ok(TopologyHandle {
+            threads,
+            monitor_thread,
+            metrics,
+            assignment,
+            done,
+            scrape_addr,
+            lineage: collector,
+            flight,
+        })
     }
 }
 
 /// Accepts and answers every scrape connection currently queued on the
 /// (nonblocking) listener. `GET /metrics` returns the Prometheus text
-/// format, `GET /json` (or `/`) the JSON snapshot; anything else is 404.
-/// One short-lived blocking read/write per connection with a hard timeout
-/// so a stalled scraper cannot wedge the monitor thread.
-fn serve_scrapes(listener: &std::net::TcpListener, metrics: &MetricsHub) {
+/// format, `GET /json` (or `/`) the JSON snapshot, `GET /trace` the
+/// Chrome `trace_event` export (`/trace.jsonl` the span log) when lineage
+/// is on, and `GET /events` the flight-recorder ring; anything else is a
+/// 404 carrying the route index. One short-lived blocking read/write per
+/// connection with a hard timeout so a stalled scraper cannot wedge the
+/// monitor thread.
+fn serve_scrapes(
+    listener: &std::net::TcpListener,
+    metrics: &MetricsHub,
+    collector: Option<&TraceCollector>,
+    flight: &FlightRecorder,
+) {
     use std::io::{Read, Write};
     loop {
         let mut stream = match listener.accept() {
@@ -904,12 +1057,31 @@ fn serve_scrapes(listener: &std::net::TcpListener, metrics: &MetricsHub) {
         }
         let head = String::from_utf8_lossy(&buf);
         let path = head.split_whitespace().nth(1).unwrap_or("");
+        const ROUTES: &str =
+            "not found; routes: /metrics /json /trace /trace.jsonl /events\n";
         let (status, content_type, body) = match path {
             "/metrics" => {
                 ("200 OK", "text/plain; version=0.0.4; charset=utf-8", metrics.render_prometheus())
             }
             "/json" | "/" => ("200 OK", "application/json", metrics.render_json()),
-            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found; try /metrics or /json\n".into()),
+            "/trace" => match collector {
+                Some(c) => ("200 OK", "application/json", c.render_chrome_json()),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "lineage tracing is off; enable MonitorConfig::lineage\n".into(),
+                ),
+            },
+            "/trace.jsonl" => match collector {
+                Some(c) => ("200 OK", "application/jsonl", c.render_jsonl()),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "lineage tracing is off; enable MonitorConfig::lineage\n".into(),
+                ),
+            },
+            "/events" => ("200 OK", "application/json", flight.render_json()),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", ROUTES.into()),
         };
         let _ = stream.write_all(
             format!(
@@ -962,6 +1134,21 @@ fn run_spout_executor<T: Clone + Send + Sync>(
                                 .counters
                                 .record_completion(completed_at.saturating_duration_since(p.first_emit));
                         }
+                        if let Some(l) = &mut t.emitter.lineage {
+                            if let Some((trace, parent)) = p.trace {
+                                // The tree is done at the acker's completion
+                                // instant, not when this drain got to it.
+                                let at = l.sink.at_ns(completed_at);
+                                l.sink.record(
+                                    trace,
+                                    parent,
+                                    SpanKind::Completion,
+                                    p.retries,
+                                    at,
+                                    0,
+                                );
+                            }
+                        }
                         progressed = true;
                     }
                 }
@@ -992,6 +1179,19 @@ fn run_spout_executor<T: Clone + Send + Sync>(
                         let new_root = t.emitter.next_id();
                         acker.register(new_root, t.global);
                         let timeout = rel.ack_timeout.mul_f64(rel.backoff.powi(retries as i32));
+                        // A sampled tree's replay gets its own span, parented
+                        // into the original tree (stored on the pending root)
+                        // so re-emitted hops stay connected to it; the new
+                        // pending root carries the replay span forward for
+                        // any further retries and the completion.
+                        let mut replay_ctx = None;
+                        if let Some(l) = &mut t.emitter.lineage {
+                            if let Some((trace, parent)) = p.trace {
+                                let sid = l.sink.next_id();
+                                replay_ctx = Some((trace, parent, sid, l.sink.now_ns()));
+                                l.active = Some((trace, sid));
+                            }
+                        }
                         t.pending.insert(
                             new_root,
                             PendingRoot {
@@ -999,12 +1199,28 @@ fn run_spout_executor<T: Clone + Send + Sync>(
                                 deadline: now + timeout,
                                 retries,
                                 first_emit: p.first_emit,
+                                trace: replay_ctx.map(|(trace, _, sid, _)| (trace, sid)),
                             },
                         );
                         t.emitter.anchors.clear();
                         t.emitter.anchors.push(new_root);
                         t.emitter.emit(p.msg);
                         t.emitter.anchors.clear();
+                        if let Some(l) = &mut t.emitter.lineage {
+                            if let Some((trace, parent, sid, start)) = replay_ctx {
+                                let end = l.sink.now_ns();
+                                l.sink.record_with_id(
+                                    sid,
+                                    trace,
+                                    parent,
+                                    SpanKind::Replay,
+                                    retries,
+                                    start,
+                                    end.saturating_sub(start),
+                                );
+                            }
+                            l.active = None;
+                        }
                         acker.seal(new_root);
                         t.emitter.counters.record_replayed();
                         progressed = true;
@@ -1028,6 +1244,19 @@ fn run_spout_executor<T: Clone + Send + Sync>(
                             let acker = acker.as_ref().expect("reliability implies acker");
                             let root = t.emitter.next_id();
                             acker.register(root, t.global);
+                            // Deterministic sampling: the root id is already
+                            // a SplitMix64-mixed uniform u64, so a threshold
+                            // compare picks `sample_rate` of trees with no
+                            // RNG. The emit span id is reserved up front so
+                            // outgoing envelopes can parent onto it.
+                            let mut emit_ctx = None;
+                            if let Some(l) = &mut t.emitter.lineage {
+                                if l.sink.sampled(root) {
+                                    let sid = l.sink.next_id();
+                                    emit_ctx = Some((root, sid, l.sink.now_ns()));
+                                    l.active = Some((root, sid));
+                                }
+                            }
                             let now = Instant::now();
                             t.pending.insert(
                                 root,
@@ -1036,20 +1265,66 @@ fn run_spout_executor<T: Clone + Send + Sync>(
                                     deadline: now + rel.ack_timeout,
                                     retries: 0,
                                     first_emit: now,
+                                    trace: emit_ctx.map(|(trace, sid, _)| (trace, sid)),
                                 },
                             );
                             t.emitter.anchors.clear();
                             t.emitter.anchors.push(root);
                             t.emitter.emit(msg);
                             t.emitter.anchors.clear();
+                            if let Some(l) = &mut t.emitter.lineage {
+                                if let Some((trace, sid, start)) = emit_ctx {
+                                    let end = l.sink.now_ns();
+                                    l.sink.record_with_id(
+                                        sid,
+                                        trace,
+                                        0,
+                                        SpanKind::SpoutEmit,
+                                        0,
+                                        start,
+                                        end.saturating_sub(start),
+                                    );
+                                }
+                                l.active = None;
+                            }
                             // Completes roots whose emit found no route.
                             acker.seal(root);
                         } else {
+                            // At-most-once has no acker root: mint a probe id
+                            // from the same mixed namespace for the sampling
+                            // decision and the trace id.
+                            let probe = match t.emitter.lineage {
+                                Some(_) => Some(t.emitter.next_id()),
+                                None => None,
+                            };
+                            let mut emit_ctx = None;
+                            if let (Some(l), Some(root)) = (&mut t.emitter.lineage, probe) {
+                                if l.sink.sampled(root) {
+                                    let sid = l.sink.next_id();
+                                    emit_ctx = Some((root, sid, l.sink.now_ns()));
+                                    l.active = Some((root, sid));
+                                }
+                            }
                             if tracing {
                                 t.emitter.t0 = Some(Instant::now());
                             }
                             t.emitter.emit(msg);
                             t.emitter.t0 = None;
+                            if let Some(l) = &mut t.emitter.lineage {
+                                if let Some((trace, sid, start)) = emit_ctx {
+                                    let end = l.sink.now_ns();
+                                    l.sink.record_with_id(
+                                        sid,
+                                        trace,
+                                        0,
+                                        SpanKind::SpoutEmit,
+                                        0,
+                                        start,
+                                        end.saturating_sub(start),
+                                    );
+                                }
+                                l.active = None;
+                            }
                         }
                     }
                     Ok(None) => {
@@ -1069,6 +1344,12 @@ fn run_spout_executor<T: Clone + Send + Sync>(
             // 4. EOS once drained: source exhausted, nothing in flight.
             if !t.live && t.pending.is_empty() && !t.eos_sent {
                 t.emitter.send_eos();
+                t.emitter.flight.record(
+                    FlightKind::Eos,
+                    &t.emitter.component,
+                    t.emitter.global as i64,
+                    "source drained, in-flight empty",
+                );
                 t.eos_sent = true;
                 finished += 1;
                 progressed = true;
@@ -1099,7 +1380,14 @@ fn run_spout_executor<T: Clone + Send + Sync>(
         }
     }
     match failure {
-        Some(e) => Err(e),
+        Some(e) => {
+            // Fatal executor death: dump the control-plane history around
+            // the failure to stderr before it is lost to the join.
+            if let Some(t) = tasks.first() {
+                t.emitter.flight.dump(&format!("spout executor '{component}' failed: {e}"));
+            }
+            Err(e)
+        }
         None => Ok(()),
     }
 }
@@ -1125,7 +1413,18 @@ fn run_bolt_executor<T: Clone + Send + Sync>(
         t.bolt.prepare(t.ctx);
         if let Some(store) = t.store.as_mut() {
             if let Some((snapshot, changelog)) = store.take_recovered() {
+                let detail = format!(
+                    "snapshot={} bytes, changelog={} records",
+                    snapshot.as_ref().map_or(0, |s| s.len()),
+                    changelog.len()
+                );
                 t.bolt.restore_state(snapshot.as_deref(), &changelog);
+                t.emitter.flight.record(
+                    FlightKind::Restore,
+                    &t.emitter.component,
+                    t.emitter.global as i64,
+                    detail,
+                );
             }
         }
     }
@@ -1291,7 +1590,14 @@ fn run_bolt_executor<T: Clone + Send + Sync>(
         }
     }
     match failure {
-        Some(e) => Err(e),
+        Some(e) => {
+            // Fatal executor death: dump the control-plane history around
+            // the failure to stderr before it is lost to the join.
+            if let Some(t) = tasks.first() {
+                t.emitter.flight.dump(&format!("bolt executor '{component}' failed: {e}"));
+            }
+            Err(e)
+        }
         None => Ok(()),
     }
 }
@@ -1315,16 +1621,52 @@ fn process_envelope<T: Clone + Send + Sync>(
     reliability: Option<ReliabilityConfig>,
     deferred: Option<&mut Vec<(u64, u64)>>,
 ) -> Result<(), DspsError> {
-    let Envelope { msg, tid, roots, t0 } = env;
+    let Envelope { msg, tid, roots, t0, hop } = env;
     t.emitter.anchors = roots;
     // Outputs inherit the input's root emit time, so the stamp survives
     // multi-hop pipelines.
     t.emitter.t0 = t0;
+    // A sampled input yields two spans: the queue wait (send → here,
+    // charged against the sender via `other`) and the `process` call. The
+    // process span id is reserved before the call so emitted outputs can
+    // parent onto it.
+    let mut proc_ctx = None;
+    if let Some(l) = &mut t.emitter.lineage {
+        if let Some(hop) = hop.as_deref() {
+            let now = l.sink.now_ns();
+            let q = l.sink.record(
+                hop.trace,
+                hop.parent,
+                SpanKind::Queue,
+                hop.src,
+                hop.sent_ns,
+                now.saturating_sub(hop.sent_ns),
+            );
+            let pid = l.sink.next_id();
+            l.active = Some((hop.trace, pid));
+            proc_ctx = Some((hop.trace, q, pid, now));
+        }
+    }
     let start = Instant::now();
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         t.bolt.process(msg.into_owned(), &mut t.emitter)
     }));
     t.emitter.counters.record(start.elapsed());
+    // Chaos injections fired inside process() (the ChaosBolt wrapper
+    // cannot reach the counters): drain the executor-thread tallies.
+    let (injected_panics, injected_latency) = crate::fault::take_injections();
+    if injected_panics > 0 {
+        t.emitter.counters.record_injected_panics(injected_panics);
+        t.emitter.flight.record(
+            FlightKind::ChaosPanic,
+            &t.emitter.component,
+            t.emitter.global as i64,
+            "injected panic fired in process()",
+        );
+    }
+    if injected_latency > 0 {
+        t.emitter.counters.record_injected_latency(injected_latency);
+    }
     if r.is_ok() && t.emitter.routes.is_empty() {
         // A terminal bolt ends the tuple's path: in at-most-once tracing
         // mode this is where the end-to-end latency is known (reliability
@@ -1334,6 +1676,26 @@ fn process_envelope<T: Clone + Send + Sync>(
         }
     }
     t.emitter.t0 = None;
+    if let Some(l) = &mut t.emitter.lineage {
+        if let Some((trace, q, pid, start_ns)) = proc_ctx {
+            let end = l.sink.now_ns();
+            l.sink.record_with_id(
+                pid,
+                trace,
+                q,
+                SpanKind::Process,
+                0,
+                start_ns,
+                end.saturating_sub(start_ns),
+            );
+            if r.is_ok() && t.emitter.routes.is_empty() && acker.is_none() {
+                // Terminal bolt in at-most-once mode: the tree completes
+                // here (reliability completes spout-side off the acker).
+                l.sink.record(trace, pid, SpanKind::Completion, 0, end, 0);
+            }
+        }
+        l.active = None;
+    }
     match r {
         Ok(()) => {
             // Auto-ack: outputs were registered during process() (and
@@ -1391,6 +1753,18 @@ fn process_envelope<T: Clone + Send + Sync>(
                         t.bolt = bolt;
                         t.restarts += 1;
                         t.emitter.counters.record_restarted();
+                        t.emitter.flight.record(
+                            FlightKind::TaskRestart,
+                            &t.emitter.component,
+                            t.emitter.global as i64,
+                            format!(
+                                "restart {}/{} after panic: {}{}",
+                                t.restarts,
+                                budget,
+                                panic_text(e.as_ref()),
+                                if recovered.is_some() { " (state restored)" } else { "" }
+                            ),
+                        );
                         Ok(())
                     }
                     Err(e2) => Err(DspsError::TaskPanicked {
@@ -1434,6 +1808,12 @@ fn persist_bolt_state<T>(t: &mut BoltTask<T>, force_snapshot: bool) -> Result<()
     if force_snapshot || store.snapshot_due() || t.since_snapshot >= store.snapshot_every() {
         if let Some(state) = t.bolt.snapshot_state() {
             store.snapshot(&state)?;
+            t.emitter.flight.record(
+                FlightKind::Snapshot,
+                &t.emitter.component,
+                t.emitter.global as i64,
+                format!("{} bytes{}", state.len(), if force_snapshot { " (final)" } else { "" }),
+            );
         }
         t.since_snapshot = 0;
     }
@@ -1482,12 +1862,35 @@ pub struct TopologyHandle {
     assignment: Assignment,
     done: Arc<AtomicBool>,
     scrape_addr: Option<std::net::SocketAddr>,
+    lineage: Option<Arc<TraceCollector>>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl TopologyHandle {
     /// The Nimbus-side metrics hub.
     pub fn metrics(&self) -> &Arc<MetricsHub> {
         &self.metrics
+    }
+
+    /// The lineage collector, when [`MonitorConfig::lineage`] is on.
+    /// Clone the `Arc` before [`join`](TopologyHandle::join) to read
+    /// traces after the run.
+    pub fn trace_collector(&self) -> Option<&Arc<TraceCollector>> {
+        self.lineage.as_ref()
+    }
+
+    /// The always-on control-plane flight recorder.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Drains and takes every retained lineage span (empty when lineage
+    /// is off or `export` is false).
+    pub fn take_traces(&self) -> Vec<crate::lineage::Span> {
+        match &self.lineage {
+            Some(c) => c.take_spans(),
+            None => Vec::new(),
+        }
     }
 
     /// Where the metrics exposition endpoint is listening, when

@@ -231,6 +231,20 @@ fn chaos_migration_run_recovers_and_matches_after_dedup() {
         delay: None,
         seed: 0x7EA_5EED,
     });
+    // Sample every tuple tree: the chaos run must yield complete lineage
+    // traces even across restarts, replays and live migrations.
+    sys.config.monitor = Some(tms_dsps::MonitorConfig {
+        window: Duration::from_millis(200),
+        tracing: true,
+        // Sample everything, with rings sized so the startup burst
+        // cannot overflow them between monitor drains (a dropped span
+        // orphans its children and fails the connectivity bar below).
+        lineage: Some(tms_dsps::LineageConfig {
+            ring_capacity: 1 << 17,
+            ..tms_dsps::LineageConfig::full()
+        }),
+        ..tms_dsps::MonitorConfig::default()
+    });
     let chaotic = sys.run(live, &plan, None).unwrap();
     let stats = chaotic.elastic.expect("elastic stats");
     assert!(
@@ -245,6 +259,60 @@ fn chaos_migration_run_recovers_and_matches_after_dedup() {
     assert!(reader.acked > 0, "reliability was on: roots must be acked");
     assert_eq!(reader.failed, 0, "no root may exhaust its replay budget");
     assert!(!chaotic.detections.is_empty(), "detections must survive the faults");
+
+    // Chaos observability: recovery kept pace with the injections.
+    let injected_panics: u64 = chaotic.metrics.iter().map(|m| m.injected_panics).sum();
+    let restarted: u64 = chaotic.metrics.iter().map(|m| m.restarted).sum();
+    assert!(injected_panics > 0, "the chaos schedule must have fired panics");
+    assert!(
+        restarted >= injected_panics,
+        "restarts ({restarted}) must cover injected panics ({injected_panics})"
+    );
+
+    // Lineage completeness under adversity: trees assemble connected, at
+    // least one crosses a restart via a replay span, and the run's flight
+    // recorder shows the control-plane activity (restarts + migrations)
+    // those trees lived through.
+    assert!(
+        chaotic.events.iter().any(|e| e.kind == tms_dsps::FlightKind::TaskRestart),
+        "restarts must land in the flight recorder"
+    );
+    assert!(
+        chaotic.events.iter().any(|e| e.kind == tms_dsps::FlightKind::MigrationCompleted),
+        "completed migrations must land in the flight recorder"
+    );
+    let summaries = tms_dsps::lineage::summarize(&chaotic.traces);
+    assert!(!summaries.is_empty(), "sampled spans must have been exported");
+    let path = chaotic.critical_path.as_ref().expect("lineage run attributes the critical path");
+    assert_eq!(path.dropped_spans, 0, "rings sized for the run must not drop spans");
+    let connected = summaries.iter().filter(|s| s.connected).count();
+    assert_eq!(
+        connected,
+        summaries.len(),
+        "every sampled tree must assemble connected under chaos + migration"
+    );
+    assert!(
+        summaries.iter().any(|s| s.replays > 0),
+        "at least one tree must cross a restart via a replay span"
+    );
+    assert!(path.traces > 0 && path.bottleneck.is_some());
+    assert!(
+        path.components.iter().any(|c| c.component == "esper"),
+        "the engines must appear in the attribution: {path:?}"
+    );
+
+    // The adversity-crossing trees must survive export: render the run's
+    // spans as Chrome trace_event JSON and check the interesting content
+    // made it through (grammar-level validation of the same renderer
+    // lives in the lineage suite).
+    let chrome =
+        tms_dsps::lineage::render_chrome_trace(&chaotic.traces, &chaotic.trace_components);
+    assert!(chrome.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    assert!(chrome.contains("\"name\":\"esper\""), "engine tasks must be named threads");
+    assert!(chrome.contains(":replay\""), "the replayed hops must appear in the export");
+    assert!(chrome.contains(":spout_emit\"") && chrome.contains(":process\""));
+    assert!(!chrome.contains("\"?:"), "every exported span's task must resolve to a component");
 
     // Replays duplicate window insertions, which inflates aggregates and
     // fires *extra* borderline crossings at new timestamps. So: the

@@ -1,0 +1,440 @@
+//! Acceptance suite for the causal observability layer: sampled
+//! tuple-lineage traces that assemble into connected trees (even across
+//! restarts and replays), critical-path attribution that names the real
+//! bottleneck, the control-plane flight recorder, and the `/trace` +
+//! `/events` exposition routes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tms_dsps::lineage::summarize;
+use tms_dsps::runtime::RuntimeConfig;
+use tms_dsps::{
+    Bolt, Emitter, FlightKind, Grouping, LineageConfig, LocalCluster, MonitorConfig, Parallelism,
+    ReliabilityConfig, SpanKind, Spout, TopologyBuilder,
+};
+
+#[derive(Clone)]
+struct Msg {
+    value: u64,
+}
+
+struct RangeSpout {
+    next: u64,
+    end: u64,
+}
+
+impl Spout<Msg> for RangeSpout {
+    fn next(&mut self) -> Option<Msg> {
+        if self.next >= self.end {
+            return None;
+        }
+        let v = self.next;
+        self.next += 1;
+        Some(Msg { value: v })
+    }
+}
+
+struct Forward;
+impl Bolt<Msg> for Forward {
+    fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+        e.emit(msg);
+    }
+}
+
+struct NullSink;
+impl Bolt<Msg> for NullSink {
+    fn process(&mut self, _msg: Msg, _e: &mut dyn Emitter<Msg>) {}
+}
+
+/// A deliberately throttled relay: sleeps before forwarding, so it must
+/// come out of the critical-path report as the bottleneck.
+struct Throttled {
+    delay: Duration,
+}
+impl Bolt<Msg> for Throttled {
+    fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+        std::thread::sleep(self.delay);
+        e.emit(msg);
+    }
+}
+
+fn cluster() -> LocalCluster {
+    LocalCluster::new(tms_dsps::scheduler::ClusterSpec {
+        nodes: 2,
+        slots_per_node: 2,
+        cores_per_node: 2,
+    })
+    .unwrap()
+}
+
+/// Tracing + sample-everything lineage, long window (flush-only).
+fn lineage_monitor() -> Option<MonitorConfig> {
+    Some(MonitorConfig {
+        window: Duration::from_secs(3600),
+        tracing: true,
+        lineage: Some(LineageConfig::full()),
+        ..MonitorConfig::default()
+    })
+}
+
+// ---- A minimal JSON well-formedness checker -------------------------------
+// The vendored serde_json is render-only, so the exported Chrome trace is
+// validated with a tiny recursive-descent parser: strict enough to catch
+// unbalanced brackets, bad escapes, trailing commas and bare tokens.
+
+fn json_value(b: &[u8], mut i: usize) -> Result<usize, String> {
+    i = skip_ws(b, i);
+    match b.get(i) {
+        Some(b'{') => {
+            i = skip_ws(b, i + 1);
+            if b.get(i) == Some(&b'}') {
+                return Ok(i + 1);
+            }
+            loop {
+                i = json_string(b, skip_ws(b, i))?;
+                i = skip_ws(b, i);
+                if b.get(i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                i = json_value(b, i + 1)?;
+                i = skip_ws(b, i);
+                match b.get(i) {
+                    Some(b',') => i += 1,
+                    Some(b'}') => return Ok(i + 1),
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            i = skip_ws(b, i + 1);
+            if b.get(i) == Some(&b']') {
+                return Ok(i + 1);
+            }
+            loop {
+                i = json_value(b, i)?;
+                i = skip_ws(b, i);
+                match b.get(i) {
+                    Some(b',') => i += 1,
+                    Some(b']') => return Ok(i + 1),
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => json_string(b, i),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = i;
+            while b.get(i).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                i += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..i]).unwrap_or("");
+            tok.parse::<f64>().map_err(|_| format!("bad number {tok:?} at byte {start}"))?;
+            Ok(i)
+        }
+        _ => {
+            for lit in ["true", "false", "null"] {
+                if b[i..].starts_with(lit.as_bytes()) {
+                    return Ok(i + lit.len());
+                }
+            }
+            Err(format!("unexpected token at byte {i}"))
+        }
+    }
+}
+
+fn json_string(b: &[u8], i: usize) -> Result<usize, String> {
+    if b.get(i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    let mut i = i + 1;
+    loop {
+        match b.get(i) {
+            Some(b'"') => return Ok(i + 1),
+            Some(b'\\') => {
+                match b.get(i + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                    Some(b'u') => i += 6,
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            Some(_) => i += 1,
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while b.get(i).is_some_and(|c| c.is_ascii_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+fn assert_valid_json(s: &str) {
+    let b = s.as_bytes();
+    match json_value(b, 0) {
+        Ok(end) => assert_eq!(
+            skip_ws(b, end),
+            b.len(),
+            "trailing garbage after JSON document: {:?}",
+            &s[end.min(s.len())..]
+        ),
+        Err(e) => panic!("invalid JSON ({e}):\n{s}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lineage_off_leaves_no_collector_and_trace_route_dark() {
+    let t = TopologyBuilder::new("t")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 2000 }))
+        .add_bolt("sink", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+            Box::new(NullSink)
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig {
+        monitor: Some(MonitorConfig {
+            window: Duration::from_millis(50),
+            tracing: true,
+            expose: Some(0),
+            ..MonitorConfig::default()
+        }),
+        ..RuntimeConfig::default()
+    };
+    let handle = cluster().submit(t, cfg).unwrap();
+    assert!(handle.trace_collector().is_none(), "lineage stays opt-in");
+    assert!(handle.take_traces().is_empty());
+
+    let addr = handle.scrape_addr().expect("expose binds");
+    let get = |path: &str| -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    let trace = get("/trace");
+    assert!(trace.starts_with("HTTP/1.1 404"), "{trace}");
+    assert!(trace.contains("lineage tracing is off"), "{trace}");
+    let missing = get("/definitely-not-a-route");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    for route in ["/metrics", "/json", "/trace", "/trace.jsonl", "/events"] {
+        assert!(missing.contains(route), "404 must index route {route}:\n{missing}");
+    }
+    // The flight recorder is always on, even without lineage.
+    let events = get("/events");
+    assert!(events.starts_with("HTTP/1.1 200"), "{events}");
+
+    handle.join().unwrap();
+}
+
+#[test]
+fn critical_path_names_the_throttled_bolt_as_bottleneck() {
+    let t = TopologyBuilder::new("t")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 400 }))
+        .add_bolt("relay", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+            Box::new(Forward)
+        })
+        .add_bolt("throttled", Parallelism::of(1), vec![("relay", Grouping::Shuffle)], |_| {
+            Box::new(Throttled { delay: Duration::from_micros(500) })
+        })
+        .add_bolt("sink", Parallelism::of(1), vec![("throttled", Grouping::Shuffle)], |_| {
+            Box::new(NullSink)
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig { monitor: lineage_monitor(), ..RuntimeConfig::default() };
+    let handle = cluster().submit(t, cfg).unwrap();
+    let collector = handle.trace_collector().expect("lineage on").clone();
+    handle.join().unwrap();
+
+    let report = collector.critical_path();
+    assert_eq!(report.traces, 400, "sample_rate 1.0 samples every tree");
+    assert_eq!(report.completed, 400, "at-most-once completion lands at the sink");
+    assert_eq!(report.dropped_spans, 0, "rings must be big enough for this run");
+    assert_eq!(
+        report.bottleneck.as_deref(),
+        Some("throttled"),
+        "the deliberately throttled bolt must be attributed: {report:?}"
+    );
+    assert_eq!(report.components[0].component, "throttled", "components sort bottleneck-first");
+    let of = |name: &str| report.components.iter().find(|c| c.component == name).unwrap();
+    assert!(
+        of("throttled").compute_ns > of("relay").compute_ns,
+        "sleep time must dominate the relay's forwarding: {report:?}"
+    );
+    assert!(of("throttled").tuples == 400 && of("relay").tuples == 400);
+    assert!(!report.edges.is_empty(), "per-edge queue waits must be attributed");
+    assert!(
+        report.edges.iter().any(|e| e.from == "relay" && e.to == "throttled"),
+        "the congested edge must appear: {:?}",
+        report.edges
+    );
+
+    // Every sampled tree assembled into one connected tree.
+    let summaries = collector.summaries();
+    assert_eq!(summaries.len(), 400);
+    for s in &summaries {
+        assert!(s.connected, "tree {s:?} must have one root and no orphans");
+        assert!(s.spans >= 5, "spout emit + 3 hops (queue+process) + completion: {s:?}");
+    }
+
+    // Both exports are well-formed.
+    let chrome = collector.render_chrome_json();
+    assert_valid_json(&chrome);
+    assert!(chrome.contains("\"traceEvents\""), "chrome trace envelope");
+    assert!(chrome.contains("\"thread_name\""), "task naming metadata");
+    assert!(chrome.contains("\"process\""), "span kind names exported");
+    for line in collector.render_jsonl().lines() {
+        assert_valid_json(line);
+    }
+}
+
+#[test]
+fn adversity_trees_stay_connected_across_restart_and_replay() {
+    // The bolt panics the first time it sees value 7: the supervisor
+    // restarts the task and the spout replays the tuple. With every tree
+    // sampled, the replayed tree must still assemble connected — the
+    // replay span re-parents the second attempt onto the first.
+    let tripped = Arc::new(AtomicBool::new(false));
+    struct OnceBomb {
+        tripped: Arc<AtomicBool>,
+    }
+    impl Bolt<Msg> for OnceBomb {
+        fn process(&mut self, msg: Msg, e: &mut dyn Emitter<Msg>) {
+            if msg.value == 7 && !self.tripped.swap(true, Ordering::SeqCst) {
+                panic!("first 7 is fatal");
+            }
+            e.emit(msg);
+        }
+    }
+    let tripped_f = tripped.clone();
+    let t = TopologyBuilder::new("t")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 50 }))
+        .add_bolt("bomb", Parallelism::of(1), vec![("src", Grouping::Shuffle)], move |_| {
+            Box::new(OnceBomb { tripped: tripped_f.clone() })
+        })
+        .add_bolt("sink", Parallelism::of(2), vec![("bomb", Grouping::Shuffle)], |_| {
+            Box::new(NullSink)
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig {
+        monitor: lineage_monitor(),
+        reliability: Some(ReliabilityConfig {
+            ack_timeout: Duration::from_millis(100),
+            max_retries: 10,
+            backoff: 1.5,
+            ..ReliabilityConfig::default()
+        }),
+        ..RuntimeConfig::default()
+    };
+    let handle = cluster().submit(t, cfg).unwrap();
+    let collector = handle.trace_collector().expect("lineage on").clone();
+    let flight = handle.flight_recorder().clone();
+    handle.join().unwrap();
+
+    assert!(tripped.load(Ordering::SeqCst), "the bomb must have gone off");
+    assert!(
+        !flight.events_of(FlightKind::TaskRestart).is_empty(),
+        "the restart must land in the flight recorder: {:?}",
+        flight.events()
+    );
+    assert!(
+        !flight.events_of(FlightKind::Eos).is_empty(),
+        "the spout's EOS must land in the flight recorder"
+    );
+
+    let spans = collector.take_spans();
+    assert!(spans.iter().any(|s| s.kind == SpanKind::Replay), "the replay must be traced");
+    let summaries = summarize(&spans);
+    assert_eq!(summaries.len(), 50, "every root was sampled");
+    for s in &summaries {
+        assert!(s.connected, "adversity must not orphan tree {s:?}");
+    }
+    let replayed: Vec<_> = summaries.iter().filter(|s| s.replays > 0).collect();
+    assert!(
+        !replayed.is_empty(),
+        "at least one tree crosses the restart via a replay span"
+    );
+    // Chrome export still well-formed after the adversity run (spans were
+    // taken above, so re-render from a fresh drain of whatever remains).
+    assert_valid_json(&collector.render_chrome_json());
+}
+
+#[test]
+fn scrape_routes_serve_concurrently_and_survive_hanging_clients() {
+    struct SlowSink;
+    impl Bolt<Msg> for SlowSink {
+        fn process(&mut self, _msg: Msg, _e: &mut dyn Emitter<Msg>) {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    let t = TopologyBuilder::new("t")
+        .add_spout("src", Parallelism::of(1), |_| Box::new(RangeSpout { next: 0, end: 8000 }))
+        .add_bolt("sink", Parallelism::of(1), vec![("src", Grouping::Shuffle)], |_| {
+            Box::new(SlowSink)
+        })
+        .build()
+        .unwrap();
+    let cfg = RuntimeConfig {
+        monitor: Some(MonitorConfig {
+            window: Duration::from_millis(50),
+            tracing: true,
+            expose: Some(0),
+            lineage: Some(LineageConfig::full()),
+            ..MonitorConfig::default()
+        }),
+        ..RuntimeConfig::default()
+    };
+    let handle = cluster().submit(t, cfg).unwrap();
+    let addr = handle.scrape_addr().expect("expose binds");
+
+    // A client that connects and never sends a request: the 500 ms read
+    // timeout must cut it off instead of wedging the monitor thread.
+    let hang = TcpStream::connect(addr).expect("hang client connects");
+
+    let started = Instant::now();
+    let workers: Vec<_> = ["/metrics", "/json", "/trace", "/trace.jsonl", "/events"]
+        .into_iter()
+        .map(|path| {
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+                let mut out = String::new();
+                s.read_to_string(&mut out).unwrap();
+                (path, out)
+            })
+        })
+        .collect();
+    for w in workers {
+        let (path, resp) = w.join().unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{path} mid-run:\n{resp}");
+        match path {
+            "/trace" => assert!(resp.contains("\"traceEvents\""), "{resp}"),
+            "/trace.jsonl" => assert!(resp.contains("application/jsonl"), "{resp}"),
+            "/events" => assert!(resp.contains("\"events\""), "{resp}"),
+            _ => {}
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "a hanging client must not wedge the scrape loop"
+    );
+    drop(hang);
+    let collector = handle.trace_collector().expect("lineage on").clone();
+    handle.join().unwrap();
+
+    // Post-run: the collector still serves a full export.
+    let report = collector.critical_path();
+    assert!(report.traces > 0 && report.completed > 0);
+    assert_eq!(report.bottleneck.as_deref(), Some("sink"));
+}

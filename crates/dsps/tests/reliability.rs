@@ -143,6 +143,28 @@ fn chaos_run_with_recovery_matches_failure_free_run() {
     assert!(triple.restarted > 0, "injected panics must have forced restarts");
     let dropped: u64 = totals.iter().map(|c| c.dropped).sum();
     assert!(dropped > 0, "injected drops must have been recorded");
+
+    // Chaos observability: the runtime attributes every injection, and
+    // recovery must have kept pace — restarts cover the injected panics,
+    // and every injected drop also landed in the transit-loss counter.
+    assert!(triple.injected_panics > 0, "the injection counter must see the panics");
+    assert!(
+        triple.restarted >= triple.injected_panics,
+        "recovered restarts ({}) must cover injected panics ({})",
+        triple.restarted,
+        triple.injected_panics
+    );
+    let injected_drops: u64 = totals.iter().map(|c| c.injected_drops).sum();
+    assert!(injected_drops > 0, "the injection counter must see the drops");
+    assert!(
+        dropped >= injected_drops,
+        "transit losses ({dropped}) must include the injected drops ({injected_drops})"
+    );
+    assert_eq!(
+        totals.iter().map(|c| c.injected_latency).sum::<u64>(),
+        0,
+        "no latency was injected in this scenario"
+    );
 }
 
 #[test]
@@ -177,6 +199,14 @@ fn replay_after_timeout_delivers_exactly_the_missing_tuples() {
     assert_eq!(src.failed, 0);
     let triple = totals.iter().find(|c| c.component == "triple").unwrap();
     assert_eq!(triple.restarted, 0, "no panics were injected");
+    assert_eq!(triple.injected_panics, 0, "drop-only chaos injects no panics");
+    let injected_drops: u64 = totals.iter().map(|c| c.injected_drops).sum();
+    assert!(injected_drops > 0, "drop injections must be attributed");
+    assert!(
+        src.replayed >= injected_drops / 2,
+        "replays ({}) must keep pace with injected drops ({injected_drops})",
+        src.replayed
+    );
     // Each replay re-sends one root through the pipeline, so the sink
     // sees at most one extra copy per replay.
     assert!(

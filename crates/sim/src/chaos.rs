@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use tms_dsps::runtime::{BatchConfig, ReliabilityConfig};
-use tms_dsps::{FaultConfig, MonitorConfig};
+use tms_dsps::{FaultConfig, LineageConfig, MonitorConfig};
 
 /// A declarative chaos scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,7 +115,7 @@ impl ChaosSpec {
 /// runtime's [`MonitorConfig`], so an experiment file can pin the sampling
 /// window and opt into end-to-end tracing the same way [`ChaosSpec`] pins
 /// the fault schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorSpec {
     /// Sampling window length, milliseconds (the paper uses 40 000).
     pub window_ms: u64,
@@ -129,6 +129,9 @@ pub struct MonitorSpec {
     /// Expose a Prometheus/JSON scrape endpoint on this loopback port
     /// (`0` = ephemeral); `None` binds nothing.
     pub expose: Option<u16>,
+    /// Sampled tuple-lineage tracing; `None` keeps lineage off (the
+    /// default, and absent from older experiment files).
+    pub lineage: Option<LineageSpec>,
 }
 
 impl Default for MonitorSpec {
@@ -140,6 +143,7 @@ impl Default for MonitorSpec {
             retention: mc.retention,
             profiling: mc.profiling,
             expose: mc.expose,
+            lineage: None,
         }
     }
 }
@@ -155,13 +159,27 @@ impl MonitorSpec {
         MonitorSpec { window_ms, tracing: true, profiling: true, ..MonitorSpec::default() }
     }
 
-    /// Validates the window and retention budget.
+    /// A tracing + sample-everything-lineage spec: what the acceptance
+    /// tests run to assert trace completeness under adversity.
+    pub fn lineage_full(window_ms: u64) -> Self {
+        MonitorSpec {
+            window_ms,
+            tracing: true,
+            lineage: Some(LineageSpec::full()),
+            ..MonitorSpec::default()
+        }
+    }
+
+    /// Validates the window, retention budget and lineage knobs.
     pub fn validate(&self) -> Result<(), String> {
         if self.window_ms == 0 {
             return Err("window_ms must be at least 1".into());
         }
         if self.retention == 0 {
             return Err("retention must be at least 1".into());
+        }
+        if let Some(l) = &self.lineage {
+            l.validate()?;
         }
         Ok(())
     }
@@ -174,6 +192,62 @@ impl MonitorSpec {
             retention: self.retention,
             profiling: self.profiling,
             expose: self.expose,
+            lineage: self.lineage.as_ref().map(|l| l.lineage_config()),
+        }
+    }
+}
+
+/// A declarative lineage-tracing scenario: the serializable face of the
+/// runtime's [`LineageConfig`], so an experiment file can pin the sampling
+/// fraction the same way [`MonitorSpec`] pins the window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineageSpec {
+    /// Fraction of tuple trees to sample, `0.0..=1.0`.
+    pub sample_rate: f64,
+    /// Retain drained spans for export (`/trace`, `take_traces`); `false`
+    /// folds them into the critical-path report only.
+    pub export: bool,
+    /// Per-task span-ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+}
+
+impl Default for LineageSpec {
+    fn default() -> Self {
+        let lc = LineageConfig::default();
+        LineageSpec {
+            sample_rate: lc.sample_rate,
+            export: lc.export,
+            ring_capacity: lc.ring_capacity,
+        }
+    }
+}
+
+impl LineageSpec {
+    /// Sample everything — the acceptance/completeness preset.
+    pub fn full() -> Self {
+        LineageSpec { sample_rate: 1.0, ..LineageSpec::default() }
+    }
+
+    /// Validates the sampling fraction and ring capacity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.sample_rate) || !self.sample_rate.is_finite() {
+            return Err(format!(
+                "sample_rate must be a fraction in [0, 1], got {}",
+                self.sample_rate
+            ));
+        }
+        if self.ring_capacity == 0 {
+            return Err("ring_capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Converts into the runtime's config: feed to `MonitorConfig::lineage`.
+    pub fn lineage_config(&self) -> LineageConfig {
+        LineageConfig {
+            sample_rate: self.sample_rate,
+            export: self.export,
+            ring_capacity: self.ring_capacity,
         }
     }
 }
@@ -381,6 +455,45 @@ mod tests {
         let json = serde_json::to_string(&traced).unwrap();
         assert!(json.contains("\"window_ms\":500"), "{json}");
         assert!(json.contains("\"tracing\":true"), "{json}");
+    }
+
+    #[test]
+    fn lineage_specs_default_match_the_runtime_and_convert() {
+        let spec = LineageSpec::default();
+        spec.validate().unwrap();
+        assert_eq!(spec.lineage_config(), LineageConfig::default());
+
+        let full = LineageSpec::full();
+        full.validate().unwrap();
+        assert_eq!(full.lineage_config(), LineageConfig::full());
+
+        let traced = MonitorSpec::lineage_full(500);
+        traced.validate().unwrap();
+        let mc = traced.monitor_config();
+        assert!(mc.tracing);
+        assert_eq!(mc.lineage, Some(LineageConfig::full()));
+        assert_eq!(
+            MonitorSpec::default().monitor_config().lineage,
+            None,
+            "lineage stays opt-in"
+        );
+
+        let mut bad = LineageSpec::default();
+        bad.sample_rate = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = LineageSpec::default();
+        bad.sample_rate = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = LineageSpec::default();
+        bad.ring_capacity = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = MonitorSpec::lineage_full(500);
+        bad.lineage.as_mut().unwrap().sample_rate = -0.1;
+        assert!(bad.validate().is_err(), "monitor spec validates nested lineage");
+
+        let json = serde_json::to_string(&traced).unwrap();
+        assert!(json.contains("\"sample_rate\":1"), "{json}");
+        assert!(json.contains("\"ring_capacity\":4096"), "{json}");
     }
 
     #[test]

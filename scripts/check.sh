@@ -4,7 +4,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+# --workspace: with a root [package] present, a bare `cargo test` would
+# only run the root crate's suites.
+cargo test -q --workspace
 # The chaos integration suite is the reliability layer's acceptance bar:
 # seeded panics + drops with recovery on must reproduce the failure-free
 # output after dedup (see crates/dsps/tests/reliability.rs).
@@ -38,6 +40,12 @@ cargo test -p tms-dsps --test elastic
 # snapshot, and a killed-and-restarted topology resuming byte-identical
 # to an uninterrupted run (see crates/dsps/tests/recovery.rs).
 cargo test -p tms-dsps --test recovery
+# The lineage suite is the causal observability layer's acceptance bar:
+# critical-path attribution naming a deliberately throttled bolt, tuple
+# trees staying connected across restart+replay, concurrent scrapes of
+# every route surviving hanging clients, and a dark /trace when lineage
+# is off (see crates/dsps/tests/lineage.rs).
+cargo test -p tms-dsps --test lineage
 # The kappa/determinism bar lives in tms-core: in-stream statistics
 # matching the batch job, batched == per-tuple detection parity under
 # multi-task parallelism, resequencer ordering, and threshold ages
@@ -54,4 +62,9 @@ cargo run --release -p tms-bench --bin experiments -- staleness_guard
 # >=1 completed migration with post-rebalance imbalance under the bound,
 # and a live re-run must reproduce both.
 cargo run --release -p tms-bench --bin experiments -- rebalance_guard
+# Lineage overhead guard: the committed BENCH_trace_overhead.json must
+# show a <=10% tax for the default 1% sample and a lineage-off data plane
+# within noise of the monitor-off baseline; a live smoke re-run must keep
+# the sampled hot path cheap.
+cargo run --release -p tms-bench --bin experiments -- lineage_guard
 cargo clippy --workspace -- -D warnings
