@@ -83,6 +83,11 @@ pub struct SystemConfig {
     /// restarted tasks resume from disk instead of cold. `None` keeps
     /// all bolt state in memory.
     pub durability: Option<tms_dsps::DurabilityConfig>,
+    /// Logical worker count the scheduler spreads executors over
+    /// (placement modeling; the run itself stays in-process — spawning
+    /// real worker processes is [`tms_dsps::DistributedCluster`]'s job).
+    /// `None` derives the count from the cluster spec.
+    pub workers: Option<usize>,
 }
 
 /// Configuration of the elastic rebalancer (the closed control loop over
@@ -165,6 +170,7 @@ impl Default for SystemConfig {
             elastic: None,
             kappa: None,
             durability: None,
+            workers: None,
         }
     }
 }
@@ -893,6 +899,7 @@ impl TrafficSystem {
                 batch: self.config.batch,
                 durability: self.config.durability.clone(),
                 flight: Some(flight.clone()),
+                workers: self.config.workers,
                 ..RuntimeConfig::default()
             },
         )?;

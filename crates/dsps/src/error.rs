@@ -75,6 +75,28 @@ pub enum DspsError {
         /// The OS error text.
         reason: String,
     },
+    /// A wire frame failed validation (bad length, checksum mismatch,
+    /// unknown tag or truncated payload) — see
+    /// [`transport`](crate::transport).
+    Frame {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A transport-level socket operation failed.
+    Transport {
+        /// The peer involved (address or worker label).
+        peer: String,
+        /// Operation and OS error text.
+        reason: String,
+    },
+    /// A worker process failed: could not be spawned, failed its
+    /// handshake, or disconnected before reporting completion.
+    Worker {
+        /// The worker index.
+        worker: usize,
+        /// What went wrong.
+        reason: String,
+    },
     /// XML topology text failed to parse.
     XmlParse {
         /// 1-based line number.
@@ -119,6 +141,13 @@ impl fmt::Display for DspsError {
             }
             DspsError::ExpositionBind { port, reason } => {
                 write!(f, "failed to bind metrics endpoint on 127.0.0.1:{port}: {reason}")
+            }
+            DspsError::Frame { reason } => write!(f, "invalid wire frame: {reason}"),
+            DspsError::Transport { peer, reason } => {
+                write!(f, "transport failure with {peer}: {reason}")
+            }
+            DspsError::Worker { worker, reason } => {
+                write!(f, "worker {worker} failed: {reason}")
             }
             DspsError::XmlParse { line, reason } => {
                 write!(f, "XML parse error at line {line}: {reason}")

@@ -42,11 +42,17 @@ pub mod flight;
 pub mod grouping;
 pub mod lineage;
 pub mod metrics;
+pub mod net;
 pub mod runtime;
 pub mod scheduler;
 pub mod topology;
+pub mod transport;
 pub mod xml;
 
+/// Re-exported so downstream crates can implement [`WireCodec`] (whose
+/// methods take [`bytes::BytesMut`]) without depending on the vendored
+/// `bytes` crate directly.
+pub use bytes;
 pub use durability::{DurabilityConfig, StateStore};
 pub use elastic::{MigrationCoordinator, MigrationRequest, MigrationStats};
 pub use error::DspsError;
@@ -60,8 +66,10 @@ pub use metrics::{
     AtomicHistogram, ComponentWindow, LatencyHistogram, MetricsHub, MonitorConfig, ProfileSource,
     RuleProfile,
 };
+pub use net::DistributedCluster;
 pub use runtime::{
     BatchConfig, Emitter, LocalCluster, ReliabilityConfig, RuntimeConfig, TopologyHandle,
 };
 pub use topology::{Bolt, BoltContext, Parallelism, Spout, Topology, TopologyBuilder};
+pub use transport::{FrameDecoder, WireCodec, WireReader};
 pub use xml::{parse_topology_xml, TopologySpec};

@@ -643,6 +643,9 @@ pub struct MetricsHub {
     retention: usize,
     /// End of the previous sample — the next window's start.
     last_end: Mutex<Duration>,
+    /// Latest cumulative totals pushed by each remote worker process
+    /// (multi-process runs only; empty in a single-process topology).
+    remote: Mutex<BTreeMap<usize, Vec<ComponentWindow>>>,
 }
 
 impl Default for MetricsHub {
@@ -671,6 +674,7 @@ impl MetricsHub {
             history: Mutex::new(VecDeque::new()),
             retention: retention.max(1),
             last_end: Mutex::new(Duration::ZERO),
+            remote: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -859,13 +863,48 @@ impl MetricsHub {
             .collect()
     }
 
+    /// Replaces worker `worker`'s totals with a fresh cumulative snapshot
+    /// (multi-process runs: workers push cumulative totals, so the latest
+    /// snapshot supersedes earlier ones).
+    pub fn ingest_remote_totals(&self, worker: usize, totals: Vec<ComponentWindow>) {
+        self.remote.lock().insert(worker, totals);
+    }
+
+    /// Whole-topology totals: this process's components plus the latest
+    /// totals each remote worker pushed. The worker id is `None` on every
+    /// row of a single-process run (the common case) and `Some(id)` on
+    /// every row of a multi-process run (`Some(0)` = the coordinator's own
+    /// components), so expositions can label series without perturbing
+    /// single-process output.
+    pub fn merged_totals(&self) -> Vec<(Option<usize>, ComponentWindow)> {
+        let remote = self.remote.lock();
+        let local_tag = if remote.is_empty() { None } else { Some(0) };
+        let mut out: Vec<(Option<usize>, ComponentWindow)> =
+            self.totals().into_iter().map(|w| (local_tag, w)).collect();
+        for (&worker, totals) in remote.iter() {
+            out.extend(totals.iter().cloned().map(|w| (Some(worker), w)));
+        }
+        out
+    }
+
     /// Renders the current lifetime totals in the Prometheus text
     /// exposition format (version 0.0.4), dependency-free. Histograms
     /// follow the cumulative `_bucket`/`_sum`/`_count` contract with
     /// `le` upper bounds in seconds; only non-empty buckets plus `+Inf`
-    /// are emitted.
+    /// are emitted. In a multi-process run every series additionally
+    /// carries a `worker` label; single-process output is unchanged.
     pub fn render_prometheus(&self) -> String {
-        let totals = self.totals();
+        let totals: Vec<(String, ComponentWindow)> = self
+            .merged_totals()
+            .into_iter()
+            .map(|(who, w)| {
+                let mut labels = format!("component=\"{}\"", escape_label(&w.component));
+                if let Some(id) = who {
+                    labels.push_str(&format!(",worker=\"{id}\""));
+                }
+                (labels, w)
+            })
+            .collect();
         let mut out = String::with_capacity(4096);
 
         let counters: [MetricSpec<ComponentWindow>; 11] = [
@@ -893,12 +932,8 @@ impl MetricsHub {
         ];
         for (name, help, read) in counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
-            for w in &totals {
-                out.push_str(&format!(
-                    "{name}{{component=\"{}\"}} {}\n",
-                    escape_label(&w.component),
-                    read(w)
-                ));
+            for (labels, w) in &totals {
+                out.push_str(&format!("{name}{{{labels}}} {}\n", read(w)));
             }
         }
 
@@ -906,33 +941,24 @@ impl MetricsHub {
             "# HELP tms_queue_depth Tuples buffered in the component's input channels\n\
              # TYPE tms_queue_depth gauge\n",
         );
-        for w in &totals {
-            out.push_str(&format!(
-                "tms_queue_depth{{component=\"{}\"}} {}\n",
-                escape_label(&w.component),
-                w.queue_depth
-            ));
+        for (labels, w) in &totals {
+            out.push_str(&format!("tms_queue_depth{{{labels}}} {}\n", w.queue_depth));
         }
         out.push_str(
             "# HELP tms_queue_capacity Total capacity of the component's input channels\n\
              # TYPE tms_queue_capacity gauge\n",
         );
-        for w in &totals {
-            out.push_str(&format!(
-                "tms_queue_capacity{{component=\"{}\"}} {}\n",
-                escape_label(&w.component),
-                w.queue_capacity
-            ));
+        for (labels, w) in &totals {
+            out.push_str(&format!("tms_queue_capacity{{{labels}}} {}\n", w.queue_capacity));
         }
 
         out.push_str(
             "# HELP tms_e2e_latency_seconds End-to-end tuple completion latency\n\
              # TYPE tms_e2e_latency_seconds histogram\n",
         );
-        for w in &totals {
+        for (labels, w) in &totals {
             if !w.e2e.is_empty() {
-                let labels = format!("component=\"{}\"", escape_label(&w.component));
-                render_histogram(&mut out, "tms_e2e_latency_seconds", &labels, &w.e2e);
+                render_histogram(&mut out, "tms_e2e_latency_seconds", labels, &w.e2e);
             }
         }
 
@@ -956,11 +982,10 @@ impl MetricsHub {
         ];
         for (name, help, read) in rule_counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
-            for w in &totals {
+            for (labels, w) in &totals {
                 for r in &w.rules {
                     out.push_str(&format!(
-                        "{name}{{component=\"{}\",rule=\"{}\",engine=\"{}\"}} {}\n",
-                        escape_label(&w.component),
+                        "{name}{{{labels},rule=\"{}\",engine=\"{}\"}} {}\n",
                         escape_label(&r.rule),
                         r.engine,
                         read(r)
@@ -972,11 +997,10 @@ impl MetricsHub {
             "# HELP tms_rule_window_events Events buffered in the rule's windows\n\
              # TYPE tms_rule_window_events gauge\n",
         );
-        for w in &totals {
+        for (labels, w) in &totals {
             for r in &w.rules {
                 out.push_str(&format!(
-                    "tms_rule_window_events{{component=\"{}\",rule=\"{}\",engine=\"{}\"}} {}\n",
-                    escape_label(&w.component),
+                    "tms_rule_window_events{{{labels},rule=\"{}\",engine=\"{}\"}} {}\n",
                     escape_label(&r.rule),
                     r.engine,
                     r.window_len
@@ -987,12 +1011,11 @@ impl MetricsHub {
             "# HELP tms_rule_threshold_age_seconds Age of the thresholds the rule is using\n\
              # TYPE tms_rule_threshold_age_seconds gauge\n",
         );
-        for w in &totals {
+        for (labels, w) in &totals {
             for r in &w.rules {
                 if let Some(age) = r.threshold_age {
                     out.push_str(&format!(
-                        "tms_rule_threshold_age_seconds{{component=\"{}\",rule=\"{}\",engine=\"{}\"}} {}\n",
-                        escape_label(&w.component),
+                        "tms_rule_threshold_age_seconds{{{labels},rule=\"{}\",engine=\"{}\"}} {}\n",
                         escape_label(&r.rule),
                         r.engine,
                         age.as_secs_f64()
@@ -1004,12 +1027,11 @@ impl MetricsHub {
             "# HELP tms_rule_eval_seconds Rule condition evaluation wall time\n\
              # TYPE tms_rule_eval_seconds histogram\n",
         );
-        for w in &totals {
+        for (labels, w) in &totals {
             for r in &w.rules {
                 if !r.eval.is_empty() {
                     let labels = format!(
-                        "component=\"{}\",rule=\"{}\",engine=\"{}\"",
-                        escape_label(&w.component),
+                        "{labels},rule=\"{}\",engine=\"{}\"",
                         escape_label(&r.rule),
                         r.engine
                     );
@@ -1033,19 +1055,26 @@ impl MetricsHub {
     }
 
     /// Renders the current lifetime totals as a JSON snapshot (one object
-    /// per component, rule profiles nested), dependency-free.
+    /// per component, rule profiles nested), dependency-free. In a
+    /// multi-process run each component object additionally carries a
+    /// `worker` key; single-process output is unchanged.
     pub fn render_json(&self) -> String {
-        let totals = self.totals();
+        let totals = self.merged_totals();
         let mut out = String::with_capacity(2048);
         out.push_str("{\"uptime_s\":");
         out.push_str(&format!("{:.3}", self.started.elapsed().as_secs_f64()));
         out.push_str(",\"components\":[");
-        for (i, w) in totals.iter().enumerate() {
+        for (i, (who, w)) in totals.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            if let Some(id) = who {
+                out.push_str(&format!("{{\"worker\":{id},"));
+            } else {
+                out.push('{');
+            }
             out.push_str(&format!(
-                "{{\"component\":{},\"processed\":{},\"emitted\":{},\"avg_latency_ns\":{},\
+                "\"component\":{},\"processed\":{},\"emitted\":{},\"avg_latency_ns\":{},\
                  \"dropped\":{},\"misrouted\":{},\"acked\":{},\"failed\":{},\"replayed\":{},\
                  \"restarted\":{},\
                  \"injected_panics\":{},\"injected_latency\":{},\"injected_drops\":{},\

@@ -32,7 +32,7 @@
 //! Replays mean *duplicates are possible*: exactly-once is the consumer's
 //! job (dedup on a message key), as in Storm 0.8 without Trident.
 
-use crate::ack::Acker;
+use crate::ack::{AckSink, Acker};
 use crate::durability::{DurabilityConfig, StateStore};
 use crate::error::DspsError;
 use crate::fault::FaultConfig;
@@ -71,7 +71,7 @@ fn mix_id(mut x: u64) -> u64 {
 /// costs N refcount bumps instead of N deep clones. The consuming bolt
 /// takes ownership at its boundary via [`Payload::into_owned`]:
 /// clone-on-write, and the last receiver unwraps the `Arc` for free.
-enum Payload<T> {
+pub(crate) enum Payload<T> {
     Owned(T),
     Shared(Arc<T>),
 }
@@ -81,6 +81,16 @@ impl<T: Clone> Payload<T> {
         match self {
             Payload::Owned(t) => t,
             Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+impl<T> Payload<T> {
+    /// Borrows the message (wire encoding reads it in place).
+    pub(crate) fn as_inner(&self) -> &T {
+        match self {
+            Payload::Owned(t) => t,
+            Payload::Shared(a) => a,
         }
     }
 }
@@ -102,23 +112,36 @@ struct TraceHop {
 }
 
 /// One delivery: the message plus its reliability lineage.
-struct Envelope<T> {
-    msg: Payload<T>,
+///
+/// Crate-visible so the wire layer ([`net`](crate::net)) can encode and
+/// reconstruct deliveries. The `t0`/`hop` observability fields do not
+/// cross the wire: `Instant` is process-local and lineage spans do not
+/// link across the boundary (each process's spans still flow back to the
+/// coordinator at the end of the run).
+pub(crate) struct Envelope<T> {
+    pub(crate) msg: Payload<T>,
     /// This delivery's id, registered with the acker (0 when untracked).
-    tid: u64,
+    pub(crate) tid: u64,
     /// Spout roots this delivery descends from (empty when untracked).
-    roots: Vec<u64>,
+    pub(crate) roots: Vec<u64>,
     /// Spout emit time of the root tuple this delivery descends from.
     /// Only stamped in tracing + at-most-once mode, where end-to-end
     /// latency is recorded at the terminal bolt (reliability mode records
     /// it spout-side from the acker's completion instant instead).
-    t0: Option<Instant>,
+    pub(crate) t0: Option<Instant>,
     /// Lineage context when this delivery belongs to a sampled trace.
     hop: Option<Box<TraceHop>>,
 }
 
+impl<T> Envelope<T> {
+    /// A delivery reconstructed from the wire (no local-only context).
+    pub(crate) fn from_wire(msg: T, tid: u64, roots: Vec<u64>) -> Self {
+        Envelope { msg: Payload::Owned(msg), tid, roots, t0: None, hop: None }
+    }
+}
+
 /// A message, a micro-batch of messages, or an end-of-stream marker.
-enum Packet<T> {
+pub(crate) enum Packet<T> {
     Data(Envelope<T>),
     /// Deliveries that accumulated in one edge buffer ([`BatchConfig`]).
     Batch(Vec<Envelope<T>>),
@@ -169,8 +192,10 @@ struct LineageState {
 struct TaskEmitter<T> {
     routes: Vec<Route<T>>,
     counters: Arc<TaskCounters>,
-    /// Shared tuple-tree tracker; `None` = at-most-once mode.
-    acker: Option<Arc<Acker>>,
+    /// Shared tuple-tree tracker; `None` = at-most-once mode. A trait
+    /// object so workers of a multi-process topology can substitute a
+    /// forwarder to the coordinator's acker.
+    acker: Option<Arc<dyn AckSink>>,
     /// High bits of every id this task mints: global task id << 40.
     id_hi: u64,
     /// Next id sequence number; starts at 1 so `id_hi | id_seq` (and its
@@ -640,6 +665,57 @@ struct BoltTask<T> {
     done: bool,
 }
 
+/// A local task's wire ingress point: where the net layer injects
+/// packets that arrived from a remote worker.
+pub(crate) struct LocalIngress<T> {
+    /// The task's input channel (the same one local producers use, so
+    /// per-link FIFO and EOS quorum counting are location-independent).
+    pub(crate) tx: Sender<Packet<T>>,
+    /// The task's occupancy gauge; the ingress bumps it exactly like a
+    /// local producer would.
+    pub(crate) depth: Arc<AtomicI64>,
+    /// Whether gauges are live (tracing mode).
+    pub(crate) tracing: bool,
+}
+
+/// The runtime's seam to the multi-process wire layer.
+///
+/// `submit_inner` resolves every (route, task) target at build time:
+/// local targets keep their channel, remote targets get a *relay*
+/// channel from this plane — bounded like a task input channel, so
+/// backpressure propagates across the process boundary. The plane drains
+/// relays onto peer links and injects arriving packets through the
+/// registered ingress map.
+pub(crate) trait RemoteDataPlane<T>: Send + Sync {
+    /// The relay channel feeding remote task `dest_global` on `worker`.
+    /// Called once per (worker, task) during topology build; all local
+    /// producers share the returned sender via clone.
+    fn remote_sender(&self, worker: usize, dest_global: u32, capacity: usize) -> Sender<Packet<T>>;
+
+    /// Hands the plane this process's ingress map (global task id →
+    /// input channel) before any executor starts.
+    fn register_ingress(&self, map: HashMap<u32, LocalIngress<T>>);
+}
+
+/// Distribution context for one process of a multi-process topology;
+/// `None` in [`LocalCluster::submit`] keeps the single-process runtime
+/// byte-identical (no relays, no plane, the concrete [`Acker`]).
+pub(crate) struct DistCtx<T> {
+    /// This process's worker id (0 = coordinator).
+    pub(crate) worker: usize,
+    /// The coordinator-computed assignment every process agrees on.
+    pub(crate) assignment: Assignment,
+    /// The wire layer's data plane.
+    pub(crate) plane: Arc<dyn RemoteDataPlane<T>>,
+    /// Builds the ack sink (reliability mode): the real acker on the
+    /// coordinator, a forwarder on workers. Receives the spout completion
+    /// senders (spouts are pinned to the coordinator, so only the real
+    /// acker ever uses them).
+    #[allow(clippy::type_complexity)]
+    pub(crate) make_ack:
+        Box<dyn FnOnce(Vec<Sender<(u64, Instant)>>) -> Arc<dyn AckSink> + Send>,
+}
+
 /// A local, threaded stand-in for a Storm cluster.
 pub struct LocalCluster {
     spec: ClusterSpec,
@@ -663,6 +739,22 @@ impl LocalCluster {
         topology: Topology<T>,
         config: RuntimeConfig,
     ) -> Result<TopologyHandle, DspsError> {
+        self.submit_inner(topology, config, None)
+    }
+
+    /// The real submit: builds channels, routes and executors for the
+    /// tasks this process owns. With `dist: None` (the public
+    /// [`submit`](LocalCluster::submit)) every task is local and the body
+    /// reduces to the original single-process runtime — no relay
+    /// channels, no plane calls, no extra syscalls or threads. With a
+    /// [`DistCtx`], remote targets resolve to the plane's relay channels
+    /// and only the local executor slice is spawned.
+    pub(crate) fn submit_inner<T: Clone + Send + Sync + 'static>(
+        &self,
+        topology: Topology<T>,
+        config: RuntimeConfig,
+        dist: Option<DistCtx<T>>,
+    ) -> Result<TopologyHandle, DspsError> {
         let workers = config.workers.unwrap_or_else(|| self.spec.default_workers());
         let components: Vec<(&str, usize, usize)> = topology
             .spouts
@@ -675,7 +767,14 @@ impl LocalCluster {
                     .map(|b| (b.name.as_str(), b.parallelism.tasks, b.parallelism.executors)),
             )
             .collect();
-        let assignment = assign(&components, self.spec, workers)?;
+        let (my_worker, dist_assignment, plane, make_ack) = match dist {
+            Some(d) => (Some(d.worker), Some(d.assignment), Some(d.plane), Some(d.make_ack)),
+            None => (None, None, None, None),
+        };
+        let assignment = match dist_assignment {
+            Some(a) => a,
+            None => assign(&components, self.spec, workers)?,
+        };
 
         let metrics = Arc::new(match config.monitor {
             Some(mc) => MetricsHub::with_retention(mc.retention),
@@ -713,18 +812,39 @@ impl LocalCluster {
         let spout_task_total: usize =
             topology.spouts.iter().map(|s| s.parallelism.tasks).sum();
 
+        // ---- Task ownership (multi-process mode) --------------------------
+        // Which worker owns each global task, derived from the shared
+        // assignment so every process resolves locality identically. In
+        // single-process mode everything is local and the vector is unused.
+        let owner: Vec<usize> = {
+            let mut owner = vec![0usize; next_global];
+            if my_worker.is_some() {
+                for p in &assignment.placements {
+                    let base = global_base[p.component.as_str()];
+                    for &t in &p.tasks {
+                        owner[base + t] = p.worker;
+                    }
+                }
+            }
+            owner
+        };
+        let is_local = |global: usize| my_worker.is_none_or(|w| owner[global] == w);
+
         // ---- Acker + completion channels (reliability mode) ---------------
         // Completion channels are unbounded so completing a tree can never
         // block a bolt executor against a stalled spout.
         let mut completion_rxs: Vec<Option<Receiver<(u64, Instant)>>> = Vec::new();
-        let acker: Option<Arc<Acker>> = if reliability.is_some() {
+        let acker: Option<Arc<dyn AckSink>> = if reliability.is_some() {
             let mut txs = Vec::with_capacity(spout_task_total);
             for _ in 0..spout_task_total {
                 let (tx, rx) = unbounded();
                 txs.push(tx);
                 completion_rxs.push(Some(rx));
             }
-            Some(Arc::new(Acker::new(txs)))
+            Some(match make_ack {
+                Some(f) => f(txs),
+                None => Arc::new(Acker::new(txs)),
+            })
         } else {
             None
         };
@@ -733,29 +853,61 @@ impl LocalCluster {
         // Each channel gets an occupancy counter the hub reads as a gauge;
         // the hub holds only the counter, never a channel handle (that
         // would defeat disconnect detection when a task dies).
+        //
+        // Multi-process mode: a *remote* task's slot holds the plane's
+        // relay sender instead — emitters stay oblivious, routing simply
+        // resolves to a channel that happens to cross a socket. Remote
+        // slots get an unregistered depth gauge (the owning process tracks
+        // the real occupancy).
         let mut senders_by_bolt: Vec<Vec<Sender<Packet<T>>>> =
             Vec::with_capacity(topology.bolts.len());
         let mut receivers_by_bolt: Vec<Vec<Option<Receiver<Packet<T>>>>> =
             Vec::with_capacity(topology.bolts.len());
         let mut depths_by_bolt: Vec<Vec<Arc<AtomicI64>>> =
             Vec::with_capacity(topology.bolts.len());
+        let mut ingress: HashMap<u32, LocalIngress<T>> = HashMap::new();
         for b in &topology.bolts {
             let mut senders = Vec::with_capacity(b.parallelism.tasks);
             let mut receivers = Vec::with_capacity(b.parallelism.tasks);
             let mut depths = Vec::with_capacity(b.parallelism.tasks);
-            for _ in 0..b.parallelism.tasks {
-                let (tx, rx) = bounded(config.channel_capacity.max(1));
-                senders.push(tx);
-                receivers.push(Some(rx));
-                let depth = Arc::new(AtomicI64::new(0));
-                if tracing {
-                    metrics.register_queue(&b.name, depth.clone(), config.channel_capacity.max(1));
+            for ti in 0..b.parallelism.tasks {
+                let global = global_base[b.name.as_str()] + ti;
+                if is_local(global) {
+                    let (tx, rx) = bounded(config.channel_capacity.max(1));
+                    let depth = Arc::new(AtomicI64::new(0));
+                    if tracing {
+                        metrics.register_queue(
+                            &b.name,
+                            depth.clone(),
+                            config.channel_capacity.max(1),
+                        );
+                    }
+                    if my_worker.is_some() {
+                        ingress.insert(
+                            global as u32,
+                            LocalIngress { tx: tx.clone(), depth: depth.clone(), tracing },
+                        );
+                    }
+                    senders.push(tx);
+                    receivers.push(Some(rx));
+                    depths.push(depth);
+                } else {
+                    let plane = plane.as_ref().expect("remote task implies a data plane");
+                    senders.push(plane.remote_sender(
+                        owner[global],
+                        global as u32,
+                        config.channel_capacity.max(1),
+                    ));
+                    receivers.push(None);
+                    depths.push(Arc::new(AtomicI64::new(0)));
                 }
-                depths.push(depth);
             }
             senders_by_bolt.push(senders);
             receivers_by_bolt.push(receivers);
             depths_by_bolt.push(depths);
+        }
+        if let Some(plane) = plane.as_ref() {
+            plane.register_ingress(ingress);
         }
 
         // ---- Outgoing edges per source component --------------------------
@@ -837,10 +989,27 @@ impl LocalCluster {
 
         let mut threads: Vec<std::thread::JoinHandle<Result<(), DspsError>>> = Vec::new();
 
+        // Executor → task packing. Single-process: the scheduler's packing
+        // directly (exactly as before). Multi-process: this process's
+        // executor slice of the shared assignment, which used the same
+        // packing — so a task's executor grouping is identical everywhere;
+        // only *where* the executor thread runs changes.
+        let executor_slices = |name: &str, tasks: usize, executors: usize| -> Vec<Vec<usize>> {
+            match my_worker {
+                None => crate::scheduler::pack_tasks(tasks, executors),
+                Some(w) => assignment
+                    .placements
+                    .iter()
+                    .filter(|p| p.component == name && p.worker == w)
+                    .map(|p| p.tasks.clone())
+                    .collect(),
+            }
+        };
+
         // ---- Spout executors ----------------------------------------------
         for s in &topology.spouts {
             let packing =
-                crate::scheduler::pack_tasks(s.parallelism.tasks, s.parallelism.executors);
+                executor_slices(&s.name, s.parallelism.tasks, s.parallelism.executors);
             for task_ids in packing {
                 let mut tasks: Vec<SpoutTask<T>> = Vec::new();
                 for &ti in &task_ids {
@@ -872,7 +1041,7 @@ impl LocalCluster {
         // ---- Bolt executors -----------------------------------------------
         for (bi, b) in topology.bolts.iter().enumerate() {
             let packing =
-                crate::scheduler::pack_tasks(b.parallelism.tasks, b.parallelism.executors);
+                executor_slices(&b.name, b.parallelism.tasks, b.parallelism.executors);
             let task_count = b.parallelism.tasks;
             for task_ids in packing {
                 let mut tasks: Vec<BoltTask<T>> = Vec::new();
@@ -1109,7 +1278,7 @@ fn run_spout_executor<T: Clone + Send + Sync>(
     mut tasks: Vec<SpoutTask<T>>,
     task_ids: Vec<usize>,
     component: String,
-    acker: Option<Arc<Acker>>,
+    acker: Option<Arc<dyn AckSink>>,
     reliability: Option<ReliabilityConfig>,
     tracing: bool,
 ) -> Result<(), DspsError> {
@@ -1400,7 +1569,7 @@ fn run_bolt_executor<T: Clone + Send + Sync>(
     component: String,
     expected: usize,
     factory: crate::topology::BoltFactory<T>,
-    acker: Option<Arc<Acker>>,
+    acker: Option<Arc<dyn AckSink>>,
     reliability: Option<ReliabilityConfig>,
     tracing: bool,
 ) -> Result<(), DspsError> {
@@ -1617,7 +1786,7 @@ fn process_envelope<T: Clone + Send + Sync>(
     env: Envelope<T>,
     component: &str,
     factory: &crate::topology::BoltFactory<T>,
-    acker: &Option<Arc<Acker>>,
+    acker: &Option<Arc<dyn AckSink>>,
     reliability: Option<ReliabilityConfig>,
     deferred: Option<&mut Vec<(u64, u64)>>,
 ) -> Result<(), DspsError> {

@@ -1,0 +1,605 @@
+//! Zero-copy framed wire transport: the byte layer under the
+//! multi-process runtime ([`net`](crate::net)).
+//!
+//! # Frame format
+//!
+//! Every message on a worker link is one frame:
+//!
+//! ```text
+//! [len: u32 LE][crc32(tag + payload): u32 LE][tag: u8][payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts the tag byte plus the payload, so a frame occupies
+//! `8 + len` bytes on the wire. The CRC is the same IEEE 802.3 polynomial
+//! [`durability`](crate::durability) uses for its on-disk records — one
+//! checksum discipline for everything that crosses a trust boundary. The
+//! tag is a versioned message-type byte owned by the session layer
+//! ([`net`](crate::net)); this module treats it as opaque.
+//!
+//! # Zero-copy discipline
+//!
+//! Encoding writes header + tag + payload into one [`BytesMut`] and
+//! freezes it: the writer thread sends that view with a single
+//! `write_all` and hands the allocation back to a [`BufferPool`], so the
+//! steady state allocates nothing per frame. Decoding accumulates socket
+//! reads in a [`BytesMut`] and yields each payload as a [`Bytes`] *view*
+//! into the receive buffer ([`BytesMut::split_to`]) — torn and coalesced
+//! reads reassemble without ever copying a payload byte.
+//!
+//! # Robustness
+//!
+//! A corrupt length field cannot be distinguished from a corrupt stream,
+//! so the decoder rejects frames whose length is zero or exceeds
+//! [`MAX_FRAME`] with a typed [`DspsError::Frame`] instead of attempting
+//! resynchronization (TCP gives us no record boundaries to resync on; the
+//! session layer tears the link down and lets the reliability layer
+//! heal). CRC mismatches are rejected the same way.
+
+use crate::error::DspsError;
+use bytes::{Bytes, BytesMut};
+
+pub use bytes::BufferPool;
+
+/// Upper bound on the body (`tag + payload`) of a single frame: 64 MiB.
+///
+/// Large enough for any micro-batch the runtime ships (batches are
+/// bounded by `BatchConfig::max_batch`), small enough that a corrupt
+/// length field cannot make the decoder buffer gigabytes before the CRC
+/// exposes the corruption.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Bytes of frame header preceding the body: `len` + `crc`.
+const HEADER: usize = 8;
+
+/// Encodes one frame into `buf` (which must be empty — acquire it from a
+/// [`BufferPool`]) and freezes it into an immutable view ready for a
+/// single `write_all`. `fill` writes the payload; the header is patched
+/// in afterwards, so the payload is encoded exactly once and never
+/// copied.
+///
+/// # Panics
+/// When the body exceeds [`MAX_FRAME`] — an encoder-side bug, not a
+/// network condition.
+pub fn encode_frame(mut buf: BytesMut, tag: u8, fill: impl FnOnce(&mut BytesMut)) -> Bytes {
+    debug_assert!(buf.is_empty(), "encode_frame needs a fresh buffer");
+    buf.put_u32_le(0); // len, patched below
+    buf.put_u32_le(0); // crc, patched below
+    buf.put_u8(tag);
+    fill(&mut buf);
+    let body_len = buf.len() - HEADER;
+    assert!(body_len <= MAX_FRAME, "frame body of {body_len} bytes exceeds MAX_FRAME");
+    let m = buf.as_mut();
+    let crc = crate::durability::crc32(&m[HEADER..]);
+    m[0..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    m[4..8].copy_from_slice(&crc.to_le_bytes());
+    buf.freeze()
+}
+
+/// One decoded frame: the session-layer tag and a zero-copy payload view
+/// into the receive buffer.
+#[derive(Debug)]
+pub struct Frame {
+    pub tag: u8,
+    pub payload: Bytes,
+}
+
+/// Incremental frame decoder over an accumulating receive buffer.
+///
+/// Feed it socket reads with [`push`](FrameDecoder::push) in whatever
+/// sizes the kernel hands back; [`next`](FrameDecoder::next) yields
+/// complete frames in order, `Ok(None)` when more bytes are needed, and a
+/// typed error on corruption (after which the decoder is poisoned — the
+/// session layer must drop the link).
+pub struct FrameDecoder {
+    buf: BytesMut,
+    max_frame: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder { buf: BytesMut::new(), max_frame: MAX_FRAME }
+    }
+
+    /// A decoder with a custom frame bound (tests).
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameDecoder { buf: BytesMut::new(), max_frame }
+    }
+
+    /// Appends raw socket bytes to the receive buffer.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.put_slice(data);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete frame, if one is fully buffered.
+    ///
+    /// Deliberately named like `Iterator::next` but fallible — the
+    /// `Result<Option<_>>` shape cannot implement the trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, DspsError> {
+        if self.buf.len() < HEADER {
+            return Ok(None);
+        }
+        let head = &self.buf[..HEADER];
+        let len = u32::from_le_bytes(head[0..4].try_into().expect("4-byte slice")) as usize;
+        let crc = u32::from_le_bytes(head[4..8].try_into().expect("4-byte slice"));
+        if len == 0 {
+            return Err(DspsError::Frame { reason: "zero-length frame body".into() });
+        }
+        if len > self.max_frame {
+            return Err(DspsError::Frame {
+                reason: format!("frame body of {len} bytes exceeds the {} byte bound", self.max_frame),
+            });
+        }
+        if self.buf.len() < HEADER + len {
+            return Ok(None);
+        }
+        self.buf.advance(HEADER);
+        let body = self.buf.split_to(len);
+        if crate::durability::crc32(&body) != crc {
+            return Err(DspsError::Frame { reason: "frame checksum mismatch".into() });
+        }
+        let tag = body[0];
+        let payload = body.slice(1..body.len());
+        Ok(Some(Frame { tag, payload }))
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+/// A bounds-checked read cursor over a frame payload.
+///
+/// Every accessor returns [`DspsError::Frame`] on truncation instead of
+/// panicking — a malformed payload from a peer must never take the
+/// process down.
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DspsError> {
+        if self.remaining() < n {
+            return Err(DspsError::Frame {
+                reason: format!("payload truncated: wanted {n} bytes, {} left", self.remaining()),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DspsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32_le(&mut self) -> Result<u32, DspsError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    pub fn u64_le(&mut self) -> Result<u64, DspsError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    pub fn i64_le(&mut self) -> Result<i64, DspsError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    pub fn f64_le(&mut self) -> Result<f64, DspsError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    /// A length-prefixed byte string (`u32 LE` count + bytes).
+    pub fn bytes(&mut self) -> Result<&'a [u8], DspsError> {
+        let n = self.u32_le()? as usize;
+        self.take(n)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DspsError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| DspsError::Frame { reason: "invalid UTF-8 in wire string".into() })
+    }
+}
+
+/// Manual wire encoding for a message type.
+///
+/// The vendored serde shim can neither parse nor derive, so everything
+/// that crosses a worker link implements this by hand, in the same style
+/// as [`durability`](crate::durability)'s record framing: fixed-width LE
+/// integers, `u32` length prefixes, field order is the format version.
+pub trait WireCodec: Sized {
+    fn encode(&self, buf: &mut BytesMut);
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError>;
+}
+
+impl WireCodec for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        r.u8()
+    }
+}
+
+impl WireCodec for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        r.u32_le()
+    }
+}
+
+impl WireCodec for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        r.u64_le()
+    }
+}
+
+impl WireCodec for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        r.i64_le()
+    }
+}
+
+impl WireCodec for f64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        r.f64_le()
+    }
+}
+
+impl WireCodec for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        Ok(r.u8()? != 0)
+    }
+}
+
+impl WireCodec for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        Ok(r.u64_le()? as usize)
+    }
+}
+
+impl WireCodec for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        r.string()
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        let n = r.u32_le()? as usize;
+        // Guard the pre-allocation against a hostile count: each element
+        // needs at least one byte of payload.
+        if n > r.remaining() {
+            return Err(DspsError::Frame {
+                reason: format!("sequence claims {n} items with {} bytes left", r.remaining()),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            k => Err(DspsError::Frame { reason: format!("invalid Option discriminant {k}") }),
+        }
+    }
+}
+
+impl WireCodec for std::time::Duration {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.as_secs());
+        buf.put_u32_le(self.subsec_nanos());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        let secs = r.u64_le()?;
+        let nanos = r.u32_le()?;
+        if nanos >= 1_000_000_000 {
+            return Err(DspsError::Frame { reason: format!("invalid Duration nanos {nanos}") });
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DspsError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Encodes a value as a standalone frame payload (convenience for
+/// control messages that are a single codec value).
+pub fn encode_value_frame<T: WireCodec>(pool: &BufferPool, tag: u8, value: &T) -> Bytes {
+    encode_frame(pool.acquire(), tag, |buf| value.encode(buf))
+}
+
+/// Decodes a frame payload that is a single codec value, requiring the
+/// payload to be fully consumed.
+pub fn decode_value<T: WireCodec>(payload: &[u8]) -> Result<T, DspsError> {
+    let mut r = WireReader::new(payload);
+    let v = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(DspsError::Frame {
+            reason: format!("{} trailing bytes after payload", r.remaining()),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tag: u8, payload: &[u8]) -> Bytes {
+        encode_frame(BytesMut::new(), tag, |b| b.put_slice(payload))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = frame(7, b"hello world");
+        let mut dec = FrameDecoder::new();
+        dec.push(&f);
+        let got = dec.next().unwrap().expect("one frame");
+        assert_eq!(got.tag, 7);
+        assert_eq!(&got.payload[..], b"hello world");
+        assert!(dec.next().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn torn_and_coalesced_reads_reassemble() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&frame(1, b"alpha"));
+        wire.extend_from_slice(&frame(2, b""));
+        wire.extend_from_slice(&frame(3, &[0u8; 300]));
+        // One byte at a time: worst-case torn reads.
+        let mut dec = FrameDecoder::new();
+        let mut tags = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next().unwrap() {
+                tags.push((f.tag, f.payload.len()));
+            }
+        }
+        assert_eq!(tags, vec![(1, 5), (2, 0), (3, 300)]);
+        // Everything at once: coalesced.
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        let mut tags = Vec::new();
+        while let Some(f) = dec.next().unwrap() {
+            tags.push((f.tag, f.payload.len()));
+        }
+        assert_eq!(tags, vec![(1, 5), (2, 0), (3, 300)]);
+    }
+
+    #[test]
+    fn corrupt_crc_is_a_typed_error() {
+        let f = frame(1, b"payload");
+        let mut wire = f.to_vec();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        match dec.next() {
+            Err(DspsError::Frame { reason }) => assert!(reason.contains("checksum")),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        match dec.next() {
+            Err(DspsError::Frame { reason }) => assert!(reason.contains("bound")),
+            other => panic!("expected bound error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert!(matches!(dec.next(), Err(DspsError::Frame { .. })));
+    }
+
+    #[test]
+    fn payload_views_are_zero_copy_and_stable() {
+        // Frames decoded earlier must stay valid while later pushes grow
+        // the receive buffer (the aliasing contract with vendor bytes).
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame(1, b"first"));
+        let one = dec.next().unwrap().unwrap();
+        dec.push(&frame(2, b"second"));
+        let two = dec.next().unwrap().unwrap();
+        assert_eq!(&one.payload[..], b"first");
+        assert_eq!(&two.payload[..], b"second");
+    }
+
+    #[test]
+    fn value_codecs_roundtrip() {
+        let pool = BufferPool::default();
+        let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "bb".into())];
+        let f = encode_value_frame(&pool, 9, &v);
+        let mut dec = FrameDecoder::new();
+        dec.push(&f);
+        let got = dec.next().unwrap().unwrap();
+        assert_eq!(got.tag, 9);
+        let back: Vec<(u64, String)> = decode_value(&got.payload).unwrap();
+        assert_eq!(back, v);
+        // Trailing garbage is an error, not a silent ignore.
+        let mut with_junk = got.payload.to_vec();
+        with_junk.push(0);
+        assert!(matches!(
+            decode_value::<Vec<(u64, String)>>(&with_junk),
+            Err(DspsError::Frame { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_sequence_count_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let frozen = buf.freeze();
+        assert!(matches!(decode_value::<Vec<u64>>(&frozen), Err(DspsError::Frame { .. })));
+    }
+
+    #[test]
+    fn option_and_duration_roundtrip() {
+        let mut buf = BytesMut::new();
+        Some(std::time::Duration::from_millis(1500)).encode(&mut buf);
+        Option::<u64>::None.encode(&mut buf);
+        let frozen = buf.freeze();
+        let mut r = WireReader::new(&frozen);
+        assert_eq!(
+            Option::<std::time::Duration>::decode(&mut r).unwrap(),
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert_eq!(Option::<u64>::decode(&mut r).unwrap(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn pooled_encode_recycles_after_write() {
+        let pool = BufferPool::new(8);
+        let f = encode_value_frame(&pool, 1, &42u64);
+        // "Written to the socket": the view drains, the allocation goes
+        // back on the shelf.
+        assert!(pool.recycle(f));
+        assert_eq!(pool.idle(), 1);
+        let f2 = encode_value_frame(&pool, 1, &43u64);
+        assert_eq!(pool.idle(), 0, "encode reused the pooled allocation");
+        drop(f2);
+    }
+
+    /// Decodes the whole byte stream fed in the given chunks.
+    fn decode_chunked<'a>(
+        chunks: impl Iterator<Item = &'a [u8]>,
+    ) -> Vec<(u8, Vec<u8>)> {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            dec.push(chunk);
+            while let Some(f) = dec.next().expect("valid stream decodes") {
+                out.push((f.tag, f.payload.to_vec()));
+            }
+        }
+        assert_eq!(dec.pending(), 0, "a complete stream leaves nothing buffered");
+        out
+    }
+
+    proptest::proptest! {
+        /// The decoder is delivery-boundary oblivious: however the TCP
+        /// layer tears or coalesces a valid frame stream, the frame
+        /// sequence that comes out is identical. Exhaustive over *every*
+        /// two-chunk split of each generated stream, plus an arbitrary
+        /// multi-chunk partition.
+        #[test]
+        fn any_split_of_a_valid_stream_decodes_identically(
+            frames in proptest::collection::vec(
+                (0u8..=255, proptest::collection::vec(0u8..=255, 0..48)),
+                0..5,
+            ),
+            cuts in proptest::collection::vec(0usize..4096, 0..8),
+        ) {
+            let mut wire = Vec::new();
+            for (tag, payload) in &frames {
+                wire.extend_from_slice(&frame(*tag, payload));
+            }
+            let expected: Vec<(u8, Vec<u8>)> =
+                frames.iter().map(|(t, p)| (*t, p.clone())).collect();
+
+            // Fully coalesced.
+            proptest::prop_assert_eq!(
+                &decode_chunked(std::iter::once(&wire[..])), &expected);
+            // Every two-chunk split: a torn read at each byte boundary.
+            for i in 0..=wire.len() {
+                let (a, b) = wire.split_at(i);
+                proptest::prop_assert_eq!(
+                    &decode_chunked([a, b].into_iter()), &expected);
+            }
+            // An arbitrary multi-chunk partition (possibly empty chunks).
+            let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+            bounds.push(0);
+            bounds.push(wire.len());
+            bounds.sort_unstable();
+            proptest::prop_assert_eq!(
+                &decode_chunked(bounds.windows(2).map(|w| &wire[w[0]..w[1]])),
+                &expected);
+        }
+    }
+}

@@ -380,6 +380,72 @@ impl KappaSpec {
     }
 }
 
+/// A declarative multi-process scale-out scenario: the serializable face
+/// of the worker-process split (`SystemConfig::workers` plus the cluster
+/// shape [`tms_dsps::DistributedCluster`] spawns against), so an
+/// experiment file can pin the process count the same way [`ChaosSpec`]
+/// pins the fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleoutSpec {
+    /// Worker processes the topology spans (1 = stay in-process).
+    pub workers: usize,
+    /// Cluster nodes the scheduler models.
+    pub nodes: usize,
+    /// Worker slots per node.
+    pub slots_per_node: usize,
+}
+
+impl Default for ScaleoutSpec {
+    fn default() -> Self {
+        ScaleoutSpec::of(1)
+    }
+}
+
+impl ScaleoutSpec {
+    /// A spec spanning `workers` processes, one slot per worker spread
+    /// over min(workers, 4) nodes — the `experiments -- scaleout` shape.
+    pub fn of(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let nodes = workers.min(4);
+        ScaleoutSpec { workers, nodes, slots_per_node: workers.div_ceil(nodes) }
+    }
+
+    /// Validates the process count against the cluster shape.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.nodes == 0 || self.slots_per_node == 0 {
+            return Err("nodes and slots_per_node must be at least 1".into());
+        }
+        if self.workers > self.nodes * self.slots_per_node {
+            return Err(format!(
+                "{} workers exceed the {} available slots",
+                self.workers,
+                self.nodes * self.slots_per_node
+            ));
+        }
+        Ok(())
+    }
+
+    /// The cluster shape: feed to `SystemConfig::cluster` or
+    /// [`tms_dsps::DistributedCluster::new`].
+    pub fn cluster_spec(&self) -> tms_dsps::scheduler::ClusterSpec {
+        tms_dsps::scheduler::ClusterSpec {
+            nodes: self.nodes,
+            slots_per_node: self.slots_per_node,
+            cores_per_node: 1,
+        }
+    }
+
+    /// The scheduler's worker override: feed to `SystemConfig::workers` /
+    /// `RuntimeConfig::workers`. `None` for a single-process run so the
+    /// in-process default path stays untouched.
+    pub fn workers_config(&self) -> Option<usize> {
+        (self.workers > 1).then_some(self.workers)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +627,34 @@ mod tests {
         ] {
             assert!(json.contains(field), "{field} missing from {json}");
         }
+    }
+
+    #[test]
+    fn scaleout_specs_validate_and_convert() {
+        let single = ScaleoutSpec::default();
+        single.validate().unwrap();
+        assert_eq!(single.workers, 1);
+        assert_eq!(single.workers_config(), None, "1 worker keeps the in-process default");
+
+        let four = ScaleoutSpec::of(4);
+        four.validate().unwrap();
+        assert_eq!(four.workers_config(), Some(4));
+        let cs = four.cluster_spec();
+        assert!(cs.nodes * cs.slots_per_node >= 4, "spec fits its own cluster");
+        assert_eq!(cs.cores_per_node, 1);
+
+        let mut bad = ScaleoutSpec::of(2);
+        bad.workers = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ScaleoutSpec::of(2);
+        bad.nodes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ScaleoutSpec::of(2);
+        bad.workers = 99;
+        assert!(bad.validate().is_err(), "workers must fit the slots");
+
+        let json = serde_json::to_string(&four).unwrap();
+        assert!(json.contains("\"workers\":4"), "{json}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod hotspot;
 pub mod placement;
 pub mod scenario;
 
-pub use chaos::{BatchSpec, ChaosSpec, KappaSpec, LineageSpec, MonitorSpec};
+pub use chaos::{BatchSpec, ChaosSpec, KappaSpec, LineageSpec, MonitorSpec, ScaleoutSpec};
 pub use hotspot::HotspotSpec;
 pub use placement::round_robin_nodes;
 pub use scenario::{PartitioningApproach, ScenarioBuilder};

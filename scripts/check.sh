@@ -46,6 +46,12 @@ cargo test -p tms-dsps --test recovery
 # every route surviving hanging clients, and a dark /trace when lineage
 # is off (see crates/dsps/tests/lineage.rs).
 cargo test -p tms-dsps --test lineage
+# The distributed suite is the multi-process runtime's acceptance bar:
+# 2-worker batched == per-tuple parity across every grouping, at-least-once
+# recovery over a lossy TCP link, supervised restart and migration installs
+# crossing the process boundary, a 3-worker mesh chain, and remote counters
+# in the merged scrape (see crates/dsps/tests/distributed.rs).
+cargo test -p tms-dsps --test distributed
 # The kappa/determinism bar lives in tms-core: in-stream statistics
 # matching the batch job, batched == per-tuple detection parity under
 # multi-task parallelism, resequencer ordering, and threshold ages
@@ -67,4 +73,9 @@ cargo run --release -p tms-bench --bin experiments -- rebalance_guard
 # within noise of the monitor-off baseline; a live smoke re-run must keep
 # the sampled hot path cheap.
 cargo run --release -p tms-bench --bin experiments -- lineage_guard
+# Scale-out guard: the committed BENCH_scaleout.json must carry rows for
+# 1/2/4 workers with tuples conserved at every scale (and >=3x at 4
+# workers when it was taken on a >=4-core box); a live 2-worker smoke run
+# must deliver every tuple across the process boundary.
+cargo run --release -p tms-bench --bin experiments -- scaleout_guard
 cargo clippy --workspace -- -D warnings

@@ -1,40 +1,110 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! `Bytes` here is an `Arc<[u8]>`: cheap `Clone` (refcount bump), `Deref`
-//! to `[u8]`, and the constructors the repo uses (`From<Vec<u8>>`,
-//! `copy_from_slice`). No split/advance cursor API — nothing in the repo
-//! needs zero-copy slicing yet.
+//! Grown from the original `Arc<[u8]>` stub into the slicing subset the
+//! repo uses:
+//!
+//! * [`Bytes`] — an immutable view `(Arc<Vec<u8>>, offset, len)` into a
+//!   shared buffer. `Clone`, [`Bytes::slice`], [`Bytes::split_to`] and
+//!   [`Bytes::advance`] are all refcount-bump + cursor arithmetic; the
+//!   underlying bytes are never copied. This is what lets a network frame
+//!   be decoded by *viewing* regions of the receive buffer instead of
+//!   copying each payload out.
+//! * [`BytesMut`] — a unique-writer append buffer that can cheaply
+//!   [`BytesMut::split_to`] finished prefixes off as aliased `Bytes` and
+//!   keep writing. Writing after a split copies the remaining tail into a
+//!   fresh allocation (`make_unique`), so outstanding views are never
+//!   invalidated — the price is paid only when a split actually aliased
+//!   the buffer.
+//! * [`BufferPool`] — a freelist of retired allocations so steady-state
+//!   encode loops reuse capacity instead of hitting the allocator per
+//!   frame.
+//!
+//! Not implemented (nothing in the repo needs them): the `Buf`/`BufMut`
+//! traits, vectored IO, inline small-string optimization.
 
 use std::sync::Arc;
 
+/// A cheaply cloneable, sliceable, immutable view into a shared buffer.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
+    /// An empty view (no allocation of note).
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::new(Vec::new()), off: 0, len: 0 }
     }
 
+    /// Copies `data` into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from(data.to_vec())
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     pub fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+
+    /// A sub-view of `self` — shares the allocation, no copy.
+    ///
+    /// # Panics
+    /// When the range is out of bounds or inverted.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(range.end <= self.len, "slice range out of bounds");
+        Bytes { data: Arc::clone(&self.data), off: self.off + range.start, len: range.end - range.start }
+    }
+
+    /// Splits the first `n` bytes off as their own view, leaving `self`
+    /// with the rest. Both views share the allocation.
+    ///
+    /// # Panics
+    /// When `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len, "split_to out of bounds");
+        let head = Bytes { data: Arc::clone(&self.data), off: self.off, len: n };
+        self.off += n;
+        self.len -= n;
+        head
+    }
+
+    /// Drops the first `n` bytes from the view.
+    ///
+    /// # Panics
+    /// When `n > self.len()`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len, "advance out of bounds");
+        self.off += n;
+        self.len -= n;
+    }
+
+    /// Hands the backing allocation to `f` when this view is the *only*
+    /// reference to it and covers it entirely — the buffer-reuse hook
+    /// [`BufferPool::recycle`] uses. Returns `false` (and does nothing)
+    /// otherwise.
+    fn try_unwrap(self, f: impl FnOnce(Vec<u8>)) -> bool {
+        let whole = self.off == 0 && self.len == self.data.len();
+        match Arc::try_unwrap(self.data) {
+            Ok(v) if whole => {
+                f(v);
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -46,7 +116,8 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes { data: Arc::new(v), off: 0, len }
     }
 }
 
@@ -66,25 +137,25 @@ impl std::ops::Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        Bytes::as_ref(self)
     }
 }
 
 impl std::borrow::Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        Bytes::as_ref(self)
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data == other.data
+        Bytes::as_ref(self) == Bytes::as_ref(other)
     }
 }
 
@@ -92,26 +163,26 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.data == other
+        Bytes::as_ref(self) == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.data == other.as_slice()
+        Bytes::as_ref(self) == other.as_slice()
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        Bytes::as_ref(self).hash(state);
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in Bytes::as_ref(self) {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -123,6 +194,217 @@ impl std::fmt::Debug for Bytes {
 impl std::iter::FromIterator<u8> for Bytes {
     fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
         Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// An append buffer with cheap prefix split-off.
+///
+/// Invariants: the written region is `storage[read..]`; every write path
+/// first ensures the `Arc` is unique (`make_unique`), so outstanding
+/// [`Bytes`] views split off earlier are never mutated under the reader.
+pub struct BytesMut {
+    storage: Arc<Vec<u8>>,
+    /// Start of the live (not yet split-off / consumed) region.
+    read: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { storage: Arc::new(Vec::new()), read: 0 }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { storage: Arc::new(Vec::with_capacity(cap)), read: 0 }
+    }
+
+    /// Wraps an existing allocation (cleared), reusing its capacity.
+    pub fn from_vec(mut v: Vec<u8>) -> Self {
+        v.clear();
+        BytesMut { storage: Arc::new(v), read: 0 }
+    }
+
+    /// Length of the live region.
+    pub fn len(&self) -> usize {
+        self.storage.len() - self.read
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensures this writer owns its allocation exclusively: after a
+    /// `split_to`/`freeze` handed views out, the live tail is copied into
+    /// a fresh buffer so those views stay immutable. When no view aliases
+    /// the storage this is free.
+    fn make_unique(&mut self) {
+        if Arc::get_mut(&mut self.storage).is_none() {
+            let fresh = self.storage[self.read..].to_vec();
+            self.storage = Arc::new(fresh);
+            self.read = 0;
+        }
+    }
+
+    /// Mutable access to the backing vec; callers must hold the unique-
+    /// writer invariant (`make_unique` first).
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        Arc::get_mut(&mut self.storage).expect("make_unique must precede writes")
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.make_unique();
+        self.vec_mut().reserve(additional);
+    }
+
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.make_unique();
+        self.vec_mut().extend_from_slice(src);
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.put_slice(src);
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.make_unique();
+        self.vec_mut().push(v);
+    }
+
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Splits the first `n` live bytes off as an immutable [`Bytes`] view
+    /// — zero-copy; the next write to `self` relocates the remaining tail
+    /// instead of touching the view.
+    ///
+    /// # Panics
+    /// When `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes { data: Arc::clone(&self.storage), off: self.read, len: n };
+        self.read += n;
+        head
+    }
+
+    /// Drops the first `n` live bytes (a consumed prefix no one needs).
+    ///
+    /// # Panics
+    /// When `n > self.len()`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.read += n;
+    }
+
+    /// Mutable access to the live region, e.g. to patch a length/checksum
+    /// header after the body was written. Ensures unique ownership first,
+    /// so no outstanding view can observe the mutation.
+    pub fn as_mut(&mut self) -> &mut [u8] {
+        self.make_unique();
+        let read = self.read;
+        &mut self.vec_mut()[read..]
+    }
+
+    /// Converts the whole live region into an immutable [`Bytes`] view
+    /// without copying.
+    pub fn freeze(self) -> Bytes {
+        let len = self.len();
+        Bytes { data: self.storage, off: self.read, len }
+    }
+
+    /// Clears the buffer for reuse. When no views alias the storage the
+    /// allocation's capacity is kept.
+    pub fn clear(&mut self) {
+        if let Some(v) = Arc::get_mut(&mut self.storage) {
+            v.clear();
+        } else {
+            self.storage = Arc::new(Vec::new());
+        }
+        self.read = 0;
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.storage[self.read..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={})", self.len())
+    }
+}
+
+/// A bounded freelist of retired buffer allocations.
+///
+/// Encode loops `acquire` a [`BytesMut`], fill it, `freeze`/`split_to`
+/// views for the transport, and `recycle` views once the last reference
+/// drains — the allocation (with its grown capacity) goes back on the
+/// shelf instead of to the allocator.
+pub struct BufferPool {
+    shelf: std::sync::Mutex<Vec<Vec<u8>>>,
+    max: usize,
+}
+
+impl BufferPool {
+    /// A pool keeping at most `max` retired allocations.
+    pub fn new(max: usize) -> Self {
+        BufferPool { shelf: std::sync::Mutex::new(Vec::new()), max }
+    }
+
+    /// A writer backed by a pooled allocation when one is available.
+    pub fn acquire(&self) -> BytesMut {
+        match self.shelf.lock().unwrap().pop() {
+            Some(v) => BytesMut::from_vec(v),
+            None => BytesMut::new(),
+        }
+    }
+
+    /// Attempts to reclaim a drained view's allocation. Only the *last*
+    /// whole-buffer reference can be reclaimed; partial or still-aliased
+    /// views are simply dropped. Returns whether the allocation was
+    /// pooled.
+    pub fn recycle(&self, b: Bytes) -> bool {
+        let mut pooled = false;
+        let accepted = b.try_unwrap(|mut v| {
+            let mut shelf = self.shelf.lock().unwrap();
+            if shelf.len() < self.max {
+                v.clear();
+                shelf.push(v);
+                pooled = true;
+            }
+        });
+        accepted && pooled
+    }
+
+    /// Buffers currently on the shelf.
+    pub fn idle(&self) -> usize {
+        self.shelf.lock().unwrap().len()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new(64)
     }
 }
 
@@ -139,5 +421,106 @@ mod tests {
         assert_eq!(b, c);
         assert_eq!(Bytes::copy_from_slice(&[1, 2, 3]), b);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_and_advance_cursor_arithmetic() {
+        let mut b = Bytes::from((0u8..10).collect::<Vec<u8>>());
+        let head = b.split_to(4);
+        assert_eq!(&head[..], &[0, 1, 2, 3]);
+        assert_eq!(&b[..], &[4, 5, 6, 7, 8, 9]);
+        b.advance(2);
+        assert_eq!(&b[..], &[6, 7, 8, 9]);
+        let mid = b.slice(1..3);
+        assert_eq!(&mid[..], &[7, 8]);
+        // Degenerate cursors.
+        let empty = b.split_to(0);
+        assert!(empty.is_empty());
+        let rest = b.split_to(b.len());
+        assert_eq!(&rest[..], &[6, 7, 8, 9]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        let _ = b.split_to(3);
+    }
+
+    #[test]
+    fn bytes_mut_accumulates_and_freezes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(0xAB);
+        m.put_u32_le(0xDEAD_BEEF);
+        m.put_u64_le(42);
+        m.put_slice(b"xyz");
+        assert_eq!(m.len(), 1 + 4 + 8 + 3);
+        let frozen = m.freeze();
+        assert_eq!(frozen[0], 0xAB);
+        assert_eq!(&frozen[1..5], &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(&frozen[5..13], &42u64.to_le_bytes());
+        assert_eq!(&frozen[13..], b"xyz");
+    }
+
+    #[test]
+    fn split_views_survive_later_writes() {
+        // The aliasing property the frame encoder depends on: a frame
+        // split off the encode buffer must stay intact while the encoder
+        // keeps appending the next frame.
+        let mut m = BytesMut::new();
+        m.put_slice(b"frame-one");
+        let one = m.split_to(9);
+        m.put_slice(b"frame-two");
+        let two = m.split_to(9);
+        m.put_slice(b"garbage-overwrite-attempt");
+        assert_eq!(&one[..], b"frame-one");
+        assert_eq!(&two[..], b"frame-two");
+    }
+
+    #[test]
+    fn bytes_mut_advance_consumes_prefix() {
+        let mut m = BytesMut::new();
+        m.put_slice(&[1, 2, 3, 4, 5]);
+        m.advance(2);
+        assert_eq!(&m[..], &[3, 4, 5]);
+        let head = m.split_to(1);
+        assert_eq!(&head[..], &[3]);
+        assert_eq!(&m[..], &[4, 5]);
+    }
+
+    #[test]
+    fn pool_recycles_only_unique_whole_buffers() {
+        let pool = BufferPool::new(4);
+        // Whole, unique view: reclaimed.
+        let mut m = pool.acquire();
+        m.put_slice(b"abcd");
+        let v = m.freeze();
+        assert!(pool.recycle(v));
+        assert_eq!(pool.idle(), 1);
+        // Aliased view: refused (clone still outstanding).
+        let mut m = pool.acquire();
+        assert_eq!(pool.idle(), 0, "acquire reuses the shelf");
+        m.put_slice(b"efgh");
+        let v = m.freeze();
+        let alias = v.clone();
+        assert!(!pool.recycle(v));
+        // Partial view: refused even when unique.
+        drop(alias);
+        let mut m = pool.acquire();
+        m.put_slice(b"ijkl");
+        let mut v = m.freeze();
+        let _head = v.split_to(2);
+        assert!(!pool.recycle(v));
+    }
+
+    #[test]
+    fn pool_bounds_its_shelf() {
+        let pool = BufferPool::new(1);
+        let a = Bytes::from(vec![1u8]);
+        let b = Bytes::from(vec![2u8]);
+        assert!(pool.recycle(a));
+        assert!(!pool.recycle(b), "shelf full: allocation dropped");
+        assert_eq!(pool.idle(), 1);
     }
 }
